@@ -1,0 +1,39 @@
+//! Criterion bench: SLN graph construction and centrality
+//! algorithms (exact vs. pivot-sampled Brandes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use forumcast_graph::{
+    betweenness, betweenness_sampled, closeness, dense_graph, qa_graph, GraphStats,
+};
+use forumcast_synth::SynthConfig;
+
+fn bench_graph(c: &mut Criterion) {
+    let ds = SynthConfig::medium().generate();
+    let (ds, _) = ds.preprocess();
+    let mut group = c.benchmark_group("graph");
+    group.sample_size(10);
+
+    group.bench_function("build_qa", |b| {
+        b.iter(|| qa_graph(ds.num_users(), ds.threads()))
+    });
+    group.bench_function("build_dense", |b| {
+        b.iter(|| dense_graph(ds.num_users(), ds.threads()))
+    });
+
+    let g = qa_graph(ds.num_users(), ds.threads());
+    group.bench_function("closeness", |b| b.iter(|| closeness(&g)));
+    group.bench_function("betweenness_exact", |b| b.iter(|| betweenness(&g)));
+    for &pivots in &[64usize, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("betweenness_sampled", pivots),
+            &pivots,
+            |b, &p| b.iter(|| betweenness_sampled(&g, p, 7)),
+        );
+    }
+    group.bench_function("stats", |b| b.iter(|| GraphStats::compute(&g)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

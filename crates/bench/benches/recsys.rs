@@ -1,0 +1,61 @@
+//! Criterion bench: the routing LP — greedy exact solver vs. the
+//! general simplex — and the stateful router.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use forumcast_data::UserId;
+use forumcast_recsys::{
+    maximize, solve_routing, Candidate, QuestionRouter, RouterConfig, RoutingProblem,
+};
+
+fn random_problem(n: usize, seed: u64) -> RoutingProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    RoutingProblem::new(
+        (0..n).map(|_| rng.gen_range(-2.0..5.0)).collect(),
+        (0..n).map(|_| rng.gen_range(0.05..0.8)).collect(),
+    )
+}
+
+fn bench_recsys(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recsys");
+    for &n in &[10usize, 100, 1000] {
+        let p = random_problem(n, n as u64);
+        group.bench_with_input(BenchmarkId::new("greedy", n), &p, |b, p| {
+            b.iter(|| solve_routing(p))
+        });
+    }
+    // Simplex only at small sizes (dense tableau).
+    for &n in &[10usize, 50] {
+        let p = random_problem(n, n as u64);
+        let mut a = vec![vec![1.0; n], vec![-1.0; n]];
+        let mut b_vec = vec![1.0, -1.0];
+        for i in 0..n {
+            let mut row = vec![0.0; n];
+            row[i] = 1.0;
+            a.push(row);
+            b_vec.push(p.capacities[i]);
+        }
+        group.bench_with_input(BenchmarkId::new("simplex", n), &n, |bch, _| {
+            bch.iter(|| maximize(&p.scores, &a, &b_vec))
+        });
+    }
+
+    let candidates: Vec<Candidate> = (0..500)
+        .map(|i| Candidate {
+            user: UserId(i),
+            answer_prob: 0.3 + (i % 7) as f64 / 10.0,
+            votes: (i % 11) as f64 - 3.0,
+            response_time: 0.5 + (i % 5) as f64,
+        })
+        .collect();
+    group.bench_function("router_recommend_500", |b| {
+        let mut router = QuestionRouter::new(RouterConfig::default());
+        b.iter(|| router.recommend(1.0, 0.5, &candidates))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_recsys);
+criterion_main!(benches);

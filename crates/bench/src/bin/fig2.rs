@@ -1,0 +1,50 @@
+//! Regenerates **Figure 2**: the structure of the two SLN graphs
+//! (`G_QA` and `G_D`) over the full dataset — average degrees (paper:
+//! 2.6 and 3.7), disconnectedness, and the degree distribution behind
+//! the visualization.
+
+use forumcast_bench::{header, parse_args};
+use forumcast_graph::{dense_graph, qa_graph, GraphStats};
+
+fn main() {
+    let opts = parse_args();
+    header("Figure 2 — SLN graph structure", &opts);
+    let (dataset, report) = opts.config.synth.generate().preprocess();
+    println!("preprocessing: {report}");
+    println!("dataset: {}", dataset.stats());
+    println!();
+
+    let qa = qa_graph(dataset.num_users(), dataset.threads());
+    let dense = dense_graph(dataset.num_users(), dataset.threads());
+    for (name, g) in [("G_QA", &qa), ("G_D", &dense)] {
+        let s = GraphStats::compute(g);
+        println!("{name}:");
+        println!("  nodes = {}, edges = {}", s.num_nodes, s.num_edges);
+        println!(
+            "  average degree = {:.2} (paper: 2.6 QA / 3.7 D), variance = {:.2}, max = {}",
+            s.average_degree, s.degree_variance, s.max_degree
+        );
+        println!(
+            "  components = {} (largest {}, isolated {}) → disconnected: {}",
+            s.num_components,
+            s.largest_component,
+            s.num_isolated,
+            s.is_disconnected()
+        );
+        // Degree histogram (log-spaced buckets) — the data behind the
+        // ring-layout visualization.
+        let mut buckets = [0usize; 8];
+        for u in 0..s.num_nodes as u32 {
+            let d = g.degree(u);
+            let b = if d == 0 { 0 } else { (d.ilog2() as usize + 1).min(7) };
+            buckets[b] += 1;
+        }
+        println!("  degree histogram [0, 1, 2-3, 4-7, 8-15, 16-31, 32-63, 64+]:");
+        println!("    {buckets:?}");
+        println!();
+    }
+    println!(
+        "shape check: avg degree G_D > G_QA? {}",
+        if dense.average_degree() > qa.average_degree() { "YES" } else { "NO" }
+    );
+}

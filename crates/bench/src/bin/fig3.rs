@@ -1,0 +1,18 @@
+//! Regenerates **Figure 3**: net votes vs. response time for every
+//! answered `(u, q)` pair — the paper finds *no correlation*.
+
+use forumcast_bench::{header, maybe_json, parse_args};
+use forumcast_eval::experiments::fig3;
+
+fn main() {
+    let opts = parse_args();
+    header("Figure 3 — votes vs. response time", &opts);
+    let (dataset, _) = opts.config.synth.generate().preprocess();
+    let report = fig3::run(&dataset, 1000);
+    println!("{report}");
+    println!("scatter sample (hours, votes) — first 20 of {}:", report.scatter.len());
+    for (r, v) in report.scatter.iter().take(20) {
+        println!("  {r:>10.3} {v:>6.1}");
+    }
+    maybe_json(&opts, &report);
+}

@@ -1,0 +1,32 @@
+//! Regenerates **Figure 4**: CDFs of selected features (panels a–f),
+//! printed as CSV series suitable for replotting.
+
+use forumcast_bench::{header, maybe_json, parse_args};
+use forumcast_eval::experiments::fig4;
+
+fn main() {
+    let opts = parse_args();
+    header("Figure 4 — feature CDFs", &opts);
+    let (dataset, _) = opts.config.synth.generate().preprocess();
+    let report = fig4::run(&dataset, &opts.config.extractor, 50, 2000);
+    println!("{report}");
+
+    println!("\nCSV series (label,value,fraction):");
+    let dump = |series: &fig4::CdfSeries| {
+        for (v, f) in &series.points {
+            println!("{},{v:.6},{f:.3}", series.label);
+        }
+    };
+    dump(&report.answers_provided);
+    for s in report
+        .response_time_by_activity
+        .iter()
+        .chain(&report.votes_by_activity)
+        .chain(&report.topic_similarities)
+        .chain(&report.question_lengths)
+        .chain(&report.centralities)
+    {
+        dump(s);
+    }
+    maybe_json(&opts, &report);
+}

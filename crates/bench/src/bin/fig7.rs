@@ -1,0 +1,26 @@
+//! Regenerates **Figure 7**: RMSE with one feature *group* excluded,
+//! as the history window grows (`F(q) = D_{25−i} … D_{25}`,
+//! evaluation on days 25–30).
+
+use forumcast_bench::{header, maybe_json, parse_args};
+use forumcast_eval::experiments::fig7;
+
+fn main() {
+    let opts = parse_args();
+    header("Figure 7 — feature groups × history length", &opts);
+    let windows: Vec<usize> = if opts.scale == "quick" {
+        vec![10, 24]
+    } else {
+        vec![5, 10, 15, 20, 24]
+    };
+    let report = fig7::run(&opts.config, &windows, 25);
+    println!("{report}");
+    for &w in &windows {
+        println!(
+            "most important at {w}d: votes → {:?}, timing → {:?}",
+            report.most_important(w, false),
+            report.most_important(w, true)
+        );
+    }
+    maybe_json(&opts, &report);
+}

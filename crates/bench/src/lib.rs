@@ -1,0 +1,130 @@
+//! Shared plumbing for the table/figure regeneration binaries.
+//!
+//! Every binary accepts an optional scale argument:
+//!
+//! ```text
+//! cargo run -p forumcast-bench --release --bin table1 [quick|standard|paper] [--json]
+//! ```
+//!
+//! * `quick` — small synthetic dataset, seconds;
+//! * `standard` (default) — medium dataset, one repeat of 5-fold CV;
+//! * `paper` — medium dataset with the paper's 5 × 5-fold protocol.
+//!
+//! `--json` additionally dumps the machine-readable report to stdout.
+
+use forumcast_eval::EvalConfig;
+
+/// Command-line options shared by the regeneration binaries.
+#[derive(Debug, Clone)]
+pub struct BinOptions {
+    /// Resolved evaluation configuration.
+    pub config: EvalConfig,
+    /// Dump the serialized report after the human-readable table.
+    pub json: bool,
+    /// The scale name that was selected.
+    pub scale: String,
+}
+
+/// Parses `std::env::args` into [`BinOptions`]. Unknown arguments
+/// abort with a usage message.
+pub fn parse_args() -> BinOptions {
+    let mut config = EvalConfig::standard();
+    let mut scale = "standard".to_string();
+    let mut json = false;
+    let mut folds: Option<usize> = None;
+    let mut repeats: Option<usize> = None;
+    let mut pending: Option<&str> = None;
+    for arg in std::env::args().skip(1) {
+        if let Some(key) = pending.take() {
+            let value: usize = arg.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value `{arg}` for --{key}");
+                std::process::exit(2);
+            });
+            match key {
+                "folds" => folds = Some(value),
+                _ => repeats = Some(value),
+            }
+            continue;
+        }
+        match arg.as_str() {
+            "--folds" => {
+                pending = Some("folds");
+                continue;
+            }
+            "--repeats" => {
+                pending = Some("repeats");
+                continue;
+            }
+            "quick" => {
+                config = EvalConfig::quick();
+                scale = "quick".into();
+            }
+            "standard" => {
+                config = EvalConfig::standard();
+                scale = "standard".into();
+            }
+            "paper" => {
+                config = EvalConfig::paper();
+                scale = "paper".into();
+            }
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: <bin> [quick|standard|paper] [--json] [--folds N] [--repeats N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(f) = folds {
+        config.folds = f.max(2);
+    }
+    if let Some(r) = repeats {
+        config.repeats = r.max(1);
+    }
+    BinOptions {
+        config,
+        json,
+        scale,
+    }
+}
+
+/// Prints the standard run header.
+pub fn header(experiment: &str, opts: &BinOptions) {
+    println!("=== forumcast :: {experiment} (scale: {}) ===", opts.scale);
+    println!(
+        "dataset: {} users, {} questions, K = {}",
+        opts.config.synth.num_users,
+        opts.config.synth.num_questions,
+        opts.config.extractor.lda.num_topics
+    );
+    println!();
+}
+
+/// Serializes a report as JSON when `--json` was passed.
+pub fn maybe_json<T: serde::Serialize>(opts: &BinOptions, report: &T) {
+    if opts.json {
+        println!("\n--- json ---");
+        println!(
+            "{}",
+            serde_json::to_string_pretty(report).expect("report serializes")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_are_standard_scale() {
+        // parse_args reads process args; here we just check defaults
+        // used by the binaries compile-time contract.
+        let opts = BinOptions {
+            config: EvalConfig::standard(),
+            json: false,
+            scale: "standard".into(),
+        };
+        assert_eq!(opts.config.repeats, 1);
+        assert!(!opts.json);
+    }
+}

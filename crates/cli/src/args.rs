@@ -1,0 +1,380 @@
+//! Hand-rolled argument parsing for the `forumcast` CLI (no external
+//! dependencies; the allowed-crate list has no argument parser).
+
+use std::fmt;
+
+/// Usage text printed on parse errors and `--help`.
+pub const USAGE: &str = "\
+usage: forumcast <command> [options]
+
+commands:
+  generate   --scale <small|medium|paper> [--seed N] [--topics K] --out <file>
+  stats      --data <file>
+  train      --data <file> [--fast] [--seed N] --out <model-file>
+  predict    --data <file> --model <model-file> --question <id> --user <id>
+  route      --data <file> --model <model-file> --question <id>
+             [--lambda X] [--epsilon X] [--capacity X] [--top N]
+  evaluate   [--scale <quick|standard|paper>]
+  abtest     [--scale <quick|standard>] [--lambda X]
+  help
+";
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a synthetic dataset and write native JSON.
+    Generate {
+        /// Dataset scale preset.
+        scale: String,
+        /// RNG seed.
+        seed: Option<u64>,
+        /// Latent topic count.
+        topics: Option<usize>,
+        /// Output path.
+        out: String,
+    },
+    /// Print dataset + SLN statistics.
+    Stats {
+        /// Dataset path (native JSON).
+        data: String,
+    },
+    /// Train the joint predictor and save it.
+    Train {
+        /// Dataset path.
+        data: String,
+        /// Use fast training settings.
+        fast: bool,
+        /// Sampling seed.
+        seed: Option<u64>,
+        /// Output model path.
+        out: String,
+    },
+    /// Predict (â, v̂, r̂) for one user/question pair.
+    Predict {
+        /// Dataset path.
+        data: String,
+        /// Model path.
+        model: String,
+        /// Question id.
+        question: u32,
+        /// User id.
+        user: u32,
+    },
+    /// Recommend answerers for a question.
+    Route {
+        /// Dataset path.
+        data: String,
+        /// Model path.
+        model: String,
+        /// Question id.
+        question: u32,
+        /// Quality/timing tradeoff λ.
+        lambda: f64,
+        /// Eligibility threshold ε.
+        epsilon: f64,
+        /// Per-user capacity.
+        capacity: f64,
+        /// How many recommendations to print.
+        top: usize,
+    },
+    /// Run the Table-I evaluation.
+    Evaluate {
+        /// Protocol scale.
+        scale: String,
+    },
+    /// Run the simulated A/B test.
+    AbTest {
+        /// Scale preset.
+        scale: String,
+        /// Router λ.
+        lambda: f64,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Argument-parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses `argv` (without the program name) into a [`Command`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on unknown commands/flags, missing required
+/// options, or malformed values.
+pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseError> {
+    let mut args = argv.into_iter();
+    let cmd = args
+        .next()
+        .ok_or_else(|| ParseError("missing command".into()))?;
+    let rest: Vec<String> = args.collect();
+    let opts = Options::parse(&rest)?;
+    match cmd.as_str() {
+        "generate" => {
+            let c = Command::Generate {
+                scale: opts.get_or("scale", "small")?,
+                seed: opts.get_parsed_opt("seed")?,
+                topics: opts.get_parsed_opt("topics")?,
+                out: opts.require("out")?,
+            };
+            opts.reject_unknown(&["scale", "seed", "topics", "out"])?;
+            Ok(c)
+        }
+        "stats" => {
+            let c = Command::Stats {
+                data: opts.require("data")?,
+            };
+            opts.reject_unknown(&["data"])?;
+            Ok(c)
+        }
+        "train" => {
+            let c = Command::Train {
+                data: opts.require("data")?,
+                fast: opts.flag("fast"),
+                seed: opts.get_parsed_opt("seed")?,
+                out: opts.require("out")?,
+            };
+            opts.reject_unknown(&["data", "fast", "seed", "out"])?;
+            Ok(c)
+        }
+        "predict" => {
+            let c = Command::Predict {
+                data: opts.require("data")?,
+                model: opts.require("model")?,
+                question: opts.get_parsed("question")?,
+                user: opts.get_parsed("user")?,
+            };
+            opts.reject_unknown(&["data", "model", "question", "user"])?;
+            Ok(c)
+        }
+        "route" => {
+            let c = Command::Route {
+                data: opts.require("data")?,
+                model: opts.require("model")?,
+                question: opts.get_parsed("question")?,
+                lambda: opts.get_parsed_or("lambda", 0.5)?,
+                epsilon: opts.get_parsed_or("epsilon", 0.3)?,
+                capacity: opts.get_parsed_or("capacity", 1.0)?,
+                top: opts.get_parsed_or("top", 5)?,
+            };
+            opts.reject_unknown(&[
+                "data", "model", "question", "lambda", "epsilon", "capacity", "top",
+            ])?;
+            Ok(c)
+        }
+        "evaluate" => {
+            let c = Command::Evaluate {
+                scale: opts.get_or("scale", "quick")?,
+            };
+            opts.reject_unknown(&["scale"])?;
+            Ok(c)
+        }
+        "abtest" => {
+            let c = Command::AbTest {
+                scale: opts.get_or("scale", "quick")?,
+                lambda: opts.get_parsed_or("lambda", 0.5)?,
+            };
+            opts.reject_unknown(&["scale", "lambda"])?;
+            Ok(c)
+        }
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(ParseError(format!("unknown command `{other}`"))),
+    }
+}
+
+/// Flat `--key value` / `--flag` option bag.
+struct Options {
+    pairs: Vec<(String, Option<String>)>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, ParseError> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| ParseError(format!("expected an option, got `{arg}`")))?;
+            // A following token that is not an option is this option's
+            // value; otherwise it is a boolean flag.
+            let value = args.get(i + 1).filter(|v| !v.starts_with("--"));
+            match value {
+                Some(v) => {
+                    pairs.push((key.to_owned(), Some(v.clone())));
+                    i += 2;
+                }
+                None => {
+                    pairs.push((key.to_owned(), None));
+                    i += 1;
+                }
+            }
+        }
+        Ok(Options { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.pairs.iter().any(|(k, _)| k == key)
+    }
+
+    fn require(&self, key: &str) -> Result<String, ParseError> {
+        self.get(key)
+            .map(str::to_owned)
+            .ok_or_else(|| ParseError(format!("missing required option --{key}")))
+    }
+
+    fn get_or(&self, key: &str, default: &str) -> Result<String, ParseError> {
+        Ok(self.get(key).unwrap_or(default).to_owned())
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<T, ParseError> {
+        let raw = self.require(key)?;
+        raw.parse()
+            .map_err(|_| ParseError(format!("invalid value `{raw}` for --{key}")))
+    }
+
+    fn get_parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ParseError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ParseError(format!("invalid value `{raw}` for --{key}"))),
+        }
+    }
+
+    fn get_parsed_opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, ParseError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| ParseError(format!("invalid value `{raw}` for --{key}"))),
+        }
+    }
+
+    fn reject_unknown(&self, allowed: &[&str]) -> Result<(), ParseError> {
+        for (k, _) in &self.pairs {
+            if !allowed.contains(&k.as_str()) {
+                return Err(ParseError(format!("unknown option --{k}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_generate() {
+        let cmd = parse(argv("generate --scale medium --seed 9 --out x.json")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                scale: "medium".into(),
+                seed: Some(9),
+                topics: None,
+                out: "x.json".into()
+            }
+        );
+    }
+
+    #[test]
+    fn generate_defaults_scale() {
+        let cmd = parse(argv("generate --out y.json")).unwrap();
+        match cmd {
+            Command::Generate { scale, seed, .. } => {
+                assert_eq!(scale, "small");
+                assert_eq!(seed, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_required_option_errors() {
+        let err = parse(argv("generate --scale small")).unwrap_err();
+        assert!(err.to_string().contains("--out"));
+    }
+
+    #[test]
+    fn unknown_option_rejected() {
+        let err = parse(argv("stats --data d.json --bogus 1")).unwrap_err();
+        assert!(err.to_string().contains("--bogus"));
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        let err = parse(argv("frobnicate")).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn parses_route_with_defaults() {
+        let cmd = parse(argv("route --data d.json --model m.json --question 4")).unwrap();
+        match cmd {
+            Command::Route {
+                lambda,
+                epsilon,
+                capacity,
+                top,
+                question,
+                ..
+            } => {
+                assert_eq!(question, 4);
+                assert_eq!(lambda, 0.5);
+                assert_eq!(epsilon, 0.3);
+                assert_eq!(capacity, 1.0);
+                assert_eq!(top, 5);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_flags_without_values() {
+        let cmd = parse(argv("train --data d.json --fast --out m.json")).unwrap();
+        match cmd {
+            Command::Train { fast, .. } => assert!(fast),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_numbers_error() {
+        let err = parse(argv("predict --data d --model m --question abc --user 1")).unwrap_err();
+        assert!(err.to_string().contains("abc"));
+    }
+
+    #[test]
+    fn help_variants() {
+        assert_eq!(parse(argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn empty_argv_errors() {
+        assert!(parse(Vec::<String>::new()).is_err());
+    }
+}

@@ -1,0 +1,453 @@
+//! Implementations of the CLI commands.
+
+use std::error::Error;
+use std::io::Write;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use forumcast_abtest::AbTestConfig;
+use forumcast_core::{ResponsePredictor, TrainConfig, TrainingSet};
+use forumcast_data::{io as data_io, Dataset, QuestionId, UserId};
+use forumcast_eval::{experiments::table1, EvalConfig};
+use forumcast_features::{ExtractorConfig, FeatureExtractor};
+use forumcast_graph::{dense_graph, qa_graph, GraphStats};
+use forumcast_recsys::{Candidate, QuestionRouter, RouterConfig};
+use forumcast_synth::SynthConfig;
+
+use crate::args::{Command, USAGE};
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Executes a parsed command, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Returns any I/O, parsing, or domain error encountered; `run`
+/// converts it to a non-zero exit code.
+pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
+    match cmd {
+        Command::Help => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        Command::Generate {
+            scale,
+            seed,
+            topics,
+            out: path,
+        } => generate(&scale, seed, topics, &path, out),
+        Command::Stats { data } => stats(&data, out),
+        Command::Train {
+            data,
+            fast,
+            seed,
+            out: path,
+        } => train(&data, fast, seed, &path, out),
+        Command::Predict {
+            data,
+            model,
+            question,
+            user,
+        } => predict(&data, &model, question, user, out),
+        Command::Route {
+            data,
+            model,
+            question,
+            lambda,
+            epsilon,
+            capacity,
+            top,
+        } => route(&data, &model, question, lambda, epsilon, capacity, top, out),
+        Command::Evaluate { scale } => evaluate(&scale, out),
+        Command::AbTest { scale, lambda } => abtest(&scale, lambda, out),
+    }
+}
+
+fn synth_config(scale: &str) -> Result<SynthConfig, String> {
+    match scale {
+        "small" => Ok(SynthConfig::small()),
+        "medium" => Ok(SynthConfig::medium()),
+        "paper" => Ok(SynthConfig::paper_scale()),
+        other => Err(format!("unknown scale `{other}` (small|medium|paper)")),
+    }
+}
+
+fn generate(
+    scale: &str,
+    seed: Option<u64>,
+    topics: Option<usize>,
+    path: &str,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let mut cfg = synth_config(scale)?;
+    if let Some(s) = seed {
+        cfg = cfg.with_seed(s);
+    }
+    if let Some(k) = topics {
+        cfg = cfg.with_topics(k);
+    }
+    let dataset = cfg.generate();
+    std::fs::write(path, data_io::to_json(&dataset)?)?;
+    writeln!(
+        out,
+        "wrote {} ({} questions, {} users) to {path}",
+        scale,
+        dataset.num_questions(),
+        dataset.num_users()
+    )?;
+    Ok(())
+}
+
+fn load_dataset(path: &str) -> Result<Dataset, Box<dyn Error>> {
+    let json = std::fs::read_to_string(path)?;
+    Ok(data_io::from_json(&json)?)
+}
+
+fn stats(data: &str, out: &mut dyn Write) -> CmdResult {
+    let dataset = load_dataset(data)?;
+    writeln!(out, "raw:   {}", dataset.stats())?;
+    let (clean, report) = dataset.preprocess();
+    writeln!(out, "clean: {}", clean.stats())?;
+    writeln!(out, "preprocessing: {report}")?;
+    for (name, g) in [
+        ("G_QA", qa_graph(clean.num_users(), clean.threads())),
+        ("G_D", dense_graph(clean.num_users(), clean.threads())),
+    ] {
+        let s = GraphStats::compute(&g);
+        writeln!(
+            out,
+            "{name}: avg degree {:.2}, {} components (largest {}), disconnected {}",
+            s.average_degree, s.num_components, s.largest_component, s.is_disconnected()
+        )?;
+    }
+    Ok(())
+}
+
+/// Builds a training set over all threads of a (preprocessed) dataset,
+/// with one random non-answerer per answer as negative/survival
+/// samples.
+fn build_training_set(
+    dataset: &Dataset,
+    extractor: &FeatureExtractor,
+    seed: u64,
+) -> TrainingSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let horizon = dataset.horizon();
+    let mut ts = TrainingSet::new(extractor.dim());
+    for thread in dataset.threads() {
+        let d_q = extractor.question_topics(thread);
+        let window = (horizon - thread.asked_at()).max(0.5);
+        let mut answers = Vec::new();
+        for a in &thread.answers {
+            let x = extractor.features(a.author, thread, &d_q);
+            ts.push_answer(x.clone(), true);
+            ts.push_vote(x.clone(), a.votes as f64);
+            answers.push((x, a.timestamp - thread.asked_at()));
+        }
+        let mut negatives = Vec::new();
+        let mut guard = 0;
+        while negatives.len() < thread.answers.len() && guard < 50 {
+            guard += 1;
+            let u = UserId(rng.gen_range(0..dataset.num_users()));
+            if thread.answered_by(u) || u == thread.asker() {
+                continue;
+            }
+            let x = extractor.features(u, thread, &d_q);
+            ts.push_answer(x.clone(), false);
+            negatives.push(x);
+        }
+        if !answers.is_empty() {
+            ts.push_timing_thread(answers, negatives, window, dataset.num_users() as usize);
+        }
+    }
+    ts
+}
+
+/// Model + extractor are persisted together so `predict`/`route` can
+/// featurize raw questions consistently.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct SavedModel {
+    predictor: ResponsePredictor,
+    history_threads: usize,
+}
+
+fn train(data: &str, fast: bool, seed: Option<u64>, path: &str, out: &mut dyn Write) -> CmdResult {
+    let dataset = load_dataset(data)?;
+    let (clean, _) = dataset.preprocess();
+    let ex_cfg = if fast {
+        ExtractorConfig::fast()
+    } else {
+        ExtractorConfig::paper()
+    };
+    let extractor = FeatureExtractor::fit(clean.threads(), clean.num_users(), &ex_cfg);
+    let ts = build_training_set(&clean, &extractor, seed.unwrap_or(0x7EA1));
+    let (na, nv, nt) = ts.counts();
+    writeln!(out, "training on {na} answer / {nv} vote samples, {nt} threads …")?;
+    let train_cfg = if fast {
+        TrainConfig::fast()
+    } else {
+        TrainConfig::default()
+    };
+    let predictor = ResponsePredictor::train(&ts, &train_cfg);
+    let saved = SavedModel {
+        predictor,
+        history_threads: clean.num_questions(),
+    };
+    std::fs::write(path, serde_json::to_string(&saved)?)?;
+    writeln!(out, "model written to {path}")?;
+    Ok(())
+}
+
+/// Loads a model and refits the (deterministic) feature extractor on
+/// the dataset it was trained against.
+fn load_model_and_extractor(
+    data: &str,
+    model: &str,
+    fast_features: bool,
+) -> Result<(Dataset, FeatureExtractor, ResponsePredictor), Box<dyn Error>> {
+    let dataset = load_dataset(data)?;
+    let (clean, _) = dataset.preprocess();
+    let saved: SavedModel = serde_json::from_str(&std::fs::read_to_string(model)?)?;
+    let ex_cfg = if fast_features {
+        ExtractorConfig::fast()
+    } else {
+        ExtractorConfig::paper()
+    };
+    let extractor = FeatureExtractor::fit(clean.threads(), clean.num_users(), &ex_cfg);
+    Ok((clean, extractor, saved.predictor))
+}
+
+fn predict(data: &str, model: &str, question: u32, user: u32, out: &mut dyn Write) -> CmdResult {
+    let (clean, extractor, predictor) = load_model_and_extractor(data, model, true)?;
+    let thread = clean
+        .thread(QuestionId(question))
+        .ok_or_else(|| format!("question q{question} not found"))?;
+    let d_q = extractor.question_topics(thread);
+    let window = (clean.horizon() - thread.asked_at()).max(0.5);
+    let x = extractor.features(UserId(user), thread, &d_q);
+    let (a, v, r) = predictor.predict(&x, window);
+    writeln!(out, "u{user} on q{question}:")?;
+    writeln!(out, "  â = {a:.4} (answer probability)")?;
+    writeln!(out, "  v̂ = {v:+.2} (net votes)")?;
+    writeln!(out, "  r̂ = {r:.2} h (response time)")?;
+    if let Some(observed) = thread.response_time_of(UserId(user)) {
+        writeln!(out, "  observed: answered after {observed:.2} h")?;
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn route(
+    data: &str,
+    model: &str,
+    question: u32,
+    lambda: f64,
+    epsilon: f64,
+    capacity: f64,
+    top: usize,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let (clean, extractor, predictor) = load_model_and_extractor(data, model, true)?;
+    let thread = clean
+        .thread(QuestionId(question))
+        .ok_or_else(|| format!("question q{question} not found"))?;
+    let d_q = extractor.question_topics(thread);
+    let window = (clean.horizon() - thread.asked_at()).max(0.5);
+
+    // Candidates: every user that has answered anything, except the
+    // asker (a deployment would use its own eligibility source).
+    let mut candidates = Vec::new();
+    let ctx = extractor.context();
+    for u in (0..clean.num_users()).map(UserId) {
+        if u == thread.asker() || ctx.answers_provided(u) == 0.0 {
+            continue;
+        }
+        let x = extractor.features(u, thread, &d_q);
+        let (a, v, r) = predictor.predict(&x, window);
+        candidates.push(Candidate {
+            user: u,
+            answer_prob: a,
+            votes: v,
+            response_time: r,
+        });
+    }
+    let mut router = QuestionRouter::new(RouterConfig {
+        epsilon,
+        default_capacity: capacity,
+        load_window: 24.0,
+    });
+    match router.recommend(thread.asked_at(), lambda, &candidates) {
+        None => writeln!(out, "no eligible answerers at ε = {epsilon}")?,
+        Some(rec) => {
+            writeln!(
+                out,
+                "routing q{question} (λ = {lambda}, ε = {epsilon}; objective {:+.3}):",
+                rec.objective()
+            )?;
+            for (rank, u) in rec.ranking().into_iter().take(top).enumerate() {
+                let c = candidates.iter().find(|c| c.user == u).expect("ranked");
+                let p = rec.probabilities()[rec.users().iter().position(|&x| x == u).expect("in")];
+                writeln!(
+                    out,
+                    "  #{:<2} {u}: p = {p:.3}, â = {:.3}, v̂ = {:+.2}, r̂ = {:.2} h",
+                    rank + 1,
+                    c.answer_prob,
+                    c.votes,
+                    c.response_time
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn evaluate(scale: &str, out: &mut dyn Write) -> CmdResult {
+    let cfg = match scale {
+        "quick" => EvalConfig::quick(),
+        "standard" => EvalConfig::standard(),
+        "paper" => EvalConfig::paper(),
+        other => return Err(format!("unknown scale `{other}`").into()),
+    };
+    writeln!(out, "running Table-I evaluation at scale `{scale}` …")?;
+    let report = table1::run(&cfg);
+    writeln!(out, "{report}")?;
+    Ok(())
+}
+
+fn abtest(scale: &str, lambda: f64, out: &mut dyn Write) -> CmdResult {
+    let cfg = match scale {
+        "quick" => AbTestConfig::quick(),
+        "standard" => AbTestConfig::standard(),
+        other => return Err(format!("unknown scale `{other}`").into()),
+    }
+    .with_lambda(lambda);
+    let report = forumcast_abtest::run(&cfg);
+    writeln!(out, "{report}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Command;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("forumcast-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn run_cmd(cmd: Command) -> (i32, String) {
+        let mut buf = Vec::new();
+        let code = match execute(cmd, &mut buf) {
+            Ok(()) => 0,
+            Err(e) => {
+                buf.extend_from_slice(format!("error: {e}").as_bytes());
+                1
+            }
+        };
+        (code, String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn generate_stats_train_predict_route_pipeline() {
+        let data_path = tmp("pipeline.json");
+        let model_path = tmp("pipeline-model.json");
+
+        let (code, text) = run_cmd(Command::Generate {
+            scale: "small".into(),
+            seed: Some(11),
+            topics: Some(4),
+            out: data_path.clone(),
+        });
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("questions"));
+
+        let (code, text) = run_cmd(Command::Stats {
+            data: data_path.clone(),
+        });
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("G_QA"));
+
+        let (code, text) = run_cmd(Command::Train {
+            data: data_path.clone(),
+            fast: true,
+            seed: Some(1),
+            out: model_path.clone(),
+        });
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("model written"));
+
+        // Find an answered pair to predict for.
+        let clean = {
+            let json = std::fs::read_to_string(&data_path).unwrap();
+            let (ds, _) = forumcast_data::io::from_json(&json).unwrap().preprocess();
+            ds
+        };
+        let pair = clean.answered_pairs()[0];
+        let (code, text) = run_cmd(Command::Predict {
+            data: data_path.clone(),
+            model: model_path.clone(),
+            question: pair.question.0,
+            user: pair.user.0,
+        });
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("â ="), "{text}");
+        assert!(text.contains("observed"), "{text}");
+
+        let (code, text) = run_cmd(Command::Route {
+            data: data_path,
+            model: model_path,
+            question: pair.question.0,
+            lambda: 0.5,
+            epsilon: 0.0,
+            capacity: 1.0,
+            top: 3,
+        });
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("#1"), "{text}");
+    }
+
+    #[test]
+    fn predict_unknown_question_fails_cleanly() {
+        let data_path = tmp("unknown-q.json");
+        let model_path = tmp("unknown-q-model.json");
+        run_cmd(Command::Generate {
+            scale: "small".into(),
+            seed: Some(2),
+            topics: Some(2),
+            out: data_path.clone(),
+        });
+        run_cmd(Command::Train {
+            data: data_path.clone(),
+            fast: true,
+            seed: None,
+            out: model_path.clone(),
+        });
+        let (code, text) = run_cmd(Command::Predict {
+            data: data_path,
+            model: model_path,
+            question: 999_999,
+            user: 0,
+        });
+        assert_eq!(code, 1);
+        assert!(text.contains("not found"));
+    }
+
+    #[test]
+    fn stats_on_missing_file_fails() {
+        let (code, text) = run_cmd(Command::Stats {
+            data: tmp("does-not-exist.json"),
+        });
+        assert_eq!(code, 1);
+        assert!(text.contains("error"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, text) = run_cmd(Command::Help);
+        assert_eq!(code, 0);
+        assert!(text.contains("usage: forumcast"));
+    }
+}

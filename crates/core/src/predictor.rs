@@ -1,0 +1,348 @@
+//! The joint response predictor: `â`, `v̂`, `r̂` behind one API.
+
+use serde::{Deserialize, Serialize};
+
+use forumcast_features::Normalizer;
+
+use crate::answer::{AnswerConfig, AnswerPredictor};
+use crate::timing::{ThreadObservation, TimingConfig, TimingPredictor};
+use crate::votes::{VoteConfig, VotePredictor};
+
+/// Labeled training data for all three tasks, in raw (unnormalized)
+/// feature space. The evaluation harness builds this from a dataset
+/// partition; see `forumcast-eval`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrainingSet {
+    dim: usize,
+    answer_xs: Vec<Vec<f64>>,
+    answer_ys: Vec<bool>,
+    vote_xs: Vec<Vec<f64>>,
+    vote_ys: Vec<f64>,
+    timing_threads: Vec<ThreadObservation>,
+}
+
+impl TrainingSet {
+    /// Creates an empty training set for `dim`-dimensional features.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "feature dimension must be positive");
+        TrainingSet {
+            dim,
+            ..TrainingSet::default()
+        }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Adds an answer-task sample (`a_{u,q}` label).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn push_answer(&mut self, x: Vec<f64>, answered: bool) {
+        assert_eq!(x.len(), self.dim, "dimension mismatch");
+        self.answer_xs.push(x);
+        self.answer_ys.push(answered);
+    }
+
+    /// Adds a vote-task sample (`v_{u,q}` target).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn push_vote(&mut self, x: Vec<f64>, votes: f64) {
+        assert_eq!(x.len(), self.dim, "dimension mismatch");
+        self.vote_xs.push(x);
+        self.vote_ys.push(votes);
+    }
+
+    /// Adds one thread's timing observation: answerer features with
+    /// delays, sampled non-answerer features, observation window, and
+    /// population size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn push_timing_thread(
+        &mut self,
+        answers: Vec<(Vec<f64>, f64)>,
+        non_answerers: Vec<Vec<f64>>,
+        window: f64,
+        population: usize,
+    ) {
+        for (x, _) in &answers {
+            assert_eq!(x.len(), self.dim, "dimension mismatch");
+        }
+        for x in &non_answerers {
+            assert_eq!(x.len(), self.dim, "dimension mismatch");
+        }
+        self.timing_threads.push(ThreadObservation {
+            answers,
+            non_answerers,
+            window,
+            population,
+        });
+    }
+
+    /// Number of answer / vote / timing samples.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        (
+            self.answer_xs.len(),
+            self.vote_xs.len(),
+            self.timing_threads.len(),
+        )
+    }
+}
+
+/// Configuration for [`ResponsePredictor::train`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Answer-task (logistic regression) settings.
+    pub answer: AnswerConfig,
+    /// Vote-task (deep network) settings.
+    pub votes: VoteConfig,
+    /// Timing-task (point process) settings.
+    pub timing: TimingConfig,
+    /// Apply `sign(x)·ln(1+|x|)` to every feature slot before
+    /// z-scoring. Most of the 20 features are heavy-tailed counts
+    /// (answers, votes, lengths, centralities); compressing them keeps
+    /// a handful of power users from dominating the linear model and
+    /// the network inputs.
+    pub signed_log: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            answer: AnswerConfig::default(),
+            votes: VoteConfig::default(),
+            timing: TimingConfig::default(),
+            signed_log: true,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Faster settings for tests and examples.
+    pub fn fast() -> Self {
+        TrainConfig {
+            answer: AnswerConfig {
+                epochs: 30,
+                ..AnswerConfig::default()
+            },
+            votes: VoteConfig::fast(),
+            timing: TimingConfig::fast(),
+            signed_log: true,
+        }
+    }
+}
+
+/// The paper's full system: all three predictors sharing one
+/// preprocessing pipeline (optional signed-log compression followed
+/// by z-scoring) fitted on the training features.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResponsePredictor {
+    signed_log: bool,
+    normalizer: Normalizer,
+    answer: AnswerPredictor,
+    votes: VotePredictor,
+    timing: TimingPredictor,
+}
+
+/// `sign(x)·ln(1+|x|)` applied element-wise.
+fn signed_log(x: &[f64]) -> Vec<f64> {
+    x.iter()
+        .map(|&v| v.signum() * (1.0 + v.abs()).ln())
+        .collect()
+}
+
+impl ResponsePredictor {
+    /// Trains all three models on `ts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any task has no training data.
+    pub fn train(ts: &TrainingSet, config: &TrainConfig) -> Self {
+        assert!(
+            !ts.answer_xs.is_empty() && !ts.vote_xs.is_empty() && !ts.timing_threads.is_empty(),
+            "all three tasks need training data"
+        );
+        let pre = |x: &[f64]| -> Vec<f64> {
+            if config.signed_log {
+                signed_log(x)
+            } else {
+                x.to_vec()
+            }
+        };
+        // Normalizer fitted on the union of task inputs.
+        let mut all: Vec<Vec<f64>> = Vec::new();
+        all.extend(ts.answer_xs.iter().map(|x| pre(x)));
+        all.extend(ts.vote_xs.iter().map(|x| pre(x)));
+        let normalizer = Normalizer::fit(&all);
+        let tf = |x: &[f64]| normalizer.transform(&pre(x));
+
+        let answer_xs: Vec<Vec<f64>> = ts.answer_xs.iter().map(|x| tf(x)).collect();
+        let answer = AnswerPredictor::train(&answer_xs, &ts.answer_ys, &config.answer);
+
+        let vote_xs: Vec<Vec<f64>> = ts.vote_xs.iter().map(|x| tf(x)).collect();
+        let votes = VotePredictor::train(&vote_xs, &ts.vote_ys, &config.votes);
+
+        let timing_threads: Vec<ThreadObservation> = ts
+            .timing_threads
+            .iter()
+            .map(|t| ThreadObservation {
+                answers: t.answers.iter().map(|(x, r)| (tf(x), *r)).collect(),
+                non_answerers: t.non_answerers.iter().map(|x| tf(x)).collect(),
+                window: t.window,
+                population: t.population,
+            })
+            .collect();
+        let timing = TimingPredictor::train(&timing_threads, &config.timing);
+
+        ResponsePredictor {
+            signed_log: config.signed_log,
+            normalizer,
+            answer,
+            votes,
+            timing,
+        }
+    }
+
+    /// Applies the fitted preprocessing pipeline to a raw feature
+    /// vector.
+    fn preprocess(&self, x: &[f64]) -> Vec<f64> {
+        if self.signed_log {
+            self.normalizer.transform(&signed_log(x))
+        } else {
+            self.normalizer.transform(x)
+        }
+    }
+
+    /// `â_{u,q}` — probability the user answers (raw feature space).
+    pub fn predict_answer(&self, x: &[f64]) -> f64 {
+        self.answer.predict(&self.preprocess(x))
+    }
+
+    /// `v̂_{u,q}` — predicted net votes (raw feature space).
+    pub fn predict_votes(&self, x: &[f64]) -> f64 {
+        self.votes.predict(&self.preprocess(x))
+    }
+
+    /// `r̂_{u,q}` — predicted response time in hours, for a question
+    /// with `window` observable hours (raw feature space).
+    pub fn predict_response_time(&self, x: &[f64], window: f64) -> f64 {
+        self.timing.predict(&self.preprocess(x), window)
+    }
+
+    /// All three predictions at once: `(â, v̂, r̂)`.
+    pub fn predict(&self, x: &[f64], window: f64) -> (f64, f64, f64) {
+        let z = self.preprocess(x);
+        (
+            self.answer.predict(&z),
+            self.votes.predict(&z),
+            self.timing.predict(&z, window),
+        )
+    }
+
+    /// The individual predictors (normalized feature space).
+    pub fn parts(&self) -> (&AnswerPredictor, &VotePredictor, &TimingPredictor) {
+        (&self.answer, &self.votes, &self.timing)
+    }
+
+    /// The fitted feature normalizer.
+    pub fn normalizer(&self) -> &Normalizer {
+        &self.normalizer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2-feature world: feature 0 drives answering & speed, feature
+    /// 1 drives votes. Both raw features are on a large scale to
+    /// exercise normalization.
+    fn training_set() -> TrainingSet {
+        let mut ts = TrainingSet::new(2);
+        for i in 0..60 {
+            let active = i % 2 == 0;
+            let skilled = i % 3 == 0;
+            let x = vec![if active { 500.0 } else { 100.0 }, if skilled { 80.0 } else { 20.0 }];
+            ts.push_answer(x.clone(), active);
+            ts.push_vote(x.clone(), if skilled { 5.0 } else { 0.0 });
+            if active {
+                ts.push_timing_thread(
+                    vec![(x, 2.0 + (i % 4) as f64)],
+                    vec![vec![100.0, 20.0]],
+                    100.0,
+                    30,
+                );
+            }
+        }
+        ts
+    }
+
+    #[test]
+    fn joint_training_learns_all_three_tasks() {
+        let ts = training_set();
+        let model = ResponsePredictor::train(&ts, &TrainConfig::fast());
+        // Answer: active archetype scores higher.
+        assert!(model.predict_answer(&[500.0, 20.0]) > model.predict_answer(&[100.0, 20.0]));
+        // Votes: skilled archetype scores higher.
+        assert!(model.predict_votes(&[100.0, 80.0]) > model.predict_votes(&[100.0, 20.0]) + 1.0);
+        // Timing: finite, positive, within the window.
+        let r = model.predict_response_time(&[500.0, 20.0], 100.0);
+        assert!(r > 0.0 && r < 100.0, "r̂ = {r}");
+    }
+
+    #[test]
+    fn predict_returns_all_three() {
+        let ts = training_set();
+        let model = ResponsePredictor::train(&ts, &TrainConfig::fast());
+        let (a, v, r) = model.predict(&[500.0, 80.0], 50.0);
+        assert!((0.0..=1.0).contains(&a));
+        assert!(v.is_finite());
+        assert!(r > 0.0);
+    }
+
+    #[test]
+    fn counts_reflect_pushes() {
+        let ts = training_set();
+        let (a, v, t) = ts.counts();
+        assert_eq!(a, 60);
+        assert_eq!(v, 60);
+        assert_eq!(t, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dimension_push_panics() {
+        TrainingSet::new(2).push_answer(vec![1.0], true);
+    }
+
+    #[test]
+    #[should_panic(expected = "all three tasks")]
+    fn missing_task_data_panics() {
+        let mut ts = TrainingSet::new(1);
+        ts.push_answer(vec![1.0], true);
+        ResponsePredictor::train(&ts, &TrainConfig::fast());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let ts = training_set();
+        let model = ResponsePredictor::train(&ts, &TrainConfig::fast());
+        let json = serde_json::to_string(&model).unwrap();
+        let back: ResponsePredictor = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            back.predict_votes(&[100.0, 80.0]),
+            model.predict_votes(&[100.0, 80.0])
+        );
+    }
+}

@@ -1,0 +1,826 @@
+//! The `r̂_{u,q}` predictor: a point-process model of response time.
+//!
+//! The rate of user `u` answering question `q` at time `t` is
+//! `λ_{u,q}(t) = μ_{u,q} e^{−ω_{u,q}(t − t(p_{q0}))}` (Section II-A3)
+//! with `μ_{u,q} = f_Θ(x_{u,q})` a neural network and
+//! `ω_{u,q} = g_Θ(x_{u,q})` either a second network or a constant
+//! (the paper found a constant decay best on its dataset).
+//!
+//! Training maximizes the thread log-likelihood
+//!
+//! ```text
+//! L_q = Σ_{n>0} ln μ(x_{u(p_qn),q}) − Σ_{n>0} ω(x)·(t_n − t_0)
+//!       − Σ_{u∈U} μ(x_{u,q}) · (1 − e^{−ω(x)(T − t_0)}) / ω(x)
+//! ```
+//!
+//! The survival sum over *all* users is intractable to materialize
+//! (every user × every question), so each [`ThreadObservation`]
+//! carries the thread's answerers plus a sample of non-answerers
+//! whose survival contribution is importance-weighted up to the full
+//! population — the standard estimator for sampled point-process
+//! likelihoods. Gradients flow through [`forumcast_ml::Mlp::backward`]
+//! exactly as TensorFlow's autodiff does for the paper's authors.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use forumcast_ml::{Activation, Adam, LayerSpec, Mlp, Optimizer};
+
+/// Lower clamp for the excitation μ inside logs and divisions.
+const MU_FLOOR: f64 = 1e-8;
+/// Lower clamp for the decay rate ω.
+const OMEGA_FLOOR: f64 = 1e-4;
+
+/// How the decay rate `ω_{u,q}` is modeled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DecayMode {
+    /// A fixed constant for all pairs — the paper's final choice
+    /// ("neural networks for the decay rate did not yield benefit
+    /// over a constant value on this dataset").
+    Constant(f64),
+    /// A second neural network `g_Θ(x)` with the given hidden sizes;
+    /// "significantly different from [Farajtabar et al.] where ω is
+    /// set to a constant value" — the paper's generalization.
+    Learned {
+        /// Hidden-layer widths of `g`.
+        hidden: Vec<usize>,
+    },
+}
+
+/// How point predictions are derived from the fitted rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredictionMode {
+    /// The paper's formula (Section II-A3):
+    /// `r̂ = μ/ω² (1 − e^{−ωΔ}(1 + ωΔ))`, the unnormalized first
+    /// moment `∫ τ λ(τ) dτ` of the rate over the window.
+    PaperExpectation,
+    /// The conditional expectation `E[t − t₀ | answered within Δ]` —
+    /// the paper formula normalized by the window mass
+    /// `Λ(Δ) = μ(1 − e^{−ωΔ})/ω`. Requires a learned ω to vary
+    /// across pairs; provided as a principled alternative. Like the
+    /// paper's formula it treats events as rare (`Λ ≪ 1`).
+    Conditional,
+    /// The exact first-event expectation
+    /// `E[t | event ≤ Δ] = ∫ t λ(t) e^{−Λ(t)} dt / (1 − e^{−Λ(Δ)})`,
+    /// computed by Simpson integration. Unlike
+    /// [`Conditional`](PredictionMode::Conditional) it accounts for
+    /// the survival factor, which matters whenever the window hazard
+    /// `Λ(Δ)` is not small — the regime of real forum threads.
+    FirstEvent,
+}
+
+/// Everything the likelihood needs from one question thread.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadObservation {
+    /// `(x_{u,q}, r_{u,q})` for each answering user.
+    pub answers: Vec<(Vec<f64>, f64)>,
+    /// Feature vectors of sampled non-answering users.
+    pub non_answerers: Vec<Vec<f64>>,
+    /// Observation window `Δ = T − t(p_{q0})` in hours.
+    pub window: f64,
+    /// Total population size `|U|` the sample represents.
+    pub population: usize,
+}
+
+impl ThreadObservation {
+    /// Importance weight applied to each sampled non-answerer's
+    /// survival term so the sample represents the whole population.
+    pub fn survival_weight(&self) -> f64 {
+        if self.non_answerers.is_empty() {
+            return 0.0;
+        }
+        let remaining = self
+            .population
+            .saturating_sub(1 + self.answers.len()) as f64;
+        remaining / self.non_answerers.len() as f64
+    }
+}
+
+/// Training configuration for [`TimingPredictor`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingConfig {
+    /// Hidden widths of the excitation network `f` (paper: 100, 50).
+    pub hidden: Vec<usize>,
+    /// Hidden nonlinearity (paper: tanh).
+    pub activation: Activation,
+    /// Output nonlinearity of `f`. The paper uses ReLU; the default
+    /// here is the smooth positive surrogate `Softplus`, which avoids
+    /// dead zero-rate outputs inside `ln μ`.
+    pub output_activation: Activation,
+    /// Decay-rate model.
+    pub decay: DecayMode,
+    /// Prediction formula.
+    pub prediction: PredictionMode,
+    /// Training epochs (each epoch visits every thread once).
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Calibrate point predictions after likelihood training by
+    /// isotonic regression (PAVA) from raw model expectations to
+    /// observed delays on the training answers. The likelihood is a
+    /// density objective, not a squared-error one; the monotone
+    /// recalibration converts the model's (good) *ranking* of pairs
+    /// into (good) *point estimates* without touching the fitted
+    /// rate functions.
+    pub calibrate: bool,
+    /// Cap on the importance weight of each sampled non-answerer's
+    /// survival term. The unbiased weight is
+    /// `(|U| − 1 − #answers) / #samples`, which reaches the thousands
+    /// when few non-answerers are sampled and makes single samples
+    /// dominate a thread's gradient; clamping trades a little bias in
+    /// the μ scale (which the conditional prediction does not use)
+    /// for much lower gradient variance.
+    pub max_survival_weight: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TimingConfig {
+    /// The paper's architecture with a learned decay network, which
+    /// lets the conditional prediction vary per pair.
+    fn default() -> Self {
+        TimingConfig {
+            hidden: vec![100, 50],
+            activation: Activation::Tanh,
+            output_activation: Activation::Softplus,
+            decay: DecayMode::Learned {
+                hidden: vec![64, 32],
+            },
+            prediction: PredictionMode::FirstEvent,
+            epochs: 200,
+            learning_rate: 0.01,
+            calibrate: true,
+            max_survival_weight: 25.0,
+            seed: 0x717E,
+        }
+    }
+}
+
+impl TimingConfig {
+    /// Faster settings for tests.
+    pub fn fast() -> Self {
+        TimingConfig {
+            hidden: vec![32, 16],
+            epochs: 40,
+            ..TimingConfig::default()
+        }
+    }
+
+    /// The paper's constant-decay variant (`ω = c` for all pairs,
+    /// paper expectation formula).
+    pub fn constant_decay(c: f64) -> Self {
+        TimingConfig {
+            decay: DecayMode::Constant(c),
+            prediction: PredictionMode::PaperExpectation,
+            ..TimingConfig::default()
+        }
+    }
+}
+
+/// The fitted point-process response-time model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingPredictor {
+    excitation: Mlp,
+    decay_net: Option<Mlp>,
+    constant_decay: f64,
+    prediction: PredictionMode,
+    max_survival_weight: f64,
+    calibration: Option<IsotonicMap>,
+}
+
+impl TimingPredictor {
+    /// Trains the model on thread observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads` contains no answers at all, or when
+    /// feature dimensions are inconsistent.
+    pub fn train(threads: &[ThreadObservation], config: &TimingConfig) -> Self {
+        let dim = threads
+            .iter()
+            .flat_map(|t| t.answers.first().map(|(x, _)| x.len()))
+            .next()
+            .expect("at least one answered thread required");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        let mut f_specs = Vec::new();
+        let mut prev = dim;
+        for &h in &config.hidden {
+            f_specs.push(LayerSpec::new(prev, h, config.activation));
+            prev = h;
+        }
+        f_specs.push(LayerSpec::new(prev, 1, config.output_activation));
+        let mut excitation = Mlp::new(&f_specs, &mut rng);
+
+        let (mut decay_net, constant_decay) = match &config.decay {
+            DecayMode::Constant(c) => {
+                assert!(*c > 0.0, "constant decay must be positive");
+                (None, *c)
+            }
+            DecayMode::Learned { hidden } => {
+                let mut g_specs = Vec::new();
+                let mut prev = dim;
+                for &h in hidden {
+                    g_specs.push(LayerSpec::new(prev, h, config.activation));
+                    prev = h;
+                }
+                g_specs.push(LayerSpec::new(prev, 1, Activation::Softplus));
+                (Some(Mlp::new(&g_specs, &mut rng)), 0.0)
+            }
+        };
+
+        let mut opt_f = Adam::new(config.learning_rate);
+        let mut opt_g = Adam::new(config.learning_rate);
+        let mut order: Vec<usize> = (0..threads.len()).collect();
+        let mut grads_f = vec![0.0; excitation.num_params()];
+        let mut grads_g = decay_net
+            .as_ref()
+            .map(|g| vec![0.0; g.num_params()])
+            .unwrap_or_default();
+
+        for _epoch in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for &ti in &order {
+                let t = &threads[ti];
+                if t.answers.is_empty() {
+                    continue;
+                }
+                grads_f.iter_mut().for_each(|v| *v = 0.0);
+                grads_g.iter_mut().for_each(|v| *v = 0.0);
+                accumulate_thread_grads(
+                    t,
+                    &excitation,
+                    decay_net.as_ref(),
+                    constant_decay,
+                    config.max_survival_weight,
+                    &mut grads_f,
+                    &mut grads_g,
+                );
+                opt_f.step(excitation.params_mut(), &grads_f);
+                if let Some(g) = decay_net.as_mut() {
+                    opt_g.step(g.params_mut(), &grads_g);
+                }
+            }
+        }
+
+        let mut model = TimingPredictor {
+            excitation,
+            decay_net,
+            constant_decay,
+            prediction: config.prediction,
+            max_survival_weight: config.max_survival_weight,
+            calibration: None,
+        };
+        if config.calibrate {
+            let mut raw = Vec::new();
+            let mut observed = Vec::new();
+            for t in threads {
+                for (x, r) in &t.answers {
+                    raw.push(model.predict(x, t.window));
+                    observed.push(*r);
+                }
+            }
+            model.calibration = IsotonicMap::fit(&raw, &observed);
+        }
+        model
+    }
+
+    /// The fitted rate parameters `(μ, ω)` for a feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` has the wrong dimension.
+    pub fn rate(&self, x: &[f64]) -> (f64, f64) {
+        let mu = self.excitation.forward(x)[0].max(MU_FLOOR);
+        let omega = match &self.decay_net {
+            Some(g) => g.forward(x)[0].max(OMEGA_FLOOR),
+            None => self.constant_decay,
+        };
+        (mu, omega)
+    }
+
+    /// Predicted response time `r̂_{u,q}` (hours) for a pair whose
+    /// question has an observation window of `window` hours,
+    /// according to the configured [`PredictionMode`].
+    pub fn predict(&self, x: &[f64], window: f64) -> f64 {
+        let raw = self.predict_raw(x, window);
+        match &self.calibration {
+            Some(map) => map.apply(raw),
+            None => raw,
+        }
+    }
+
+    /// The uncalibrated model expectation under the configured
+    /// [`PredictionMode`].
+    pub fn predict_raw(&self, x: &[f64], window: f64) -> f64 {
+        let (mu, omega) = self.rate(x);
+        match self.prediction {
+            PredictionMode::PaperExpectation => paper_expectation(mu, omega, window),
+            PredictionMode::Conditional => conditional_expectation(omega, window),
+            PredictionMode::FirstEvent => first_event_expectation(mu, omega, window),
+        }
+    }
+
+    /// Total log-likelihood `Σ_q L_q` of a set of observations under
+    /// the fitted model.
+    pub fn log_likelihood(&self, threads: &[ThreadObservation]) -> f64 {
+        let mut ll = 0.0;
+        for t in threads {
+            let w = t.survival_weight().min(self.max_survival_weight);
+            for (x, r) in &t.answers {
+                let (mu, omega) = self.rate(x);
+                ll += mu.ln() - omega * r;
+                ll -= survival(mu, omega, t.window);
+            }
+            for x in &t.non_answerers {
+                let (mu, omega) = self.rate(x);
+                ll -= w * survival(mu, omega, t.window);
+            }
+        }
+        ll
+    }
+
+    /// The configured prediction mode.
+    pub fn prediction_mode(&self) -> PredictionMode {
+        self.prediction
+    }
+
+    /// Overrides the prediction mode (e.g. to compare the formulas
+    /// with one fitted model). Any isotonic calibration is discarded:
+    /// it was fitted to the previous mode's raw scale.
+    pub fn set_prediction_mode(&mut self, mode: PredictionMode) {
+        self.prediction = mode;
+        self.calibration = None;
+    }
+}
+
+/// A monotone non-decreasing map fitted by the pool-adjacent-violators
+/// algorithm (isotonic regression), evaluated with linear
+/// interpolation between knots and clamping outside them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct IsotonicMap {
+    /// Knot inputs (strictly increasing).
+    xs: Vec<f64>,
+    /// Knot outputs (non-decreasing).
+    ys: Vec<f64>,
+}
+
+impl IsotonicMap {
+    /// Fits isotonic regression of `targets` on `scores`. Returns
+    /// `None` when fewer than 2 distinct scores exist (no map to fit).
+    fn fit(scores: &[f64], targets: &[f64]) -> Option<IsotonicMap> {
+        debug_assert_eq!(scores.len(), targets.len());
+        if scores.len() < 2 {
+            return None;
+        }
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+        // PAVA over blocks: (mean, weight, min_x, max_x).
+        let mut blocks: Vec<(f64, f64, f64)> = Vec::with_capacity(scores.len());
+        for &i in &order {
+            blocks.push((targets[i], 1.0, scores[i]));
+            while blocks.len() >= 2 {
+                let n = blocks.len();
+                if blocks[n - 2].0 <= blocks[n - 1].0 {
+                    break;
+                }
+                let (m2, w2, _) = blocks.pop().expect("non-empty");
+                let (m1, w1, x1) = blocks.pop().expect("non-empty");
+                blocks.push(((m1 * w1 + m2 * w2) / (w1 + w2), w1 + w2, x1));
+            }
+        }
+        // One knot per block at the block's first score; blocks that
+        // share a score (tied inputs) are merged by weighted mean.
+        let mut xs: Vec<f64> = Vec::with_capacity(blocks.len());
+        let mut ys = Vec::with_capacity(blocks.len());
+        let mut ws = Vec::with_capacity(blocks.len());
+        for (m, w, x) in blocks {
+            if xs.last().is_some_and(|&last| x <= last) {
+                let i = xs.len() - 1;
+                let total = ws[i] + w;
+                ys[i] = (ys[i] * ws[i] + m * w) / total;
+                ws[i] = total;
+            } else {
+                xs.push(x);
+                ys.push(m);
+                ws.push(w);
+            }
+        }
+        if xs.is_empty() {
+            return None;
+        }
+        // A single knot means the score was useless (fully pooled,
+        // e.g. anti-correlated): the map degrades gracefully to the
+        // training-mean predictor.
+        Some(IsotonicMap { xs, ys })
+    }
+
+    /// Evaluates the map with interpolation and boundary clamping.
+    fn apply(&self, x: f64) -> f64 {
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= *self.xs.last().expect("non-empty") {
+            return *self.ys.last().expect("non-empty");
+        }
+        let i = self.xs.partition_point(|&k| k <= x);
+        let (x0, x1) = (self.xs[i - 1], self.xs[i]);
+        let (y0, y1) = (self.ys[i - 1], self.ys[i]);
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+}
+
+/// `Λ(Δ)`-style survival term `μ (1 − e^{−ωΔ}) / ω`.
+fn survival(mu: f64, omega: f64, window: f64) -> f64 {
+    mu * (1.0 - (-omega * window).exp()) / omega
+}
+
+/// The paper's expectation `μ/ω² (1 − e^{−ωΔ}(1 + ωΔ))`.
+fn paper_expectation(mu: f64, omega: f64, window: f64) -> f64 {
+    let x = omega * window;
+    mu / (omega * omega) * (1.0 - (-x).exp() * (1.0 + x))
+}
+
+/// `E[t − t₀ | event within Δ] = (1/ω)·(1 − e^{−x}(1+x))/(1 − e^{−x})`
+/// with `x = ωΔ`; series fallback `Δ/2 · (1 − x/6)` for tiny `x`.
+fn conditional_expectation(omega: f64, window: f64) -> f64 {
+    let x = omega * window;
+    if x < 1e-4 {
+        // Below this the exact form loses ~half its digits to
+        // cancellation; the series is accurate to O(x²).
+        return window / 2.0 * (1.0 - x / 6.0);
+    }
+    let ex = (-x).exp();
+    (1.0 - ex * (1.0 + x)) / (omega * (1.0 - ex))
+}
+
+/// Exact conditional first-event time
+/// `∫₀^Δ t λ(t) e^{−Λ(t)} dt / (1 − e^{−Λ(Δ)})` by composite Simpson
+/// integration (129 nodes — the integrand is smooth).
+fn first_event_expectation(mu: f64, omega: f64, window: f64) -> f64 {
+    let h_of = |t: f64| mu * (1.0 - (-omega * t).exp()) / omega;
+    let mass = 1.0 - (-h_of(window)).exp();
+    if mass < 1e-12 {
+        // Vanishing in-window probability: hazard is flat, fall back
+        // to the rare-event conditional.
+        return conditional_expectation(omega, window);
+    }
+    let n = 128; // even
+    let step = window / n as f64;
+    let integrand = |t: f64| t * mu * (-omega * t).exp() * (-h_of(t)).exp();
+    let mut sum = integrand(0.0) + integrand(window);
+    for i in 1..n {
+        let t = i as f64 * step;
+        sum += integrand(t) * if i % 2 == 1 { 4.0 } else { 2.0 };
+    }
+    (sum * step / 3.0) / mass
+}
+
+/// Accumulates ∂(−L_q)/∂Θ for one thread into `grads_f` / `grads_g`.
+fn accumulate_thread_grads(
+    t: &ThreadObservation,
+    f: &Mlp,
+    g: Option<&Mlp>,
+    constant_decay: f64,
+    max_survival_weight: f64,
+    grads_f: &mut [f64],
+    grads_g: &mut [f64],
+) {
+    let w_non = t.survival_weight().min(max_survival_weight);
+    let window = t.window;
+
+    let mut handle = |x: &Vec<f64>, event: Option<f64>, weight: f64| {
+        let cache_f = f.forward_cache(x);
+        let mu_raw = cache_f.output()[0];
+        let mu = mu_raw.max(MU_FLOOR);
+        let (omega, cache_g) = match g {
+            Some(gn) => {
+                let c = gn.forward_cache(x);
+                (c.output()[0].max(OMEGA_FLOOR), Some(c))
+            }
+            None => (constant_decay, None),
+        };
+        let exd = (-omega * window).exp();
+        // Survival term S = μ(1 − e^{−ωΔ})/ω appears for every user.
+        let ds_dmu = (1.0 - exd) / omega;
+        let ds_domega = mu * (window * exd / omega - (1.0 - exd) / (omega * omega));
+        // Gradient of L (to be maximized).
+        let mut dl_dmu = -weight * ds_dmu;
+        let mut dl_domega = -weight * ds_domega;
+        if let Some(r) = event {
+            dl_dmu += 1.0 / mu;
+            dl_domega -= r;
+        }
+        // Clamped region passes no gradient.
+        if mu_raw < MU_FLOOR {
+            dl_dmu = 0.0;
+        }
+        // Minimize −L → upstream gradient is −dL.
+        f.backward(&cache_f, &[-dl_dmu], grads_f);
+        if let (Some(gn), Some(cg)) = (g, &cache_g) {
+            if cg.output()[0] >= OMEGA_FLOOR {
+                gn.backward(cg, &[-dl_domega], grads_g);
+            }
+        }
+    };
+
+    for (x, r) in &t.answers {
+        handle(x, Some(*r), 1.0);
+    }
+    for x in &t.non_answerers {
+        handle(x, None, w_non);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two user archetypes: "fast" users (feature +1) answer quickly,
+    /// "slow" users (feature −1) answer late; non-answerers have
+    /// feature −1 mostly.
+    fn synthetic_threads(n: usize) -> Vec<ThreadObservation> {
+        (0..n)
+            .map(|i| {
+                let fast = i % 2 == 0;
+                let delay = if fast { 1.0 + (i % 3) as f64 * 0.3 } else { 20.0 + (i % 5) as f64 };
+                ThreadObservation {
+                    answers: vec![(vec![if fast { 1.0 } else { -1.0 }, 0.2], delay)],
+                    non_answerers: vec![vec![-1.0, -0.5], vec![-0.8, 0.1]],
+                    window: 100.0,
+                    population: 50,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn training_improves_log_likelihood() {
+        let threads = synthetic_threads(60);
+        let untrained = TimingPredictor::train(&threads, &TimingConfig { epochs: 0, ..TimingConfig::fast() });
+        let trained = TimingPredictor::train(&threads, &TimingConfig::fast());
+        assert!(
+            trained.log_likelihood(&threads) > untrained.log_likelihood(&threads),
+            "likelihood should improve with training"
+        );
+    }
+
+    #[test]
+    fn fast_users_get_lower_predictions() {
+        let threads = synthetic_threads(80);
+        let model = TimingPredictor::train(&threads, &TimingConfig::fast());
+        let fast = model.predict(&[1.0, 0.2], 100.0);
+        let slow = model.predict(&[-1.0, 0.2], 100.0);
+        assert!(
+            fast < slow,
+            "fast archetype {fast} should beat slow {slow}"
+        );
+    }
+
+    #[test]
+    fn answerers_have_higher_excitation_than_non_answerers() {
+        let threads = synthetic_threads(80);
+        let model = TimingPredictor::train(&threads, &TimingConfig::fast());
+        let (mu_ans, _) = model.rate(&[1.0, 0.2]);
+        let (mu_non, _) = model.rate(&[-1.0, -0.5]);
+        assert!(mu_ans > mu_non, "μ answerer {mu_ans} vs non {mu_non}");
+    }
+
+    #[test]
+    fn constant_decay_mode_uses_fixed_omega() {
+        let threads = synthetic_threads(20);
+        let cfg = TimingConfig {
+            epochs: 5,
+            ..TimingConfig::constant_decay(0.25)
+        };
+        let model = TimingPredictor::train(&threads, &cfg);
+        let (_, omega) = model.rate(&[1.0, 0.2]);
+        assert_eq!(omega, 0.25);
+        let (_, omega2) = model.rate(&[-1.0, -0.5]);
+        assert_eq!(omega2, 0.25);
+    }
+
+    #[test]
+    fn paper_expectation_formula_matches_closed_form() {
+        // μ = 2, ω = 0.5, Δ = 10: r̂ = 2/0.25 · (1 − e^{−5}·6).
+        let expected = 8.0 * (1.0 - (-5.0f64).exp() * 6.0);
+        assert!((paper_expectation(2.0, 0.5, 10.0) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_expectation_is_within_window() {
+        for &(omega, window) in &[(0.01, 100.0), (0.5, 10.0), (5.0, 2.0), (1e-9, 50.0)] {
+            let e = conditional_expectation(omega, window);
+            assert!(e > 0.0 && e < window, "ω={omega} Δ={window} → {e}");
+        }
+    }
+
+    #[test]
+    fn conditional_expectation_series_matches_exact_at_boundary() {
+        // Just above and below the series cutoff should agree to a
+        // relative tolerance dominated by the exact form's
+        // cancellation error.
+        let a = conditional_expectation(1.0001e-4 / 50.0, 50.0);
+        let b = conditional_expectation(0.9999e-4 / 50.0, 50.0);
+        assert!((a - b).abs() / a.abs() < 1e-5, "{a} vs {b}");
+    }
+
+    #[test]
+    fn conditional_decreases_with_faster_decay() {
+        assert!(
+            conditional_expectation(1.0, 24.0) < conditional_expectation(0.01, 24.0),
+            "higher ω concentrates mass earlier"
+        );
+    }
+
+    #[test]
+    fn survival_weight_scales_to_population() {
+        let t = ThreadObservation {
+            answers: vec![(vec![0.0], 1.0)],
+            non_answerers: vec![vec![0.0]; 4],
+            window: 10.0,
+            population: 100,
+        };
+        // (100 − 1 − 1) / 4 = 24.5.
+        assert!((t.survival_weight() - 24.5).abs() < 1e-12);
+        let empty = ThreadObservation {
+            non_answerers: vec![],
+            ..t
+        };
+        assert_eq!(empty.survival_weight(), 0.0);
+    }
+
+    /// Finite-difference check of the thread-gradient accumulation.
+    #[test]
+    fn thread_gradients_match_finite_differences() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut f = Mlp::new(
+            &[
+                LayerSpec::new(2, 6, Activation::Tanh),
+                LayerSpec::new(6, 1, Activation::Softplus),
+            ],
+            &mut rng,
+        );
+        let g = Mlp::new(
+            &[
+                LayerSpec::new(2, 4, Activation::Tanh),
+                LayerSpec::new(4, 1, Activation::Softplus),
+            ],
+            &mut rng,
+        );
+        let t = ThreadObservation {
+            answers: vec![(vec![0.4, -0.2], 3.0), (vec![-0.6, 0.9], 7.0)],
+            non_answerers: vec![vec![0.1, 0.1]],
+            window: 30.0,
+            population: 20,
+        };
+        let neg_ll = |f: &Mlp, g: &Mlp| -> f64 {
+            let model = TimingPredictor {
+                excitation: f.clone(),
+                decay_net: Some(g.clone()),
+                constant_decay: 0.0,
+                prediction: PredictionMode::Conditional,
+                max_survival_weight: f64::INFINITY,
+                calibration: None,
+            };
+            -model.log_likelihood(std::slice::from_ref(&t))
+        };
+        let mut grads_f = vec![0.0; f.num_params()];
+        let mut grads_g = vec![0.0; g.num_params()];
+        accumulate_thread_grads(
+            &t,
+            &f,
+            Some(&g),
+            0.0,
+            f64::INFINITY,
+            &mut grads_f,
+            &mut grads_g,
+        );
+        let eps = 1e-6;
+        for i in (0..f.num_params()).step_by(7) {
+            let orig = f.params()[i];
+            f.params_mut()[i] = orig + eps;
+            let up = neg_ll(&f, &g);
+            f.params_mut()[i] = orig - eps;
+            let down = neg_ll(&f, &g);
+            f.params_mut()[i] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - grads_f[i]).abs() < 1e-4 * (1.0 + numeric.abs()),
+                "f param {i}: numeric {numeric} vs analytic {}",
+                grads_f[i]
+            );
+        }
+        let mut g = g;
+        for i in (0..g.num_params()).step_by(5) {
+            let orig = g.params()[i];
+            g.params_mut()[i] = orig + eps;
+            let up = neg_ll(&f, &g);
+            g.params_mut()[i] = orig - eps;
+            let down = neg_ll(&f, &g);
+            g.params_mut()[i] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            // Recompute analytic grads for the restored g.
+            assert!(
+                (numeric - grads_g[i]).abs() < 1e-4 * (1.0 + numeric.abs()),
+                "g param {i}: numeric {numeric} vs analytic {}",
+                grads_g[i]
+            );
+        }
+    }
+
+    #[test]
+    fn isotonic_fit_recovers_monotone_steps() {
+        // Scores 1..6, targets with one violation (4 > 2).
+        let scores = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let targets = [1.0, 1.0, 4.0, 2.0, 5.0, 6.0];
+        let map = IsotonicMap::fit(&scores, &targets).expect("fits");
+        // Violating pair pooled to mean 3.
+        assert!((map.apply(3.0) - 3.0).abs() < 1e-12);
+        assert!((map.apply(4.0) - 3.0).abs() < 1e-9 || map.apply(4.0) >= 3.0);
+        // Monotone overall.
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=70 {
+            let v = map.apply(i as f64 / 10.0);
+            assert!(v >= prev - 1e-12, "not monotone at {i}");
+            prev = v;
+        }
+        // Clamped outside the knots.
+        assert_eq!(map.apply(-100.0), map.apply(0.9));
+        assert_eq!(map.apply(100.0), map.apply(6.1));
+    }
+
+    #[test]
+    fn isotonic_fit_degenerate_inputs() {
+        assert!(IsotonicMap::fit(&[1.0], &[2.0]).is_none());
+        // All-equal scores collapse to one knot → constant map at the
+        // target mean.
+        let m = IsotonicMap::fit(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]).expect("constant map");
+        assert!((m.apply(0.0) - 2.0).abs() < 1e-12);
+        assert!((m.apply(9.0) - 2.0).abs() < 1e-12);
+        // Anti-correlated scores also pool to the mean.
+        let m = IsotonicMap::fit(&[1.0, 2.0, 3.0], &[30.0, 20.0, 10.0]).expect("pooled");
+        assert!((m.apply(2.0) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_event_matches_conditional_in_rare_limit() {
+        // Tiny μ → Λ ≪ 1 → survival factor ≈ 1.
+        let fe = first_event_expectation(1e-6, 0.1, 50.0);
+        let cond = conditional_expectation(0.1, 50.0);
+        assert!((fe - cond).abs() / cond < 1e-3, "{fe} vs {cond}");
+    }
+
+    #[test]
+    fn first_event_is_earlier_for_hot_threads() {
+        // Large μ concentrates the first event early.
+        let hot = first_event_expectation(5.0, 0.05, 100.0);
+        let cold = first_event_expectation(0.01, 0.05, 100.0);
+        assert!(hot < cold, "hot {hot} vs cold {cold}");
+        assert!(hot > 0.0 && cold < 100.0);
+    }
+
+    #[test]
+    fn calibrated_model_predictions_track_observed_scale() {
+        let threads = synthetic_threads(80);
+        let model = TimingPredictor::train(&threads, &TimingConfig::fast());
+        // Calibration maps into the observed delay range.
+        let fast = model.predict(&[1.0, 0.2], 100.0);
+        let slow = model.predict(&[-1.0, 0.2], 100.0);
+        let min_obs = 1.0;
+        let max_obs = 25.0;
+        assert!(fast >= min_obs - 1.0 && slow <= max_obs + 1.0, "{fast} {slow}");
+        assert!(fast < slow);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one answered thread")]
+    fn training_without_answers_panics() {
+        TimingPredictor::train(
+            &[ThreadObservation {
+                answers: vec![],
+                non_answerers: vec![vec![0.0]],
+                window: 1.0,
+                population: 5,
+            }],
+            &TimingConfig::fast(),
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let threads = synthetic_threads(10);
+        let model = TimingPredictor::train(
+            &threads,
+            &TimingConfig { epochs: 3, ..TimingConfig::fast() },
+        );
+        let json = serde_json::to_string(&model).unwrap();
+        let back: TimingPredictor = serde_json::from_str(&json).unwrap();
+        let (a, b) = (back.predict(&[1.0, 0.2], 50.0), model.predict(&[1.0, 0.2], 50.0));
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+}

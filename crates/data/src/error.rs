@@ -1,0 +1,83 @@
+//! Error types for the data crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or loading a [`crate::Dataset`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DataError {
+    /// A post references a user id `>= num_users`.
+    UserOutOfRange {
+        /// Offending user id.
+        user: u32,
+        /// Declared number of users.
+        num_users: u32,
+    },
+    /// Two threads share the same question id.
+    DuplicateQuestionId(u32),
+    /// An answer is timestamped before its question.
+    AnswerBeforeQuestion {
+        /// Question id of the offending thread.
+        question: u32,
+    },
+    /// A timestamp is NaN or infinite.
+    NonFiniteTimestamp {
+        /// Question id of the offending thread.
+        question: u32,
+    },
+    /// JSON (de)serialization failed.
+    Json(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::UserOutOfRange { user, num_users } => write!(
+                f,
+                "post references user u{user} but the dataset declares only {num_users} users"
+            ),
+            DataError::DuplicateQuestionId(q) => {
+                write!(f, "duplicate question id q{q}")
+            }
+            DataError::AnswerBeforeQuestion { question } => {
+                write!(f, "thread q{question} has an answer timestamped before its question")
+            }
+            DataError::NonFiniteTimestamp { question } => {
+                write!(f, "thread q{question} contains a non-finite timestamp")
+            }
+            DataError::Json(msg) => write!(f, "json error: {msg}"),
+        }
+    }
+}
+
+impl Error for DataError {}
+
+impl From<serde_json::Error> for DataError {
+    fn from(e: serde_json::Error) -> Self {
+        DataError::Json(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = DataError::UserOutOfRange {
+            user: 5,
+            num_users: 3,
+        };
+        assert!(e.to_string().contains("u5"));
+        assert!(e.to_string().contains('3'));
+        let e = DataError::DuplicateQuestionId(7);
+        assert!(e.to_string().contains("q7"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err<E: std::error::Error + Send + Sync>(_e: E) {}
+        takes_err(DataError::Json("x".into()));
+    }
+}

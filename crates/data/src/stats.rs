@@ -1,0 +1,122 @@
+//! Descriptive statistics and preprocessing reports (paper §III-A).
+
+use serde::{Deserialize, Serialize};
+
+use crate::Hours;
+
+/// Summary statistics of a dataset, mirroring the counts reported in
+/// Section III-A of the paper (20,923 questions, 19,934 answers, 9,947
+/// askers, 6,451 answerers, 14,643 distinct users before filtering;
+/// answer-matrix density 0.03% after filtering).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Size of the declared user population.
+    pub num_users: usize,
+    /// Users who asked or answered at least once.
+    pub num_active_users: usize,
+    /// Users who asked at least one question.
+    pub num_askers: usize,
+    /// Users who answered at least one question.
+    pub num_answerers: usize,
+    /// Number of question threads.
+    pub num_questions: usize,
+    /// Total number of answers.
+    pub num_answers: usize,
+    /// Fraction of the answerers × questions matrix that is 1, i.e.
+    /// the sparsity level of `A = [a_{u,q}]`.
+    pub answer_matrix_density: f64,
+    /// Timestamp of the last post.
+    pub horizon: Hours,
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} questions, {} answers, {} askers, {} answerers, {} active of {} users, \
+             density {:.4}%, horizon {:.1} h",
+            self.num_questions,
+            self.num_answers,
+            self.num_askers,
+            self.num_answerers,
+            self.num_active_users,
+            self.num_users,
+            self.answer_matrix_density * 100.0,
+            self.horizon
+        )
+    }
+}
+
+/// What [`crate::Dataset::preprocess`] removed, mirroring the paper's
+/// preprocessing narrative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PreprocessReport {
+    /// Questions dropped for having no (remaining) answers.
+    pub unanswered_questions: usize,
+    /// Extra per-user answers removed (max-vote one kept).
+    pub duplicate_answers: usize,
+    /// Answers dropped for being posted at the question's timestamp.
+    pub zero_delay_answers: usize,
+    /// Questions remaining after preprocessing.
+    pub questions_kept: usize,
+    /// Answers remaining after preprocessing.
+    pub answers_kept: usize,
+}
+
+impl std::fmt::Display for PreprocessReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "kept {} questions / {} answers; removed {} unanswered questions, \
+             {} duplicate answers, {} zero-delay answers",
+            self.questions_kept,
+            self.answers_kept,
+            self.unanswered_questions,
+            self.duplicate_answers,
+            self.zero_delay_answers
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_display_mentions_counts() {
+        let s = DatasetStats {
+            num_users: 10,
+            num_active_users: 8,
+            num_askers: 5,
+            num_answerers: 6,
+            num_questions: 7,
+            num_answers: 9,
+            answer_matrix_density: 0.0003,
+            horizon: 720.0,
+        };
+        let text = s.to_string();
+        assert!(text.contains("7 questions"));
+        assert!(text.contains("0.0300%"));
+    }
+
+    #[test]
+    fn report_display_mentions_removals() {
+        let r = PreprocessReport {
+            unanswered_questions: 3,
+            duplicate_answers: 1,
+            zero_delay_answers: 2,
+            questions_kept: 4,
+            answers_kept: 5,
+        };
+        let text = r.to_string();
+        assert!(text.contains("3 unanswered"));
+        assert!(text.contains("kept 4 questions"));
+    }
+
+    #[test]
+    fn report_default_is_zeroed() {
+        let r = PreprocessReport::default();
+        assert_eq!(r.unanswered_questions, 0);
+        assert_eq!(r.answers_kept, 0);
+    }
+}

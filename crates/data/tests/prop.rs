@@ -1,0 +1,86 @@
+//! Property-based tests for the data model and preprocessing.
+
+use proptest::prelude::*;
+
+use forumcast_data::{io, Dataset, Post, PostBody, Thread, UserId};
+
+fn arb_thread(id: u32, num_users: u32) -> impl Strategy<Value = Thread> {
+    (
+        0..num_users,
+        0.0f64..700.0,
+        -5i32..20,
+        proptest::collection::vec((0..num_users, 0.0f64..20.0, -6i32..30), 0..5),
+    )
+        .prop_map(move |(asker, t_q, v_q, answers)| {
+            let question = Post::new(UserId(asker), t_q, v_q, PostBody::words("q text"));
+            let answers = answers
+                .into_iter()
+                .map(|(u, dt, v)| Post::new(UserId(u), t_q + dt, v, PostBody::words("a")))
+                .collect();
+            Thread::new(id, question, answers)
+        })
+}
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    proptest::collection::vec(any::<()>(), 1..12).prop_flat_map(|v| {
+        let n = v.len() as u32;
+        let threads: Vec<_> = (0..n).map(|i| arb_thread(i, 8)).collect();
+        threads.prop_map(|ts| Dataset::new(8, ts).expect("valid by construction"))
+    })
+}
+
+proptest! {
+    /// Preprocessing is idempotent and never grows the dataset.
+    #[test]
+    fn preprocess_idempotent(ds in arb_dataset()) {
+        let (once, _) = ds.clone().preprocess();
+        let (twice, second_report) = once.clone().preprocess();
+        prop_assert_eq!(&once, &twice);
+        prop_assert_eq!(second_report.duplicate_answers, 0);
+        prop_assert_eq!(second_report.zero_delay_answers, 0);
+        prop_assert!(once.num_questions() <= ds.num_questions());
+        prop_assert!(once.num_answers() <= ds.num_answers());
+    }
+
+    /// After preprocessing, every answer pair is unique and strictly
+    /// delayed.
+    #[test]
+    fn preprocessed_pairs_are_clean(ds in arb_dataset()) {
+        let (clean, _) = ds.preprocess();
+        let pairs = clean.answered_pairs();
+        let mut seen = std::collections::HashSet::new();
+        for p in &pairs {
+            prop_assert!(p.response_time > 0.0);
+            prop_assert!(seen.insert((p.user.0, p.question.0)), "duplicate pair");
+        }
+    }
+
+    /// Native JSON round-trips exactly.
+    #[test]
+    fn json_roundtrip(ds in arb_dataset()) {
+        let json = io::to_json(&ds).expect("serializes");
+        let back = io::from_json(&json).expect("parses");
+        prop_assert_eq!(back, ds);
+    }
+
+    /// Answered pairs agree with per-thread queries.
+    #[test]
+    fn pairs_match_thread_queries(ds in arb_dataset()) {
+        for p in ds.answered_pairs() {
+            let t = ds.thread(p.question).expect("thread exists");
+            prop_assert!(t.answered_by(p.user));
+            prop_assert_eq!(t.response_time_of(p.user), Some(p.response_time));
+        }
+    }
+
+    /// Horizon bounds every timestamp.
+    #[test]
+    fn horizon_is_max(ds in arb_dataset()) {
+        let h = ds.horizon();
+        for t in ds.threads() {
+            for p in t.posts() {
+                prop_assert!(p.timestamp <= h + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Assembling experiment data: pair records with features, targets,
+//! negative samples, and observation windows.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use forumcast_data::{Dataset, UserId};
+use forumcast_features::{ExtractorConfig, FeatureExtractor, FeatureLayout};
+
+use crate::config::EvalConfig;
+
+/// One `(u, q)` record: the raw feature vector plus targets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairRecord {
+    /// The user.
+    pub user: UserId,
+    /// Index of the target question within [`ExperimentData`] (dense,
+    /// 0-based over evaluation targets).
+    pub target: usize,
+    /// Raw (unnormalized) feature vector `x_{u,q}`.
+    pub x: Vec<f64>,
+    /// `v_{u,q}` (0 for negative records).
+    pub votes: f64,
+    /// `r_{u,q}` in hours (0 for negative records).
+    pub response_time: f64,
+}
+
+/// A fully materialized experiment: positives (observed answers),
+/// balanced negatives, per-target observation windows, and the
+/// feature layout. Built once per protocol setting and shared by all
+/// CV folds.
+#[derive(Debug, Clone)]
+pub struct ExperimentData {
+    /// Feature dimension `18 + 2K`.
+    pub dim: usize,
+    /// Slot layout for masking experiments.
+    pub layout: FeatureLayout,
+    /// Population size `|U|`.
+    pub num_users: usize,
+    /// Number of evaluation-target questions.
+    pub num_targets: usize,
+    /// Observed answer pairs.
+    pub positives: Vec<PairRecord>,
+    /// Sampled non-answering pairs (`a_{u,q} = 0`), balanced per the
+    /// paper's protocol; they double as the survival-term samples of
+    /// the point-process likelihood.
+    pub negatives: Vec<PairRecord>,
+    /// Observation window `T − t(p_{q0})` per target.
+    pub windows: Vec<f64>,
+}
+
+impl ExperimentData {
+    /// Builds experiment data from a preprocessed dataset under the
+    /// config's history protocol: the first `warmup_frac` of threads
+    /// are history only; the remaining targets are processed in
+    /// `buckets` chronological buckets, each using an extractor
+    /// fitted on **all prior threads**.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dataset has too few threads for the warmup
+    /// split.
+    pub fn build(dataset: &Dataset, config: &EvalConfig) -> Self {
+        let threads = dataset.threads();
+        let warmup = ((threads.len() as f64 * config.warmup_frac) as usize)
+            .clamp(1, threads.len().saturating_sub(1));
+        Self::build_with_ranges(dataset, config, warmup, &config.extractor)
+    }
+
+    /// Builds experiment data where targets are `threads[warmup..]`
+    /// and each bucket's features come from an extractor fitted on
+    /// every earlier thread. Exposed for the history-window
+    /// experiments (Figure 7) which pick their own ranges.
+    pub fn build_with_ranges(
+        dataset: &Dataset,
+        config: &EvalConfig,
+        warmup: usize,
+        extractor_config: &ExtractorConfig,
+    ) -> Self {
+        let threads = dataset.threads();
+        assert!(
+            warmup >= 1 && warmup < threads.len(),
+            "warmup split {warmup} out of range for {} threads",
+            threads.len()
+        );
+        let horizon = dataset.horizon();
+        let num_targets = threads.len() - warmup;
+        let buckets = config.buckets.max(1).min(num_targets);
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xDA7A);
+
+        let mut positives = Vec::new();
+        let mut negatives = Vec::new();
+        let mut windows = vec![0.0; num_targets];
+
+        let bucket_size = num_targets.div_ceil(buckets);
+        for b in 0..buckets {
+            let start = warmup + b * bucket_size;
+            let end = (start + bucket_size).min(threads.len());
+            if start >= end {
+                break;
+            }
+            let extractor =
+                FeatureExtractor::fit(&threads[..start], dataset.num_users(), extractor_config);
+            for (gi, thread) in threads[start..end].iter().enumerate() {
+                let target = start + gi - warmup;
+                let window = (horizon - thread.asked_at()).max(0.5);
+                windows[target] = window;
+                let d_q = extractor.question_topics(thread);
+
+                let mut answerers: Vec<UserId> =
+                    thread.answers.iter().map(|a| a.author).collect();
+                answerers.sort_unstable();
+                answerers.dedup();
+                for &u in &answerers {
+                    let a = thread.answer_by(u).expect("answered");
+                    positives.push(PairRecord {
+                        user: u,
+                        target,
+                        x: extractor.features(u, thread, &d_q),
+                        votes: a.votes as f64,
+                        response_time: a.timestamp - thread.asked_at(),
+                    });
+                }
+                // Balanced negatives, sampled "equally across
+                // questions": one per positive in this thread.
+                let wanted =
+                    (answerers.len() as f64 * config.negatives_per_positive).round() as usize;
+                let mut guard = 0;
+                let mut sampled: Vec<UserId> = Vec::with_capacity(wanted);
+                while sampled.len() < wanted && guard < wanted * 50 {
+                    guard += 1;
+                    let u = UserId(rng.gen_range(0..dataset.num_users()));
+                    if u == thread.asker() || answerers.contains(&u) || sampled.contains(&u) {
+                        continue;
+                    }
+                    sampled.push(u);
+                }
+                for u in sampled {
+                    negatives.push(PairRecord {
+                        user: u,
+                        target,
+                        x: extractor.features(u, thread, &d_q),
+                        votes: 0.0,
+                        response_time: 0.0,
+                    });
+                }
+            }
+        }
+
+        let layout = FeatureLayout::new(extractor_dim_topics(extractor_config));
+        ExperimentData {
+            dim: layout.dim(),
+            layout,
+            num_users: dataset.num_users() as usize,
+            num_targets,
+            positives,
+            negatives,
+            windows,
+        }
+    }
+
+    /// Positive pairs grouped by target index (for per-thread timing
+    /// observations).
+    pub fn positives_by_target(&self) -> Vec<Vec<usize>> {
+        let mut by_target = vec![Vec::new(); self.num_targets];
+        for (i, p) in self.positives.iter().enumerate() {
+            by_target[p.target].push(i);
+        }
+        by_target
+    }
+
+    /// Negative pairs grouped by target index.
+    pub fn negatives_by_target(&self) -> Vec<Vec<usize>> {
+        let mut by_target = vec![Vec::new(); self.num_targets];
+        for (i, n) in self.negatives.iter().enumerate() {
+            by_target[n.target].push(i);
+        }
+        by_target
+    }
+}
+
+/// Topic count configured in an extractor config.
+fn extractor_dim_topics(config: &ExtractorConfig) -> usize {
+    config.lda.num_topics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forumcast_synth::SynthConfig;
+
+    fn quick_data() -> ExperimentData {
+        let cfg = EvalConfig::quick();
+        let (ds, _) = cfg.synth.generate().preprocess();
+        ExperimentData::build(&ds, &cfg)
+    }
+
+    #[test]
+    fn positives_match_dataset_answers() {
+        let cfg = EvalConfig::quick();
+        let (ds, _) = cfg.synth.generate().preprocess();
+        let data = ExperimentData::build(&ds, &cfg);
+        let warmup = (ds.num_questions() as f64 * cfg.warmup_frac) as usize;
+        let expected: usize = ds.threads()[warmup..]
+            .iter()
+            .map(|t| {
+                let mut u: Vec<_> = t.answers.iter().map(|a| a.author).collect();
+                u.sort_unstable();
+                u.dedup();
+                u.len()
+            })
+            .sum();
+        assert_eq!(data.positives.len(), expected);
+        assert_eq!(data.num_targets, ds.num_questions() - warmup);
+    }
+
+    #[test]
+    fn negatives_are_balanced_and_disjoint_from_positives() {
+        let data = quick_data();
+        let diff = (data.negatives.len() as f64 - data.positives.len() as f64).abs();
+        let rel = diff / (data.positives.len() as f64);
+        assert!(
+            rel < 0.05,
+            "{} negatives vs {} positives",
+            data.negatives.len(),
+            data.positives.len()
+        );
+        use std::collections::HashSet;
+        let pos: HashSet<(u32, usize)> =
+            data.positives.iter().map(|p| (p.user.0, p.target)).collect();
+        for nrec in &data.negatives {
+            assert!(!pos.contains(&(nrec.user.0, nrec.target)));
+        }
+    }
+
+    #[test]
+    fn feature_vectors_have_layout_dim_and_are_finite() {
+        let data = quick_data();
+        for r in data.positives.iter().chain(&data.negatives) {
+            assert_eq!(r.x.len(), data.dim);
+            assert!(r.x.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn windows_are_positive_and_targets_covered() {
+        let data = quick_data();
+        assert!(data.windows.iter().all(|&w| w > 0.0));
+        let by_target = data.positives_by_target();
+        assert_eq!(by_target.len(), data.num_targets);
+        let total: usize = by_target.iter().map(Vec::len).sum();
+        assert_eq!(total, data.positives.len());
+    }
+
+    #[test]
+    fn response_times_fit_in_windows() {
+        let data = quick_data();
+        for p in &data.positives {
+            assert!(
+                p.response_time <= data.windows[p.target] + 1e-9,
+                "r {} vs window {}",
+                p.response_time,
+                data.windows[p.target]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn degenerate_warmup_panics() {
+        let cfg = EvalConfig::quick();
+        let (ds, _) = SynthConfig::small().generate().preprocess();
+        ExperimentData::build_with_ranges(&ds, &cfg, ds.num_questions(), &cfg.extractor);
+    }
+}

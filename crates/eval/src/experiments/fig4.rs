@@ -1,0 +1,263 @@
+//! Figure 4: cumulative distribution functions of selected features
+//! over the full dataset (panels a–f).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use forumcast_data::{Dataset, UserId};
+use forumcast_features::{ExtractorConfig, FeatureExtractor};
+
+use crate::metrics::cdf_points;
+
+/// One CDF series: a named curve of `(value, cumulative fraction)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CdfSeries {
+    /// Series label (e.g. `"r_u | a_u >= 5"`).
+    pub label: String,
+    /// `(value, fraction)` points, non-decreasing in both.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// All six panels of Figure 4.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4Report {
+    /// (a) answers provided `a_u` (users with ≥ 1 answer).
+    pub answers_provided: CdfSeries,
+    /// (b) median response time `r_u`, split by activity level.
+    pub response_time_by_activity: Vec<CdfSeries>,
+    /// (c) average answer votes, split by activity level.
+    pub votes_by_activity: Vec<CdfSeries>,
+    /// (d) topic similarities `s_{u,q}` and `s_{u,v}`.
+    pub topic_similarities: Vec<CdfSeries>,
+    /// (e) question word/code lengths.
+    pub question_lengths: Vec<CdfSeries>,
+    /// (f) centralities (each normalized to max 1, as in the paper).
+    pub centralities: Vec<CdfSeries>,
+}
+
+impl fmt::Display for Fig4Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 4 — feature CDFs (value @ fraction)")?;
+        let mut show = |series: &CdfSeries| -> fmt::Result {
+            let quartiles: Vec<String> = [0.25, 0.5, 0.75, 1.0]
+                .iter()
+                .map(|&q| {
+                    series
+                        .points
+                        .iter()
+                        .find(|(_, frac)| *frac >= q)
+                        .map(|(v, _)| format!("{v:.3}@{q}"))
+                        .unwrap_or_default()
+                })
+                .collect();
+            writeln!(f, "  {:<24} {}", series.label, quartiles.join("  "))
+        };
+        show(&self.answers_provided)?;
+        for s in self
+            .response_time_by_activity
+            .iter()
+            .chain(&self.votes_by_activity)
+            .chain(&self.topic_similarities)
+            .chain(&self.question_lengths)
+            .chain(&self.centralities)
+        {
+            show(s)?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds all Figure 4 panels. The extractor is fitted on the whole
+/// dataset (`Ω = Q`), matching the paper's full-dataset feature
+/// statistics (Section III-B). `cdf_resolution` is the number of
+/// points per curve; `pair_sample` caps the number of user–question
+/// pairs sampled for panel (d).
+pub fn run(
+    dataset: &Dataset,
+    extractor_config: &ExtractorConfig,
+    cdf_resolution: usize,
+    pair_sample: usize,
+) -> Fig4Report {
+    let extractor =
+        FeatureExtractor::fit(dataset.threads(), dataset.num_users(), extractor_config);
+    let ctx = extractor.context();
+    let users: Vec<UserId> = (0..dataset.num_users()).map(UserId).collect();
+
+    // (a) answers provided, over users with at least one answer.
+    let answers: Vec<f64> = users
+        .iter()
+        .map(|&u| ctx.answers_provided(u))
+        .filter(|&a| a >= 1.0)
+        .collect();
+    let answers_provided = CdfSeries {
+        label: "a_u (a_u>=1)".into(),
+        points: cdf_points(&answers, cdf_resolution),
+    };
+
+    // (b)/(c) split users by activity thresholds, as in the paper.
+    let thresholds = [1.0, 2.0, 5.0];
+    let mut response_time_by_activity = Vec::new();
+    let mut votes_by_activity = Vec::new();
+    for &thr in &thresholds {
+        let rs: Vec<f64> = users
+            .iter()
+            .filter(|&&u| ctx.answers_provided(u) >= thr)
+            .map(|&u| ctx.median_response_time(u))
+            .collect();
+        response_time_by_activity.push(CdfSeries {
+            label: format!("r_u | a_u>={thr}"),
+            points: cdf_points(&rs, cdf_resolution),
+        });
+        let vs: Vec<f64> = users
+            .iter()
+            .filter(|&&u| ctx.answers_provided(u) >= thr)
+            .map(|&u| ctx.net_answer_votes(u) / ctx.answers_provided(u))
+            .collect();
+        votes_by_activity.push(CdfSeries {
+            label: format!("avg v_u | a_u>={thr}"),
+            points: cdf_points(&vs, cdf_resolution),
+        });
+    }
+
+    // (d) topic similarities over answered pairs.
+    let pairs = dataset.answered_pairs();
+    let stride = (pairs.len() / pair_sample.max(1)).max(1);
+    let mut s_uq = Vec::new();
+    let mut s_uv = Vec::new();
+    for p in pairs.iter().step_by(stride).take(pair_sample) {
+        let thread = &dataset.threads()[p.question_index];
+        let d_q = extractor.question_topics(thread);
+        let x = extractor.features(p.user, thread, &d_q);
+        let layout = extractor.layout();
+        s_uq.push(x[layout.range(forumcast_features::FeatureId::UserQuestionTopicSimilarity).start]);
+        s_uv.push(x[layout.range(forumcast_features::FeatureId::UserUserTopicSimilarity).start]);
+    }
+    let topic_similarities = vec![
+        CdfSeries {
+            label: "s_uq".into(),
+            points: cdf_points(&s_uq, cdf_resolution),
+        },
+        CdfSeries {
+            label: "s_uv".into(),
+            points: cdf_points(&s_uv, cdf_resolution),
+        },
+    ];
+
+    // (e) question lengths.
+    let word_lens: Vec<f64> = dataset
+        .threads()
+        .iter()
+        .map(|t| t.question.body.word_len() as f64)
+        .collect();
+    let code_lens: Vec<f64> = dataset
+        .threads()
+        .iter()
+        .map(|t| t.question.body.code_len() as f64)
+        .collect();
+    let question_lengths = vec![
+        CdfSeries {
+            label: "x_q".into(),
+            points: cdf_points(&word_lens, cdf_resolution),
+        },
+        CdfSeries {
+            label: "c_q".into(),
+            points: cdf_points(&code_lens, cdf_resolution),
+        },
+    ];
+
+    // (f) centralities, normalized to max 1 as in the paper.
+    let normalized = |vals: Vec<f64>| -> Vec<f64> {
+        let max = vals.iter().cloned().fold(0.0, f64::max);
+        if max > 0.0 {
+            vals.into_iter().map(|v| v / max).collect()
+        } else {
+            vals
+        }
+    };
+    let centralities = vec![
+        CdfSeries {
+            label: "b_qa (norm)".into(),
+            points: cdf_points(
+                &normalized(users.iter().map(|&u| ctx.betweenness_qa(u)).collect()),
+                cdf_resolution,
+            ),
+        },
+        CdfSeries {
+            label: "b_d (norm)".into(),
+            points: cdf_points(
+                &normalized(users.iter().map(|&u| ctx.betweenness_dense(u)).collect()),
+                cdf_resolution,
+            ),
+        },
+        CdfSeries {
+            label: "l_qa (norm)".into(),
+            points: cdf_points(
+                &normalized(users.iter().map(|&u| ctx.closeness_qa(u)).collect()),
+                cdf_resolution,
+            ),
+        },
+        CdfSeries {
+            label: "l_d (norm)".into(),
+            points: cdf_points(
+                &normalized(users.iter().map(|&u| ctx.closeness_dense(u)).collect()),
+                cdf_resolution,
+            ),
+        },
+    ];
+
+    Fig4Report {
+        answers_provided,
+        response_time_by_activity,
+        votes_by_activity,
+        topic_similarities,
+        question_lengths,
+        centralities,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forumcast_synth::SynthConfig;
+
+    #[test]
+    fn panels_reproduce_paper_shapes() {
+        let (ds, _) = SynthConfig::small().with_seed(9).generate().preprocess();
+        let report = run(&ds, &ExtractorConfig::fast(), 20, 200);
+
+        // (b): more active users respond faster — median r_u of the
+        // a_u>=5 series should sit below the a_u>=1 series.
+        let median_of = |s: &CdfSeries| {
+            s.points
+                .iter()
+                .find(|(_, f)| *f >= 0.5)
+                .map(|(v, _)| *v)
+                .unwrap_or(f64::NAN)
+        };
+        let r1 = median_of(&report.response_time_by_activity[0]);
+        let r5 = median_of(&report.response_time_by_activity[2]);
+        assert!(r5 <= r1, "active users should answer faster: {r5} vs {r1}");
+
+        // (e): median lengths near 300 chars.
+        let xq = median_of(&report.question_lengths[0]);
+        assert!((150.0..500.0).contains(&xq), "median x_q {xq}");
+
+        // (f): normalized centralities are in [0, 1].
+        for s in &report.centralities {
+            for &(v, _) in &s.points {
+                assert!((0.0..=1.0).contains(&v), "{} value {v}", s.label);
+            }
+        }
+
+        // All CDFs monotone.
+        for s in [&report.answers_provided]
+            .into_iter()
+            .chain(&report.topic_similarities)
+        {
+            for w in s.points.windows(2) {
+                assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1);
+            }
+        }
+        assert!(report.to_string().contains("s_uv"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Runners for every table and figure in the paper's evaluation.
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`table1`] | Table I — baselines vs. our models on all three tasks |
+//! | [`fig3`] | Figure 3 — net votes vs. response time (no correlation) |
+//! | [`fig4`] | Figure 4 — CDFs of selected features |
+//! | [`fig5`] | Figure 5 — sensitivity to the number of topics `K` |
+//! | [`fig6`] | Figure 6 — leave-one-feature-out importance |
+//! | [`fig7`] | Figure 7 — feature groups × history length |
+//!
+//! (Figure 2's graph statistics are reproduced directly from
+//! `forumcast_graph::GraphStats` by the `fig2` bench binary.)
+
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod table1;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::EvalConfig;
+use crate::data::ExperimentData;
+use crate::fold::{run_fold, FoldOutcome, MaskSpec};
+use crate::parallel::parallel_map;
+use crate::split::stratified_folds;
+
+/// Runs the paper's CV protocol (`repeats` × `folds` iterations,
+/// stratified by user) over prepared experiment data, in parallel.
+pub fn run_cv(
+    data: &ExperimentData,
+    config: &EvalConfig,
+    mask: Option<MaskSpec>,
+    run_baselines: bool,
+) -> Vec<FoldOutcome> {
+    let mut jobs = Vec::new();
+    for rep in 0..config.repeats {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ (0xC5 + rep as u64));
+        let pos_groups: Vec<u32> = data.positives.iter().map(|p| p.user.0).collect();
+        let pos_folds = stratified_folds(&pos_groups, config.folds, &mut rng);
+        let neg_groups: Vec<u32> = data.negatives.iter().map(|p| p.user.0).collect();
+        let neg_folds = stratified_folds(&neg_groups, config.folds, &mut rng);
+        for fold in 0..config.folds {
+            jobs.push((pos_folds.clone(), neg_folds.clone(), fold));
+        }
+    }
+    parallel_map(&jobs, config.worker_threads(), |(pf, nf, fold)| {
+        run_fold(data, config, pf, nf, *fold, mask, run_baselines)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_cv_yields_repeats_times_folds_outcomes() {
+        let mut cfg = EvalConfig::quick();
+        cfg.folds = 2;
+        cfg.repeats = 2;
+        let (ds, _) = cfg.synth.generate().preprocess();
+        let data = ExperimentData::build(&ds, &cfg);
+        let outcomes = run_cv(&data, &cfg, None, false);
+        assert_eq!(outcomes.len(), 4);
+        assert!(outcomes.iter().all(|o| o.auc > 0.0));
+    }
+}

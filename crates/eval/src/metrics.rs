@@ -1,0 +1,266 @@
+//! Evaluation metrics (Section IV-A: AUC and RMSE; Figure 3 uses
+//! correlations; Figure 4 uses empirical CDFs).
+
+/// Area under the ROC curve via the Mann–Whitney U statistic with tie
+/// correction: the probability a random positive scores above a
+/// random negative (+½ per tie). The paper uses AUC for the `â` task
+/// "due to dataset imbalance".
+///
+/// Returns 0.5 when either class is empty.
+///
+/// # Example
+///
+/// ```
+/// use forumcast_eval::auc;
+/// let scores = [0.9, 0.8, 0.3, 0.2];
+/// let labels = [true, true, false, false];
+/// assert_eq!(auc(&scores, &labels), 1.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics when `scores` and `labels` lengths differ.
+pub fn auc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    // Average ranks with tie handling (1-based ranks).
+    let mut ranks = vec![0.0; scores.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let rank_sum: f64 = ranks
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| l)
+        .map(|(&r, _)| r)
+        .sum();
+    let u = rank_sum - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Root-mean-squared error between predictions and targets (the
+/// paper's metric for `v̂` and `r̂`). Returns 0 for empty input.
+///
+/// # Panics
+///
+/// Panics when lengths differ.
+pub fn rmse(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let sse: f64 = predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum();
+    (sse / predictions.len() as f64).sqrt()
+}
+
+/// Mean absolute error. Returns 0 for empty input.
+///
+/// # Panics
+///
+/// Panics when lengths differ.
+pub fn mae(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / predictions.len() as f64
+}
+
+/// Pearson correlation coefficient. Returns 0 when either side has
+/// zero variance or fewer than two points.
+///
+/// # Panics
+///
+/// Panics when lengths differ.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Spearman rank correlation (Pearson over tie-averaged ranks).
+///
+/// # Panics
+///
+/// Panics when lengths differ.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    pearson(&ranks_of(xs), &ranks_of(ys))
+}
+
+/// Tie-averaged ranks of a slice.
+fn ranks_of(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut ranks = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Empirical CDF sampled at `points` evenly spaced quantile positions
+/// — the series behind the paper's Figure 4 panels. Returns
+/// `(value, cumulative_fraction)` pairs; empty input yields an empty
+/// vector.
+pub fn cdf_points(values: &[f64], points: usize) -> Vec<(f64, f64)> {
+    if values.is_empty() || points == 0 {
+        return Vec::new();
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let n = sorted.len();
+    (1..=points)
+        .map(|i| {
+            let frac = i as f64 / points as f64;
+            let idx = ((frac * n as f64).ceil() as usize - 1).min(n - 1);
+            (sorted[idx], frac)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let labels = [true, true, false, false];
+        assert_eq!(auc(&[0.9, 0.8, 0.2, 0.1], &labels), 1.0);
+        assert_eq!(auc(&[0.1, 0.2, 0.8, 0.9], &labels), 0.0);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        // Equal scores → all ties → 0.5.
+        assert_eq!(auc(&[0.5; 6], &[true, false, true, false, true, false]), 0.5);
+    }
+
+    #[test]
+    fn auc_handles_partial_overlap() {
+        // pos: 0.8, 0.4; neg: 0.6, 0.2 → pairs won: (0.8>0.6, 0.8>0.2,
+        // 0.4<0.6, 0.4>0.2) = 3/4.
+        let a = auc(&[0.8, 0.4, 0.6, 0.2], &[true, true, false, false]);
+        assert!((a - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_is_invariant_under_monotone_transform() {
+        let scores: [f64; 5] = [0.1, 0.7, 0.3, 0.9, 0.5];
+        let labels = [false, true, false, true, true];
+        let squashed: Vec<f64> = scores.iter().map(|&s| s.powi(3) * 2.0 + 1.0).collect();
+        assert!((auc(&scores, &labels) - auc(&squashed, &labels)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_degenerate_classes() {
+        assert_eq!(auc(&[1.0, 2.0], &[true, true]), 0.5);
+        assert_eq!(auc(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn rmse_and_mae_known_values() {
+        let p = [1.0, 2.0, 3.0];
+        let t = [1.0, 4.0, 1.0];
+        assert!((rmse(&p, &t) - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((mae(&p, &t) - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(rmse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn pearson_linear_relationship() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let down: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_zero_variance_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_captures_monotone_nonlinear() {
+        let xs: [f64; 5] = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_of_independent_ranks_is_small() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 1.0, 4.0, 3.0];
+        let s = spearman(&xs, &ys);
+        assert!(s.abs() < 0.65, "{s}");
+    }
+
+    #[test]
+    fn cdf_points_are_monotone() {
+        let values = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let cdf = cdf_points(&values, 5);
+        assert_eq!(cdf.len(), 5);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(cdf.last().unwrap().0, 5.0);
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn cdf_empty_inputs() {
+        assert!(cdf_points(&[], 5).is_empty());
+        assert!(cdf_points(&[1.0], 0).is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! Stratified k-fold assignment (the paper's CV protocol).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Assigns each sample to one of `k` folds, **stratified by group**:
+/// every group's samples are spread as evenly as possible across
+/// folds (the paper stratifies each user's answers "due to variation
+/// in user activity"). Returns a fold index per sample.
+///
+/// # Panics
+///
+/// Panics when `k == 0`.
+///
+/// # Example
+///
+/// ```
+/// use forumcast_eval::split::stratified_folds;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let groups = vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1];
+/// let folds = stratified_folds(&groups, 5, &mut StdRng::seed_from_u64(1));
+/// // Each user's 5 answers land in 5 distinct folds.
+/// for user in 0..2u32 {
+///     let mut seen: Vec<usize> = folds
+///         .iter()
+///         .zip(&groups)
+///         .filter(|(_, &g)| g == user)
+///         .map(|(&f, _)| f)
+///         .collect();
+///     seen.sort_unstable();
+///     assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+/// }
+/// ```
+pub fn stratified_folds<R: Rng + ?Sized>(groups: &[u32], k: usize, rng: &mut R) -> Vec<usize> {
+    assert!(k > 0, "need at least one fold");
+    let mut by_group: std::collections::HashMap<u32, Vec<usize>> = std::collections::HashMap::new();
+    for (i, &g) in groups.iter().enumerate() {
+        by_group.entry(g).or_default().push(i);
+    }
+    let mut folds = vec![0usize; groups.len()];
+    // Deterministic group order, then shuffle within each group and
+    // deal round-robin from a random offset.
+    let mut keys: Vec<u32> = by_group.keys().copied().collect();
+    keys.sort_unstable();
+    for key in keys {
+        let members = by_group.get_mut(&key).expect("key exists");
+        members.shuffle(rng);
+        let offset = rng.gen_range(0..k);
+        for (j, &i) in members.iter().enumerate() {
+            folds[i] = (offset + j) % k;
+        }
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn folds_are_in_range() {
+        let groups: Vec<u32> = (0..100).map(|i| i % 7).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let folds = stratified_folds(&groups, 5, &mut rng);
+        assert!(folds.iter().all(|&f| f < 5));
+        assert_eq!(folds.len(), 100);
+    }
+
+    #[test]
+    fn group_samples_spread_evenly() {
+        // A group with 13 samples over 5 folds: sizes differ by <= 1.
+        let groups = vec![9u32; 13];
+        let mut rng = StdRng::seed_from_u64(3);
+        let folds = stratified_folds(&groups, 5, &mut rng);
+        let mut counts = [0usize; 5];
+        for &f in &folds {
+            counts[f] += 1;
+        }
+        let max = counts.iter().max().unwrap();
+        let min = counts.iter().min().unwrap();
+        assert!(max - min <= 1, "{counts:?}");
+    }
+
+    #[test]
+    fn overall_fold_sizes_are_balanced() {
+        let groups: Vec<u32> = (0..500).map(|i| (i % 50) as u32).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        let folds = stratified_folds(&groups, 5, &mut rng);
+        let mut counts = [0usize; 5];
+        for &f in &folds {
+            counts[f] += 1;
+        }
+        for &c in &counts {
+            assert!((90..=110).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let groups: Vec<u32> = (0..50).map(|i| i % 3).collect();
+        let a = stratified_folds(&groups, 4, &mut StdRng::seed_from_u64(7));
+        let b = stratified_folds(&groups, 4, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_folds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(stratified_folds(&[], 3, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one fold")]
+    fn zero_folds_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        stratified_folds(&[1], 0, &mut rng);
+    }
+}

@@ -1,0 +1,339 @@
+//! Bookkeeping for the 20 logical features: indices, names, groups,
+//! and masking (used by the Figure 6 / Figure 7 importance studies).
+
+use serde::{Deserialize, Serialize};
+
+/// The four feature groups of Section II-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureGroup {
+    /// Features (i)–(v): the user's answering behavior.
+    User,
+    /// Features (vi)–(ix): attributes of the question.
+    Question,
+    /// Features (x)–(xii): user–question relationships.
+    UserQuestion,
+    /// Features (xiii)–(xx): SLN-topology and similarity features.
+    Social,
+}
+
+impl FeatureGroup {
+    /// All four groups in paper order.
+    pub const ALL: [FeatureGroup; 4] = [
+        FeatureGroup::User,
+        FeatureGroup::Question,
+        FeatureGroup::UserQuestion,
+        FeatureGroup::Social,
+    ];
+}
+
+impl std::fmt::Display for FeatureGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FeatureGroup::User => "user",
+            FeatureGroup::Question => "question",
+            FeatureGroup::UserQuestion => "user-question",
+            FeatureGroup::Social => "social",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The 20 logical features, in the paper's (i)–(xx) order. Two of
+/// them (`TopicsAnswered`, `TopicsAsked`) occupy `K` vector slots
+/// each; the rest are scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureId {
+    /// (i) `a_u` — answers provided by the user.
+    AnswersProvided,
+    /// (ii) `o_u` — smoothed answers-to-questions ratio.
+    AnswerRatio,
+    /// (iii) `v_u` — net votes on the user's answers.
+    NetAnswerVotes,
+    /// (iv) `r_u` — median response time of the user.
+    MedianResponseTime,
+    /// (v) `d_u` — mean topic distribution answered (K slots).
+    TopicsAnswered,
+    /// (vi) `v_q` — net votes on the question.
+    NetQuestionVotes,
+    /// (vii) `x_q` — word length of the question in characters.
+    QuestionWordLength,
+    /// (viii) `c_q` — code length of the question in characters.
+    QuestionCodeLength,
+    /// (ix) `d_q` — topic distribution of the question (K slots).
+    TopicsAsked,
+    /// (x) `s_{u,q}` — user–question topic similarity.
+    UserQuestionTopicSimilarity,
+    /// (xi) `g_{u,q}` — topic-weighted questions answered.
+    TopicWeightedQuestionsAnswered,
+    /// (xii) `e_{u,q}` — topic-weighted answer votes.
+    TopicWeightedAnswerVotes,
+    /// (xiii) `s_{u,v}` — topic similarity between user and asker.
+    UserUserTopicSimilarity,
+    /// (xiv) `h_{u,v}` — thread co-occurrence count with the asker.
+    ThreadCoOccurrence,
+    /// (xv) `l^QA_u` — closeness centrality on `G_QA`.
+    QaCloseness,
+    /// (xvi) `b^QA_u` — betweenness centrality on `G_QA`.
+    QaBetweenness,
+    /// (xvii) `Re^QA_{u,v}` — resource allocation index on `G_QA`.
+    QaResourceAllocation,
+    /// (xviii) `l^D_u` — closeness centrality on `G_D`.
+    DenseCloseness,
+    /// (xix) `b^D_u` — betweenness centrality on `G_D`.
+    DenseBetweenness,
+    /// (xx) `Re^D_{u,v}` — resource allocation index on `G_D`.
+    DenseResourceAllocation,
+}
+
+impl FeatureId {
+    /// All 20 features in paper order.
+    pub const ALL: [FeatureId; 20] = [
+        FeatureId::AnswersProvided,
+        FeatureId::AnswerRatio,
+        FeatureId::NetAnswerVotes,
+        FeatureId::MedianResponseTime,
+        FeatureId::TopicsAnswered,
+        FeatureId::NetQuestionVotes,
+        FeatureId::QuestionWordLength,
+        FeatureId::QuestionCodeLength,
+        FeatureId::TopicsAsked,
+        FeatureId::UserQuestionTopicSimilarity,
+        FeatureId::TopicWeightedQuestionsAnswered,
+        FeatureId::TopicWeightedAnswerVotes,
+        FeatureId::UserUserTopicSimilarity,
+        FeatureId::ThreadCoOccurrence,
+        FeatureId::QaCloseness,
+        FeatureId::QaBetweenness,
+        FeatureId::QaResourceAllocation,
+        FeatureId::DenseCloseness,
+        FeatureId::DenseBetweenness,
+        FeatureId::DenseResourceAllocation,
+    ];
+
+    /// The group this feature belongs to.
+    pub fn group(self) -> FeatureGroup {
+        use FeatureId::*;
+        match self {
+            AnswersProvided | AnswerRatio | NetAnswerVotes | MedianResponseTime
+            | TopicsAnswered => FeatureGroup::User,
+            NetQuestionVotes | QuestionWordLength | QuestionCodeLength | TopicsAsked => {
+                FeatureGroup::Question
+            }
+            UserQuestionTopicSimilarity
+            | TopicWeightedQuestionsAnswered
+            | TopicWeightedAnswerVotes => FeatureGroup::UserQuestion,
+            _ => FeatureGroup::Social,
+        }
+    }
+
+    /// The paper's symbol for this feature.
+    pub fn symbol(self) -> &'static str {
+        use FeatureId::*;
+        match self {
+            AnswersProvided => "a_u",
+            AnswerRatio => "o_u",
+            NetAnswerVotes => "v_u",
+            MedianResponseTime => "r_u",
+            TopicsAnswered => "d_u",
+            NetQuestionVotes => "v_q",
+            QuestionWordLength => "x_q",
+            QuestionCodeLength => "c_q",
+            TopicsAsked => "d_q",
+            UserQuestionTopicSimilarity => "s_uq",
+            TopicWeightedQuestionsAnswered => "g_uq",
+            TopicWeightedAnswerVotes => "e_uq",
+            UserUserTopicSimilarity => "s_uv",
+            ThreadCoOccurrence => "h_uv",
+            QaCloseness => "l_qa",
+            QaBetweenness => "b_qa",
+            QaResourceAllocation => "re_qa",
+            DenseCloseness => "l_d",
+            DenseBetweenness => "b_d",
+            DenseResourceAllocation => "re_d",
+        }
+    }
+
+    /// Number of vector slots this feature occupies given `k` topics.
+    pub fn width(self, k: usize) -> usize {
+        match self {
+            FeatureId::TopicsAnswered | FeatureId::TopicsAsked => k,
+            _ => 1,
+        }
+    }
+}
+
+/// Maps logical features to slot ranges in the `18 + 2K` vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureLayout {
+    /// Number of topics `K`.
+    pub num_topics: usize,
+}
+
+impl FeatureLayout {
+    /// Creates a layout for `num_topics` topics.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_topics == 0`.
+    pub fn new(num_topics: usize) -> Self {
+        assert!(num_topics > 0, "need at least one topic");
+        FeatureLayout { num_topics }
+    }
+
+    /// Total vector dimension `18 + 2K`.
+    pub fn dim(&self) -> usize {
+        feature_dim(self.num_topics)
+    }
+
+    /// Slot range `[start, start + width)` of a logical feature.
+    pub fn range(&self, id: FeatureId) -> std::ops::Range<usize> {
+        let mut start = 0;
+        for f in FeatureId::ALL {
+            let w = f.width(self.num_topics);
+            if f == id {
+                return start..start + w;
+            }
+            start += w;
+        }
+        unreachable!("FeatureId::ALL covers all variants")
+    }
+
+    /// Slot indices of a whole feature group.
+    pub fn group_indices(&self, group: FeatureGroup) -> Vec<usize> {
+        FeatureId::ALL
+            .iter()
+            .filter(|f| f.group() == group)
+            .flat_map(|&f| self.range(f))
+            .collect()
+    }
+
+    /// Zeroes the slots of the given logical feature in `x` —
+    /// the leave-one-feature-out protocol of Figure 6.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != dim()`.
+    pub fn mask_feature(&self, x: &mut [f64], id: FeatureId) {
+        assert_eq!(x.len(), self.dim(), "vector/layout dimension mismatch");
+        for i in self.range(id) {
+            x[i] = 0.0;
+        }
+    }
+
+    /// Zeroes the slots of a whole group — the group-exclusion
+    /// protocol of Figure 7.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != dim()`.
+    pub fn mask_group(&self, x: &mut [f64], group: FeatureGroup) {
+        assert_eq!(x.len(), self.dim(), "vector/layout dimension mismatch");
+        for i in self.group_indices(group) {
+            x[i] = 0.0;
+        }
+    }
+}
+
+/// Vector dimension for `k` topics: `18 + 2k`.
+pub fn feature_dim(k: usize) -> usize {
+    18 + 2 * k
+}
+
+/// Human-readable name per vector slot (topic distributions expand to
+/// `d_u[0]`, `d_u[1]`, …).
+pub fn feature_names(k: usize) -> Vec<String> {
+    let mut names = Vec::with_capacity(feature_dim(k));
+    for f in FeatureId::ALL {
+        let w = f.width(k);
+        if w == 1 {
+            names.push(f.symbol().to_string());
+        } else {
+            for i in 0..w {
+                names.push(format!("{}[{}]", f.symbol(), i));
+            }
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_matches_paper_formula() {
+        assert_eq!(feature_dim(8), 34);
+        assert_eq!(feature_dim(1), 20);
+        assert_eq!(feature_names(8).len(), 34);
+    }
+
+    #[test]
+    fn ranges_partition_the_vector() {
+        let layout = FeatureLayout::new(8);
+        let mut covered = vec![false; layout.dim()];
+        for f in FeatureId::ALL {
+            for i in layout.range(f) {
+                assert!(!covered[i], "slot {i} double-covered");
+                covered[i] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn groups_have_paper_sizes() {
+        let layout = FeatureLayout::new(8);
+        assert_eq!(layout.group_indices(FeatureGroup::User).len(), 4 + 8);
+        assert_eq!(layout.group_indices(FeatureGroup::Question).len(), 3 + 8);
+        assert_eq!(layout.group_indices(FeatureGroup::UserQuestion).len(), 3);
+        assert_eq!(layout.group_indices(FeatureGroup::Social).len(), 8);
+    }
+
+    #[test]
+    fn twenty_logical_features() {
+        assert_eq!(FeatureId::ALL.len(), 20);
+        let user: Vec<_> = FeatureId::ALL
+            .iter()
+            .filter(|f| f.group() == FeatureGroup::User)
+            .collect();
+        assert_eq!(user.len(), 5);
+    }
+
+    #[test]
+    fn mask_feature_zeroes_exact_range() {
+        let layout = FeatureLayout::new(2);
+        let mut x: Vec<f64> = (0..layout.dim()).map(|i| i as f64 + 1.0).collect();
+        layout.mask_feature(&mut x, FeatureId::TopicsAnswered);
+        let r = layout.range(FeatureId::TopicsAnswered);
+        for (i, &v) in x.iter().enumerate() {
+            if r.contains(&i) {
+                assert_eq!(v, 0.0);
+            } else {
+                assert_ne!(v, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn mask_group_zeroes_whole_group() {
+        let layout = FeatureLayout::new(2);
+        let mut x = vec![1.0; layout.dim()];
+        layout.mask_group(&mut x, FeatureGroup::Social);
+        let zeroed = x.iter().filter(|&&v| v == 0.0).count();
+        assert_eq!(zeroed, 8);
+    }
+
+    #[test]
+    fn symbols_are_unique() {
+        let mut syms: Vec<_> = FeatureId::ALL.iter().map(|f| f.symbol()).collect();
+        syms.sort_unstable();
+        syms.dedup();
+        assert_eq!(syms.len(), 20);
+    }
+
+    #[test]
+    fn group_display_names() {
+        assert_eq!(FeatureGroup::UserQuestion.to_string(), "user-question");
+        assert_eq!(FeatureGroup::ALL.len(), 4);
+    }
+}

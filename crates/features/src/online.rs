@@ -1,0 +1,250 @@
+//! Online (incremental) feature maintenance — the deployment mode the
+//! paper sketches in its conclusion ("incorporating our recommendation
+//! system into an online forum platform").
+//!
+//! At deployment time the topic model is **frozen** (new posts are
+//! folded in, not retrained) while the behavioral aggregates and SLN
+//! graphs grow with every new thread. Rebuilding centralities on every
+//! ingested thread would be wasteful, so the context refreshes every
+//! `refresh_every` threads (staleness is observable and a refresh can
+//! be forced).
+
+use forumcast_data::{Thread, UserId};
+
+use crate::context::{BetweennessMode, FeatureContext};
+use crate::extractor::ExtractorConfig;
+use crate::layout::FeatureLayout;
+use crate::topics::PostTopics;
+
+/// An incrementally updatable feature pipeline.
+///
+/// # Example
+///
+/// ```
+/// use forumcast_features::{ExtractorConfig, OnlineFeatureExtractor};
+/// use forumcast_synth::SynthConfig;
+///
+/// let (ds, _) = SynthConfig::small().generate().preprocess();
+/// let split = ds.num_questions() - 20;
+/// let mut online = OnlineFeatureExtractor::fit(
+///     &ds.threads()[..split],
+///     ds.num_users(),
+///     &ExtractorConfig::fast(),
+///     10, // refresh centralities every 10 threads
+/// );
+/// for t in &ds.threads()[split..] {
+///     online.ingest(t.clone());
+/// }
+/// assert!(online.staleness() < 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineFeatureExtractor {
+    topics: PostTopics,
+    history: Vec<Thread>,
+    context: FeatureContext,
+    layout: FeatureLayout,
+    num_users: u32,
+    betweenness: BetweennessMode,
+    refresh_every: usize,
+    pending: usize,
+}
+
+impl OnlineFeatureExtractor {
+    /// Fits the initial pipeline on `history` (training the topic
+    /// model once) and sets the refresh cadence.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `refresh_every == 0`.
+    pub fn fit(
+        history: &[Thread],
+        num_users: u32,
+        config: &ExtractorConfig,
+        refresh_every: usize,
+    ) -> Self {
+        assert!(refresh_every > 0, "refresh cadence must be positive");
+        let topics = PostTopics::fit(history, &config.lda);
+        let context = FeatureContext::build(history, num_users, &topics, config.betweenness);
+        OnlineFeatureExtractor {
+            layout: FeatureLayout::new(topics.num_topics()),
+            topics,
+            history: history.to_vec(),
+            context,
+            num_users,
+            betweenness: config.betweenness,
+            refresh_every,
+            pending: 0,
+        }
+    }
+
+    /// Ingests a newly completed thread. Topic distributions for its
+    /// posts are folded in immediately (cheap); the behavioral /
+    /// graph context refreshes once `refresh_every` threads have
+    /// accumulated.
+    pub fn ingest(&mut self, thread: Thread) {
+        self.topics.extend(std::slice::from_ref(&thread));
+        self.history.push(thread);
+        self.pending += 1;
+        if self.pending >= self.refresh_every {
+            self.force_refresh();
+        }
+    }
+
+    /// Threads ingested since the last context rebuild.
+    pub fn staleness(&self) -> usize {
+        self.pending
+    }
+
+    /// Number of threads currently in the history.
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Rebuilds the aggregate context over the full history now.
+    pub fn force_refresh(&mut self) {
+        self.context =
+            FeatureContext::build(&self.history, self.num_users, &self.topics, self.betweenness);
+        self.pending = 0;
+    }
+
+    /// Feature dimension `18 + 2K`.
+    pub fn dim(&self) -> usize {
+        self.layout.dim()
+    }
+
+    /// The slot layout.
+    pub fn layout(&self) -> FeatureLayout {
+        self.layout
+    }
+
+    /// The (frozen-vocabulary) topic model.
+    pub fn topics(&self) -> &PostTopics {
+        &self.topics
+    }
+
+    /// The current aggregate context (as of the last refresh).
+    pub fn context(&self) -> &FeatureContext {
+        &self.context
+    }
+
+    /// Topic distribution of a target question (fold-in inference for
+    /// questions outside the ingested history).
+    pub fn question_topics(&self, question: &Thread) -> Vec<f64> {
+        match self.topics.question(question.id) {
+            Some(d) => d.to_vec(),
+            None => self.topics.infer(&question.question.body),
+        }
+    }
+
+    /// Computes `x_{u,q}` against the current context. Mirrors
+    /// [`crate::FeatureExtractor::features`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `d_q.len() != K` or `u` is out of range.
+    pub fn features(&self, u: UserId, question: &Thread, d_q: &[f64]) -> Vec<f64> {
+        crate::extractor::assemble_features(&self.context, self.layout, u, question, d_q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forumcast_synth::SynthConfig;
+
+    fn fixture() -> (Vec<Thread>, Vec<Thread>) {
+        let (ds, _) = SynthConfig::small().with_seed(31).generate().preprocess();
+        let threads = ds.threads().to_vec();
+        let split = threads.len() - 30;
+        (threads[..split].to_vec(), threads[split..].to_vec())
+    }
+
+    fn config() -> ExtractorConfig {
+        ExtractorConfig::fast()
+    }
+
+    #[test]
+    fn ingest_refreshes_on_cadence() {
+        let (history, new) = fixture();
+        let (ds_users, cfg) = (200, config());
+        let mut online = OnlineFeatureExtractor::fit(&history, ds_users, &cfg, 5);
+        for (i, t) in new.iter().take(7).cloned().enumerate() {
+            online.ingest(t);
+            assert_eq!(online.staleness(), (i + 1) % 5);
+        }
+        assert_eq!(online.history_len(), history.len() + 7);
+    }
+
+    #[test]
+    fn refreshed_context_matches_batch_rebuild() {
+        let (history, new) = fixture();
+        let cfg = config();
+        let mut online = OnlineFeatureExtractor::fit(&history, 200, &cfg, 1000);
+        for t in new.iter().cloned() {
+            online.ingest(t);
+        }
+        online.force_refresh();
+
+        // Batch equivalent: same frozen topic model, extended the
+        // same way, context built over the full history.
+        let mut topics = PostTopics::fit(&history, &cfg.lda);
+        topics.extend(&new);
+        let full: Vec<Thread> = history.iter().chain(&new).cloned().collect();
+        let batch = FeatureContext::build(&full, 200, &topics, cfg.betweenness);
+
+        let target = new.last().expect("has new threads");
+        let d_q = online.question_topics(target);
+        let layout = online.layout();
+        for u in (0..200).map(UserId) {
+            let a = online.features(u, target, &d_q);
+            let b = crate::extractor::assemble_features(&batch, layout, u, target, &d_q);
+            assert_eq!(a, b, "online vs batch mismatch for {u}");
+        }
+    }
+
+    #[test]
+    fn ingested_threads_update_user_aggregates() {
+        let (history, new) = fixture();
+        let mut online = OnlineFeatureExtractor::fit(&history, 200, &config(), 1);
+        let answered: Vec<(UserId, f64)> = new
+            .iter()
+            .flat_map(|t| t.answers.iter().map(|a| (a.author, 1.0)))
+            .collect();
+        let before: f64 = answered
+            .iter()
+            .map(|(u, _)| online.context().answers_provided(*u))
+            .sum();
+        for t in new.iter().cloned() {
+            online.ingest(t);
+        }
+        let after: f64 = answered
+            .iter()
+            .map(|(u, _)| online.context().answers_provided(*u))
+            .sum();
+        assert!(
+            after >= before + answered.len() as f64 - 1e-9,
+            "aggregates should grow: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn stale_context_is_observable() {
+        let (history, new) = fixture();
+        let mut online = OnlineFeatureExtractor::fit(&history, 200, &config(), 100);
+        let edges_before = online.context().qa_graph().num_edges();
+        online.ingest(new[0].clone());
+        // Not refreshed yet: the graph is stale by design.
+        assert_eq!(online.context().qa_graph().num_edges(), edges_before);
+        assert_eq!(online.staleness(), 1);
+        online.force_refresh();
+        assert_eq!(online.staleness(), 0);
+        assert!(online.context().qa_graph().num_edges() >= edges_before);
+    }
+
+    #[test]
+    #[should_panic(expected = "cadence")]
+    fn zero_cadence_rejected() {
+        let (history, _) = fixture();
+        OnlineFeatureExtractor::fit(&history, 200, &config(), 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Topic distributions `d(p)` for all posts of a history partition.
+
+use std::collections::HashMap;
+
+use forumcast_data::{PostBody, QuestionId, Thread, UserId};
+use forumcast_text::{tokenize_filtered, BagOfWords, Corpus, Vocabulary};
+use forumcast_topics::{LdaConfig, LdaModel};
+
+/// An LDA model fitted on the posts of a history partition, plus the
+/// inferred topic distribution of every post in it.
+///
+/// Mirrors the paper's pipeline: "each post `p` … is treated as a
+/// separate document" (Section II-B), trained per partition `Ω` so
+/// that no text from evaluation questions leaks into training.
+#[derive(Debug, Clone)]
+pub struct PostTopics {
+    lda: LdaModel,
+    vocab: Vocabulary,
+    question_topics: HashMap<QuestionId, Vec<f64>>,
+    answer_topics: HashMap<(QuestionId, UserId), Vec<f64>>,
+}
+
+impl PostTopics {
+    /// Tokenizes every post in `history`, builds a pruned vocabulary,
+    /// trains LDA with `config`, and records `d(p)` for each post.
+    pub fn fit(history: &[Thread], config: &LdaConfig) -> Self {
+        // One document per post, question first within each thread.
+        let mut docs: Vec<Vec<String>> = Vec::new();
+        let mut keys: Vec<PostKey> = Vec::new();
+        for t in history {
+            docs.push(tokenize_filtered(&t.question.body.text));
+            keys.push(PostKey::Question(t.id));
+            for a in &t.answers {
+                docs.push(tokenize_filtered(&a.body.text));
+                keys.push(PostKey::Answer(t.id, a.author));
+            }
+        }
+        let mut vocab = Vocabulary::new();
+        for d in &docs {
+            vocab.observe(d);
+        }
+        vocab.prune(2, 0.6);
+        let corpus = Corpus::from_token_docs(&docs, &vocab);
+        let lda = LdaModel::train(&corpus, config);
+
+        let mut question_topics = HashMap::new();
+        let mut answer_topics = HashMap::new();
+        for (i, key) in keys.into_iter().enumerate() {
+            let theta = lda.doc_topics(i).to_vec();
+            match key {
+                PostKey::Question(q) => {
+                    question_topics.insert(q, theta);
+                }
+                PostKey::Answer(q, u) => {
+                    // A user's duplicate answers (rare, pre-cleaning)
+                    // keep the last distribution; preprocessing
+                    // removes duplicates anyway.
+                    answer_topics.insert((q, u), theta);
+                }
+            }
+        }
+        PostTopics {
+            lda,
+            vocab,
+            question_topics,
+            answer_topics,
+        }
+    }
+
+    /// Number of topics `K`.
+    pub fn num_topics(&self) -> usize {
+        self.lda.num_topics()
+    }
+
+    /// The underlying LDA model.
+    pub fn model(&self) -> &LdaModel {
+        &self.lda
+    }
+
+    /// Topic distribution of a history question.
+    pub fn question(&self, q: QuestionId) -> Option<&[f64]> {
+        self.question_topics.get(&q).map(Vec::as_slice)
+    }
+
+    /// Topic distribution of `u`'s answer to history question `q`.
+    pub fn answer(&self, q: QuestionId, u: UserId) -> Option<&[f64]> {
+        self.answer_topics.get(&(q, u)).map(Vec::as_slice)
+    }
+
+    /// Folds new threads into the distribution cache **without
+    /// retraining** the topic–word distributions — the online
+    /// deployment mode: `φ` stays frozen, new posts get fold-in `θ`s.
+    pub fn extend(&mut self, threads: &[Thread]) {
+        for t in threads {
+            if !self.question_topics.contains_key(&t.id) {
+                let theta = self.infer(&t.question.body);
+                self.question_topics.insert(t.id, theta);
+            }
+            for a in &t.answers {
+                let key = (t.id, a.author);
+                if !self.answer_topics.contains_key(&key) {
+                    let theta = self.infer(&a.body);
+                    self.answer_topics.insert(key, theta);
+                }
+            }
+        }
+    }
+
+    /// Infers `d(p)` for an arbitrary (held-out) post body via fold-in
+    /// Gibbs with the trained topic–word distributions fixed.
+    /// Deterministic: the seed is derived from the token content.
+    pub fn infer(&self, body: &PostBody) -> Vec<f64> {
+        let tokens = tokenize_filtered(&body.text);
+        let bow = BagOfWords::encode(&tokens, &self.vocab);
+        // Content-derived seed keeps inference deterministic without
+        // threading an RNG through every feature computation.
+        let seed = bow
+            .iter()
+            .fold(0xBADC0FFEu64, |acc, (id, c)| {
+                acc.wrapping_mul(31).wrapping_add(id as u64 * 7 + c as u64)
+            });
+        self.lda.infer(&bow, seed)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PostKey {
+    Question(QuestionId),
+    Answer(QuestionId, UserId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forumcast_synth::SynthConfig;
+
+    fn topics_over_small() -> (Vec<Thread>, PostTopics) {
+        let ds = SynthConfig::small().with_seed(11).generate();
+        let (clean, _) = ds.preprocess();
+        let history: Vec<Thread> = clean.threads()[..120].to_vec();
+        let pt = PostTopics::fit(&history, &LdaConfig::new(4).with_iterations(40));
+        (history, pt)
+    }
+
+    #[test]
+    fn every_history_post_has_a_distribution() {
+        let (history, pt) = topics_over_small();
+        for t in &history {
+            let dq = pt.question(t.id).expect("question distribution");
+            assert_eq!(dq.len(), 4);
+            assert!((dq.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            for a in &t.answers {
+                assert!(pt.answer(t.id, a.author).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_question_returns_none() {
+        let (_, pt) = topics_over_small();
+        assert!(pt.question(QuestionId(9_999_999)).is_none());
+        assert!(pt.answer(QuestionId(9_999_999), UserId(0)).is_none());
+    }
+
+    #[test]
+    fn inference_is_deterministic_per_content() {
+        let (_, pt) = topics_over_small();
+        let body = PostBody::words("t0w1 t0w2 t0w3 question error t0w4");
+        assert_eq!(pt.infer(&body), pt.infer(&body));
+    }
+
+    #[test]
+    fn inference_of_empty_body_is_uniform() {
+        let (_, pt) = topics_over_small();
+        let theta = pt.infer(&PostBody::default());
+        assert_eq!(theta, vec![0.25; 4]);
+    }
+
+    #[test]
+    fn topical_posts_get_nonuniform_distributions() {
+        let (_, pt) = topics_over_small();
+        // A post hammering one synthetic topic's vocabulary.
+        let text = (0..30).map(|i| format!("t2w{}", i % 10)).collect::<Vec<_>>().join(" ");
+        let theta = pt.infer(&PostBody::words(text));
+        let max = theta.iter().cloned().fold(0.0, f64::max);
+        // The fitted LDA may split one synthetic theme across two of
+        // its topics; "non-uniform" means clearly above the uniform
+        // 1/K = 0.25 mass, not necessarily a single dominant topic.
+        assert!(max > 0.4, "expected concentration, got {theta:?}");
+    }
+}

@@ -1,0 +1,71 @@
+//! Breadth-first search distances.
+
+use std::collections::VecDeque;
+
+use crate::graph::Graph;
+
+/// Unweighted shortest-path distances `z_{s,v}` from `source` to all
+/// nodes. Unreachable nodes get `u32::MAX`.
+///
+/// # Panics
+///
+/// Panics when `source` is out of range.
+///
+/// # Example
+///
+/// ```
+/// use forumcast_graph::{bfs_distances, Graph};
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2)]);
+/// let d = bfs_distances(&g, 0);
+/// assert_eq!(&d[..3], &[0, 1, 2]);
+/// assert_eq!(d[3], u32::MAX); // isolated
+/// ```
+pub fn bfs_distances(g: &Graph, source: u32) -> Vec<u32> {
+    assert!(
+        (source as usize) < g.num_nodes(),
+        "source {source} out of range"
+    );
+    let mut dist = vec![u32::MAX; g.num_nodes()];
+    dist[source as usize] = 0;
+    let mut queue = VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_on_a_cycle() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 1]);
+    }
+
+    #[test]
+    fn unreachable_nodes_are_max() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], u32::MAX);
+    }
+
+    #[test]
+    fn single_node_distance_zero() {
+        let g = Graph::new(1);
+        assert_eq!(bfs_distances(&g, 0), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_source_panics() {
+        bfs_distances(&Graph::new(1), 3);
+    }
+}

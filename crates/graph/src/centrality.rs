@@ -1,0 +1,236 @@
+//! Closeness and betweenness centralities (paper features xv, xvi,
+//! xviii, xix).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+use crate::bfs::bfs_distances;
+use crate::graph::Graph;
+
+/// Closeness centrality of every node, per the paper's definition
+/// `l_u = (|U| − 1) / Σ_{v ≠ u} z_{u,v}` where unreachable pairs are
+/// *removed from the sum* (paper footnote 5).
+///
+/// A node with no reachable peers (isolated) gets closeness 0.
+///
+/// # Example
+///
+/// ```
+/// use forumcast_graph::{closeness, Graph};
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+/// let l = closeness(&g);
+/// assert!(l[1] > l[0]); // the middle of a path is closest
+/// ```
+pub fn closeness(g: &Graph) -> Vec<f64> {
+    let n = g.num_nodes();
+    let mut out = vec![0.0; n];
+    if n <= 1 {
+        return out;
+    }
+    for u in 0..n {
+        let dist = bfs_distances(g, u as u32);
+        let sum: u64 = dist
+            .iter()
+            .enumerate()
+            .filter(|&(v, &d)| v != u && d != u32::MAX)
+            .map(|(_, &d)| d as u64)
+            .sum();
+        if sum > 0 {
+            out[u] = (n as f64 - 1.0) / sum as f64;
+        }
+    }
+    out
+}
+
+/// Exact betweenness centrality of every node via Brandes' algorithm:
+/// `b_u = Σ_{s ≠ t ≠ u} σ_{s,t}(u) / σ_{s,t}` (paper feature xvi).
+///
+/// Values are the undirected convention (each unordered `{s, t}` pair
+/// counted once).
+///
+/// # Example
+///
+/// ```
+/// use forumcast_graph::{betweenness, Graph};
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+/// let b = betweenness(&g);
+/// assert_eq!(b, vec![0.0, 1.0, 0.0]);
+/// ```
+pub fn betweenness(g: &Graph) -> Vec<f64> {
+    let n = g.num_nodes();
+    let sources: Vec<u32> = (0..n as u32).collect();
+    brandes(g, &sources, 1.0)
+}
+
+/// Approximate betweenness using `num_pivots` random BFS sources,
+/// scaled by `n / num_pivots` (Brandes–Pich pivot sampling). With
+/// `num_pivots >= n` this equals [`betweenness`]. Deterministic given
+/// `seed`.
+///
+/// This keeps the feature computation tractable on forum-scale graphs
+/// (the paper's graphs have ~14K nodes).
+pub fn betweenness_sampled(g: &Graph, num_pivots: usize, seed: u64) -> Vec<f64> {
+    let n = g.num_nodes();
+    if num_pivots >= n {
+        return betweenness(g);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nodes: Vec<u32> = (0..n as u32).collect();
+    nodes.shuffle(&mut rng);
+    nodes.truncate(num_pivots);
+    let scale = n as f64 / num_pivots as f64;
+    brandes(g, &nodes, scale)
+}
+
+/// Brandes' accumulation from the given BFS sources; contributions are
+/// multiplied by `scale`.
+fn brandes(g: &Graph, sources: &[u32], scale: f64) -> Vec<f64> {
+    let n = g.num_nodes();
+    let mut bc = vec![0.0f64; n];
+    // Reused per-source buffers.
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![i64::MAX; n];
+    let mut delta = vec![0.0f64; n];
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+    for &s in sources {
+        // Reset buffers.
+        for v in 0..n {
+            sigma[v] = 0.0;
+            dist[v] = i64::MAX;
+            delta[v] = 0.0;
+            preds[v].clear();
+        }
+        sigma[s as usize] = 1.0;
+        dist[s as usize] = 0;
+        let mut stack: Vec<u32> = Vec::new();
+        let mut queue = VecDeque::from([s]);
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            let dv = dist[v as usize];
+            for &w in g.neighbors(v) {
+                if dist[w as usize] == i64::MAX {
+                    dist[w as usize] = dv + 1;
+                    queue.push_back(w);
+                }
+                if dist[w as usize] == dv + 1 {
+                    sigma[w as usize] += sigma[v as usize];
+                    preds[w as usize].push(v);
+                }
+            }
+        }
+        while let Some(w) = stack.pop() {
+            for &v in &preds[w as usize] {
+                delta[v as usize] +=
+                    sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
+            }
+            if w != s {
+                bc[w as usize] += delta[w as usize] * scale;
+            }
+        }
+    }
+    // Undirected graphs: each pair counted from both endpoints.
+    for b in &mut bc {
+        *b /= 2.0;
+    }
+    bc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Star with center 0 and 4 leaves.
+    fn star() -> Graph {
+        Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)])
+    }
+
+    #[test]
+    fn star_center_betweenness_is_pairs_count() {
+        let b = betweenness(&star());
+        // 4 leaves → C(4,2) = 6 shortest paths all through the center.
+        assert!((b[0] - 6.0).abs() < 1e-9);
+        for leaf in 1..5 {
+            assert!(b[leaf].abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn path_betweenness_known_values() {
+        // 0-1-2-3: b(1) = paths {0,2},{0,3} = 2; same for node 2.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let b = betweenness(&g);
+        assert_eq!(b, vec![0.0, 2.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn cycle_betweenness_is_uniform() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let b = betweenness(&g);
+        for v in 1..5 {
+            assert!((b[v] - b[0]).abs() < 1e-9, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn betweenness_splits_among_equal_paths() {
+        // Square 0-1-2-3-0: two shortest paths between opposite
+        // corners; each intermediate carries 1/2 per opposite pair.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let b = betweenness(&g);
+        for v in 0..4 {
+            assert!((b[v] - 0.5).abs() < 1e-9, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn closeness_star_values() {
+        let l = closeness(&star());
+        // Center: (5-1)/4 = 1.0. Leaf: (5-1)/(1 + 2*3) = 4/7.
+        assert!((l[0] - 1.0).abs() < 1e-12);
+        assert!((l[1] - 4.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closeness_ignores_unreachable_pairs() {
+        // Two components: edge (0,1) and isolated pair (2,3).
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let l = closeness(&g);
+        // Paper formula: (n-1)/sum over reachable = 3/1 = 3.
+        assert!((l[0] - 3.0).abs() < 1e-12);
+        assert!((l[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_node_has_zero_centralities() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        assert_eq!(closeness(&g)[2], 0.0);
+        assert_eq!(betweenness(&g)[2], 0.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        assert!(closeness(&Graph::new(0)).is_empty());
+        assert_eq!(closeness(&Graph::new(1)), vec![0.0]);
+        assert_eq!(betweenness(&Graph::new(1)), vec![0.0]);
+    }
+
+    #[test]
+    fn sampled_with_all_pivots_equals_exact() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 5)]);
+        let exact = betweenness(&g);
+        let sampled = betweenness_sampled(&g, 6, 42);
+        for (a, b) in exact.iter().zip(&sampled) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampled_approximates_exact_on_star() {
+        let b = betweenness_sampled(&star(), 3, 7);
+        // Center must still dominate.
+        assert!(b[0] > b[1]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Undirected graph over a dense node population.
+
+use serde::{Deserialize, Serialize};
+
+/// An undirected, unweighted graph on nodes `0 .. num_nodes`.
+///
+/// Stored as sorted adjacency lists with no self-loops and no parallel
+/// edges; both SLN graphs of the paper are symmetric binary adjacency
+/// matrices, which this mirrors sparsely.
+///
+/// # Example
+///
+/// ```
+/// use forumcast_graph::Graph;
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 1)]);
+/// assert_eq!(g.num_edges(), 2); // duplicate collapsed
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert!(g.has_edge(2, 1));
+/// assert_eq!(g.degree(3), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    adj: Vec<Vec<u32>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Creates an edgeless graph with `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); num_nodes],
+            num_edges: 0,
+        }
+    }
+
+    /// Builds a graph from an edge list. Self-loops are ignored and
+    /// duplicate edges collapsed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an endpoint is `>= num_nodes`.
+    pub fn from_edges(num_nodes: usize, edges: &[(u32, u32)]) -> Self {
+        let mut g = Graph::new(num_nodes);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Adds the undirected edge `{u, v}`. Returns `true` if the edge
+    /// was new. Self-loops are ignored (returns `false`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: u32, v: u32) -> bool {
+        assert!(
+            (u as usize) < self.adj.len() && (v as usize) < self.adj.len(),
+            "edge ({u}, {v}) out of range for {} nodes",
+            self.adj.len()
+        );
+        if u == v {
+            return false;
+        }
+        let pos = match self.adj[u as usize].binary_search(&v) {
+            Ok(_) => return false,
+            Err(pos) => pos,
+        };
+        self.adj[u as usize].insert(pos, v);
+        let pos = self.adj[v as usize]
+            .binary_search(&u)
+            .expect_err("symmetric invariant violated");
+        self.adj[v as usize].insert(pos, u);
+        self.num_edges += 1;
+        true
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Sorted neighbors of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `u` is out of range.
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        &self.adj[u as usize]
+    }
+
+    /// Degree of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `u` is out of range.
+    pub fn degree(&self, u: u32) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// `true` when the edge `{u, v}` exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `u` is out of range.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.adj[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Mean degree `Σ_u deg(u) / n` (0 for the empty graph). The paper
+    /// reports 2.6 for `G_QA` and 3.7 for `G_D`.
+    pub fn average_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            return 0.0;
+        }
+        2.0 * self.num_edges as f64 / self.adj.len() as f64
+    }
+
+    /// Iterates over each undirected edge once, as `(u, v)` with
+    /// `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            let u = u as u32;
+            nbrs.iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_is_symmetric_and_deduped() {
+        let mut g = Graph::new(3);
+        assert!(g.add_edge(0, 2));
+        assert!(!g.add_edge(2, 0));
+        assert!(g.has_edge(0, 2) && g.has_edge(2, 0));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let mut g = Graph::new(2);
+        assert!(!g.add_edge(1, 1));
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        Graph::new(2).add_edge(0, 5);
+    }
+
+    #[test]
+    fn neighbors_stay_sorted() {
+        let g = Graph::from_edges(5, &[(2, 4), (2, 0), (2, 3), (2, 1)]);
+        assert_eq!(g.neighbors(2), &[0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn average_degree_triangle() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_degree_empty_graph() {
+        assert_eq!(Graph::new(0).average_degree(), 0.0);
+        assert_eq!(Graph::new(5).average_degree(), 0.0);
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 1), (3, 0)]);
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Graph = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, g);
+    }
+}

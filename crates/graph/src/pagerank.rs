@@ -1,0 +1,185 @@
+//! PageRank and local clustering — the authority measures the SLN
+//! literature uses alongside closeness/betweenness (e.g. the
+//! "identification of authoritative users" line of work the paper
+//! cites as related).
+
+use crate::graph::Graph;
+
+/// PageRank by power iteration on the undirected graph (each edge
+/// contributes both directions), with damping `d` and uniform
+/// teleportation. Dangling (isolated) nodes redistribute uniformly.
+///
+/// Returns a probability vector (sums to 1 for non-empty graphs).
+///
+/// # Panics
+///
+/// Panics when `damping` is not in `[0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use forumcast_graph::{pagerank, Graph};
+/// // Star: the hub collects the most rank.
+/// let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+/// let pr = pagerank(&g, 0.85, 100);
+/// assert!(pr[0] > pr[1]);
+/// assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+/// ```
+pub fn pagerank(g: &Graph, damping: f64, iterations: usize) -> Vec<f64> {
+    assert!(
+        (0.0..1.0).contains(&damping),
+        "damping must be in [0, 1), got {damping}"
+    );
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0; n];
+    for _ in 0..iterations {
+        let mut dangling_mass = 0.0;
+        for v in next.iter_mut() {
+            *v = 0.0;
+        }
+        for u in 0..n {
+            let deg = g.degree(u as u32);
+            if deg == 0 {
+                dangling_mass += rank[u];
+                continue;
+            }
+            let share = rank[u] / deg as f64;
+            for &v in g.neighbors(u as u32) {
+                next[v as usize] += share;
+            }
+        }
+        let teleport = (1.0 - damping) * uniform + damping * dangling_mass * uniform;
+        for v in next.iter_mut() {
+            *v = damping * *v + teleport;
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// Local clustering coefficient of every node: the fraction of a
+/// node's neighbor pairs that are themselves connected (0 for degree
+/// < 2). High clustering marks tight answerer communities in `G_D`.
+///
+/// # Example
+///
+/// ```
+/// use forumcast_graph::{clustering_coefficient, Graph};
+/// // Triangle: everything fully clustered.
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+/// assert_eq!(clustering_coefficient(&g), vec![1.0, 1.0, 1.0]);
+/// ```
+pub fn clustering_coefficient(g: &Graph) -> Vec<f64> {
+    let n = g.num_nodes();
+    let mut out = vec![0.0; n];
+    for u in 0..n as u32 {
+        let nbrs = g.neighbors(u);
+        let deg = nbrs.len();
+        if deg < 2 {
+            continue;
+        }
+        let mut links = 0usize;
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in &nbrs[i + 1..] {
+                if g.has_edge(a, b) {
+                    links += 1;
+                }
+            }
+        }
+        out[u as usize] = 2.0 * links as f64 / (deg * (deg - 1)) as f64;
+    }
+    out
+}
+
+/// Global (average) clustering coefficient over nodes with degree ≥ 2;
+/// 0 when no such node exists.
+pub fn average_clustering(g: &Graph) -> f64 {
+    let cc = clustering_coefficient(g);
+    let eligible: Vec<f64> = (0..g.num_nodes() as u32)
+        .filter(|&u| g.degree(u) >= 2)
+        .map(|u| cc[u as usize])
+        .collect();
+    if eligible.is_empty() {
+        0.0
+    } else {
+        eligible.iter().sum::<f64>() / eligible.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pagerank_sums_to_one_and_ranks_hub_first() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)]);
+        let pr = pagerank(&g, 0.85, 200);
+        assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for v in 1..5 {
+            assert!(pr[0] > pr[v], "{pr:?}");
+        }
+        // Nodes 1 and 2 (extra edge) outrank 3 and 4.
+        assert!(pr[1] > pr[3]);
+    }
+
+    #[test]
+    fn pagerank_uniform_on_regular_graph() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let pr = pagerank(&g, 0.85, 200);
+        for v in 1..4 {
+            assert!((pr[v] - pr[0]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pagerank_handles_isolated_nodes() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let pr = pagerank(&g, 0.85, 100);
+        assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(pr[2] > 0.0, "teleportation keeps isolated mass positive");
+        assert!(pr[0] > pr[2]);
+    }
+
+    #[test]
+    fn pagerank_empty_graph() {
+        assert!(pagerank(&Graph::new(0), 0.85, 10).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn pagerank_bad_damping_panics() {
+        pagerank(&Graph::new(1), 1.0, 10);
+    }
+
+    #[test]
+    fn clustering_of_square_is_zero() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(clustering_coefficient(&g), vec![0.0; 4]);
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn clustering_of_triangle_plus_tail() {
+        // Triangle 0-1-2 with tail 2-3.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let cc = clustering_coefficient(&g);
+        assert_eq!(cc[0], 1.0);
+        assert_eq!(cc[1], 1.0);
+        // Node 2 has 3 neighbors {0,1,3}, one connected pair of 3.
+        assert!((cc[2] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cc[3], 0.0);
+        let avg = average_clustering(&g);
+        assert!((avg - (1.0 + 1.0 + 1.0 / 3.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_clustering_empty_cases() {
+        assert_eq!(average_clustering(&Graph::new(0)), 0.0);
+        assert_eq!(average_clustering(&Graph::from_edges(2, &[(0, 1)])), 0.0);
+    }
+}

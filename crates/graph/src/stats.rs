@@ -1,0 +1,149 @@
+//! Degree / component statistics of the SLN graphs (Figure 2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::Graph;
+
+/// Structural summary of an SLN graph: the quantities discussed around
+/// the paper's Figure 2 (average degree 2.6 for `G_QA` vs 3.7 for
+/// `G_D`; both graphs disconnected with high degree variance).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Number of undirected edges.
+    pub num_edges: usize,
+    /// Mean degree.
+    pub average_degree: f64,
+    /// Sample variance of the degree distribution.
+    pub degree_variance: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Nodes with degree 0.
+    pub num_isolated: usize,
+    /// Number of connected components (isolated nodes count as
+    /// singleton components).
+    pub num_components: usize,
+    /// Size of the largest connected component.
+    pub largest_component: usize,
+}
+
+impl GraphStats {
+    /// Computes all statistics for `g`.
+    pub fn compute(g: &Graph) -> GraphStats {
+        let n = g.num_nodes();
+        let degrees: Vec<usize> = (0..n as u32).map(|u| g.degree(u)).collect();
+        let mean = if n == 0 {
+            0.0
+        } else {
+            degrees.iter().sum::<usize>() as f64 / n as f64
+        };
+        let variance = if n == 0 {
+            0.0
+        } else {
+            degrees
+                .iter()
+                .map(|&d| (d as f64 - mean).powi(2))
+                .sum::<f64>()
+                / n as f64
+        };
+        let (num_components, largest_component) = components(g);
+        GraphStats {
+            num_nodes: n,
+            num_edges: g.num_edges(),
+            average_degree: mean,
+            degree_variance: variance,
+            max_degree: degrees.iter().copied().max().unwrap_or(0),
+            num_isolated: degrees.iter().filter(|&&d| d == 0).count(),
+            num_components,
+            largest_component,
+        }
+    }
+
+    /// `true` when the graph has more than one connected component —
+    /// the paper observes this for both SLN graphs.
+    pub fn is_disconnected(&self) -> bool {
+        self.num_components > 1
+    }
+}
+
+/// Returns `(number of components, size of largest)` via union–find.
+fn components(g: &Graph) -> (usize, usize) {
+    let n = g.num_nodes();
+    if n == 0 {
+        return (0, 0);
+    }
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], x: u32) -> u32 {
+        let mut root = x;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    for (u, v) in g.edges() {
+        let ru = find(&mut parent, u);
+        let rv = find(&mut parent, v);
+        if ru != rv {
+            parent[ru as usize] = rv;
+        }
+    }
+    let mut sizes = vec![0usize; n];
+    for x in 0..n as u32 {
+        let r = find(&mut parent, x);
+        sizes[r as usize] += 1;
+    }
+    let num = sizes.iter().filter(|&&s| s > 0).count();
+    let largest = sizes.iter().copied().max().unwrap_or(0);
+    (num, largest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_two_components() {
+        // Triangle {0,1,2} + edge {3,4} + isolated 5.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_nodes, 6);
+        assert_eq!(s.num_edges, 4);
+        assert_eq!(s.num_components, 3);
+        assert_eq!(s.largest_component, 3);
+        assert_eq!(s.num_isolated, 1);
+        assert_eq!(s.max_degree, 2);
+        assert!(s.is_disconnected());
+        assert!((s.average_degree - 8.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn connected_graph_has_one_component() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_components, 1);
+        assert!(!s.is_disconnected());
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = GraphStats::compute(&Graph::new(0));
+        assert_eq!(s.num_components, 0);
+        assert_eq!(s.average_degree, 0.0);
+        assert_eq!(s.largest_component, 0);
+    }
+
+    #[test]
+    fn degree_variance_zero_on_regular_graph() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let s = GraphStats::compute(&g);
+        assert!(s.degree_variance.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for graph invariants and centralities.
+
+use proptest::prelude::*;
+
+use forumcast_graph::{
+    bfs_distances, betweenness, closeness, resource_allocation, Graph, GraphStats,
+};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..30).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..60)
+            .prop_map(move |edges| Graph::from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    /// Adjacency is symmetric and self-loop-free.
+    #[test]
+    fn symmetry_and_no_loops(g in arb_graph()) {
+        for u in 0..g.num_nodes() as u32 {
+            for &v in g.neighbors(u) {
+                prop_assert!(v != u, "self loop at {u}");
+                prop_assert!(g.has_edge(v, u), "asymmetric edge {u}-{v}");
+            }
+        }
+        let degree_sum: usize = (0..g.num_nodes() as u32).map(|u| g.degree(u)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+    }
+
+    /// BFS satisfies the triangle property along edges.
+    #[test]
+    fn bfs_distances_are_consistent(g in arb_graph()) {
+        let d = bfs_distances(&g, 0);
+        prop_assert_eq!(d[0], 0);
+        for (u, v) in g.edges() {
+            let (du, dv) = (d[u as usize], d[v as usize]);
+            if du != u32::MAX {
+                prop_assert!(dv != u32::MAX && dv <= du + 1, "edge ({u},{v})");
+            }
+            if dv != u32::MAX {
+                prop_assert!(du != u32::MAX && du <= dv + 1);
+            }
+        }
+    }
+
+    /// Centralities are finite, non-negative, and zero on isolated
+    /// nodes.
+    #[test]
+    fn centralities_sane(g in arb_graph()) {
+        let bc = betweenness(&g);
+        let cc = closeness(&g);
+        for u in 0..g.num_nodes() {
+            prop_assert!(bc[u].is_finite() && bc[u] >= -1e-12);
+            prop_assert!(cc[u].is_finite() && cc[u] >= 0.0);
+            if g.degree(u as u32) == 0 {
+                prop_assert_eq!(bc[u], 0.0);
+                prop_assert_eq!(cc[u], 0.0);
+            }
+        }
+    }
+
+    /// Total betweenness is bounded by the number of connected pairs.
+    #[test]
+    fn betweenness_total_bounded(g in arb_graph()) {
+        let bc = betweenness(&g);
+        let total: f64 = bc.iter().sum();
+        let n = g.num_nodes() as f64;
+        // Each unordered pair contributes at most (path length − 1) ≤ n.
+        prop_assert!(total <= n * n * n / 2.0 + 1e-6);
+    }
+
+    /// Resource allocation is symmetric and non-negative.
+    #[test]
+    fn resource_allocation_symmetric(g in arb_graph(), a in 0u32..30, b in 0u32..30) {
+        let n = g.num_nodes() as u32;
+        let (a, b) = (a % n, b % n);
+        let ra = resource_allocation(&g, a, b);
+        prop_assert!(ra >= 0.0);
+        prop_assert!((ra - resource_allocation(&g, b, a)).abs() < 1e-12);
+        // Bounded by the smaller degree (each term ≤ 1/2... ≤ 1).
+        prop_assert!(ra <= g.degree(a).min(g.degree(b)) as f64 + 1e-12);
+    }
+
+    /// Component stats are consistent.
+    #[test]
+    fn component_stats_consistent(g in arb_graph()) {
+        let s = GraphStats::compute(&g);
+        prop_assert!(s.largest_component <= s.num_nodes);
+        prop_assert!(s.num_components >= 1);
+        prop_assert!(s.num_components <= s.num_nodes);
+        prop_assert!(s.num_isolated <= s.num_nodes);
+        // Isolated nodes are singleton components.
+        prop_assert!(s.num_components >= s.num_isolated.max(1).min(s.num_nodes));
+    }
+}

@@ -1,0 +1,141 @@
+//! Nonlinearity functions `σ` for neural-network layers.
+
+use serde::{Deserialize, Serialize};
+
+/// Layer nonlinearity. The paper uses ReLU for the net-vote network,
+/// tanh for the excitation network's hidden layers, and ReLU on its
+/// output to keep the point-process rate positive; `Softplus` is
+/// provided as a smooth positive alternative and `Identity` for
+/// regression outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit `max(0, z)`.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid `1 / (1 + e^{-z})`.
+    Sigmoid,
+    /// Smooth positive `ln(1 + e^z)`.
+    Softplus,
+    /// No-op, for linear outputs.
+    Identity,
+}
+
+impl Activation {
+    /// Applies the nonlinearity to `z`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use forumcast_ml::Activation;
+    /// assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+    /// assert_eq!(Activation::Identity.apply(-2.0), -2.0);
+    /// ```
+    pub fn apply(self, z: f64) -> f64 {
+        match self {
+            Activation::Relu => z.max(0.0),
+            Activation::Tanh => z.tanh(),
+            Activation::Sigmoid => sigmoid(z),
+            Activation::Softplus => {
+                // Numerically stable: ln(1+e^z) = max(z,0) + ln(1+e^{-|z|}).
+                z.max(0.0) + (-z.abs()).exp().ln_1p()
+            }
+            Activation::Identity => z,
+        }
+    }
+
+    /// Derivative `σ'(z)` expressed in terms of the *output*
+    /// `y = σ(z)`, which is what backpropagation caches.
+    pub fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Sigmoid => y * (1.0 - y),
+            // y = ln(1+e^z) → σ'(z) = sigmoid(z) = 1 − e^{−y}.
+            Activation::Softplus => 1.0 - (-y).exp(),
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+///
+/// # Example
+///
+/// ```
+/// use forumcast_ml::activation::sigmoid;
+/// assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+/// assert!(sigmoid(-800.0) >= 0.0);
+/// ```
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Activation; 5] = [
+        Activation::Relu,
+        Activation::Tanh,
+        Activation::Sigmoid,
+        Activation::Softplus,
+        Activation::Identity,
+    ];
+
+    #[test]
+    fn apply_known_values() {
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert!((Activation::Tanh.apply(0.0)).abs() < 1e-12);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-12);
+        assert!((Activation::Softplus.apply(0.0) - 2f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softplus_is_stable_for_extreme_inputs() {
+        assert!((Activation::Softplus.apply(1000.0) - 1000.0).abs() < 1e-9);
+        assert!(Activation::Softplus.apply(-1000.0) >= 0.0);
+        assert!(Activation::Softplus.apply(-1000.0) < 1e-12);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_for_extreme_inputs() {
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!((sigmoid(1000.0) - 1.0).abs() < 1e-12);
+        assert!(sigmoid(-1000.0) >= 0.0);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-6;
+        for act in ALL {
+            for &z in &[-1.5, -0.3, 0.2, 0.9, 2.0] {
+                let y = act.apply(z);
+                let numeric = (act.apply(z + eps) - act.apply(z - eps)) / (2.0 * eps);
+                let analytic = act.derivative_from_output(y);
+                assert!(
+                    (numeric - analytic).abs() < 1e-5,
+                    "{act:?} at z={z}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_derivative_is_zero_in_dead_region() {
+        let y = Activation::Relu.apply(-5.0);
+        assert_eq!(Activation::Relu.derivative_from_output(y), 0.0);
+    }
+}

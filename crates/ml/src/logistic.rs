@@ -1,0 +1,255 @@
+//! L2-regularized logistic regression — the paper's `â` predictor.
+//!
+//! The paper deliberately keeps the who-will-answer model linear:
+//! "the sparsity of `a_{u,q}` in discussion forums … renders nonlinear
+//! techniques prone to overfitting for this prediction task"
+//! (Section II-A1).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::activation::sigmoid;
+use crate::linalg::dot;
+use crate::optim::{Adam, Optimizer};
+
+/// Binary logistic-regression classifier
+/// `P(a = 1 | x) = 1 / (1 + e^{−xᵀβ − b})`.
+///
+/// # Example
+///
+/// ```
+/// use forumcast_ml::LogisticRegression;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let xs = vec![vec![-2.0], vec![-1.0], vec![1.0], vec![2.0]];
+/// let ys = vec![false, false, true, true];
+/// let mut model = LogisticRegression::new(1);
+/// model.fit(&xs, &ys, 500, 0.1, 1e-4, &mut rng);
+/// assert!(model.predict_proba(&[2.0]) > 0.9);
+/// assert!(model.predict_proba(&[-2.0]) < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LogisticRegression {
+    /// Creates a zero-initialized model for `dim` features.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "feature dimension must be positive");
+        LogisticRegression {
+            weights: vec![0.0; dim],
+            bias: 0.0,
+        }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The regression coefficients `β`.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The intercept.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Predicted probability `P(a = 1 | x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != dim()`.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        sigmoid(dot(&self.weights, x) + self.bias)
+    }
+
+    /// Average negative log-likelihood plus L2 penalty on `xs`/`ys`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs` and `ys` lengths differ.
+    pub fn loss(&self, xs: &[Vec<f64>], ys: &[bool], l2: f64) -> f64 {
+        assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+        if xs.is_empty() {
+            return 0.0;
+        }
+        let nll: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(x, &y)| {
+                let p = self.predict_proba(x).clamp(1e-12, 1.0 - 1e-12);
+                if y {
+                    -p.ln()
+                } else {
+                    -(1.0 - p).ln()
+                }
+            })
+            .sum();
+        nll / xs.len() as f64 + 0.5 * l2 * dot(&self.weights, &self.weights)
+    }
+
+    /// Fits by mini-batch gradient descent with Adam, `epochs` passes,
+    /// batch size 32, learning rate `lr`, L2 strength `l2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs` and `ys` lengths differ or a sample has the
+    /// wrong dimension.
+    pub fn fit<R: Rng + ?Sized>(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[bool],
+        epochs: usize,
+        lr: f64,
+        l2: f64,
+        rng: &mut R,
+    ) {
+        assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+        if xs.is_empty() {
+            return;
+        }
+        let dim = self.weights.len();
+        let mut opt = Adam::new(lr);
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        let batch = 32.min(xs.len());
+        // Flat parameter vector: [weights..., bias].
+        let mut params: Vec<f64> = self.weights.clone();
+        params.push(self.bias);
+        for _ in 0..epochs {
+            order.shuffle(rng);
+            for chunk in order.chunks(batch) {
+                let mut grads = vec![0.0; dim + 1];
+                for &i in chunk {
+                    let x = &xs[i];
+                    assert_eq!(x.len(), dim, "sample dimension mismatch");
+                    let p = sigmoid(dot(&params[..dim], x) + params[dim]);
+                    let err = p - if ys[i] { 1.0 } else { 0.0 };
+                    for (g, &xi) in grads[..dim].iter_mut().zip(x) {
+                        *g += err * xi;
+                    }
+                    grads[dim] += err;
+                }
+                let scale = 1.0 / chunk.len() as f64;
+                for (j, g) in grads.iter_mut().enumerate() {
+                    *g *= scale;
+                    if j < dim {
+                        *g += l2 * params[j];
+                    }
+                }
+                opt.step(&mut params, &grads);
+            }
+        }
+        self.bias = params.pop().expect("bias present");
+        self.weights = params;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn separable(rng: &mut StdRng, n: usize) -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let label = rng.gen_bool(0.5);
+            let center = if label { 1.5 } else { -1.5 };
+            xs.push(vec![center + rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]);
+            ys.push(label);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn fits_linearly_separable_data() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (xs, ys) = separable(&mut rng, 200);
+        let mut model = LogisticRegression::new(2);
+        model.fit(&xs, &ys, 100, 0.05, 1e-4, &mut rng);
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| (model.predict_proba(x) > 0.5) == y)
+            .count();
+        assert!(correct as f64 / xs.len() as f64 > 0.95, "{correct}/200");
+    }
+
+    #[test]
+    fn loss_decreases_with_training() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (xs, ys) = separable(&mut rng, 100);
+        let mut model = LogisticRegression::new(2);
+        let before = model.loss(&xs, &ys, 1e-4);
+        model.fit(&xs, &ys, 50, 0.05, 1e-4, &mut rng);
+        let after = model.loss(&xs, &ys, 1e-4);
+        assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        // One manual Adam-free check: compare loss gradient numerically
+        // by nudging a weight and confirming the loss moves as the
+        // analytic sign predicts after a tiny fit step.
+        let xs = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let ys = vec![true, false];
+        let mut m = LogisticRegression::new(2);
+        // Analytic gradient at zero weights: p = 0.5 for all.
+        // dL/dw0 = mean((p - y) x0) = ((0.5-1)*1 + 0)/2 = -0.25.
+        let eps = 1e-6;
+        let base = m.loss(&xs, &ys, 0.0);
+        m.weights[0] = eps;
+        let up = m.loss(&xs, &ys, 0.0);
+        let numeric = (up - base) / eps;
+        assert!((numeric + 0.25).abs() < 1e-4, "numeric {numeric}");
+    }
+
+    #[test]
+    fn strong_l2_shrinks_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (xs, ys) = separable(&mut rng, 100);
+        let mut weak = LogisticRegression::new(2);
+        weak.fit(&xs, &ys, 100, 0.05, 1e-6, &mut rng.clone());
+        let mut strong = LogisticRegression::new(2);
+        strong.fit(&xs, &ys, 100, 0.05, 1.0, &mut rng);
+        assert!(
+            crate::linalg::norm2(strong.weights()) < crate::linalg::norm2(weak.weights()),
+            "L2 should shrink weights"
+        );
+    }
+
+    #[test]
+    fn empty_training_set_is_a_no_op() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut m = LogisticRegression::new(3);
+        m.fit(&[], &[], 10, 0.1, 0.0, &mut rng);
+        assert_eq!(m.weights(), &[0.0, 0.0, 0.0]);
+        assert_eq!(m.predict_proba(&[1.0, 1.0, 1.0]), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_labels_panic() {
+        let mut rng = StdRng::seed_from_u64(0);
+        LogisticRegression::new(1).fit(&[vec![1.0]], &[], 1, 0.1, 0.0, &mut rng);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = LogisticRegression::new(2);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: LogisticRegression = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,383 @@
+//! Fully-connected neural networks with reverse-mode gradients.
+//!
+//! Parameters are stored in one flat `Vec<f64>` (per layer: weight
+//! matrix row-major `[outputs × inputs]`, then bias `[outputs]`), so
+//! optimizers ([`crate::optim`]) can treat the whole network as a
+//! single parameter vector. [`Mlp::backward`] accepts an arbitrary
+//! gradient of the loss with respect to the network *output*, which is
+//! what lets `forumcast-core` train the point-process likelihood —
+//! a loss TensorFlow normally autodiffs for the paper's authors.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
+
+/// Shape and nonlinearity of one dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerSpec {
+    /// Input dimension.
+    pub inputs: usize,
+    /// Output dimension (number of hidden units).
+    pub outputs: usize,
+    /// Layer nonlinearity.
+    pub activation: Activation,
+}
+
+impl LayerSpec {
+    /// Creates a layer spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs` or `outputs` is zero.
+    pub fn new(inputs: usize, outputs: usize, activation: Activation) -> Self {
+        assert!(inputs > 0 && outputs > 0, "layer dimensions must be positive");
+        LayerSpec {
+            inputs,
+            outputs,
+            activation,
+        }
+    }
+
+    /// Number of parameters (weights + biases) in this layer.
+    pub fn num_params(&self) -> usize {
+        self.outputs * self.inputs + self.outputs
+    }
+}
+
+/// Cached activations from [`Mlp::forward_cache`], consumed by
+/// [`Mlp::backward`].
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    /// `activations[0]` is the input; `activations[l + 1]` is the
+    /// output of layer `l`.
+    activations: Vec<Vec<f64>>,
+}
+
+impl ForwardCache {
+    /// The network output for this cached pass.
+    pub fn output(&self) -> &[f64] {
+        self.activations.last().expect("cache has at least input")
+    }
+}
+
+/// A fully-connected feed-forward network.
+///
+/// # Example
+///
+/// ```
+/// use forumcast_ml::{Activation, LayerSpec, Mlp};
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mlp = Mlp::new(
+///     &[LayerSpec::new(3, 4, Activation::Relu), LayerSpec::new(4, 1, Activation::Identity)],
+///     &mut rng,
+/// );
+/// assert_eq!(mlp.forward(&[0.0, 1.0, -1.0]).len(), 1);
+/// assert_eq!(mlp.num_params(), 3 * 4 + 4 + 4 + 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    specs: Vec<LayerSpec>,
+    params: Vec<f64>,
+}
+
+impl Mlp {
+    /// Creates a network with Xavier/Glorot-uniform initial weights
+    /// and zero biases.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `specs` is empty or consecutive layer dimensions
+    /// disagree.
+    pub fn new<R: Rng + ?Sized>(specs: &[LayerSpec], rng: &mut R) -> Self {
+        assert!(!specs.is_empty(), "network needs at least one layer");
+        for w in specs.windows(2) {
+            assert_eq!(
+                w[0].outputs, w[1].inputs,
+                "layer dimensions disagree: {} -> {}",
+                w[0].outputs, w[1].inputs
+            );
+        }
+        let total: usize = specs.iter().map(LayerSpec::num_params).sum();
+        let mut params = vec![0.0; total];
+        let mut offset = 0;
+        for spec in specs {
+            let bound = (6.0 / (spec.inputs + spec.outputs) as f64).sqrt();
+            let n_w = spec.outputs * spec.inputs;
+            for p in &mut params[offset..offset + n_w] {
+                *p = rng.gen_range(-bound..bound);
+            }
+            offset += spec.num_params();
+        }
+        Mlp {
+            specs: specs.to_vec(),
+            params,
+        }
+    }
+
+    /// Input dimension of the network.
+    pub fn input_dim(&self) -> usize {
+        self.specs[0].inputs
+    }
+
+    /// Output dimension of the network.
+    pub fn output_dim(&self) -> usize {
+        self.specs.last().expect("non-empty").outputs
+    }
+
+    /// Layer specifications.
+    pub fn specs(&self) -> &[LayerSpec] {
+        &self.specs
+    }
+
+    /// Total number of parameters.
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The flat parameter vector.
+    pub fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    /// Mutable access to the flat parameter vector (for optimizers).
+    pub fn params_mut(&mut self) -> &mut [f64] {
+        &mut self.params
+    }
+
+    /// Runs the network on `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != input_dim()`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        self.forward_cache(x).activations.pop().expect("output")
+    }
+
+    /// Runs the network, caching every layer's activations for a
+    /// later [`backward`](Mlp::backward) pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != input_dim()`.
+    pub fn forward_cache(&self, x: &[f64]) -> ForwardCache {
+        assert_eq!(x.len(), self.input_dim(), "input dimension mismatch");
+        let mut activations = Vec::with_capacity(self.specs.len() + 1);
+        activations.push(x.to_vec());
+        let mut offset = 0;
+        for spec in &self.specs {
+            let input = activations.last().expect("non-empty");
+            let w = &self.params[offset..offset + spec.outputs * spec.inputs];
+            let b = &self.params
+                [offset + spec.outputs * spec.inputs..offset + spec.num_params()];
+            let mut out = Vec::with_capacity(spec.outputs);
+            for o in 0..spec.outputs {
+                let row = &w[o * spec.inputs..(o + 1) * spec.inputs];
+                let z = crate::linalg::dot(row, input) + b[o];
+                out.push(spec.activation.apply(z));
+            }
+            offset += spec.num_params();
+            activations.push(out);
+        }
+        ForwardCache { activations }
+    }
+
+    /// Backpropagates `grad_output = ∂L/∂y` through the cached pass,
+    /// **accumulating** parameter gradients into `grads` (which must
+    /// have length [`num_params`](Mlp::num_params)) and returning
+    /// `∂L/∂x`.
+    ///
+    /// Accumulation (rather than overwrite) lets callers sum gradients
+    /// over a mini-batch or over the several likelihood terms of the
+    /// point-process loss before one optimizer step.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `grads` or `grad_output` has the wrong length.
+    pub fn backward(
+        &self,
+        cache: &ForwardCache,
+        grad_output: &[f64],
+        grads: &mut [f64],
+    ) -> Vec<f64> {
+        assert_eq!(grads.len(), self.params.len(), "grads length mismatch");
+        assert_eq!(
+            grad_output.len(),
+            self.output_dim(),
+            "grad_output dimension mismatch"
+        );
+        let mut grad = grad_output.to_vec();
+        // Offsets of each layer in the flat parameter vector.
+        let mut offsets = Vec::with_capacity(self.specs.len());
+        let mut acc = 0;
+        for spec in &self.specs {
+            offsets.push(acc);
+            acc += spec.num_params();
+        }
+        for (l, spec) in self.specs.iter().enumerate().rev() {
+            let offset = offsets[l];
+            let input = &cache.activations[l];
+            let output = &cache.activations[l + 1];
+            // δ = ∂L/∂z = ∂L/∂y ⊙ σ'(z), with σ' from the output.
+            let delta: Vec<f64> = grad
+                .iter()
+                .zip(output)
+                .map(|(&g, &y)| g * spec.activation.derivative_from_output(y))
+                .collect();
+            let (gw, gb) = grads[offset..offset + spec.num_params()]
+                .split_at_mut(spec.outputs * spec.inputs);
+            let mut grad_in = vec![0.0; spec.inputs];
+            for o in 0..spec.outputs {
+                let d = delta[o];
+                gb[o] += d;
+                let row = &mut gw[o * spec.inputs..(o + 1) * spec.inputs];
+                let w_row =
+                    &self.params[offset + o * spec.inputs..offset + (o + 1) * spec.inputs];
+                for i in 0..spec.inputs {
+                    row[i] += d * input[i];
+                    grad_in[i] += d * w_row[i];
+                }
+            }
+            grad = grad_in;
+        }
+        grad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_net(rng: &mut StdRng) -> Mlp {
+        Mlp::new(
+            &[
+                LayerSpec::new(2, 3, Activation::Tanh),
+                LayerSpec::new(3, 2, Activation::Sigmoid),
+                LayerSpec::new(2, 1, Activation::Identity),
+            ],
+            rng,
+        )
+    }
+
+    #[test]
+    fn forward_dimensions_and_determinism() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mlp = small_net(&mut rng);
+        let y1 = mlp.forward(&[0.5, -0.5]);
+        let y2 = mlp.forward(&[0.5, -0.5]);
+        assert_eq!(y1.len(), 1);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn same_seed_same_network() {
+        let m1 = small_net(&mut StdRng::seed_from_u64(9));
+        let m2 = small_net(&mut StdRng::seed_from_u64(9));
+        assert_eq!(m1.params(), m2.params());
+    }
+
+    #[test]
+    fn num_params_matches_layout() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = small_net(&mut rng);
+        assert_eq!(mlp.num_params(), (2 * 3 + 3) + (3 * 2 + 2) + (2 * 1 + 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions disagree")]
+    fn mismatched_layers_panic() {
+        let mut rng = StdRng::seed_from_u64(0);
+        Mlp::new(
+            &[
+                LayerSpec::new(2, 3, Activation::Relu),
+                LayerSpec::new(4, 1, Activation::Identity),
+            ],
+            &mut rng,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension mismatch")]
+    fn wrong_input_dim_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        small_net(&mut rng).forward(&[1.0]);
+    }
+
+    /// Central finite-difference check of both parameter and input
+    /// gradients, for a scalar loss L = Σ y_i².
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut mlp = Mlp::new(
+            &[
+                LayerSpec::new(3, 4, Activation::Tanh),
+                LayerSpec::new(4, 2, Activation::Softplus),
+            ],
+            &mut rng,
+        );
+        let x = vec![0.3, -0.7, 1.1];
+        let loss = |m: &Mlp, x: &[f64]| -> f64 { m.forward(x).iter().map(|y| y * y).sum() };
+
+        let cache = mlp.forward_cache(&x);
+        let grad_out: Vec<f64> = cache.output().iter().map(|&y| 2.0 * y).collect();
+        let mut grads = vec![0.0; mlp.num_params()];
+        let grad_in = mlp.backward(&cache, &grad_out, &mut grads);
+
+        let eps = 1e-6;
+        for i in 0..mlp.num_params() {
+            let orig = mlp.params()[i];
+            mlp.params_mut()[i] = orig + eps;
+            let lp = loss(&mlp, &x);
+            mlp.params_mut()[i] = orig - eps;
+            let lm = loss(&mlp, &x);
+            mlp.params_mut()[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grads[i]).abs() < 1e-5,
+                "param {i}: numeric {numeric} vs analytic {}",
+                grads[i]
+            );
+        }
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let numeric = (loss(&mlp, &xp) - loss(&mlp, &xm)) / (2.0 * eps);
+            assert!(
+                (numeric - grad_in[i]).abs() < 1e-5,
+                "input {i}: numeric {numeric} vs analytic {}",
+                grad_in[i]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_accumulates_across_calls() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mlp = small_net(&mut rng);
+        let x = [0.2, 0.8];
+        let cache = mlp.forward_cache(&x);
+        let go = vec![1.0];
+        let mut g1 = vec![0.0; mlp.num_params()];
+        mlp.backward(&cache, &go, &mut g1);
+        let mut g2 = vec![0.0; mlp.num_params()];
+        mlp.backward(&cache, &go, &mut g2);
+        mlp.backward(&cache, &go, &mut g2);
+        for (a, b) in g1.iter().zip(&g2) {
+            assert!((2.0 * a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_outputs() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mlp = small_net(&mut rng);
+        let json = serde_json::to_string(&mlp).unwrap();
+        let back: Mlp = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.forward(&[0.1, 0.9]), mlp.forward(&[0.1, 0.9]));
+    }
+}

@@ -1,0 +1,229 @@
+//! First-order optimizers: SGD and Adam (the paper's optimizer).
+
+use serde::{Deserialize, Serialize};
+
+/// A first-order optimizer updating a flat parameter vector in place.
+///
+/// The trait is object-safe so training drivers can be configured at
+/// runtime.
+pub trait Optimizer {
+    /// Applies one update step: `params -= f(grads)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when `params.len() != grads.len()` or the
+    /// length changes between calls.
+    fn step(&mut self, params: &mut [f64], grads: &[f64]);
+
+    /// Resets internal state (e.g. Adam moments).
+    fn reset(&mut self);
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient in `[0, 1)`; 0 disables momentum.
+    pub momentum: f64,
+    velocity: Vec<f64>,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate and no momentum.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `learning_rate <= 0`.
+    pub fn new(learning_rate: f64) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        Sgd {
+            learning_rate,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Sets the momentum coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `momentum` is not in `[0, 1)`.
+    pub fn with_momentum(mut self, momentum: f64) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        self.momentum = momentum;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        if self.velocity.len() != params.len() {
+            assert!(self.velocity.is_empty(), "parameter count changed");
+            self.velocity = vec![0.0; params.len()];
+        }
+        for i in 0..params.len() {
+            self.velocity[i] = self.momentum * self.velocity[i] - self.learning_rate * grads[i];
+            params[i] += self.velocity[i];
+        }
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba, 2015) with bias correction —
+/// the paper trains all its networks with "the standard Adam
+/// optimizer in TensorFlow" (Section II-A, footnote 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate `α`.
+    pub learning_rate: f64,
+    /// First-moment decay `β₁`.
+    pub beta1: f64,
+    /// Second-moment decay `β₂`.
+    pub beta2: f64,
+    /// Numerical-stability constant `ε`.
+    pub epsilon: f64,
+    t: u64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Adam {
+    /// Creates Adam with TensorFlow defaults (`β₁ = 0.9`,
+    /// `β₂ = 0.999`, `ε = 1e-8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `learning_rate <= 0`.
+    pub fn new(learning_rate: f64) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        Adam {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        if self.m.len() != params.len() {
+            assert!(self.m.is_empty(), "parameter count changed");
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / bc1;
+            let v_hat = self.v[i] / bc2;
+            params[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.t = 0;
+        self.m.clear();
+        self.v.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(x) = (x - 3)² from x = 0.
+    fn minimize<O: Optimizer>(opt: &mut O, steps: usize) -> f64 {
+        let mut x = vec![0.0f64];
+        for _ in 0..steps {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            opt.step(&mut x, &g);
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        assert!((minimize(&mut opt, 200) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::new(0.05).with_momentum(0.9);
+        assert!((minimize(&mut opt, 400) - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        assert!((minimize(&mut opt, 500) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_first_step_is_learning_rate_sized() {
+        // With bias correction, the first Adam step ≈ lr * sign(g).
+        let mut opt = Adam::new(0.01);
+        let mut x = vec![0.0];
+        opt.step(&mut x, &[123.0]);
+        assert!((x[0] + 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut opt = Adam::new(0.1);
+        let mut x = vec![0.0];
+        opt.step(&mut x, &[1.0]);
+        opt.reset();
+        // After reset a different-size parameter vector is accepted.
+        let mut y = vec![0.0, 0.0];
+        opt.step(&mut y, &[1.0, 1.0]);
+        assert!(y[0] < 0.0 && y[1] < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        Sgd::new(0.1).step(&mut [0.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter count changed")]
+    fn changing_param_count_without_reset_panics() {
+        let mut opt = Adam::new(0.1);
+        let mut x = vec![0.0];
+        opt.step(&mut x, &[1.0]);
+        let mut y = vec![0.0, 0.0];
+        opt.step(&mut y, &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn nonpositive_learning_rate_rejected() {
+        Adam::new(0.0);
+    }
+
+    #[test]
+    fn optimizers_are_object_safe() {
+        let mut opts: Vec<Box<dyn Optimizer>> =
+            vec![Box::new(Sgd::new(0.1)), Box::new(Adam::new(0.1))];
+        let mut x = vec![1.0];
+        for o in &mut opts {
+            o.step(&mut x, &[0.5]);
+        }
+        assert!(x[0] < 1.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Mini-batch MSE regression driver for [`Mlp`] networks.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::mlp::Mlp;
+use crate::optim::Optimizer;
+
+/// Trains an [`Mlp`] with scalar output on `(x, y)` pairs by
+/// mini-batch gradient descent on the mean-squared error — the
+/// training loop behind the paper's net-vote network (Section II-A2).
+///
+/// # Example
+///
+/// See the crate-level example in [`crate`].
+#[derive(Debug)]
+pub struct Trainer<O> {
+    optimizer: O,
+    batch_size: usize,
+    weight_decay: f64,
+    grads: Vec<f64>,
+}
+
+impl<O: Optimizer> Trainer<O> {
+    /// Creates a trainer with the given optimizer and batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch_size == 0`.
+    pub fn new(optimizer: O, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Trainer {
+            optimizer,
+            batch_size,
+            weight_decay: 0.0,
+            grads: Vec::new(),
+        }
+    }
+
+    /// Sets L2 weight decay applied to every parameter each step —
+    /// the regularizer that keeps small training sets from being
+    /// memorized.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weight_decay < 0`.
+    pub fn with_weight_decay(mut self, weight_decay: f64) -> Self {
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Runs one epoch over the data in shuffled mini-batches and
+    /// returns the epoch's mean squared error (computed online from
+    /// pre-update predictions).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs`/`ys` lengths differ, the network output is not
+    /// scalar, or a sample has the wrong dimension.
+    pub fn epoch<R: Rng + ?Sized>(
+        &mut self,
+        mlp: &mut Mlp,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        rng: &mut R,
+    ) -> f64 {
+        assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+        assert_eq!(mlp.output_dim(), 1, "trainer expects a scalar output");
+        if xs.is_empty() {
+            return 0.0;
+        }
+        if self.grads.len() != mlp.num_params() {
+            self.grads = vec![0.0; mlp.num_params()];
+        }
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        order.shuffle(rng);
+        let mut sse = 0.0;
+        for chunk in order.chunks(self.batch_size) {
+            self.grads.iter_mut().for_each(|g| *g = 0.0);
+            for &i in chunk {
+                let cache = mlp.forward_cache(&xs[i]);
+                let err = cache.output()[0] - ys[i];
+                sse += err * err;
+                // d/dŷ of ½(ŷ−y)² scaled by 2/batch → use err * 2 / n.
+                let go = [2.0 * err / chunk.len() as f64];
+                mlp.backward(&cache, &go, &mut self.grads);
+            }
+            if self.weight_decay > 0.0 {
+                for (g, p) in self.grads.iter_mut().zip(mlp.params()) {
+                    *g += self.weight_decay * p;
+                }
+            }
+            self.optimizer.step(mlp.params_mut(), &self.grads);
+        }
+        sse / xs.len() as f64
+    }
+
+    /// The underlying optimizer.
+    pub fn optimizer_mut(&mut self) -> &mut O {
+        &mut self.optimizer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::mlp::LayerSpec;
+    use crate::optim::Adam;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_nonlinear_function() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut mlp = Mlp::new(
+            &[
+                LayerSpec::new(1, 16, Activation::Tanh),
+                LayerSpec::new(16, 1, Activation::Identity),
+            ],
+            &mut rng,
+        );
+        let xs: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64 / 32.0 - 1.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[0]).collect();
+        let mut trainer = Trainer::new(Adam::new(0.01), 16);
+        let first = trainer.epoch(&mut mlp, &xs, &ys, &mut rng);
+        let mut last = first;
+        for _ in 0..500 {
+            last = trainer.epoch(&mut mlp, &xs, &ys, &mut rng);
+        }
+        assert!(last < first / 10.0, "mse {first} -> {last}");
+        assert!((mlp.forward(&[0.5])[0] - 0.25).abs() < 0.1);
+    }
+
+    #[test]
+    fn empty_epoch_returns_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mlp = Mlp::new(&[LayerSpec::new(1, 1, Activation::Identity)], &mut rng);
+        let mut trainer = Trainer::new(Adam::new(0.01), 4);
+        assert_eq!(trainer.epoch(&mut mlp, &[], &[], &mut rng), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar output")]
+    fn multi_output_network_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mlp = Mlp::new(&[LayerSpec::new(1, 2, Activation::Identity)], &mut rng);
+        let mut trainer = Trainer::new(Adam::new(0.01), 4);
+        trainer.epoch(&mut mlp, &[vec![0.0]], &[0.0], &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_rejected() {
+        Trainer::new(Adam::new(0.01), 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests: the greedy routing solver is exact
+//! (cross-checked against the simplex LP) and always feasible.
+
+use proptest::prelude::*;
+
+use forumcast_recsys::{maximize, solve_routing, RoutingProblem};
+
+fn arb_problem() -> impl Strategy<Value = RoutingProblem> {
+    (1usize..8).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(-5.0f64..5.0, n),
+            proptest::collection::vec(0.0f64..1.2, n),
+        )
+            .prop_map(|(scores, caps)| RoutingProblem::new(scores, caps))
+    })
+}
+
+proptest! {
+    /// Greedy solutions are feasible distributions within the box.
+    #[test]
+    fn greedy_solution_feasible(p in arb_problem()) {
+        match solve_routing(&p) {
+            Some(x) => {
+                prop_assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                for (xi, ci) in x.iter().zip(&p.capacities) {
+                    prop_assert!(*xi >= -1e-12 && xi <= &(ci + 1e-12));
+                }
+            }
+            None => prop_assert!(!p.is_feasible()),
+        }
+    }
+
+    /// The greedy objective matches the general simplex solver.
+    #[test]
+    fn greedy_matches_simplex(p in arb_problem()) {
+        let n = p.scores.len();
+        let mut a = vec![vec![1.0; n], vec![-1.0; n]];
+        let mut b = vec![1.0, -1.0];
+        for i in 0..n {
+            let mut row = vec![0.0; n];
+            row[i] = 1.0;
+            a.push(row);
+            b.push(p.capacities[i]);
+        }
+        let lp = maximize(&p.scores, &a, &b);
+        match (solve_routing(&p), lp) {
+            (Some(x), Ok(sol)) => {
+                let val: f64 = x.iter().zip(&p.scores).map(|(xi, si)| xi * si).sum();
+                prop_assert!(
+                    (val - sol.objective).abs() < 1e-6,
+                    "greedy {val} vs simplex {}",
+                    sol.objective
+                );
+            }
+            (None, Err(_)) => {}
+            (g, l) => prop_assert!(false, "disagree: greedy {g:?} vs simplex {l:?}"),
+        }
+    }
+
+    /// Raising one user's score never lowers that user's probability
+    /// (monotonicity of the allocation).
+    #[test]
+    fn allocation_monotone_in_score(p in arb_problem(), idx in 0usize..8, bump in 0.1f64..3.0) {
+        let n = p.scores.len();
+        let idx = idx % n;
+        if let Some(before) = solve_routing(&p) {
+            let mut scores = p.scores.clone();
+            scores[idx] += bump + 10.0; // make it strictly the best
+            let p2 = RoutingProblem::new(scores, p.capacities.clone());
+            let after = solve_routing(&p2).expect("same capacities stay feasible");
+            prop_assert!(after[idx] >= before[idx] - 1e-12);
+        }
+    }
+
+    /// The simplex solver on box-only LPs saturates positive scores.
+    #[test]
+    fn simplex_box_only(scores in proptest::collection::vec(-3.0f64..3.0, 1..5)) {
+        let n = scores.len();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..n {
+            let mut row = vec![0.0; n];
+            row[i] = 1.0;
+            a.push(row);
+            b.push(1.0);
+        }
+        let sol = maximize(&scores, &a, &b).expect("feasible");
+        let expected: f64 = scores.iter().filter(|s| **s > 0.0).sum();
+        prop_assert!((sol.objective - expected).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,227 @@
+//! The latent user population behind the generated forum.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::config::SynthConfig;
+
+/// Latent traits of one synthetic user. Two independent channels are
+/// deliberate: `responsiveness` (drives *timing*) is correlated with
+/// `activity`, while `expertise` (drives *votes*) is independent of
+/// both — this is what reproduces the paper's Figure 3 finding that
+/// response quality and timing are uncorrelated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// Heavy-tailed propensity to answer questions.
+    pub activity: f64,
+    /// Propensity to ask questions.
+    pub asking: f64,
+    /// Drives answer votes; independent of activity/responsiveness.
+    pub expertise: f64,
+    /// Drives the point-process excitation; correlated with activity
+    /// (active users answer faster, Fig. 4b).
+    pub responsiveness: f64,
+    /// Dirichlet topic-interest distribution (length `num_topics`).
+    pub interests: Vec<f64>,
+}
+
+/// The full latent population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Population {
+    users: Vec<UserProfile>,
+}
+
+impl Population {
+    /// Samples `config.num_users` users.
+    pub fn sample<R: Rng + ?Sized>(config: &SynthConfig, rng: &mut R) -> Self {
+        let users = (0..config.num_users)
+            .map(|_| {
+                // A shared "engagement" factor couples asking and
+                // answering: people active on a forum do both. This
+                // is what lets structural features (centrality,
+                // co-occurrence, asking history) predict answering
+                // for users with no prior answers — signal the
+                // index-only SPARFA baseline cannot see.
+                let engagement = lognormal(rng, -0.3, 0.9);
+                let activity = engagement * lognormal(rng, -0.2, 0.6);
+                let asking = engagement * lognormal(rng, 0.2, 0.6);
+                let expertise: f64 = rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0);
+                // Responsiveness rises with activity plus noise.
+                let responsiveness = 0.8 * activity.ln().max(-2.0) + rng.gen_range(-0.5..0.5);
+                let interests = sample_dirichlet(rng, config.num_topics, 0.3);
+                UserProfile {
+                    activity,
+                    asking,
+                    expertise,
+                    responsiveness,
+                    interests,
+                }
+            })
+            .collect();
+        Population { users }
+    }
+
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// `true` when the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Profile of user `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `u` is out of range.
+    pub fn user(&self, u: usize) -> &UserProfile {
+        &self.users[u]
+    }
+
+    /// Iterates over all profiles.
+    pub fn iter(&self) -> impl Iterator<Item = &UserProfile> {
+        self.users.iter()
+    }
+}
+
+/// Minimal distribution samplers (kept local to avoid another
+/// dependency; `rand_distr` is not on the approved crate list).
+pub mod rand_distr_shim {
+    use rand::Rng;
+
+    /// Log-normal sample `exp(N(mu, sigma))` via Box–Muller.
+    pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * standard_normal(rng)).exp()
+    }
+
+    /// Standard normal via the Box–Muller transform.
+    pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Symmetric Dirichlet(α) sample via normalized Gamma(α, 1)
+    /// draws (Marsaglia–Tsang for α ≥ 1, boosted for α < 1).
+    pub fn sample_dirichlet<R: Rng + ?Sized>(rng: &mut R, k: usize, alpha: f64) -> Vec<f64> {
+        assert!(k > 0, "dirichlet needs k > 0");
+        let mut g: Vec<f64> = (0..k).map(|_| gamma(rng, alpha)).collect();
+        let sum: f64 = g.iter().sum();
+        if sum <= 0.0 {
+            return vec![1.0 / k as f64; k];
+        }
+        for x in &mut g {
+            *x /= sum;
+        }
+        g
+    }
+
+    /// Gamma(shape, 1) via Marsaglia–Tsang.
+    pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+        assert!(shape > 0.0, "gamma shape must be positive");
+        if shape < 1.0 {
+            // Boost: Gamma(a) = Gamma(a+1) * U^{1/a}.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            return gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+        }
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = standard_normal(rng);
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+                return d * v;
+            }
+        }
+    }
+}
+
+pub use rand_distr_shim::{gamma, lognormal, sample_dirichlet, standard_normal};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn population_has_requested_size_and_valid_interests() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = SynthConfig::small();
+        let pop = Population::sample(&cfg, &mut rng);
+        assert_eq!(pop.len(), cfg.num_users as usize);
+        for u in pop.iter() {
+            assert!(u.activity > 0.0);
+            assert_eq!(u.interests.len(), cfg.num_topics);
+            assert!((u.interests.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(u.interests.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn activity_is_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = SynthConfig::medium();
+        let pop = Population::sample(&cfg, &mut rng);
+        let mut acts: Vec<f64> = pop.iter().map(|u| u.activity).collect();
+        acts.sort_by(|a, b| a.total_cmp(b));
+        let median = acts[acts.len() / 2];
+        let p99 = acts[acts.len() * 99 / 100];
+        assert!(p99 > 5.0 * median, "p99 {p99} vs median {median}");
+    }
+
+    #[test]
+    fn responsiveness_correlates_with_activity_but_expertise_does_not() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pop = Population::sample(&SynthConfig::medium(), &mut rng);
+        let corr = |f: fn(&UserProfile) -> f64, g: fn(&UserProfile) -> f64| -> f64 {
+            let n = pop.len() as f64;
+            let xs: Vec<f64> = pop.iter().map(|u| f(u)).collect();
+            let ys: Vec<f64> = pop.iter().map(|u| g(u)).collect();
+            let mx = xs.iter().sum::<f64>() / n;
+            let my = ys.iter().sum::<f64>() / n;
+            let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+            let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+            let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+            cov / (vx.sqrt() * vy.sqrt())
+        };
+        let act_resp = corr(|u| u.activity.ln(), |u| u.responsiveness);
+        let act_exp = corr(|u| u.activity.ln(), |u| u.expertise);
+        assert!(act_resp > 0.6, "activity-responsiveness corr {act_resp}");
+        assert!(act_exp.abs() < 0.1, "activity-expertise corr {act_exp}");
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one_for_various_alpha() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for &alpha in &[0.1, 0.5, 1.0, 5.0] {
+            let d = sample_dirichlet(&mut rng, 6, alpha);
+            assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9, "alpha {alpha}");
+        }
+    }
+
+    #[test]
+    fn gamma_mean_approximates_shape() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 4000;
+        let mean: f64 = (0..n).map(|_| gamma(&mut rng, 3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.15, "gamma(3) mean {mean}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 8000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+    }
+}

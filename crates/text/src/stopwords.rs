@@ -1,0 +1,63 @@
+//! A compact English stop-word list tuned for forum text.
+
+/// Stop words removed before topic modeling. The list is intentionally
+/// small: LDA tolerates residual function words, and over-aggressive
+/// filtering hurts short posts.
+pub const STOPWORDS: &[&str] = &[
+    "a", "about", "after", "all", "also", "am", "an", "and", "any", "are", "as", "at", "be",
+    "because", "been", "before", "being", "but", "by", "can", "cannot", "could", "did", "do",
+    "does", "doing", "down", "each", "few", "for", "from", "further", "get", "got", "had", "has",
+    "have", "having", "he", "her", "here", "hers", "him", "his", "how", "i", "if", "in", "into",
+    "is", "it", "its", "just", "like", "me", "more", "most", "my", "no", "nor", "not", "now",
+    "of", "off", "on", "once", "only", "or", "other", "our", "out", "over", "own", "same", "she",
+    "should", "so", "some", "such", "than", "that", "the", "their", "them", "then", "there",
+    "these", "they", "this", "those", "through", "to", "too", "under", "until", "up", "use",
+    "using", "very", "want", "was", "we", "were", "what", "when", "where", "which", "while",
+    "who", "why", "will", "with", "would", "you", "your",
+];
+
+/// Returns `true` when `token` (already lowercase) is a stop word.
+///
+/// # Example
+///
+/// ```
+/// use forumcast_text::is_stopword;
+/// assert!(is_stopword("the"));
+/// assert!(!is_stopword("python"));
+/// ```
+pub fn is_stopword(token: &str) -> bool {
+    STOPWORDS.binary_search(&token).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_and_unique() {
+        // binary_search correctness depends on this.
+        for w in STOPWORDS.windows(2) {
+            assert!(w[0] < w[1], "{} !< {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn common_function_words_are_stopwords() {
+        for w in ["the", "and", "is", "of", "to"] {
+            assert!(is_stopword(w), "{w} should be a stop word");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not_stopwords() {
+        for w in ["python", "sort", "vector", "error", "thread"] {
+            assert!(!is_stopword(w), "{w} should not be a stop word");
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_sensitive_lowercase_contract() {
+        // Callers must lowercase first (the tokenizer does).
+        assert!(!is_stopword("The"));
+    }
+}

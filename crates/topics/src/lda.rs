@@ -1,0 +1,463 @@
+//! Collapsed Gibbs sampling for Latent Dirichlet Allocation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use forumcast_text::{BagOfWords, Corpus};
+
+/// Hyperparameters for [`LdaModel::train`].
+///
+/// Defaults follow common practice (`α = 50/K`, `β = 0.01`) and the
+/// paper's `K = 8`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LdaConfig {
+    /// Number of topics `K`.
+    pub num_topics: usize,
+    /// Symmetric Dirichlet prior on document–topic distributions.
+    pub alpha: f64,
+    /// Symmetric Dirichlet prior on topic–word distributions.
+    pub beta: f64,
+    /// Gibbs sweeps over the corpus during training.
+    pub iterations: usize,
+    /// Gibbs sweeps for fold-in inference of held-out documents.
+    pub infer_iterations: usize,
+    /// RNG seed (training is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl LdaConfig {
+    /// Creates a config with `K` topics and default priors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_topics == 0`.
+    pub fn new(num_topics: usize) -> Self {
+        assert!(num_topics > 0, "LDA requires at least one topic");
+        // Gensim's default symmetric prior is 1/K; forum posts are
+        // short documents, so a weak prior keeps θ concentrated.
+        LdaConfig {
+            num_topics,
+            alpha: 1.0 / num_topics as f64,
+            beta: 0.01,
+            iterations: 200,
+            infer_iterations: 30,
+            seed: 0xF0CA,
+        }
+    }
+
+    /// Sets the number of training sweeps.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the Dirichlet priors.
+    pub fn with_priors(mut self, alpha: f64, beta: f64) -> Self {
+        self.alpha = alpha;
+        self.beta = beta;
+        self
+    }
+}
+
+impl Default for LdaConfig {
+    /// The paper's default of `K = 8` topics.
+    fn default() -> Self {
+        LdaConfig::new(8)
+    }
+}
+
+/// A trained LDA model: topic–word distributions `φ` plus the
+/// document–topic distributions `θ` of the training corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LdaModel {
+    config: LdaConfig,
+    num_words: usize,
+    /// `φ[k][w]` — probability of word `w` under topic `k` (smoothed
+    /// point estimate from the final Gibbs state).
+    phi: Vec<Vec<f64>>,
+    /// `θ[d][k]` — topic distribution of training document `d`.
+    theta: Vec<Vec<f64>>,
+}
+
+impl LdaModel {
+    /// Trains LDA on `corpus` by collapsed Gibbs sampling.
+    ///
+    /// Each token's topic assignment `z` is resampled
+    /// `config.iterations` times from
+    /// `p(z = k) ∝ (n_{dk} + α) · (n_{kw} + β) / (n_k + Vβ)`
+    /// with the token's own assignment excluded. The returned model
+    /// stores smoothed point estimates of `φ` and `θ` from the final
+    /// state.
+    ///
+    /// Empty documents receive the uniform topic distribution.
+    pub fn train(corpus: &Corpus, config: &LdaConfig) -> LdaModel {
+        let k = config.num_topics;
+        let v = corpus.num_words().max(1);
+        let d = corpus.num_docs();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // Token-level views of each document.
+        let docs: Vec<Vec<usize>> = corpus.iter().map(BagOfWords::to_token_ids).collect();
+        // Topic assignment per token, initialized uniformly at random.
+        let mut z: Vec<Vec<usize>> = docs
+            .iter()
+            .map(|doc| doc.iter().map(|_| rng.gen_range(0..k)).collect())
+            .collect();
+
+        let mut n_dk = vec![vec![0u32; k]; d]; // doc–topic counts
+        let mut n_kw = vec![vec![0u32; v]; k]; // topic–word counts
+        let mut n_k = vec![0u64; k]; // topic totals
+        for (di, doc) in docs.iter().enumerate() {
+            for (ti, &w) in doc.iter().enumerate() {
+                let t = z[di][ti];
+                n_dk[di][t] += 1;
+                n_kw[t][w] += 1;
+                n_k[t] += 1;
+            }
+        }
+
+        let alpha = config.alpha;
+        let beta = config.beta;
+        let vbeta = v as f64 * beta;
+        let mut probs = vec![0.0f64; k];
+        for _sweep in 0..config.iterations {
+            for (di, doc) in docs.iter().enumerate() {
+                for (ti, &w) in doc.iter().enumerate() {
+                    let old = z[di][ti];
+                    n_dk[di][old] -= 1;
+                    n_kw[old][w] -= 1;
+                    n_k[old] -= 1;
+
+                    let mut total = 0.0;
+                    for t in 0..k {
+                        let p = (n_dk[di][t] as f64 + alpha) * (n_kw[t][w] as f64 + beta)
+                            / (n_k[t] as f64 + vbeta);
+                        probs[t] = p;
+                        total += p;
+                    }
+                    let new = sample_index(&probs, total, &mut rng);
+                    z[di][ti] = new;
+                    n_dk[di][new] += 1;
+                    n_kw[new][w] += 1;
+                    n_k[new] += 1;
+                }
+            }
+        }
+
+        // Point estimates.
+        let phi: Vec<Vec<f64>> = (0..k)
+            .map(|t| {
+                let denom = n_k[t] as f64 + vbeta;
+                (0..v).map(|w| (n_kw[t][w] as f64 + beta) / denom).collect()
+            })
+            .collect();
+        let theta: Vec<Vec<f64>> = (0..d)
+            .map(|di| {
+                let len: u32 = n_dk[di].iter().sum();
+                let denom = len as f64 + k as f64 * alpha;
+                (0..k)
+                    .map(|t| (n_dk[di][t] as f64 + alpha) / denom)
+                    .collect()
+            })
+            .collect();
+
+        LdaModel {
+            config: config.clone(),
+            num_words: v,
+            phi,
+            theta,
+        }
+    }
+
+    /// Number of topics `K`.
+    pub fn num_topics(&self) -> usize {
+        self.config.num_topics
+    }
+
+    /// Vocabulary size the model was trained against.
+    pub fn num_words(&self) -> usize {
+        self.num_words
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &LdaConfig {
+        &self.config
+    }
+
+    /// Topic distribution `θ_d` of training document `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `doc` is out of range.
+    pub fn doc_topics(&self, doc: usize) -> &[f64] {
+        &self.theta[doc]
+    }
+
+    /// All training document–topic distributions.
+    pub fn all_doc_topics(&self) -> &[Vec<f64>] {
+        &self.theta
+    }
+
+    /// Topic–word distribution `φ_k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `topic >= K`.
+    pub fn topic_words(&self, topic: usize) -> &[f64] {
+        &self.phi[topic]
+    }
+
+    /// Infers the topic distribution of a held-out document by fold-in
+    /// Gibbs sampling with `φ` fixed:
+    /// `p(z = k) ∝ (n_{dk} + α) · φ_{k,w}`.
+    ///
+    /// Word ids outside the training vocabulary are skipped; an empty
+    /// (or fully out-of-vocabulary) document yields the uniform
+    /// distribution. Inference is deterministic given `seed`.
+    pub fn infer(&self, doc: &BagOfWords, seed: u64) -> Vec<f64> {
+        let k = self.config.num_topics;
+        let tokens: Vec<usize> = doc
+            .to_token_ids()
+            .into_iter()
+            .filter(|&w| w < self.num_words)
+            .collect();
+        if tokens.is_empty() {
+            return vec![1.0 / k as f64; k];
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut z: Vec<usize> = tokens.iter().map(|_| rng.gen_range(0..k)).collect();
+        let mut n_dk = vec![0u32; k];
+        for &t in &z {
+            n_dk[t] += 1;
+        }
+        let alpha = self.config.alpha;
+        let mut probs = vec![0.0f64; k];
+        for _sweep in 0..self.config.infer_iterations {
+            for (ti, &w) in tokens.iter().enumerate() {
+                let old = z[ti];
+                n_dk[old] -= 1;
+                let mut total = 0.0;
+                for t in 0..k {
+                    let p = (n_dk[t] as f64 + alpha) * self.phi[t][w];
+                    probs[t] = p;
+                    total += p;
+                }
+                let new = sample_index(&probs, total, &mut rng);
+                z[ti] = new;
+                n_dk[new] += 1;
+            }
+        }
+        let denom = tokens.len() as f64 + k as f64 * alpha;
+        (0..k)
+            .map(|t| (n_dk[t] as f64 + alpha) / denom)
+            .collect()
+    }
+
+    /// The `n` highest-probability word ids of `topic`, for
+    /// interpretability and diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `topic >= K`.
+    pub fn top_words(&self, topic: usize, n: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.num_words).collect();
+        idx.sort_by(|&a, &b| self.phi[topic][b].total_cmp(&self.phi[topic][a]));
+        idx.truncate(n);
+        idx
+    }
+}
+
+/// Samples an index proportionally to `probs` (which sum to `total`).
+fn sample_index(probs: &[f64], total: f64, rng: &mut StdRng) -> usize {
+    let mut u = rng.gen::<f64>() * total;
+    for (i, &p) in probs.iter().enumerate() {
+        u -= p;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forumcast_text::{Corpus, Vocabulary};
+
+    /// Two cleanly separable themes; LDA with K=2 must separate them.
+    fn separable_corpus() -> (Corpus, Vocabulary) {
+        let mut docs: Vec<Vec<String>> = Vec::new();
+        let cats = ["cat", "purr", "whisker", "meow"];
+        let code = ["python", "loop", "compile", "debug"];
+        for i in 0..20 {
+            let theme: &[&str] = if i % 2 == 0 { &cats } else { &code };
+            let doc: Vec<String> = (0..12).map(|j| theme[j % 4].to_string()).collect();
+            docs.push(doc);
+        }
+        let mut vocab = Vocabulary::new();
+        for d in &docs {
+            vocab.observe(d);
+        }
+        let corpus = Corpus::from_token_docs(&docs, &vocab);
+        (corpus, vocab)
+    }
+
+    #[test]
+    fn thetas_are_valid_distributions() {
+        let (corpus, _) = separable_corpus();
+        let model = LdaModel::train(&corpus, &LdaConfig::new(3).with_iterations(30));
+        for d in 0..corpus.num_docs() {
+            let theta = model.doc_topics(d);
+            assert_eq!(theta.len(), 3);
+            assert!((theta.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(theta.iter().all(|&p| p > 0.0 && p < 1.0));
+        }
+    }
+
+    #[test]
+    fn phis_are_valid_distributions() {
+        let (corpus, _) = separable_corpus();
+        let model = LdaModel::train(&corpus, &LdaConfig::new(2).with_iterations(30));
+        for k in 0..2 {
+            let phi = model.topic_words(k);
+            assert_eq!(phi.len(), corpus.num_words());
+            assert!((phi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn separable_themes_get_distinct_topics() {
+        let (corpus, vocab) = separable_corpus();
+        let cfg = LdaConfig::new(2)
+            .with_iterations(100)
+            .with_priors(0.1, 0.01)
+            .with_seed(11);
+        let model = LdaModel::train(&corpus, &cfg);
+        // Every "cat" doc should concentrate on one topic, every
+        // "code" doc on the other.
+        let cat_topic = model.doc_topics(0)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        for d in 0..corpus.num_docs() {
+            let theta = model.doc_topics(d);
+            let dominant = theta
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0;
+            if d % 2 == 0 {
+                assert_eq!(dominant, cat_topic, "doc {d} should be a cat doc");
+            } else {
+                assert_ne!(dominant, cat_topic, "doc {d} should be a code doc");
+            }
+            assert!(theta[dominant] > 0.7, "doc {d} not concentrated: {theta:?}");
+        }
+        // Top words of the cat topic are cat words.
+        let top = model.top_words(cat_topic, 4);
+        let cat_ids: Vec<usize> = ["cat", "purr", "whisker", "meow"]
+            .iter()
+            .map(|w| vocab.id_of(w).unwrap())
+            .collect();
+        for id in top {
+            assert!(cat_ids.contains(&id));
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let (corpus, _) = separable_corpus();
+        let cfg = LdaConfig::new(2).with_iterations(20).with_seed(5);
+        let m1 = LdaModel::train(&corpus, &cfg);
+        let m2 = LdaModel::train(&corpus, &cfg);
+        assert_eq!(m1.doc_topics(3), m2.doc_topics(3));
+        assert_eq!(m1.topic_words(1), m2.topic_words(1));
+    }
+
+    #[test]
+    fn inference_matches_training_theme() {
+        let (corpus, vocab) = separable_corpus();
+        let cfg = LdaConfig::new(2)
+            .with_iterations(100)
+            .with_priors(0.1, 0.01);
+        let model = LdaModel::train(&corpus, &cfg);
+        let cat_doc = forumcast_text::BagOfWords::encode(
+            &["cat", "meow", "purr", "cat", "whisker", "meow"],
+            &vocab,
+        );
+        let theta = model.infer(&cat_doc, 99);
+        let cat_topic = model
+            .doc_topics(0)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert!(
+            theta[cat_topic] > 0.6,
+            "held-out cat doc got {theta:?} (cat topic {cat_topic})"
+        );
+    }
+
+    #[test]
+    fn empty_doc_infers_uniform() {
+        let (corpus, _) = separable_corpus();
+        let model = LdaModel::train(&corpus, &LdaConfig::new(4).with_iterations(10));
+        let theta = model.infer(&forumcast_text::BagOfWords::from_ids(&[]), 0);
+        assert_eq!(theta, vec![0.25; 4]);
+    }
+
+    #[test]
+    fn out_of_vocab_ids_are_skipped() {
+        let (corpus, _) = separable_corpus();
+        let model = LdaModel::train(&corpus, &LdaConfig::new(2).with_iterations(10));
+        let v = corpus.num_words();
+        let doc = forumcast_text::BagOfWords::from_ids(&[v + 1, v + 2]);
+        let theta = model.infer(&doc, 0);
+        assert_eq!(theta, vec![0.5; 2]);
+    }
+
+    #[test]
+    fn single_topic_model_is_degenerate_but_valid() {
+        let (corpus, _) = separable_corpus();
+        let model = LdaModel::train(&corpus, &LdaConfig::new(1).with_iterations(5));
+        assert_eq!(model.doc_topics(0), &[1.0]);
+        let theta = model.infer(corpus.doc(0), 3);
+        assert_eq!(theta, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one topic")]
+    fn zero_topics_rejected() {
+        LdaConfig::new(0);
+    }
+
+    #[test]
+    fn empty_corpus_trains_trivially() {
+        let corpus = Corpus::from_bows(vec![], 0);
+        let model = LdaModel::train(&corpus, &LdaConfig::new(2).with_iterations(5));
+        assert_eq!(model.num_topics(), 2);
+        assert_eq!(model.all_doc_topics().len(), 0);
+    }
+
+    #[test]
+    fn model_serde_roundtrip() {
+        let (corpus, _) = separable_corpus();
+        let model = LdaModel::train(&corpus, &LdaConfig::new(2).with_iterations(5));
+        let json = serde_json::to_string(&model).unwrap();
+        let back: LdaModel = serde_json::from_str(&json).unwrap();
+        for (a, b) in back.doc_topics(0).iter().zip(model.doc_topics(0)) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+}

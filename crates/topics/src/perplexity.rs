@@ -1,0 +1,111 @@
+//! Held-out perplexity — the standard yardstick for choosing the
+//! topic count `K` (the knob the paper sweeps in Figure 5).
+
+use forumcast_text::{BagOfWords, Corpus};
+
+use crate::lda::LdaModel;
+
+/// Per-word log-likelihood of a held-out document under the model:
+/// each token is scored by `ln Σ_k θ_k φ_{k,w}` with `θ` inferred by
+/// fold-in Gibbs. Out-of-vocabulary tokens are skipped; returns 0 for
+/// an effectively empty document.
+pub fn doc_log_likelihood(model: &LdaModel, doc: &BagOfWords, seed: u64) -> f64 {
+    let theta = model.infer(doc, seed);
+    let mut ll = 0.0;
+    for (w, count) in doc.iter() {
+        if w >= model.num_words() {
+            continue;
+        }
+        let p: f64 = (0..model.num_topics())
+            .map(|k| theta[k] * model.topic_words(k)[w])
+            .sum();
+        ll += count as f64 * p.max(1e-300).ln();
+    }
+    ll
+}
+
+/// Corpus perplexity `exp(−Σ ln p(w) / Σ tokens)`. Lower is better;
+/// `f64::INFINITY` when the corpus has no in-vocabulary tokens.
+///
+/// # Example
+///
+/// ```
+/// use forumcast_text::{BagOfWords, Corpus};
+/// use forumcast_topics::{perplexity, LdaConfig, LdaModel};
+///
+/// let docs: Vec<BagOfWords> = (0..8).map(|d| BagOfWords::from_ids(&[d % 4, (d + 1) % 4])).collect();
+/// let corpus = Corpus::from_bows(docs, 4);
+/// let model = LdaModel::train(&corpus, &LdaConfig::new(2).with_iterations(30));
+/// let ppl = perplexity(&model, &corpus, 1);
+/// assert!(ppl.is_finite() && ppl >= 1.0);
+/// ```
+pub fn perplexity(model: &LdaModel, corpus: &Corpus, seed: u64) -> f64 {
+    let mut ll = 0.0;
+    let mut tokens = 0u64;
+    for (i, doc) in corpus.iter().enumerate() {
+        ll += doc_log_likelihood(model, doc, seed.wrapping_add(i as u64));
+        tokens += doc
+            .iter()
+            .filter(|&(w, _)| w < model.num_words())
+            .map(|(_, c)| c as u64)
+            .sum::<u64>();
+    }
+    if tokens == 0 {
+        return f64::INFINITY;
+    }
+    (-ll / tokens as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lda::LdaConfig;
+
+    fn separable() -> Corpus {
+        let docs: Vec<BagOfWords> = (0..20)
+            .map(|i| {
+                let base = if i % 2 == 0 { 0 } else { 4 };
+                BagOfWords::from_ids(&[base, base + 1, base + 2, base + 3, base, base + 1])
+            })
+            .collect();
+        Corpus::from_bows(docs, 8)
+    }
+
+    #[test]
+    fn perplexity_bounded_by_vocabulary() {
+        let corpus = separable();
+        let model = LdaModel::train(&corpus, &LdaConfig::new(2).with_iterations(50));
+        let ppl = perplexity(&model, &corpus, 3);
+        // A model that has learned the two themes needs far fewer than
+        // the 8 "effective words" of a uniform model.
+        assert!(ppl > 1.0 && ppl < 8.0, "perplexity {ppl}");
+    }
+
+    #[test]
+    fn trained_model_beats_undertrained() {
+        let corpus = separable();
+        let bad = LdaModel::train(&corpus, &LdaConfig::new(2).with_iterations(0));
+        let good = LdaModel::train(&corpus, &LdaConfig::new(2).with_iterations(80));
+        assert!(
+            perplexity(&good, &corpus, 1) <= perplexity(&bad, &corpus, 1) + 0.5,
+            "training should not hurt perplexity"
+        );
+    }
+
+    #[test]
+    fn empty_corpus_is_infinite() {
+        let corpus = separable();
+        let model = LdaModel::train(&corpus, &LdaConfig::new(2).with_iterations(10));
+        let empty = Corpus::from_bows(vec![BagOfWords::from_ids(&[])], 8);
+        assert!(perplexity(&model, &empty, 0).is_infinite());
+    }
+
+    #[test]
+    fn oov_tokens_are_skipped() {
+        let corpus = separable();
+        let model = LdaModel::train(&corpus, &LdaConfig::new(2).with_iterations(10));
+        let doc = BagOfWords::from_ids(&[0, 100, 200]);
+        let ll = doc_log_likelihood(&model, &doc, 0);
+        assert!(ll.is_finite() && ll < 0.0);
+    }
+}

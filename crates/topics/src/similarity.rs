@@ -1,0 +1,116 @@
+//! Total-variation similarity between topic distributions.
+
+/// Total-variation similarity `s = 1 − ½‖a − b‖₁` between two
+/// probability distributions of the same length (paper features x,
+/// xi, xiii).
+///
+/// For valid distributions the result lies in `[0, 1]`: 1 when the
+/// distributions are identical and 0 when they have disjoint support.
+///
+/// # Panics
+///
+/// Panics when the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use forumcast_topics::tv_similarity;
+/// assert_eq!(tv_similarity(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+/// assert_eq!(tv_similarity(&[0.5, 0.5], &[0.5, 0.5]), 1.0);
+/// ```
+pub fn tv_similarity(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "distributions must have equal length ({} vs {})",
+        a.len(),
+        b.len()
+    );
+    let l1: f64 = a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum();
+    1.0 - 0.5 * l1
+}
+
+/// Element-wise mean of a set of distributions, e.g. the "topics
+/// answered" user feature (v), `d_u = mean{d(p_{q,i})}`.
+///
+/// Returns the uniform distribution over `k` outcomes when `dists` is
+/// empty (the natural prior for a user with no history).
+///
+/// # Panics
+///
+/// Panics when the distributions have inconsistent lengths, or when
+/// `dists` is empty and `k == 0`.
+///
+/// # Example
+///
+/// ```
+/// use forumcast_topics::mean_distribution;
+/// let m = mean_distribution(&[vec![1.0, 0.0], vec![0.0, 1.0]], 2);
+/// assert_eq!(m, vec![0.5, 0.5]);
+/// ```
+pub fn mean_distribution(dists: &[Vec<f64>], k: usize) -> Vec<f64> {
+    if dists.is_empty() {
+        assert!(k > 0, "cannot build a distribution over zero topics");
+        return vec![1.0 / k as f64; k];
+    }
+    let len = dists[0].len();
+    let mut mean = vec![0.0; len];
+    for d in dists {
+        assert_eq!(d.len(), len, "inconsistent distribution lengths");
+        for (m, &x) in mean.iter_mut().zip(d) {
+            *m += x;
+        }
+    }
+    let n = dists.len() as f64;
+    for m in &mut mean {
+        *m /= n;
+    }
+    mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_have_similarity_one() {
+        let d = vec![0.2, 0.3, 0.5];
+        assert!((tv_similarity(&d, &d) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_distributions_have_similarity_zero() {
+        assert!(tv_similarity(&[1.0, 0.0, 0.0], &[0.0, 0.5, 0.5]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let a = [0.7, 0.2, 0.1];
+        let b = [0.1, 0.1, 0.8];
+        assert_eq!(tv_similarity(&a, &b), tv_similarity(&b, &a));
+    }
+
+    #[test]
+    fn partial_overlap_value() {
+        // |0.5-0.0| + |0.5-0.5| + |0.0-0.5| = 1.0 → s = 0.5
+        assert!((tv_similarity(&[0.5, 0.5, 0.0], &[0.0, 0.5, 0.5]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        tv_similarity(&[1.0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn mean_of_empty_is_uniform() {
+        assert_eq!(mean_distribution(&[], 4), vec![0.25; 4]);
+    }
+
+    #[test]
+    fn mean_averages_elementwise() {
+        let m = mean_distribution(&[vec![0.8, 0.2], vec![0.2, 0.8], vec![0.5, 0.5]], 2);
+        assert!((m[0] - 0.5).abs() < 1e-12);
+        assert!((m[1] - 0.5).abs() < 1e-12);
+    }
+}

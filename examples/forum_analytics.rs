@@ -1,0 +1,103 @@
+//! Forum analytics: the Social Learning Network view of a forum —
+//! graphs, centralities, topics, and descriptive statistics ("the
+//! learnt features can provide analytics to forum administrators",
+//! paper Section VI).
+//!
+//! ```text
+//! cargo run --release --example forum_analytics
+//! ```
+
+use forumcast::features::{ExtractorConfig, FeatureExtractor};
+use forumcast::graph::{betweenness, closeness, resource_allocation};
+use forumcast::prelude::*;
+
+fn main() {
+    let (dataset, report) = SynthConfig::small().with_seed(99).generate().preprocess();
+    println!("forum: {}", dataset.stats());
+    println!("cleaning: {report}\n");
+
+    // --- SLN graph structure (paper Figure 2) ---
+    let qa = qa_graph(dataset.num_users(), dataset.threads());
+    let dense = dense_graph(dataset.num_users(), dataset.threads());
+    for (name, g) in [("question-answer graph G_QA", &qa), ("denser graph G_D", &dense)] {
+        let s = GraphStats::compute(g);
+        println!(
+            "{name}: avg degree {:.2}, {} components (largest {}), disconnected: {}",
+            s.average_degree, s.num_components, s.largest_component, s.is_disconnected()
+        );
+    }
+
+    // --- most central users ---
+    let bc = betweenness(&qa);
+    let cc = closeness(&qa);
+    let mut hubs: Vec<u32> = (0..dataset.num_users()).collect();
+    hubs.sort_by(|&a, &b| bc[b as usize].total_cmp(&bc[a as usize]));
+    println!("\ntop connectors (betweenness on G_QA):");
+    for &u in hubs.iter().take(5) {
+        println!(
+            "  u{u}: betweenness {:.1}, closeness {:.3}, degree {}",
+            bc[u as usize],
+            cc[u as usize],
+            qa.degree(u)
+        );
+    }
+
+    // --- topics discussed (LDA over all posts) ---
+    let extractor =
+        FeatureExtractor::fit(dataset.threads(), dataset.num_users(), &ExtractorConfig::fast());
+    println!("\ndiscussion topics (K = {}):", extractor.topics().num_topics());
+    let ctx = extractor.context();
+    for k in 0..extractor.topics().num_topics() {
+        // Count users whose dominant interest is topic k.
+        let specialists = (0..dataset.num_users())
+            .map(UserId)
+            .filter(|&u| {
+                let d = ctx.user_topics(u);
+                d.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    == Some(k)
+                    && ctx.answers_provided(u) > 0.0
+            })
+            .count();
+        println!("  topic {k}: {specialists} specialist answerers");
+    }
+
+    // --- tie strength between a specific pair ---
+    let pairs = dataset.answered_pairs();
+    if let Some(p) = pairs.first() {
+        let thread = &dataset.threads()[p.question_index];
+        let asker = thread.asker();
+        println!(
+            "\npair analytics for {} answering {} (asked by {asker}):",
+            p.user, p.question
+        );
+        println!("  thread co-occurrence: {}", ctx.cooccurrence(p.user, asker));
+        println!(
+            "  resource allocation (QA / D): {:.4} / {:.4}",
+            resource_allocation(&qa, p.user.0, asker.0),
+            resource_allocation(&dense, p.user.0, asker.0),
+        );
+    }
+
+    // --- activity vs responsiveness (paper Figure 4b) ---
+    println!("\nmedian response time by activity level:");
+    for thr in [1.0, 2.0, 5.0] {
+        let times: Vec<f64> = (0..dataset.num_users())
+            .map(UserId)
+            .filter(|&u| ctx.answers_provided(u) >= thr)
+            .map(|u| ctx.median_response_time(u))
+            .collect();
+        if times.is_empty() {
+            continue;
+        }
+        let mut sorted = times.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        println!(
+            "  users with ≥{thr} answers: {} users, median r_u = {:.2} h",
+            times.len(),
+            sorted[sorted.len() / 2]
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Quickstart: generate a forum, extract the paper's 20 features,
+//! train the three predictors, and inspect predictions for one
+//! question.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use forumcast::prelude::*;
+
+fn main() {
+    // 1. A synthetic Stack-Overflow-like forum (30 simulated days),
+    //    preprocessed exactly as in the paper's Section III-A.
+    let raw = SynthConfig::small().with_seed(7).generate();
+    let (dataset, report) = raw.preprocess();
+    println!("preprocessing: {report}");
+    println!("dataset: {}", dataset.stats());
+
+    // 2. Fit the feature pipeline (LDA topics + SLN graphs + user
+    //    aggregates) on the first 80% of threads as history.
+    let split = dataset.num_questions() * 4 / 5;
+    let history = &dataset.threads()[..split];
+    let extractor = FeatureExtractor::fit(history, dataset.num_users(), &ExtractorConfig::fast());
+    println!(
+        "feature pipeline ready: dim = {} (18 + 2K, K = {})",
+        extractor.dim(),
+        extractor.topics().num_topics()
+    );
+
+    // 3. Build a training set over the history threads themselves
+    //    (answers become positive samples for all three tasks).
+    let horizon = dataset.horizon();
+    let mut ts = TrainingSet::new(extractor.dim());
+    let mut rng_state = 0x5EEDu64;
+    let mut next_user = |n: u32| {
+        // Tiny xorshift for negative sampling, keeping this example
+        // dependency-free.
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        UserId((rng_state % n as u64) as u32)
+    };
+    for thread in history {
+        let d_q = extractor.question_topics(thread);
+        let window = (horizon - thread.asked_at()).max(0.5);
+        let mut answers = Vec::new();
+        for a in &thread.answers {
+            let x = extractor.features(a.author, thread, &d_q);
+            ts.push_answer(x.clone(), true);
+            ts.push_vote(x.clone(), a.votes as f64);
+            answers.push((x, a.timestamp - thread.asked_at()));
+        }
+        // One random non-answerer per answer (negative + survival sample).
+        let mut negatives = Vec::new();
+        for _ in 0..thread.answers.len() {
+            let u = next_user(dataset.num_users());
+            if thread.answered_by(u) || u == thread.asker() {
+                continue;
+            }
+            let x = extractor.features(u, thread, &d_q);
+            ts.push_answer(x.clone(), false);
+            negatives.push(x);
+        }
+        if !answers.is_empty() {
+            ts.push_timing_thread(answers, negatives, window, dataset.num_users() as usize);
+        }
+    }
+    let (na, nv, nt) = ts.counts();
+    println!("training on {na} answer samples, {nv} vote samples, {nt} threads …");
+    let model = ResponsePredictor::train(&ts, &TrainConfig::fast());
+
+    // 4. Predict for a held-out question: its real answerer vs. a
+    //    random bystander.
+    let target = &dataset.threads()[split];
+    let d_q = extractor.question_topics(target);
+    let window = (horizon - target.asked_at()).max(0.5);
+    let answerer = target.answers[0].author;
+    let bystander = (0..dataset.num_users())
+        .map(UserId)
+        .find(|&u| !target.answered_by(u) && u != target.asker())
+        .expect("some bystander");
+
+    println!("\nheld-out question {} (asked at {:.1} h):", target.id, target.asked_at());
+    for (name, u) in [("actual answerer", answerer), ("bystander", bystander)] {
+        let x = extractor.features(u, target, &d_q);
+        let (a, v, r) = model.predict(&x, window);
+        println!("  {name:<16} {u}: â = {a:.3}, v̂ = {v:+.2} votes, r̂ = {r:.2} h");
+    }
+    let observed = &target.answers[0];
+    println!(
+        "  observed          {}: answered after {:.2} h with {} votes",
+        answerer,
+        observed.timestamp - target.asked_at(),
+        observed.votes
+    );
+}
