@@ -191,8 +191,7 @@ impl fmt::Display for AbTestReport {
             writeln!(
                 f,
                 "{:<11} {:>6} {:>8} {:>10.3} {:>11.2}h {:>11.2}h",
-                name, arm.questions, arm.answers, arm.mean_votes, arm.mean_delay,
-                arm.median_delay
+                name, arm.questions, arm.answers, arm.mean_votes, arm.mean_delay, arm.median_delay
             )?;
         }
         writeln!(
@@ -216,15 +215,14 @@ pub fn run(config: &AbTestConfig) -> AbTestReport {
 
     // --- Phase 1: organic warmup + offline training ---
     let warmup_threads = sim.run_organic(config.warmup_questions);
-    let warmup = Dataset::new(config.synth.num_users, warmup_threads)
-        .expect("simulator invariants hold");
+    let warmup =
+        Dataset::new(config.synth.num_users, warmup_threads).expect("simulator invariants hold");
     let (warmup, _) = warmup.preprocess();
     assert!(
         warmup.num_questions() > 0,
         "warmup produced no answered threads"
     );
-    let extractor =
-        FeatureExtractor::fit(warmup.threads(), warmup.num_users(), &config.extractor);
+    let extractor = FeatureExtractor::fit(warmup.threads(), warmup.num_users(), &config.extractor);
     let model = train_offline(&warmup, &extractor, config);
 
     // --- Phase 2: replay the question stream through both arms ---
@@ -405,15 +403,23 @@ mod tests {
 
     #[test]
     fn lambda_shifts_the_objective_toward_speed() {
-        let fast = run(&AbTestConfig::quick().with_lambda(3.0));
-        let quality = run(&AbTestConfig::quick().with_lambda(0.0));
+        // More evaluation questions than `quick` so the comparison is
+        // a routing signal rather than sampling noise.
+        let mut cfg = AbTestConfig::quick();
+        cfg.eval_questions = 300;
+        let fast = run(&cfg.clone().with_lambda(3.0));
+        let quality = run(&cfg.with_lambda(0.0));
         // Same simulation seed: the speed-optimizing router should
-        // produce no slower answers than the quality-optimizing one.
+        // produce no slower typical answers than the quality-optimizing
+        // one. Compare medians, not means — per-answer delays are
+        // heavy-tailed (organic stragglers run to tens of hours), so a
+        // few-hundred-sample mean is dominated by whichever arm drew
+        // the worse outliers, not by the routing policy under test.
         assert!(
-            fast.treatment.mean_delay <= quality.treatment.mean_delay + 1.0,
-            "fast {} vs quality {}",
-            fast.treatment.mean_delay,
-            quality.treatment.mean_delay
+            fast.treatment.median_delay <= quality.treatment.median_delay + 0.5,
+            "fast median {} vs quality median {}",
+            fast.treatment.median_delay,
+            quality.treatment.median_delay
         );
     }
 

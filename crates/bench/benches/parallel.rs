@@ -1,0 +1,75 @@
+//! Criterion bench: 1-thread vs N-thread runs of the evaluation hot
+//! paths behind the `forumcast-par` scoped-thread layer — exact
+//! betweenness on a forum-scale graph and `(u, q)` feature-vector
+//! extraction. On a ≥4-core machine the N-thread variants should run
+//! ≥2× faster than the 1-thread baselines; outputs are
+//! bitwise-identical either way (asserted by the workspace tests).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use forumcast_eval::{EvalConfig, ExperimentData};
+use forumcast_graph::{betweenness_with_threads, closeness_with_threads, qa_graph, Graph};
+use forumcast_synth::SynthConfig;
+
+/// A connected synthetic graph of about 2K nodes: ring + chords, the
+/// same shape as the determinism tests but bench-sized.
+fn dense_ring(n: usize) -> Graph {
+    let mut edges = Vec::with_capacity(2 * n);
+    for i in 0..n as u32 {
+        edges.push((i, (i + 1) % n as u32));
+        if i % 3 == 0 {
+            edges.push((i, (i * 7 + 5) % n as u32));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+fn thread_counts() -> Vec<usize> {
+    let auto = forumcast_par::configured_threads();
+    if auto > 1 {
+        vec![1, auto]
+    } else {
+        vec![1]
+    }
+}
+
+fn bench_parallel_graph(c: &mut Criterion) {
+    let g = dense_ring(2000);
+    let ds = SynthConfig::small().generate();
+    let (ds, _) = ds.preprocess();
+    let qa = qa_graph(ds.num_users(), ds.threads());
+
+    let mut group = c.benchmark_group("parallel/graph");
+    group.sample_size(10);
+    for &t in &thread_counts() {
+        group.bench_with_input(BenchmarkId::new("betweenness_ring2k", t), &t, |b, &t| {
+            b.iter(|| betweenness_with_threads(&g, t))
+        });
+        group.bench_with_input(BenchmarkId::new("betweenness_qa", t), &t, |b, &t| {
+            b.iter(|| betweenness_with_threads(&qa, t))
+        });
+        group.bench_with_input(BenchmarkId::new("closeness_ring2k", t), &t, |b, &t| {
+            b.iter(|| closeness_with_threads(&g, t))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_features(c: &mut Criterion) {
+    let cfg = EvalConfig::quick();
+    let (ds, _) = cfg.synth.generate().preprocess();
+
+    let mut group = c.benchmark_group("parallel/features");
+    group.sample_size(10);
+    for &t in &thread_counts() {
+        group.bench_with_input(BenchmarkId::new("experiment_build", t), &t, |b, &t| {
+            let mut cfg = cfg.clone();
+            cfg.threads = t;
+            b.iter(|| ExperimentData::build(&ds, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_graph, bench_parallel_features);
+criterion_main!(benches);

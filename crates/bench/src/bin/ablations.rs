@@ -59,16 +59,20 @@ fn main() {
     run("timing: unclamped survival wts", &cfg);
 
     println!();
-    println!(
-        "(generator ablation) timing noise = pure point process (paper's own model family):"
-    );
+    println!("(generator ablation) timing noise = pure point process (paper's own model family):");
     let mut synth_pp = base_cfg.clone();
     synth_pp.synth.timing_noise = forumcast_synth::config::TimingNoise::PointProcess;
     let (ds_pp, _) = synth_pp.synth.generate().preprocess();
     let data_pp = ExperimentData::build(&ds_pp, &synth_pp);
     let outcomes = run_cv(&data_pp, &synth_pp, None, true);
     let rt = mean_std(&outcomes.iter().map(|o| o.rmse_time).collect::<Vec<_>>()).0;
-    let rt_b = mean_std(&outcomes.iter().map(|o| o.rmse_time_baseline).collect::<Vec<_>>()).0;
+    let rt_b = mean_std(
+        &outcomes
+            .iter()
+            .map(|o| o.rmse_time_baseline)
+            .collect::<Vec<_>>(),
+    )
+    .0;
     println!(
         "point-process noise: ours RMSE(r) {rt:.3} vs poisson {rt_b:.3} — with CV≈1 \
          delay noise, no regressor separates from the mean (see EXPERIMENTS.md)"

@@ -36,7 +36,11 @@ fn main() {
         let mut buckets = [0usize; 8];
         for u in 0..s.num_nodes as u32 {
             let d = g.degree(u);
-            let b = if d == 0 { 0 } else { (d.ilog2() as usize + 1).min(7) };
+            let b = if d == 0 {
+                0
+            } else {
+                (d.ilog2() as usize + 1).min(7)
+            };
             buckets[b] += 1;
         }
         println!("  degree histogram [0, 1, 2-3, 4-7, 8-15, 16-31, 32-63, 64+]:");
@@ -45,6 +49,10 @@ fn main() {
     }
     println!(
         "shape check: avg degree G_D > G_QA? {}",
-        if dense.average_degree() > qa.average_degree() { "YES" } else { "NO" }
+        if dense.average_degree() > qa.average_degree() {
+            "YES"
+        } else {
+            "NO"
+        }
     );
 }

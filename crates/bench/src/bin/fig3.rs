@@ -10,7 +10,10 @@ fn main() {
     let (dataset, _) = opts.config.synth.generate().preprocess();
     let report = fig3::run(&dataset, 1000);
     println!("{report}");
-    println!("scatter sample (hours, votes) — first 20 of {}:", report.scatter.len());
+    println!(
+        "scatter sample (hours, votes) — first 20 of {}:",
+        report.scatter.len()
+    );
     for (r, v) in report.scatter.iter().take(20) {
         println!("  {r:>10.3} {v:>6.1}");
     }

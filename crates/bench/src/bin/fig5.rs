@@ -17,7 +17,7 @@ fn main() {
     println!("{report}");
     // Shape check: r̂ should move least across K.
     let spread = |f: &dyn Fn(&fig5::Fig5Point) -> f64| -> f64 {
-        let vals: Vec<f64> = report.points.iter().map(|p| f(p)).collect();
+        let vals: Vec<f64> = report.points.iter().map(f).collect();
         vals.iter().cloned().fold(f64::MIN, f64::max)
             - vals.iter().cloned().fold(f64::MAX, f64::min)
     };

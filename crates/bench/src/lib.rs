@@ -33,6 +33,7 @@ pub fn parse_args() -> BinOptions {
     let mut json = false;
     let mut folds: Option<usize> = None;
     let mut repeats: Option<usize> = None;
+    let mut threads: Option<usize> = None;
     let mut pending: Option<&str> = None;
     for arg in std::env::args().skip(1) {
         if let Some(key) = pending.take() {
@@ -42,6 +43,7 @@ pub fn parse_args() -> BinOptions {
             });
             match key {
                 "folds" => folds = Some(value),
+                "threads" => threads = Some(value),
                 _ => repeats = Some(value),
             }
             continue;
@@ -53,6 +55,10 @@ pub fn parse_args() -> BinOptions {
             }
             "--repeats" => {
                 pending = Some("repeats");
+                continue;
+            }
+            "--threads" => {
+                pending = Some("threads");
                 continue;
             }
             "quick" => {
@@ -70,7 +76,10 @@ pub fn parse_args() -> BinOptions {
             "--json" => json = true,
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: <bin> [quick|standard|paper] [--json] [--folds N] [--repeats N]");
+                eprintln!(
+                    "usage: <bin> [quick|standard|paper] [--json] [--folds N] [--repeats N] \
+                     [--threads N]"
+                );
                 std::process::exit(2);
             }
         }
@@ -80,6 +89,11 @@ pub fn parse_args() -> BinOptions {
     }
     if let Some(r) = repeats {
         config.repeats = r.max(1);
+    }
+    if let Some(t) = threads {
+        // 0 = auto (FORUMCAST_THREADS env var, else machine
+        // parallelism) — the same convention as EvalConfig::threads.
+        config.threads = t;
     }
     BinOptions {
         config,

@@ -14,7 +14,7 @@ commands:
   predict    --data <file> --model <model-file> --question <id> --user <id>
   route      --data <file> --model <model-file> --question <id>
              [--lambda X] [--epsilon X] [--capacity X] [--top N]
-  evaluate   [--scale <quick|standard|paper>]
+  evaluate   [--scale <quick|standard|paper>] [--threads N]
   abtest     [--scale <quick|standard>] [--lambda X]
   help
 ";
@@ -81,6 +81,9 @@ pub enum Command {
     Evaluate {
         /// Protocol scale.
         scale: String,
+        /// Worker threads (0 = auto: `FORUMCAST_THREADS` env var,
+        /// else available parallelism).
+        threads: usize,
     },
     /// Run the simulated A/B test.
     AbTest {
@@ -174,8 +177,9 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseEr
         "evaluate" => {
             let c = Command::Evaluate {
                 scale: opts.get_or("scale", "quick")?,
+                threads: opts.get_parsed_or("threads", 0)?,
             };
-            opts.reject_unknown(&["scale"])?;
+            opts.reject_unknown(&["scale", "threads"])?;
             Ok(c)
         }
         "abtest" => {
@@ -350,6 +354,27 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_evaluate_threads() {
+        let cmd = parse(argv("evaluate --scale quick --threads 4")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Evaluate {
+                scale: "quick".into(),
+                threads: 4
+            }
+        );
+        // Default: 0 = auto.
+        let cmd = parse(argv("evaluate")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Evaluate {
+                scale: "quick".into(),
+                threads: 0
+            }
+        );
     }
 
     #[test]

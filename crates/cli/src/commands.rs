@@ -59,7 +59,7 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
             capacity,
             top,
         } => route(&data, &model, question, lambda, epsilon, capacity, top, out),
-        Command::Evaluate { scale } => evaluate(&scale, out),
+        Command::Evaluate { scale, threads } => evaluate(&scale, threads, out),
         Command::AbTest { scale, lambda } => abtest(&scale, lambda, out),
     }
 }
@@ -118,7 +118,10 @@ fn stats(data: &str, out: &mut dyn Write) -> CmdResult {
         writeln!(
             out,
             "{name}: avg degree {:.2}, {} components (largest {}), disconnected {}",
-            s.average_degree, s.num_components, s.largest_component, s.is_disconnected()
+            s.average_degree,
+            s.num_components,
+            s.largest_component,
+            s.is_disconnected()
         )?;
     }
     Ok(())
@@ -127,11 +130,7 @@ fn stats(data: &str, out: &mut dyn Write) -> CmdResult {
 /// Builds a training set over all threads of a (preprocessed) dataset,
 /// with one random non-answerer per answer as negative/survival
 /// samples.
-fn build_training_set(
-    dataset: &Dataset,
-    extractor: &FeatureExtractor,
-    seed: u64,
-) -> TrainingSet {
+fn build_training_set(dataset: &Dataset, extractor: &FeatureExtractor, seed: u64) -> TrainingSet {
     let mut rng = StdRng::seed_from_u64(seed);
     let horizon = dataset.horizon();
     let mut ts = TrainingSet::new(extractor.dim());
@@ -183,7 +182,10 @@ fn train(data: &str, fast: bool, seed: Option<u64>, path: &str, out: &mut dyn Wr
     let extractor = FeatureExtractor::fit(clean.threads(), clean.num_users(), &ex_cfg);
     let ts = build_training_set(&clean, &extractor, seed.unwrap_or(0x7EA1));
     let (na, nv, nt) = ts.counts();
-    writeln!(out, "training on {na} answer / {nv} vote samples, {nt} threads …")?;
+    writeln!(
+        out,
+        "training on {na} answer / {nv} vote samples, {nt} threads …"
+    )?;
     let train_cfg = if fast {
         TrainConfig::fast()
     } else {
@@ -302,14 +304,19 @@ fn route(
     Ok(())
 }
 
-fn evaluate(scale: &str, out: &mut dyn Write) -> CmdResult {
-    let cfg = match scale {
+fn evaluate(scale: &str, threads: usize, out: &mut dyn Write) -> CmdResult {
+    let mut cfg = match scale {
         "quick" => EvalConfig::quick(),
         "standard" => EvalConfig::standard(),
         "paper" => EvalConfig::paper(),
         other => return Err(format!("unknown scale `{other}`").into()),
     };
-    writeln!(out, "running Table-I evaluation at scale `{scale}` …")?;
+    cfg.threads = threads;
+    writeln!(
+        out,
+        "running Table-I evaluation at scale `{scale}` ({} worker threads) …",
+        cfg.worker_threads()
+    )?;
     let report = table1::run(&cfg);
     writeln!(out, "{report}")?;
     Ok(())

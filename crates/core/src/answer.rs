@@ -55,7 +55,14 @@ impl AnswerPredictor {
         assert!(!xs.is_empty(), "need at least one training sample");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut model = LogisticRegression::new(xs[0].len());
-        model.fit(xs, ys, config.epochs, config.learning_rate, config.l2, &mut rng);
+        model.fit(
+            xs,
+            ys,
+            config.epochs,
+            config.learning_rate,
+            config.l2,
+            &mut rng,
+        );
         AnswerPredictor { model }
     }
 

@@ -273,7 +273,10 @@ mod tests {
         for i in 0..60 {
             let active = i % 2 == 0;
             let skilled = i % 3 == 0;
-            let x = vec![if active { 500.0 } else { 100.0 }, if skilled { 80.0 } else { 20.0 }];
+            let x = vec![
+                if active { 500.0 } else { 100.0 },
+                if skilled { 80.0 } else { 20.0 },
+            ];
             ts.push_answer(x.clone(), active);
             ts.push_vote(x.clone(), if skilled { 5.0 } else { 0.0 });
             if active {

@@ -86,14 +86,30 @@ pub struct ThreadObservation {
 
 impl ThreadObservation {
     /// Importance weight applied to each sampled non-answerer's
-    /// survival term so the sample represents the whole population.
+    /// survival term so the sample represents the whole population:
+    /// `(|U| − 1 − #answers) / #samples` (the asker and the answerers
+    /// are excluded from the surviving population).
+    ///
+    /// Two edge cases degrade to a weight of `0.0` rather than
+    /// producing a NaN or a negative weight:
+    ///
+    /// - **Empty sample** (`non_answerers` empty): there is no term to
+    ///   weight, so the thread contributes only its answer terms to
+    ///   the likelihood. The survival sum is silently dropped — the
+    ///   estimator is biased for such threads, which is why
+    ///   [`TimingPredictor::train`] debug-asserts population
+    ///   consistency instead of asserting non-emptiness here.
+    /// - **Saturated population** (`population < 1 + answers.len()`):
+    ///   the declared population is too small to contain the asker
+    ///   plus every answerer, so the "remaining users" count
+    ///   saturates at zero. This indicates an inconsistent
+    ///   observation; the weight collapses to `0.0` and any sampled
+    ///   non-answerers contribute nothing.
     pub fn survival_weight(&self) -> f64 {
         if self.non_answerers.is_empty() {
             return 0.0;
         }
-        let remaining = self
-            .population
-            .saturating_sub(1 + self.answers.len()) as f64;
+        let remaining = self.population.saturating_sub(1 + self.answers.len()) as f64;
         remaining / self.non_answerers.len() as f64
     }
 }
@@ -203,6 +219,21 @@ impl TimingPredictor {
             .flat_map(|t| t.answers.first().map(|(x, _)| x.len()))
             .next()
             .expect("at least one answered thread required");
+        // A population smaller than the asker plus the answerers means
+        // the observation is internally inconsistent; survival_weight
+        // would silently saturate to 0.0 and drop the thread's entire
+        // survival sum from the likelihood. Catch it loudly in debug
+        // builds. (Empty `non_answerers` with a consistent population
+        // is allowed — it just omits the sampled survival terms.)
+        for (i, t) in threads.iter().enumerate() {
+            debug_assert!(
+                t.population > t.answers.len(),
+                "thread {i}: population {} cannot hold the asker plus {} answerers; \
+                 its survival weight saturates to 0.0",
+                t.population,
+                t.answers.len(),
+            );
+        }
         let mut rng = StdRng::seed_from_u64(config.seed);
 
         let mut f_specs = Vec::new();
@@ -545,7 +576,11 @@ mod tests {
         (0..n)
             .map(|i| {
                 let fast = i % 2 == 0;
-                let delay = if fast { 1.0 + (i % 3) as f64 * 0.3 } else { 20.0 + (i % 5) as f64 };
+                let delay = if fast {
+                    1.0 + (i % 3) as f64 * 0.3
+                } else {
+                    20.0 + (i % 5) as f64
+                };
                 ThreadObservation {
                     answers: vec![(vec![if fast { 1.0 } else { -1.0 }, 0.2], delay)],
                     non_answerers: vec![vec![-1.0, -0.5], vec![-0.8, 0.1]],
@@ -559,7 +594,13 @@ mod tests {
     #[test]
     fn training_improves_log_likelihood() {
         let threads = synthetic_threads(60);
-        let untrained = TimingPredictor::train(&threads, &TimingConfig { epochs: 0, ..TimingConfig::fast() });
+        let untrained = TimingPredictor::train(
+            &threads,
+            &TimingConfig {
+                epochs: 0,
+                ..TimingConfig::fast()
+            },
+        );
         let trained = TimingPredictor::train(&threads, &TimingConfig::fast());
         assert!(
             trained.log_likelihood(&threads) > untrained.log_likelihood(&threads),
@@ -573,10 +614,7 @@ mod tests {
         let model = TimingPredictor::train(&threads, &TimingConfig::fast());
         let fast = model.predict(&[1.0, 0.2], 100.0);
         let slow = model.predict(&[-1.0, 0.2], 100.0);
-        assert!(
-            fast < slow,
-            "fast archetype {fast} should beat slow {slow}"
-        );
+        assert!(fast < slow, "fast archetype {fast} should beat slow {slow}");
     }
 
     #[test]
@@ -650,6 +688,81 @@ mod tests {
             ..t
         };
         assert_eq!(empty.survival_weight(), 0.0);
+    }
+
+    #[test]
+    fn survival_weight_empty_sample_is_zero_not_nan() {
+        // No sampled non-answerers: the weight must be exactly 0.0
+        // (not 98/0 = inf or 0/0 = NaN) so the likelihood simply
+        // omits the sampled survival terms.
+        let t = ThreadObservation {
+            answers: vec![(vec![0.0], 1.0)],
+            non_answerers: vec![],
+            window: 10.0,
+            population: 100,
+        };
+        let w = t.survival_weight();
+        assert_eq!(w, 0.0);
+        assert!(!w.is_nan());
+    }
+
+    #[test]
+    fn survival_weight_saturates_for_undersized_population() {
+        // population < 1 + answers.len(): "remaining users" saturates
+        // at zero instead of wrapping, so the weight is 0.0 rather
+        // than a huge positive value from an underflowed subtraction.
+        let t = ThreadObservation {
+            answers: vec![(vec![0.0], 1.0), (vec![0.1], 2.0), (vec![0.2], 3.0)],
+            non_answerers: vec![vec![0.0]; 2],
+            window: 10.0,
+            population: 2,
+        };
+        assert_eq!(t.survival_weight(), 0.0);
+        // The boundary case population == 1 + answers.len() is
+        // consistent (nobody remains) and also yields 0.0.
+        let boundary = ThreadObservation { population: 4, ..t };
+        assert_eq!(boundary.survival_weight(), 0.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "cannot hold the asker")]
+    fn training_rejects_inconsistent_population_in_debug() {
+        // population 1 cannot hold the asker plus one answerer; the
+        // consistency debug-assert in train() should fire.
+        TimingPredictor::train(
+            &[ThreadObservation {
+                answers: vec![(vec![0.0, 0.0], 1.0)],
+                non_answerers: vec![vec![0.1, 0.1]],
+                window: 10.0,
+                population: 1,
+            }],
+            &TimingConfig {
+                epochs: 1,
+                ..TimingConfig::fast()
+            },
+        );
+    }
+
+    #[test]
+    fn training_accepts_empty_non_answerer_samples() {
+        // A consistent population with no sampled non-answerers is
+        // legal (e.g. serialized fixtures): the survival sum is
+        // omitted and training proceeds on the answer terms alone.
+        let threads: Vec<ThreadObservation> = synthetic_threads(20)
+            .into_iter()
+            .map(|t| ThreadObservation {
+                non_answerers: vec![],
+                ..t
+            })
+            .collect();
+        let cfg = TimingConfig {
+            epochs: 3,
+            ..TimingConfig::fast()
+        };
+        let model = TimingPredictor::train(&threads, &cfg);
+        let p = model.predict(&[1.0, 0.2], 100.0);
+        assert!(p.is_finite() && p > 0.0, "prediction {p}");
     }
 
     /// Finite-difference check of the thread-gradient accumulation.
@@ -793,7 +906,10 @@ mod tests {
         let slow = model.predict(&[-1.0, 0.2], 100.0);
         let min_obs = 1.0;
         let max_obs = 25.0;
-        assert!(fast >= min_obs - 1.0 && slow <= max_obs + 1.0, "{fast} {slow}");
+        assert!(
+            fast >= min_obs - 1.0 && slow <= max_obs + 1.0,
+            "{fast} {slow}"
+        );
         assert!(fast < slow);
     }
 
@@ -816,11 +932,17 @@ mod tests {
         let threads = synthetic_threads(10);
         let model = TimingPredictor::train(
             &threads,
-            &TimingConfig { epochs: 3, ..TimingConfig::fast() },
+            &TimingConfig {
+                epochs: 3,
+                ..TimingConfig::fast()
+            },
         );
         let json = serde_json::to_string(&model).unwrap();
         let back: TimingPredictor = serde_json::from_str(&json).unwrap();
-        let (a, b) = (back.predict(&[1.0, 0.2], 50.0), model.predict(&[1.0, 0.2], 50.0));
+        let (a, b) = (
+            back.predict(&[1.0, 0.2], 50.0),
+            model.predict(&[1.0, 0.2], 50.0),
+        );
         assert!((a - b).abs() < 1e-9, "{a} vs {b}");
     }
 }

@@ -118,7 +118,11 @@ impl VotePredictor {
                 / val_idx.len().max(1) as f64
         };
         let mut best_params = mlp.params().to_vec();
-        let mut best_val = if n_val > 0 { val_mse(&mlp) } else { f64::INFINITY };
+        let mut best_val = if n_val > 0 {
+            val_mse(&mlp)
+        } else {
+            f64::INFINITY
+        };
         let mut stale = 0usize;
         for _ in 0..config.epochs {
             trainer.epoch(&mut mlp, &train_xs, &train_ys, &mut rng);
@@ -197,7 +201,14 @@ mod tests {
     #[test]
     fn paper_architecture_has_four_hidden_layers() {
         let (xs, ys) = toy();
-        let p = VotePredictor::train(&xs, &ys, &VoteConfig { epochs: 1, ..VoteConfig::default() });
+        let p = VotePredictor::train(
+            &xs,
+            &ys,
+            &VoteConfig {
+                epochs: 1,
+                ..VoteConfig::default()
+            },
+        );
         // 4 hidden + 1 output.
         assert_eq!(p.network().specs().len(), 5);
         assert_eq!(p.network().specs()[0].outputs, 20);

@@ -87,11 +87,14 @@ impl Dataset {
                 if !p.timestamp.is_finite() {
                     return Err(DataError::NonFiniteTimestamp { question: t.id.0 });
                 }
+                // Negative hours would silently collapse into day 1
+                // of the day partition (see `DayPartition::
+                // day_of_time`), so reject them at the boundary.
+                if p.timestamp < 0.0 {
+                    return Err(DataError::NegativeTimestamp { question: t.id.0 });
+                }
             }
-            if t.answers
-                .iter()
-                .any(|a| a.timestamp < t.question.timestamp)
-            {
+            if t.answers.iter().any(|a| a.timestamp < t.question.timestamp) {
                 return Err(DataError::AnswerBeforeQuestion { question: t.id.0 });
             }
         }
@@ -240,7 +243,11 @@ impl Dataset {
             num_answerers,
             num_questions: self.num_questions(),
             num_answers: self.num_answers(),
-            answer_matrix_density: if cells > 0.0 { pairs as f64 / cells } else { 0.0 },
+            answer_matrix_density: if cells > 0.0 {
+                pairs as f64 / cells
+            } else {
+                0.0
+            },
             horizon: self.horizon(),
         }
     }
@@ -329,16 +336,42 @@ mod tests {
 
     #[test]
     fn rejects_answer_before_question() {
-        let err =
-            Dataset::new(2, vec![Thread::new(0, post(0, 5.0, 0), vec![post(1, 4.0, 0)])])
-                .unwrap_err();
-        assert!(matches!(err, DataError::AnswerBeforeQuestion { question: 0 }));
+        let err = Dataset::new(
+            2,
+            vec![Thread::new(0, post(0, 5.0, 0), vec![post(1, 4.0, 0)])],
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            DataError::AnswerBeforeQuestion { question: 0 }
+        ));
     }
 
     #[test]
     fn rejects_non_finite_timestamp() {
         let err = Dataset::new(1, vec![Thread::new(0, post(0, f64::NAN, 0), vec![])]).unwrap_err();
         assert!(matches!(err, DataError::NonFiniteTimestamp { .. }));
+    }
+
+    #[test]
+    fn rejects_negative_question_timestamp() {
+        // Regression: negative hours used to pass validation and
+        // collapse into day 1 of the day partition.
+        let err = Dataset::new(1, vec![Thread::new(0, post(0, -3.0, 0), vec![])]).unwrap_err();
+        assert!(matches!(err, DataError::NegativeTimestamp { question: 0 }));
+    }
+
+    #[test]
+    fn rejects_negative_answer_timestamp() {
+        // An answer can only be negative if its question is too (the
+        // answer-before-question check fires first otherwise), but
+        // the invariant must hold for every post.
+        let err = Dataset::new(
+            2,
+            vec![Thread::new(4, post(0, -8.0, 0), vec![post(1, -2.0, 0)])],
+        )
+        .unwrap_err();
+        assert!(matches!(err, DataError::NegativeTimestamp { question: 4 }));
     }
 
     #[test]

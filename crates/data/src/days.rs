@@ -47,7 +47,14 @@ impl DayPartition {
     }
 
     /// 1-based day containing timestamp `t` (non-negative hours).
+    ///
+    /// Negative hours have no day: the `as usize` cast would clamp
+    /// them all into day 1, silently mixing pre-epoch posts into the
+    /// first partition. [`Dataset::new`] rejects negative timestamps
+    /// at the boundary, so this can only trip on raw values that
+    /// bypassed validation.
     pub fn day_of_time(t: Hours) -> usize {
+        debug_assert!(t >= 0.0, "negative timestamp {t} has no day partition");
         (t / HOURS_PER_DAY).floor() as usize + 1
     }
 

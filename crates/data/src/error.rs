@@ -26,6 +26,14 @@ pub enum DataError {
         /// Question id of the offending thread.
         question: u32,
     },
+    /// A post is timestamped before the epoch (hour 0). Accepting
+    /// such posts would silently corrupt day partitioning:
+    /// [`crate::DayPartition::day_of_time`] maps every negative hour
+    /// into day 1.
+    NegativeTimestamp {
+        /// Question id of the offending thread.
+        question: u32,
+    },
     /// JSON (de)serialization failed.
     Json(String),
 }
@@ -41,10 +49,16 @@ impl fmt::Display for DataError {
                 write!(f, "duplicate question id q{q}")
             }
             DataError::AnswerBeforeQuestion { question } => {
-                write!(f, "thread q{question} has an answer timestamped before its question")
+                write!(
+                    f,
+                    "thread q{question} has an answer timestamped before its question"
+                )
             }
             DataError::NonFiniteTimestamp { question } => {
                 write!(f, "thread q{question} contains a non-finite timestamp")
+            }
+            DataError::NegativeTimestamp { question } => {
+                write!(f, "thread q{question} contains a negative timestamp")
             }
             DataError::Json(msg) => write!(f, "json error: {msg}"),
         }

@@ -115,7 +115,13 @@ pub fn import_records(
                 .chain(r.answers.iter().map(|a| a.creation_epoch_s))
         })
         .fold(f64::INFINITY, f64::min);
-    let to_hours = |s: f64| if epoch.is_finite() { (s - epoch) / 3600.0 } else { 0.0 };
+    let to_hours = |s: f64| {
+        if epoch.is_finite() {
+            (s - epoch) / 3600.0
+        } else {
+            0.0
+        }
+    };
 
     let mut threads = Vec::with_capacity(records.len());
     for r in records {

@@ -150,9 +150,15 @@ mod tests {
         let pos: Vec<usize> = (0..d.positives.len()).collect();
         let neg: Vec<usize> = (0..d.negatives.len()).collect();
         let b = Baselines::train(&d, &pos, &neg, 2);
-        let avg_pos: f64 = pos.iter().map(|&i| b.score_answer(&d.positives[i])).sum::<f64>()
+        let avg_pos: f64 = pos
+            .iter()
+            .map(|&i| b.score_answer(&d.positives[i]))
+            .sum::<f64>()
             / pos.len() as f64;
-        let avg_neg: f64 = neg.iter().map(|&i| b.score_answer(&d.negatives[i])).sum::<f64>()
+        let avg_neg: f64 = neg
+            .iter()
+            .map(|&i| b.score_answer(&d.negatives[i]))
+            .sum::<f64>()
             / neg.len() as f64;
         assert!(avg_pos > avg_neg, "{avg_pos} vs {avg_neg}");
     }

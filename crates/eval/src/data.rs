@@ -87,6 +87,7 @@ impl ExperimentData {
         let horizon = dataset.horizon();
         let num_targets = threads.len() - warmup;
         let buckets = config.buckets.max(1).min(num_targets);
+        let worker_threads = config.worker_threads();
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0xDA7A);
 
         let mut positives = Vec::new();
@@ -100,28 +101,21 @@ impl ExperimentData {
             if start >= end {
                 break;
             }
-            let extractor =
-                FeatureExtractor::fit(&threads[..start], dataset.num_users(), extractor_config);
+
+            // Pass 1 (serial): windows, answerer lists, and negative
+            // sampling. Sampling stays sequential in thread order so
+            // the RNG stream — and therefore every sampled user — is
+            // identical to the serial implementation regardless of
+            // the worker-thread count.
+            let mut plans: Vec<(&forumcast_data::Thread, usize, Vec<UserId>, Vec<UserId>)> =
+                Vec::with_capacity(end - start);
             for (gi, thread) in threads[start..end].iter().enumerate() {
                 let target = start + gi - warmup;
-                let window = (horizon - thread.asked_at()).max(0.5);
-                windows[target] = window;
-                let d_q = extractor.question_topics(thread);
+                windows[target] = (horizon - thread.asked_at()).max(0.5);
 
-                let mut answerers: Vec<UserId> =
-                    thread.answers.iter().map(|a| a.author).collect();
+                let mut answerers: Vec<UserId> = thread.answers.iter().map(|a| a.author).collect();
                 answerers.sort_unstable();
                 answerers.dedup();
-                for &u in &answerers {
-                    let a = thread.answer_by(u).expect("answered");
-                    positives.push(PairRecord {
-                        user: u,
-                        target,
-                        x: extractor.features(u, thread, &d_q),
-                        votes: a.votes as f64,
-                        response_time: a.timestamp - thread.asked_at(),
-                    });
-                }
                 // Balanced negatives, sampled "equally across
                 // questions": one per positive in this thread.
                 let wanted =
@@ -136,15 +130,50 @@ impl ExperimentData {
                     }
                     sampled.push(u);
                 }
-                for u in sampled {
-                    negatives.push(PairRecord {
-                        user: u,
-                        target,
-                        x: extractor.features(u, thread, &d_q),
-                        votes: 0.0,
-                        response_time: 0.0,
-                    });
-                }
+                plans.push((thread, target, answerers, sampled));
+            }
+
+            // Pass 2 (parallel): per-thread feature extraction. Each
+            // `(u, q)` vector is a pure function of the fitted
+            // extractor and the plan, and results are flattened in
+            // thread order, so the output is identical for any
+            // worker-thread count.
+            let extractor =
+                FeatureExtractor::fit(&threads[..start], dataset.num_users(), extractor_config);
+            let per_thread = forumcast_par::parallel_map(
+                &plans,
+                worker_threads,
+                |(thread, target, answerers, sampled)| {
+                    let d_q = extractor.question_topics(thread);
+                    let pos: Vec<PairRecord> = answerers
+                        .iter()
+                        .map(|&u| {
+                            let a = thread.answer_by(u).expect("answered");
+                            PairRecord {
+                                user: u,
+                                target: *target,
+                                x: extractor.features(u, thread, &d_q),
+                                votes: a.votes as f64,
+                                response_time: a.timestamp - thread.asked_at(),
+                            }
+                        })
+                        .collect();
+                    let neg: Vec<PairRecord> = sampled
+                        .iter()
+                        .map(|&u| PairRecord {
+                            user: u,
+                            target: *target,
+                            x: extractor.features(u, thread, &d_q),
+                            votes: 0.0,
+                            response_time: 0.0,
+                        })
+                        .collect();
+                    (pos, neg)
+                },
+            );
+            for (pos, neg) in per_thread {
+                positives.extend(pos);
+                negatives.extend(neg);
             }
         }
 
@@ -227,8 +256,11 @@ mod tests {
             data.positives.len()
         );
         use std::collections::HashSet;
-        let pos: HashSet<(u32, usize)> =
-            data.positives.iter().map(|p| (p.user.0, p.target)).collect();
+        let pos: HashSet<(u32, usize)> = data
+            .positives
+            .iter()
+            .map(|p| (p.user.0, p.target))
+            .collect();
         for nrec in &data.negatives {
             assert!(!pos.contains(&(nrec.user.0, nrec.target)));
         }
@@ -263,6 +295,21 @@ mod tests {
                 p.response_time,
                 data.windows[p.target]
             );
+        }
+    }
+
+    #[test]
+    fn build_identical_across_thread_counts() {
+        let mut cfg = EvalConfig::quick();
+        let (ds, _) = cfg.synth.generate().preprocess();
+        cfg.threads = 1;
+        let serial = ExperimentData::build(&ds, &cfg);
+        for threads in [2, 7] {
+            cfg.threads = threads;
+            let par = ExperimentData::build(&ds, &cfg);
+            assert_eq!(serial.positives, par.positives, "{threads} threads");
+            assert_eq!(serial.negatives, par.negatives, "{threads} threads");
+            assert_eq!(serial.windows, par.windows, "{threads} threads");
         }
     }
 

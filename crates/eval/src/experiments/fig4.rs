@@ -78,8 +78,7 @@ pub fn run(
     cdf_resolution: usize,
     pair_sample: usize,
 ) -> Fig4Report {
-    let extractor =
-        FeatureExtractor::fit(dataset.threads(), dataset.num_users(), extractor_config);
+    let extractor = FeatureExtractor::fit(dataset.threads(), dataset.num_users(), extractor_config);
     let ctx = extractor.context();
     let users: Vec<UserId> = (0..dataset.num_users()).map(UserId).collect();
 
@@ -129,8 +128,16 @@ pub fn run(
         let d_q = extractor.question_topics(thread);
         let x = extractor.features(p.user, thread, &d_q);
         let layout = extractor.layout();
-        s_uq.push(x[layout.range(forumcast_features::FeatureId::UserQuestionTopicSimilarity).start]);
-        s_uv.push(x[layout.range(forumcast_features::FeatureId::UserUserTopicSimilarity).start]);
+        s_uq.push(
+            x[layout
+                .range(forumcast_features::FeatureId::UserQuestionTopicSimilarity)
+                .start],
+        );
+        s_uv.push(
+            x[layout
+                .range(forumcast_features::FeatureId::UserUserTopicSimilarity)
+                .start],
+        );
     }
     let topic_similarities = vec![
         CdfSeries {

@@ -49,8 +49,13 @@ impl fmt::Display for Fig5Report {
             writeln!(
                 f,
                 "{:>4} {:>8.3} {:>10.3} {:>10.3} | {:>+8.2} {:>+8.2} {:>+8.2}",
-                p.k, p.auc, p.rmse_votes, p.rmse_time,
-                p.pct_change.0, p.pct_change.1, p.pct_change.2
+                p.k,
+                p.auc,
+                p.rmse_votes,
+                p.rmse_time,
+                p.pct_change.0,
+                p.pct_change.1,
+                p.pct_change.2
             )?;
         }
         Ok(())

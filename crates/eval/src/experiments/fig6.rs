@@ -51,7 +51,11 @@ impl fmt::Display for Fig6Report {
             "Figure 6 — leave-one-feature-out %ΔRMSE (reference: v {:.3}, r {:.3})",
             self.reference.0, self.reference.1
         )?;
-        writeln!(f, "{:<8} {:<14} {:>10} {:>10}", "Feature", "Group", "Δv %", "Δr %")?;
+        writeln!(
+            f,
+            "{:<8} {:<14} {:>10} {:>10}",
+            "Feature", "Group", "Δv %", "Δr %"
+        )?;
         for b in &self.bars {
             writeln!(
                 f,

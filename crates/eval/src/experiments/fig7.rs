@@ -56,7 +56,10 @@ impl Fig7Report {
 
 impl fmt::Display for Fig7Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 7 — RMSE with one feature group excluded, by history window")?;
+        writeln!(
+            f,
+            "Figure 7 — RMSE with one feature group excluded, by history window"
+        )?;
         writeln!(
             f,
             "{:>8} {:<16} {:>10} {:>10}",
@@ -157,7 +160,10 @@ mod tests {
             Some(FeatureGroup::User),
             "timing should blame the user group"
         );
-        assert_eq!(report.most_important(5, false), Some(FeatureGroup::Question));
+        assert_eq!(
+            report.most_important(5, false),
+            Some(FeatureGroup::Question)
+        );
         assert_eq!(report.most_important(9, true), None);
         assert!(report.to_string().contains("(none)"));
     }

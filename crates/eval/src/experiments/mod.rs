@@ -67,4 +67,20 @@ mod tests {
         assert_eq!(outcomes.len(), 4);
         assert!(outcomes.iter().all(|o| o.auc > 0.0));
     }
+
+    #[test]
+    fn run_cv_identical_across_thread_counts() {
+        let mut cfg = EvalConfig::quick();
+        cfg.folds = 2;
+        cfg.repeats = 1;
+        let (ds, _) = cfg.synth.generate().preprocess();
+        cfg.threads = 1;
+        let data = ExperimentData::build(&ds, &cfg);
+        let serial = run_cv(&data, &cfg, None, false);
+        for threads in [2, 7] {
+            cfg.threads = threads;
+            let par = run_cv(&data, &cfg, None, false);
+            assert_eq!(serial, par, "fold outcomes changed with {threads} threads");
+        }
+    }
 }

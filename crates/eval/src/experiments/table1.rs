@@ -49,8 +49,7 @@ impl fmt::Display for Table1Report {
             writeln!(
                 f,
                 "{:<6} {:<6} {:>10.3} ±{:<6.3} {:>10.3} ±{:<6.3} {:>10.1}%",
-                r.task, r.metric, r.baseline.0, r.baseline.1, r.ours.0, r.ours.1,
-                r.improvement_pct
+                r.task, r.metric, r.baseline.0, r.baseline.1, r.ours.0, r.ours.1, r.improvement_pct
             )?;
         }
         Ok(())
@@ -69,9 +68,8 @@ pub fn run(config: &EvalConfig) -> Table1Report {
 /// Builds the report from raw fold outcomes (exposed for reuse by the
 /// bench harness and tests).
 pub fn report_from(outcomes: &[crate::fold::FoldOutcome]) -> Table1Report {
-    let collect = |f: fn(&crate::fold::FoldOutcome) -> f64| -> Vec<f64> {
-        outcomes.iter().map(f).collect()
-    };
+    let collect =
+        |f: fn(&crate::fold::FoldOutcome) -> f64| -> Vec<f64> { outcomes.iter().map(f).collect() };
     let auc_ours = mean_std(&collect(|o| o.auc));
     let auc_base = mean_std(&collect(|o| o.auc_baseline));
     let votes_ours = mean_std(&collect(|o| o.rmse_votes));

@@ -169,7 +169,11 @@ pub fn run_fold(
             .iter()
             .map(|&i| baselines.predict_response_time(&data.positives[i]))
             .collect();
-        (auc_b, rmse(&votes_b, &vote_true), rmse(&times_b, &time_true))
+        (
+            auc_b,
+            rmse(&votes_b, &vote_true),
+            rmse(&times_b, &time_true),
+        )
     } else {
         (0.0, 0.0, 0.0)
     };

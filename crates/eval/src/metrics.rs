@@ -181,7 +181,10 @@ mod tests {
     #[test]
     fn auc_random_is_half() {
         // Equal scores → all ties → 0.5.
-        assert_eq!(auc(&[0.5; 6], &[true, false, true, false, true, false]), 0.5);
+        assert_eq!(
+            auc(&[0.5; 6], &[true, false, true, false, true, false]),
+            0.5
+        );
     }
 
     #[test]

@@ -1,60 +1,17 @@
 //! Scoped parallel map over independent work items.
+//!
+//! This module is now a thin façade over [`forumcast_par`], the
+//! workspace-wide deterministic parallel-execution layer; it is kept
+//! so existing `forumcast_eval::parallel::*` call sites and docs keep
+//! working. New code should depend on `forumcast-par` directly.
 
-/// Runs `f` over `items` on up to `max_threads` crossbeam-scoped
-/// worker threads, preserving input order in the output. Falls back
-/// to sequential execution for a single item or `max_threads <= 1`.
-///
-/// Used to parallelize cross-validation folds and sweep points, which
-/// are embarrassingly parallel.
-///
-/// # Example
-///
-/// ```
-/// use forumcast_eval::parallel::parallel_map;
-/// let squares = parallel_map(&[1, 2, 3, 4], 2, |&x| x * x);
-/// assert_eq!(squares, vec![1, 4, 9, 16]);
-/// ```
-pub fn parallel_map<T, U, F>(items: &[T], max_threads: usize, f: F) -> Vec<U>
-where
-    T: Sync,
-    U: Send,
-    F: Fn(&T) -> U + Sync,
-{
-    if items.len() <= 1 || max_threads <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let threads = max_threads.min(items.len());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut results: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
-    let slots = parking_lot::Mutex::new(&mut results);
+pub use forumcast_par::{parallel_map, resolve_threads, THREADS_ENV};
 
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let out = f(&items[i]);
-                slots.lock()[i] = Some(out);
-            });
-        }
-    })
-    .expect("worker thread panicked");
-
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
-}
-
-/// Number of worker threads to default to: the machine's available
-/// parallelism capped at `cap`.
+/// Number of worker threads to default to: the `FORUMCAST_THREADS`
+/// override when set, else the machine's available parallelism capped
+/// at `cap`. See [`forumcast_par::default_threads`].
 pub fn default_threads(cap: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(cap.max(1))
+    forumcast_par::default_threads(cap)
 }
 
 #[cfg(test)]
@@ -72,26 +29,18 @@ mod tests {
     fn sequential_fallback() {
         assert_eq!(parallel_map(&[5], 4, |&x: &i32| x + 1), vec![6]);
         assert_eq!(parallel_map(&[1, 2], 1, |&x: &i32| x + 1), vec![2, 3]);
-        assert_eq!(parallel_map::<i32, i32, _>(&[], 4, |&x| x), Vec::<i32>::new());
-    }
-
-    #[test]
-    fn actually_uses_multiple_threads() {
-        use std::collections::HashSet;
-        use std::sync::Mutex;
-        let ids = Mutex::new(HashSet::new());
-        let items: Vec<usize> = (0..64).collect();
-        parallel_map(&items, 4, |_| {
-            ids.lock().unwrap().insert(std::thread::current().id());
-            std::thread::sleep(std::time::Duration::from_millis(1));
-        });
-        assert!(ids.lock().unwrap().len() > 1);
+        assert_eq!(
+            parallel_map::<i32, i32, _>(&[], 4, |&x| x),
+            Vec::<i32>::new()
+        );
     }
 
     #[test]
     fn default_threads_is_positive_and_capped() {
         assert!(default_threads(4) >= 1);
-        assert!(default_threads(4) <= 4);
-        assert_eq!(default_threads(0), 1);
+        if forumcast_par::env_threads().is_none() {
+            assert!(default_threads(4) <= 4);
+            assert_eq!(default_threads(0), 1);
+        }
     }
 }

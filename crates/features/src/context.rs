@@ -4,8 +4,7 @@ use std::collections::HashMap;
 
 use forumcast_data::{Thread, UserId};
 use forumcast_graph::{
-    betweenness, betweenness_sampled, closeness, dense_graph, qa_graph, resource_allocation,
-    Graph,
+    betweenness, betweenness_sampled, closeness, dense_graph, qa_graph, resource_allocation, Graph,
 };
 use forumcast_topics::mean_distribution;
 

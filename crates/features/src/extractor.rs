@@ -272,7 +272,10 @@ mod tests {
         let x = ex.features(idle, &target, &d_q);
         let layout = ex.layout();
         assert_eq!(x[layout.range(FeatureId::AnswersProvided).start], 0.0);
-        assert_eq!(x[layout.range(FeatureId::TopicWeightedAnswerVotes).start], 0.0);
+        assert_eq!(
+            x[layout.range(FeatureId::TopicWeightedAnswerVotes).start],
+            0.0
+        );
         assert_eq!(x[layout.range(FeatureId::QaBetweenness).start], 0.0);
     }
 
@@ -286,7 +289,9 @@ mod tests {
         let ctx = ex.context();
         for u in (0..ctx.num_users()).map(UserId) {
             let x = ex.features(u, &target, &d_q);
-            let g = x[layout.range(FeatureId::TopicWeightedQuestionsAnswered).start];
+            let g = x[layout
+                .range(FeatureId::TopicWeightedQuestionsAnswered)
+                .start];
             assert!(g >= 0.0);
             assert!(g <= ctx.answers_provided(u) + 1e-9, "g {g} for {u}");
         }

@@ -45,7 +45,7 @@ pub mod topics;
 
 pub use context::FeatureContext;
 pub use extractor::{ExtractorConfig, FeatureExtractor};
-pub use online::OnlineFeatureExtractor;
 pub use layout::{feature_dim, feature_names, FeatureGroup, FeatureId, FeatureLayout};
 pub use normalize::Normalizer;
+pub use online::OnlineFeatureExtractor;
 pub use topics::PostTopics;

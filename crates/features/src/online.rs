@@ -102,8 +102,12 @@ impl OnlineFeatureExtractor {
 
     /// Rebuilds the aggregate context over the full history now.
     pub fn force_refresh(&mut self) {
-        self.context =
-            FeatureContext::build(&self.history, self.num_users, &self.topics, self.betweenness);
+        self.context = FeatureContext::build(
+            &self.history,
+            self.num_users,
+            &self.topics,
+            self.betweenness,
+        );
         self.pending = 0;
     }
 

@@ -91,34 +91,65 @@ impl PostTopics {
     /// retraining** the topic–word distributions — the online
     /// deployment mode: `φ` stays frozen, new posts get fold-in `θ`s.
     pub fn extend(&mut self, threads: &[Thread]) {
+        self.extend_with_threads(threads, forumcast_par::configured_threads());
+    }
+
+    /// [`PostTopics::extend`] with an explicit worker-thread count
+    /// (`0` = auto). New posts are collected in thread order (first
+    /// occurrence wins for duplicates, matching serial behavior),
+    /// fold-in inference runs in parallel with per-post
+    /// content-derived seeds, and results are inserted in collection
+    /// order — bitwise-identical for any thread count.
+    pub fn extend_with_threads(&mut self, threads: &[Thread], worker_threads: usize) {
+        let mut keys: Vec<PostKey> = Vec::new();
+        let mut docs: Vec<(BagOfWords, u64)> = Vec::new();
+        let mut pending_q: std::collections::HashSet<QuestionId> = std::collections::HashSet::new();
+        let mut pending_a: std::collections::HashSet<(QuestionId, UserId)> =
+            std::collections::HashSet::new();
         for t in threads {
-            if !self.question_topics.contains_key(&t.id) {
-                let theta = self.infer(&t.question.body);
-                self.question_topics.insert(t.id, theta);
+            if !self.question_topics.contains_key(&t.id) && pending_q.insert(t.id) {
+                keys.push(PostKey::Question(t.id));
+                docs.push(self.encode_with_seed(&t.question.body));
             }
             for a in &t.answers {
                 let key = (t.id, a.author);
-                if !self.answer_topics.contains_key(&key) {
-                    let theta = self.infer(&a.body);
-                    self.answer_topics.insert(key, theta);
+                if !self.answer_topics.contains_key(&key) && pending_a.insert(key) {
+                    keys.push(PostKey::Answer(t.id, a.author));
+                    docs.push(self.encode_with_seed(&a.body));
                 }
             }
         }
+        let thetas = self.lda.infer_batch(&docs, worker_threads);
+        for (key, theta) in keys.into_iter().zip(thetas) {
+            match key {
+                PostKey::Question(q) => {
+                    self.question_topics.insert(q, theta);
+                }
+                PostKey::Answer(q, u) => {
+                    self.answer_topics.insert((q, u), theta);
+                }
+            }
+        }
+    }
+
+    /// Encodes a post body and derives its deterministic fold-in seed
+    /// from the token content.
+    fn encode_with_seed(&self, body: &PostBody) -> (BagOfWords, u64) {
+        let tokens = tokenize_filtered(&body.text);
+        let bow = BagOfWords::encode(&tokens, &self.vocab);
+        // Content-derived seed keeps inference deterministic without
+        // threading an RNG through every feature computation.
+        let seed = bow.iter().fold(0xBADC0FFEu64, |acc, (id, c)| {
+            acc.wrapping_mul(31).wrapping_add(id as u64 * 7 + c as u64)
+        });
+        (bow, seed)
     }
 
     /// Infers `d(p)` for an arbitrary (held-out) post body via fold-in
     /// Gibbs with the trained topic–word distributions fixed.
     /// Deterministic: the seed is derived from the token content.
     pub fn infer(&self, body: &PostBody) -> Vec<f64> {
-        let tokens = tokenize_filtered(&body.text);
-        let bow = BagOfWords::encode(&tokens, &self.vocab);
-        // Content-derived seed keeps inference deterministic without
-        // threading an RNG through every feature computation.
-        let seed = bow
-            .iter()
-            .fold(0xBADC0FFEu64, |acc, (id, c)| {
-                acc.wrapping_mul(31).wrapping_add(id as u64 * 7 + c as u64)
-            });
+        let (bow, seed) = self.encode_with_seed(body);
         self.lda.infer(&bow, seed)
     }
 }
@@ -177,10 +208,43 @@ mod tests {
     }
 
     #[test]
+    fn extend_bitwise_identical_across_thread_counts() {
+        let ds = SynthConfig::small().with_seed(11).generate();
+        let (clean, _) = ds.preprocess();
+        let history: Vec<Thread> = clean.threads()[..80].to_vec();
+        let new_threads: Vec<Thread> = clean.threads()[80..120].to_vec();
+        let base = PostTopics::fit(&history, &LdaConfig::new(4).with_iterations(20));
+
+        let mut serial = base.clone();
+        serial.extend_with_threads(&new_threads, 1);
+        for threads in [2, 7] {
+            let mut par = base.clone();
+            par.extend_with_threads(&new_threads, threads);
+            for t in &new_threads {
+                let a = serial.question(t.id).unwrap();
+                let b = par.question(t.id).unwrap();
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "question {:?}", t.id);
+                }
+                for ans in &t.answers {
+                    let a = serial.answer(t.id, ans.author).unwrap();
+                    let b = par.answer(t.id, ans.author).unwrap();
+                    for (x, y) in a.iter().zip(b) {
+                        assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn topical_posts_get_nonuniform_distributions() {
         let (_, pt) = topics_over_small();
         // A post hammering one synthetic topic's vocabulary.
-        let text = (0..30).map(|i| format!("t2w{}", i % 10)).collect::<Vec<_>>().join(" ");
+        let text = (0..30)
+            .map(|i| format!("t2w{}", i % 10))
+            .collect::<Vec<_>>()
+            .join(" ");
         let theta = pt.infer(&PostBody::words(text));
         let max = theta.iter().cloned().fold(0.0, f64::max);
         // The fitted LDA may split one synthetic theme across two of

@@ -24,24 +24,33 @@ use crate::graph::Graph;
 /// assert!(l[1] > l[0]); // the middle of a path is closest
 /// ```
 pub fn closeness(g: &Graph) -> Vec<f64> {
+    closeness_with_threads(g, forumcast_par::configured_threads())
+}
+
+/// [`closeness`] with an explicit worker-thread count (`0` = auto).
+/// Each node's BFS is independent and results are collected in node
+/// order, so the output is bitwise-identical for any thread count.
+pub fn closeness_with_threads(g: &Graph, threads: usize) -> Vec<f64> {
     let n = g.num_nodes();
-    let mut out = vec![0.0; n];
     if n <= 1 {
-        return out;
+        return vec![0.0; n];
     }
-    for u in 0..n {
-        let dist = bfs_distances(g, u as u32);
+    let threads = forumcast_par::resolve_threads(threads);
+    let nodes: Vec<u32> = (0..n as u32).collect();
+    forumcast_par::parallel_map(&nodes, threads, |&u| {
+        let dist = bfs_distances(g, u);
         let sum: u64 = dist
             .iter()
             .enumerate()
-            .filter(|&(v, &d)| v != u && d != u32::MAX)
+            .filter(|&(v, &d)| v != u as usize && d != u32::MAX)
             .map(|(_, &d)| d as u64)
             .sum();
         if sum > 0 {
-            out[u] = (n as f64 - 1.0) / sum as f64;
+            (n as f64 - 1.0) / sum as f64
+        } else {
+            0.0
         }
-    }
-    out
+    })
 }
 
 /// Exact betweenness centrality of every node via Brandes' algorithm:
@@ -59,9 +68,15 @@ pub fn closeness(g: &Graph) -> Vec<f64> {
 /// assert_eq!(b, vec![0.0, 1.0, 0.0]);
 /// ```
 pub fn betweenness(g: &Graph) -> Vec<f64> {
+    betweenness_with_threads(g, forumcast_par::configured_threads())
+}
+
+/// [`betweenness`] with an explicit worker-thread count (`0` = auto).
+/// Deterministic: see [`brandes`] for the reduction-tree argument.
+pub fn betweenness_with_threads(g: &Graph, threads: usize) -> Vec<f64> {
     let n = g.num_nodes();
     let sources: Vec<u32> = (0..n as u32).collect();
-    brandes(g, &sources, 1.0)
+    brandes(g, &sources, 1.0, threads)
 }
 
 /// Approximate betweenness using `num_pivots` random BFS sources,
@@ -72,21 +87,68 @@ pub fn betweenness(g: &Graph) -> Vec<f64> {
 /// This keeps the feature computation tractable on forum-scale graphs
 /// (the paper's graphs have ~14K nodes).
 pub fn betweenness_sampled(g: &Graph, num_pivots: usize, seed: u64) -> Vec<f64> {
+    betweenness_sampled_with_threads(g, num_pivots, seed, forumcast_par::configured_threads())
+}
+
+/// [`betweenness_sampled`] with an explicit worker-thread count
+/// (`0` = auto). The pivot set depends only on `seed`, and the
+/// accumulation only on the pivot order, so the result is
+/// bitwise-identical for any thread count.
+pub fn betweenness_sampled_with_threads(
+    g: &Graph,
+    num_pivots: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<f64> {
     let n = g.num_nodes();
     if num_pivots >= n {
-        return betweenness(g);
+        return betweenness_with_threads(g, threads);
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut nodes: Vec<u32> = (0..n as u32).collect();
     nodes.shuffle(&mut rng);
     nodes.truncate(num_pivots);
     let scale = n as f64 / num_pivots as f64;
-    brandes(g, &nodes, scale)
+    brandes(g, &nodes, scale, threads)
 }
 
 /// Brandes' accumulation from the given BFS sources; contributions are
 /// multiplied by `scale`.
-fn brandes(g: &Graph, sources: &[u32], scale: f64) -> Vec<f64> {
+///
+/// Parallel over sources via [`forumcast_par::parallel_chunk_fold`]:
+/// sources are split into fixed-size chunks (independent of the
+/// thread count), each chunk accumulates into its own partial `bc`
+/// vector in source order, and partials merge in chunk order — so the
+/// floating-point reduction tree, and therefore the bitwise result,
+/// is identical whether 1 or N workers ran.
+fn brandes(g: &Graph, sources: &[u32], scale: f64, threads: usize) -> Vec<f64> {
+    let n = g.num_nodes();
+    let threads = forumcast_par::resolve_threads(threads);
+    let mut bc = forumcast_par::parallel_chunk_fold(
+        sources.len(),
+        threads,
+        |range| brandes_chunk(g, &sources[range], scale),
+        |partials| {
+            let mut bc = vec![0.0f64; n];
+            for partial in partials {
+                for (b, p) in bc.iter_mut().zip(&partial) {
+                    *b += p;
+                }
+            }
+            bc
+        },
+    );
+    // Undirected graphs: each pair counted from both endpoints.
+    for b in &mut bc {
+        *b /= 2.0;
+    }
+    bc
+}
+
+/// Serial Brandes accumulation over one chunk of sources, returning
+/// the chunk's partial `bc` vector. Buffers are reused across the
+/// chunk's sources.
+fn brandes_chunk(g: &Graph, sources: &[u32], scale: f64) -> Vec<f64> {
     let n = g.num_nodes();
     let mut bc = vec![0.0f64; n];
     // Reused per-source buffers.
@@ -131,10 +193,6 @@ fn brandes(g: &Graph, sources: &[u32], scale: f64) -> Vec<f64> {
             }
         }
     }
-    // Undirected graphs: each pair counted from both endpoints.
-    for b in &mut bc {
-        *b /= 2.0;
-    }
     bc
 }
 
@@ -152,8 +210,8 @@ mod tests {
         let b = betweenness(&star());
         // 4 leaves → C(4,2) = 6 shortest paths all through the center.
         assert!((b[0] - 6.0).abs() < 1e-9);
-        for leaf in 1..5 {
-            assert!(b[leaf].abs() < 1e-9);
+        for leaf in &b[1..5] {
+            assert!(leaf.abs() < 1e-9);
         }
     }
 
@@ -232,5 +290,64 @@ mod tests {
         let b = betweenness_sampled(&star(), 3, 7);
         // Center must still dominate.
         assert!(b[0] > b[1]);
+    }
+
+    /// A graph large enough that chunking and work-stealing actually
+    /// engage (several [`forumcast_par::CHUNK_SIZE`] chunks).
+    fn dense_test_graph() -> Graph {
+        let n = 160;
+        let mut edges = Vec::new();
+        for i in 0..n as u32 {
+            edges.push((i, (i + 1) % n as u32)); // ring
+            if i % 3 == 0 {
+                edges.push((i, (i * 7 + 5) % n as u32)); // chords
+            }
+        }
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn betweenness_bitwise_identical_across_thread_counts() {
+        let g = dense_test_graph();
+        let serial = betweenness_with_threads(&g, 1);
+        for threads in [2, 7] {
+            let par = betweenness_with_threads(&g, threads);
+            assert_eq!(serial.len(), par.len());
+            for (i, (a, b)) in serial.iter().zip(&par).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "node {i} differs with {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closeness_bitwise_identical_across_thread_counts() {
+        let g = dense_test_graph();
+        let serial = closeness_with_threads(&g, 1);
+        for threads in [2, 7] {
+            let par = closeness_with_threads(&g, threads);
+            for (i, (a, b)) in serial.iter().zip(&par).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "node {i} differs with {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_betweenness_bitwise_identical_across_thread_counts() {
+        let g = dense_test_graph();
+        let serial = betweenness_sampled_with_threads(&g, 96, 42, 1);
+        for threads in [2, 7] {
+            let par = betweenness_sampled_with_threads(&g, 96, 42, threads);
+            for (a, b) in serial.iter().zip(&par) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 }

@@ -42,7 +42,10 @@ pub mod stats;
 
 pub use bfs::bfs_distances;
 pub use build::{dense_graph, qa_graph};
-pub use centrality::{betweenness, betweenness_sampled, closeness};
+pub use centrality::{
+    betweenness, betweenness_sampled, betweenness_sampled_with_threads, betweenness_with_threads,
+    closeness, closeness_with_threads,
+};
 pub use graph::Graph;
 pub use pagerank::{average_clustering, clustering_coefficient, pagerank};
 pub use ra::resource_allocation;

@@ -42,13 +42,13 @@ pub fn pagerank(g: &Graph, damping: f64, iterations: usize) -> Vec<f64> {
         for v in next.iter_mut() {
             *v = 0.0;
         }
-        for u in 0..n {
+        for (u, &r) in rank.iter().enumerate() {
             let deg = g.degree(u as u32);
             if deg == 0 {
-                dangling_mass += rank[u];
+                dangling_mass += r;
                 continue;
             }
-            let share = rank[u] / deg as f64;
+            let share = r / deg as f64;
             for &v in g.neighbors(u as u32) {
                 next[v as usize] += share;
             }

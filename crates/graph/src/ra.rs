@@ -73,10 +73,7 @@ mod tests {
     #[test]
     fn symmetric_in_arguments() {
         let g = Graph::from_edges(5, &[(0, 2), (1, 2), (0, 3), (1, 3), (3, 4)]);
-        assert_eq!(
-            resource_allocation(&g, 0, 1),
-            resource_allocation(&g, 1, 0)
-        );
+        assert_eq!(resource_allocation(&g, 0, 1), resource_allocation(&g, 1, 0));
     }
 
     #[test]

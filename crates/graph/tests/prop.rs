@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 
 use forumcast_graph::{
-    bfs_distances, betweenness, closeness, resource_allocation, Graph, GraphStats,
+    betweenness, bfs_distances, closeness, resource_allocation, Graph, GraphStats,
 };
 
 fn arb_graph() -> impl Strategy<Value = Graph> {

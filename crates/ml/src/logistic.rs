@@ -166,7 +166,10 @@ mod tests {
         for _ in 0..n {
             let label = rng.gen_bool(0.5);
             let center = if label { 1.5 } else { -1.5 };
-            xs.push(vec![center + rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]);
+            xs.push(vec![
+                center + rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+            ]);
             ys.push(label);
         }
         (xs, ys)

@@ -117,8 +117,7 @@ impl MatrixFactorization {
         if triplets.is_empty() {
             return;
         }
-        self.global_mean =
-            triplets.iter().map(|&(_, _, v)| v).sum::<f64>() / triplets.len() as f64;
+        self.global_mean = triplets.iter().map(|&(_, _, v)| v).sum::<f64>() / triplets.len() as f64;
         let k = self.config.latent_dim;
         let lr = self.config.learning_rate;
         let l2 = self.config.l2;
@@ -166,10 +165,10 @@ mod tests {
         let u_lat: Vec<f64> = (0..users).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let i_lat: Vec<f64> = (0..items).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let mut triplets = Vec::new();
-        for u in 0..users {
-            for i in 0..items {
+        for (u, &ul) in u_lat.iter().enumerate() {
+            for (i, &il) in i_lat.iter().enumerate() {
                 if rng.gen_bool(0.6) {
-                    triplets.push((u, i, 2.0 + 3.0 * u_lat[u] * i_lat[i]));
+                    triplets.push((u, i, 2.0 + 3.0 * ul * il));
                 }
             }
         }
@@ -191,7 +190,9 @@ mod tests {
     #[test]
     fn global_mean_fits_constant_matrix() {
         let mut rng = StdRng::seed_from_u64(1);
-        let triplets: Vec<_> = (0..5).flat_map(|u| (0..5).map(move |i| (u, i, 7.0))).collect();
+        let triplets: Vec<_> = (0..5)
+            .flat_map(|u| (0..5).map(move |i| (u, i, 7.0)))
+            .collect();
         let mut mf = MatrixFactorization::new(5, 5, MfConfig::default(), &mut rng);
         mf.fit(&triplets, &mut rng);
         assert!((mf.predict(2, 3) - 7.0).abs() < 0.2);

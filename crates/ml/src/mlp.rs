@@ -31,7 +31,10 @@ impl LayerSpec {
     ///
     /// Panics when `inputs` or `outputs` is zero.
     pub fn new(inputs: usize, outputs: usize, activation: Activation) -> Self {
-        assert!(inputs > 0 && outputs > 0, "layer dimensions must be positive");
+        assert!(
+            inputs > 0 && outputs > 0,
+            "layer dimensions must be positive"
+        );
         LayerSpec {
             inputs,
             outputs,
@@ -169,8 +172,7 @@ impl Mlp {
         for spec in &self.specs {
             let input = activations.last().expect("non-empty");
             let w = &self.params[offset..offset + spec.outputs * spec.inputs];
-            let b = &self.params
-                [offset + spec.outputs * spec.inputs..offset + spec.num_params()];
+            let b = &self.params[offset + spec.outputs * spec.inputs..offset + spec.num_params()];
             let mut out = Vec::with_capacity(spec.outputs);
             for o in 0..spec.outputs {
                 let row = &w[o * spec.inputs..(o + 1) * spec.inputs];
@@ -225,15 +227,14 @@ impl Mlp {
                 .zip(output)
                 .map(|(&g, &y)| g * spec.activation.derivative_from_output(y))
                 .collect();
-            let (gw, gb) = grads[offset..offset + spec.num_params()]
-                .split_at_mut(spec.outputs * spec.inputs);
+            let (gw, gb) =
+                grads[offset..offset + spec.num_params()].split_at_mut(spec.outputs * spec.inputs);
             let mut grad_in = vec![0.0; spec.inputs];
             for o in 0..spec.outputs {
                 let d = delta[o];
                 gb[o] += d;
                 let row = &mut gw[o * spec.inputs..(o + 1) * spec.inputs];
-                let w_row =
-                    &self.params[offset + o * spec.inputs..offset + (o + 1) * spec.inputs];
+                let w_row = &self.params[offset + o * spec.inputs..offset + (o + 1) * spec.inputs];
                 for i in 0..spec.inputs {
                     row[i] += d * input[i];
                     grad_in[i] += d * w_row[i];
@@ -283,7 +284,7 @@ mod tests {
     fn num_params_matches_layout() {
         let mut rng = StdRng::seed_from_u64(0);
         let mlp = small_net(&mut rng);
-        assert_eq!(mlp.num_params(), (2 * 3 + 3) + (3 * 2 + 2) + (2 * 1 + 1));
+        assert_eq!(mlp.num_params(), (2 * 3 + 3) + (3 * 2 + 2) + (2 + 1));
     }
 
     #[test]
@@ -327,6 +328,7 @@ mod tests {
         let grad_in = mlp.backward(&cache, &grad_out, &mut grads);
 
         let eps = 1e-6;
+        #[allow(clippy::needless_range_loop)] // params are mutated per index below
         for i in 0..mlp.num_params() {
             let orig = mlp.params()[i];
             mlp.params_mut()[i] = orig + eps;

@@ -164,8 +164,16 @@ mod tests {
         let ys: Vec<f64> = xs.iter().map(|x| (0.5 + x[0] - 0.5 * x[1]).exp()).collect();
         let mut model = PoissonRegression::new(2);
         model.fit(&xs, &ys, 400, 0.05, 0.0, &mut rng);
-        assert!((model.weights()[0] - 1.0).abs() < 0.15, "{:?}", model.weights());
-        assert!((model.weights()[1] + 0.5).abs() < 0.15, "{:?}", model.weights());
+        assert!(
+            (model.weights()[0] - 1.0).abs() < 0.15,
+            "{:?}",
+            model.weights()
+        );
+        assert!(
+            (model.weights()[1] + 0.5).abs() < 0.15,
+            "{:?}",
+            model.weights()
+        );
         assert!((model.bias() - 0.5).abs() < 0.15, "{}", model.bias());
     }
 

@@ -94,7 +94,9 @@ impl Sparfa {
         let k = config.latent_dim;
         Sparfa {
             config,
-            abilities: (0..num_users * k).map(|_| rng.gen_range(0.0..0.1)).collect(),
+            abilities: (0..num_users * k)
+                .map(|_| rng.gen_range(0.0..0.1))
+                .collect(),
             // Loadings start non-negative so the shared "ability"
             // direction transfers across questions; training may push
             // individual loadings negative.
@@ -138,10 +140,9 @@ impl Sparfa {
                 // stable for arbitrarily strong regularization, unlike
                 // the explicit `-lr·λ·b` update which diverges when
                 // `lr·λ > 2`.
-                self.intercepts[q] = (self.intercepts[q] - lr * err)
-                    / (1.0 + lr * self.config.intercept_l2);
-                self.user_intercepts[u] =
-                    (self.user_intercepts[u] - lr * err) / (1.0 + lr * l2);
+                self.intercepts[q] =
+                    (self.intercepts[q] - lr * err) / (1.0 + lr * self.config.intercept_l2);
+                self.user_intercepts[u] = (self.user_intercepts[u] - lr * err) / (1.0 + lr * l2);
                 for f in 0..k {
                     let w = self.abilities[u * k + f];
                     let c = self.loadings[q * k + f];

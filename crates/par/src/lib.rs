@@ -1,0 +1,234 @@
+//! Deterministic scoped-thread parallelism for forumcast's hot
+//! paths: centrality accumulation, LDA fold-in, feature extraction,
+//! and cross-validation folds.
+//!
+//! # Determinism contract
+//!
+//! Every helper here produces **bitwise-identical** output for any
+//! thread count, including 1. [`parallel_map`] guarantees this by
+//! construction (independent items, output in input order).
+//! [`parallel_chunk_fold`] guarantees it by fixing the reduction
+//! tree: items are split into fixed-size chunks *independent of the
+//! thread count*, each chunk is folded serially in item order, and
+//! chunk results merge in chunk order — so floating-point sums
+//! associate identically no matter how many workers ran.
+//!
+//! # Thread-count resolution
+//!
+//! The worker count flows from (highest priority first) an explicit
+//! `--threads` CLI flag, the `FORUMCAST_THREADS` environment
+//! variable, then [`std::thread::available_parallelism`]. Library
+//! APIs take the count as an explicit argument so tests can pin it;
+//! entry points resolve it once via [`resolve_threads`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the default worker-thread count.
+pub const THREADS_ENV: &str = "FORUMCAST_THREADS";
+
+/// The `FORUMCAST_THREADS` override, when set to a positive integer.
+pub fn env_threads() -> Option<usize> {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Default worker-thread count: the `FORUMCAST_THREADS` override,
+/// else the machine's available parallelism.
+pub fn configured_threads() -> usize {
+    env_threads().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Resolves a requested thread count: `0` means "auto"
+/// ([`configured_threads`]), anything else is taken as-is.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        configured_threads()
+    } else {
+        requested
+    }
+}
+
+/// Auto thread count capped at `cap` — for coarse work like CV folds
+/// where oversubscription wastes memory. An explicit
+/// `FORUMCAST_THREADS` wins over the cap.
+pub fn default_threads(cap: usize) -> usize {
+    match env_threads() {
+        Some(n) => n,
+        None => configured_threads().min(cap.max(1)),
+    }
+}
+
+/// Runs `f` over `items` on up to `max_threads` scoped worker
+/// threads, returning results in input order. Work is claimed item
+/// by item from a shared counter, so uneven item costs balance
+/// across workers; output order (and therefore every downstream
+/// result) is independent of the thread count. Falls back to plain
+/// iteration for a single item or `max_threads <= 1`.
+///
+/// # Example
+///
+/// ```
+/// use forumcast_par::parallel_map;
+/// let squares = parallel_map(&[1, 2, 3, 4], 2, |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, U, F>(items: &[T], max_threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if items.len() <= 1 || max_threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let threads = max_threads.min(items.len());
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    let slots = parking_lot::Mutex::new(&mut results);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(&items[i]);
+                slots.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// Number of items per chunk in [`parallel_chunk_fold`]. Fixed (not
+/// derived from the thread count) so the floating-point reduction
+/// tree — and therefore the bitwise result — never depends on how
+/// many workers ran.
+pub const CHUNK_SIZE: usize = 64;
+
+/// Deterministic parallel fold: splits `0..num_items` into
+/// [`CHUNK_SIZE`]-item chunks, folds each chunk serially in item
+/// order with `fold_chunk` (producing a per-chunk accumulator), and
+/// merges accumulators **in chunk order** with `merge`.
+///
+/// Because the chunk structure is a pure function of `num_items`,
+/// the same reduction tree runs for 1 thread and N threads, making
+/// non-associative accumulations (floating-point sums) bitwise
+/// reproducible.
+///
+/// `fold_chunk` receives the chunk's item range and returns its
+/// accumulator; `merge` folds accumulators into the final value.
+pub fn parallel_chunk_fold<A, F, M, R>(
+    num_items: usize,
+    max_threads: usize,
+    fold_chunk: F,
+    merge: M,
+) -> R
+where
+    A: Send,
+    F: Fn(std::ops::Range<usize>) -> A + Sync,
+    M: FnOnce(Vec<A>) -> R,
+{
+    let chunks: Vec<std::ops::Range<usize>> = (0..num_items)
+        .step_by(CHUNK_SIZE.max(1))
+        .map(|start| start..(start + CHUNK_SIZE).min(num_items))
+        .collect();
+    let partials = parallel_map(&chunks, max_threads, |r| fold_chunk(r.clone()));
+    merge(partials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, 8, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_fallback() {
+        assert_eq!(parallel_map(&[5], 4, |&x: &i32| x + 1), vec![6]);
+        assert_eq!(parallel_map(&[1, 2], 1, |&x: &i32| x + 1), vec![2, 3]);
+        assert_eq!(
+            parallel_map::<i32, i32, _>(&[], 4, |&x| x),
+            Vec::<i32>::new()
+        );
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let items: Vec<usize> = (0..64).collect();
+        parallel_map(&items, 4, |_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        assert!(ids.lock().unwrap().len() > 1);
+    }
+
+    #[test]
+    fn default_threads_is_positive_and_capped() {
+        assert!(default_threads(4) >= 1);
+        if env_threads().is_none() {
+            assert!(default_threads(4) <= 4);
+            assert_eq!(default_threads(0), 1);
+        }
+    }
+
+    #[test]
+    fn resolve_threads_zero_means_auto() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn chunk_fold_sums_match_serial_for_any_thread_count() {
+        // Floating-point values chosen to make association visible:
+        // widely varying magnitudes.
+        let values: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.7391).sin() * 10f64.powi((i % 7) - 3))
+            .collect();
+        let fold = |threads: usize| {
+            parallel_chunk_fold(
+                values.len(),
+                threads,
+                |range| values[range].iter().sum::<f64>(),
+                |partials| partials.into_iter().sum::<f64>(),
+            )
+        };
+        let serial = fold(1);
+        for threads in [2, 3, 7, 16] {
+            let par = fold(threads);
+            assert_eq!(
+                serial.to_bits(),
+                par.to_bits(),
+                "thread count {threads} changed the reduction"
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_fold_handles_empty_and_small_inputs() {
+        let sum = parallel_chunk_fold(0, 4, |_| 0.0f64, |p| p.into_iter().sum::<f64>());
+        assert_eq!(sum, 0.0);
+        let sum = parallel_chunk_fold(3, 4, |r| r.len() as f64, |p| p.into_iter().sum::<f64>());
+        assert_eq!(sum, 3.0);
+    }
+}

@@ -213,9 +213,24 @@ mod tests {
 
     fn candidates() -> Vec<Candidate> {
         vec![
-            Candidate { user: UserId(0), answer_prob: 0.9, votes: 4.0, response_time: 2.0 },
-            Candidate { user: UserId(1), answer_prob: 0.7, votes: 2.0, response_time: 0.5 },
-            Candidate { user: UserId(2), answer_prob: 0.2, votes: 9.0, response_time: 0.1 },
+            Candidate {
+                user: UserId(0),
+                answer_prob: 0.9,
+                votes: 4.0,
+                response_time: 2.0,
+            },
+            Candidate {
+                user: UserId(1),
+                answer_prob: 0.7,
+                votes: 2.0,
+                response_time: 0.5,
+            },
+            Candidate {
+                user: UserId(2),
+                answer_prob: 0.2,
+                votes: 9.0,
+                response_time: 0.1,
+            },
         ]
     }
 

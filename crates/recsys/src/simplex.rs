@@ -73,8 +73,8 @@ pub fn maximize(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> Result<LpSolution, LpEr
     // Rows with negative b are flipped so rhs >= 0, turning their
     // slack coefficient to -1 and requiring an artificial variable.
     let mut needs_artificial = Vec::new();
-    for i in 0..m {
-        if b[i] < 0.0 {
+    for (i, &bi) in b.iter().enumerate() {
+        if bi < 0.0 {
             needs_artificial.push(i);
         }
     }
@@ -104,8 +104,8 @@ pub fn maximize(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> Result<LpSolution, LpEr
     // Phase 1: minimize sum of artificials (maximize negative sum).
     if k > 0 {
         let mut obj = vec![0.0; cols];
-        for j in n + m..n + m + k {
-            obj[j] = -1.0;
+        for v in obj.iter_mut().skip(n + m).take(k) {
+            *v = -1.0;
         }
         // Price out basic artificials.
         let mut z = vec![0.0; cols];
@@ -189,7 +189,9 @@ fn run_simplex(
         for i in 0..m {
             if t[i][enter] > EPS {
                 let ratio = t[i][rhs] / t[i][enter];
-                if ratio < best - EPS || (ratio < best + EPS && leave.map_or(true, |l| basis[i] < basis[l])) {
+                if ratio < best - EPS
+                    || (ratio < best + EPS && leave.is_none_or(|l| basis[i] < basis[l]))
+                {
                     best = ratio;
                     leave = Some(i);
                 }
@@ -254,11 +256,7 @@ mod tests {
         // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 → 36 at (2, 6).
         let sol = maximize(
             &[3.0, 5.0],
-            &[
-                vec![1.0, 0.0],
-                vec![0.0, 2.0],
-                vec![3.0, 2.0],
-            ],
+            &[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]],
             &[4.0, 12.0, 18.0],
         )
         .unwrap();
@@ -272,11 +270,7 @@ mod tests {
         // max 2x + y s.t. x + y = 1 (as <= and >=), x <= 0.7 → x=0.7, y=0.3.
         let sol = maximize(
             &[2.0, 1.0],
-            &[
-                vec![1.0, 1.0],
-                vec![-1.0, -1.0],
-                vec![1.0, 0.0],
-            ],
+            &[vec![1.0, 1.0], vec![-1.0, -1.0], vec![1.0, 0.0]],
             &[1.0, -1.0, 0.7],
         )
         .unwrap();
@@ -332,6 +326,9 @@ mod tests {
 
     #[test]
     fn lp_error_display() {
-        assert_eq!(LpError::Infeasible.to_string(), "linear program is infeasible");
+        assert_eq!(
+            LpError::Infeasible.to_string(),
+            "linear program is infeasible"
+        );
     }
 }

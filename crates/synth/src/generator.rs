@@ -82,10 +82,7 @@ mod tests {
         let median = word_lens[word_lens.len() / 2];
         assert!((200.0..450.0).contains(&median), "median word len {median}");
         // Some questions have no code at all.
-        assert!(ds
-            .threads()
-            .iter()
-            .any(|t| t.question.body.code_len() == 0));
+        assert!(ds.threads().iter().any(|t| t.question.body.code_len() == 0));
         assert!(ds
             .threads()
             .iter()

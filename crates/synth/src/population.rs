@@ -182,8 +182,8 @@ mod tests {
         let pop = Population::sample(&SynthConfig::medium(), &mut rng);
         let corr = |f: fn(&UserProfile) -> f64, g: fn(&UserProfile) -> f64| -> f64 {
             let n = pop.len() as f64;
-            let xs: Vec<f64> = pop.iter().map(|u| f(u)).collect();
-            let ys: Vec<f64> = pop.iter().map(|u| g(u)).collect();
+            let xs: Vec<f64> = pop.iter().map(&f).collect();
+            let ys: Vec<f64> = pop.iter().map(&g).collect();
             let mx = xs.iter().sum::<f64>() / n;
             let my = ys.iter().sum::<f64>() / n;
             let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();

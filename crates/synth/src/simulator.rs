@@ -114,8 +114,7 @@ impl ForumSimulator {
 
         // Question topics: concentrated blend of one of the asker's
         // interest topics and a sparse Dirichlet background.
-        let dominant =
-            sample_categorical(&mut self.rng, &self.pop.user(asker as usize).interests);
+        let dominant = sample_categorical(&mut self.rng, &self.pop.user(asker as usize).interests);
         let background = sample_dirichlet(&mut self.rng, config.num_topics, 0.2);
         let mixture: Vec<f64> = background
             .iter()
@@ -139,8 +138,7 @@ impl ForumSimulator {
                 String::new()
             },
         );
-        let q_votes =
-            (lognormal(&mut self.rng, 0.3, 0.9).round() as i32 - 1).clamp(-5, 100);
+        let q_votes = (lognormal(&mut self.rng, 0.3, 0.9).round() as i32 - 1).clamp(-5, 100);
         let question = Post::new(UserId(asker), t_q, q_votes, q_body);
 
         let num_answers = if self.rng.gen_bool(config.unanswered_prob) {
@@ -267,11 +265,8 @@ impl ForumSimulator {
         // interest decays quickly — this is what makes the user's
         // observed history (r_u, a_u) the dominant timing features,
         // as in the paper's Figure 6.
-        let mu = (-2.4
-            + 1.6 * profile.responsiveness
-            + 1.2 * s_topic
-            + 0.4 * (1.0 + social).ln())
-        .exp();
+        let mu =
+            (-2.4 + 1.6 * profile.responsiveness + 1.2 * s_topic + 0.4 * (1.0 + social).ln()).exp();
         let omega = config.decay_rate
             * (0.8 * profile.responsiveness + 0.3 * standard_normal(&mut self.rng)).exp();
         let max_delay = (self.horizon - t_q).max(0.5);
@@ -281,8 +276,7 @@ impl ForumSimulator {
             }
             TimingNoise::Lognormal { sigma } => {
                 let median = decaying_process_median(mu, omega, max_delay);
-                (median * (sigma * standard_normal(&mut self.rng)).exp())
-                    .clamp(0.01, max_delay)
+                (median * (sigma * standard_normal(&mut self.rng)).exp()).clamp(0.01, max_delay)
             }
         };
         // Rare zero-delay artifacts, as seen in the raw crawl

@@ -14,8 +14,8 @@ pub struct TextGenerator {
 
 /// Generic forum words mixed into every post.
 const SHARED: &[&str] = &[
-    "question", "problem", "error", "working", "tried", "example", "function", "value",
-    "result", "running", "output", "install", "version", "update", "thanks", "help",
+    "question", "problem", "error", "working", "tried", "example", "function", "value", "result",
+    "running", "output", "install", "version", "update", "thanks", "help",
 ];
 
 impl TextGenerator {
@@ -28,11 +28,7 @@ impl TextGenerator {
         assert!(num_topics > 0, "need at least one topic");
         assert!(words_per_topic > 0, "need at least one word per topic");
         let topic_vocab = (0..num_topics)
-            .map(|t| {
-                (0..words_per_topic)
-                    .map(|w| format!("t{t}w{w}"))
-                    .collect()
-            })
+            .map(|t| (0..words_per_topic).map(|w| format!("t{t}w{w}")).collect())
             .collect();
         TextGenerator {
             topic_vocab,

@@ -75,7 +75,7 @@ impl BagOfWords {
     pub fn to_token_ids(&self) -> Vec<usize> {
         let mut ids = Vec::with_capacity(self.total() as usize);
         for (id, c) in self.iter() {
-            ids.extend(std::iter::repeat(id).take(c as usize));
+            ids.extend(std::iter::repeat_n(id, c as usize));
         }
         ids
     }

@@ -8,12 +8,12 @@ pub const STOPWORDS: &[&str] = &[
     "because", "been", "before", "being", "but", "by", "can", "cannot", "could", "did", "do",
     "does", "doing", "down", "each", "few", "for", "from", "further", "get", "got", "had", "has",
     "have", "having", "he", "her", "here", "hers", "him", "his", "how", "i", "if", "in", "into",
-    "is", "it", "its", "just", "like", "me", "more", "most", "my", "no", "nor", "not", "now",
-    "of", "off", "on", "once", "only", "or", "other", "our", "out", "over", "own", "same", "she",
+    "is", "it", "its", "just", "like", "me", "more", "most", "my", "no", "nor", "not", "now", "of",
+    "off", "on", "once", "only", "or", "other", "our", "out", "over", "own", "same", "she",
     "should", "so", "some", "such", "than", "that", "the", "their", "them", "then", "there",
     "these", "they", "this", "those", "through", "to", "too", "under", "until", "up", "use",
-    "using", "very", "want", "was", "we", "were", "what", "when", "where", "which", "while",
-    "who", "why", "will", "with", "would", "you", "your",
+    "using", "very", "want", "was", "we", "were", "what", "when", "where", "which", "while", "who",
+    "why", "will", "with", "would", "you", "your",
 ];
 
 /// Returns `true` when `token` (already lowercase) is a stop word.

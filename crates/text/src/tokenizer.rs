@@ -76,7 +76,10 @@ mod tests {
 
     #[test]
     fn keeps_language_names_with_symbols() {
-        assert_eq!(tokenize("C# vs C++ vs F#"), vec!["c#", "vs", "c++", "vs", "f#"]);
+        assert_eq!(
+            tokenize("C# vs C++ vs F#"),
+            vec!["c#", "vs", "c++", "vs", "f#"]
+        );
     }
 
     #[test]

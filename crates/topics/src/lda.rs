@@ -255,9 +255,17 @@ impl LdaModel {
             }
         }
         let denom = tokens.len() as f64 + k as f64 * alpha;
-        (0..k)
-            .map(|t| (n_dk[t] as f64 + alpha) / denom)
-            .collect()
+        (0..k).map(|t| (n_dk[t] as f64 + alpha) / denom).collect()
+    }
+
+    /// Batch fold-in inference: [`LdaModel::infer`] over many
+    /// held-out documents on up to `threads` worker threads
+    /// (`0` = auto). Each document carries its own seed, so every
+    /// inference is independent and the output — collected in input
+    /// order — is bitwise-identical for any thread count.
+    pub fn infer_batch(&self, docs: &[(BagOfWords, u64)], threads: usize) -> Vec<Vec<f64>> {
+        let threads = forumcast_par::resolve_threads(threads);
+        forumcast_par::parallel_map(docs, threads, |(doc, seed)| self.infer(doc, *seed))
     }
 
     /// The `n` highest-probability word ids of `topic`, for
@@ -342,7 +350,8 @@ mod tests {
         let model = LdaModel::train(&corpus, &cfg);
         // Every "cat" doc should concentrate on one topic, every
         // "code" doc on the other.
-        let cat_topic = model.doc_topics(0)
+        let cat_topic = model
+            .doc_topics(0)
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))
@@ -448,6 +457,32 @@ mod tests {
         let model = LdaModel::train(&corpus, &LdaConfig::new(2).with_iterations(5));
         assert_eq!(model.num_topics(), 2);
         assert_eq!(model.all_doc_topics().len(), 0);
+    }
+
+    #[test]
+    fn batch_inference_bitwise_matches_serial_for_any_thread_count() {
+        let (corpus, _) = separable_corpus();
+        let model = LdaModel::train(&corpus, &LdaConfig::new(3).with_iterations(20));
+        let docs: Vec<(forumcast_text::BagOfWords, u64)> = (0..corpus.num_docs())
+            .map(|d| (corpus.doc(d).clone(), d as u64 * 13 + 1))
+            .collect();
+        let serial: Vec<Vec<f64>> = docs
+            .iter()
+            .map(|(doc, seed)| model.infer(doc, *seed))
+            .collect();
+        for threads in [1, 2, 7] {
+            let batch = model.infer_batch(&docs, threads);
+            assert_eq!(batch.len(), serial.len());
+            for (d, (a, b)) in serial.iter().zip(&batch).enumerate() {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "doc {d} differs with {threads} threads"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

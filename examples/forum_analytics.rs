@@ -19,11 +19,17 @@ fn main() {
     // --- SLN graph structure (paper Figure 2) ---
     let qa = qa_graph(dataset.num_users(), dataset.threads());
     let dense = dense_graph(dataset.num_users(), dataset.threads());
-    for (name, g) in [("question-answer graph G_QA", &qa), ("denser graph G_D", &dense)] {
+    for (name, g) in [
+        ("question-answer graph G_QA", &qa),
+        ("denser graph G_D", &dense),
+    ] {
         let s = GraphStats::compute(g);
         println!(
             "{name}: avg degree {:.2}, {} components (largest {}), disconnected: {}",
-            s.average_degree, s.num_components, s.largest_component, s.is_disconnected()
+            s.average_degree,
+            s.num_components,
+            s.largest_component,
+            s.is_disconnected()
         );
     }
 
@@ -43,9 +49,15 @@ fn main() {
     }
 
     // --- topics discussed (LDA over all posts) ---
-    let extractor =
-        FeatureExtractor::fit(dataset.threads(), dataset.num_users(), &ExtractorConfig::fast());
-    println!("\ndiscussion topics (K = {}):", extractor.topics().num_topics());
+    let extractor = FeatureExtractor::fit(
+        dataset.threads(),
+        dataset.num_users(),
+        &ExtractorConfig::fast(),
+    );
+    println!(
+        "\ndiscussion topics (K = {}):",
+        extractor.topics().num_topics()
+    );
     let ctx = extractor.context();
     for k in 0..extractor.topics().num_topics() {
         // Count users whose dominant interest is topic k.
@@ -73,7 +85,10 @@ fn main() {
             "\npair analytics for {} answering {} (asked by {asker}):",
             p.user, p.question
         );
-        println!("  thread co-occurrence: {}", ctx.cooccurrence(p.user, asker));
+        println!(
+            "  thread co-occurrence: {}",
+            ctx.cooccurrence(p.user, asker)
+        );
         println!(
             "  resource allocation (QA / D): {:.4} / {:.4}",
             resource_allocation(&qa, p.user.0, asker.0),

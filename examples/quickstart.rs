@@ -80,7 +80,11 @@ fn main() {
         .find(|&u| !target.answered_by(u) && u != target.asker())
         .expect("some bystander");
 
-    println!("\nheld-out question {} (asked at {:.1} h):", target.id, target.asked_at());
+    println!(
+        "\nheld-out question {} (asked at {:.1} h):",
+        target.id,
+        target.asked_at()
+    );
     for (name, u) in [("actual answerer", answerer), ("bystander", bystander)] {
         let x = extractor.features(u, target, &d_q);
         let (a, v, r) = model.predict(&x, window);

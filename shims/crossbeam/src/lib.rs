@@ -1,0 +1,90 @@
+//! Vendored stand-in for the `crossbeam::scope` API used by
+//! forumcast, implemented on top of `std::thread::scope` (stable
+//! since Rust 1.63, which made the crossbeam implementation
+//! redundant upstream too).
+//!
+//! One deliberate deviation: closures receive the [`Scope`] handle
+//! **by value** (it is `Copy`) rather than by reference, because
+//! `std::thread::Scope` is invariant over its scope lifetime and
+//! cannot be re-borrowed through a wrapper. Call sites using
+//! `|scope|` / `|_|` patterns compile unchanged.
+
+use std::thread::ScopedJoinHandle;
+
+/// A scope handle passed to [`scope`]'s closure and to each spawned
+/// thread's closure, mirroring crossbeam's `Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope itself
+    /// (crossbeam convention), allowing nested spawns.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = *self;
+        self.inner.spawn(move || f(handle))
+    }
+}
+
+/// Runs `f` with a scope in which borrowing, non-`'static` threads
+/// can be spawned; all threads are joined before `scope` returns.
+///
+/// Unlike crossbeam, a panicking child propagates its panic when the
+/// scope joins it rather than surfacing through the returned
+/// `Result`; the `Result` wrapper is kept for call-site
+/// compatibility and is always `Ok`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_locals() {
+        let counter = AtomicUsize::new(0);
+        let n = 8;
+        scope(|s| {
+            for _ in 0..n {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let v = scope(|_| 41 + 1).unwrap();
+        assert_eq!(v, 42);
+    }
+}

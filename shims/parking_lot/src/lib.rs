@@ -1,0 +1,72 @@
+//! Vendored stand-in for the `parking_lot::Mutex` API used by
+//! forumcast, wrapping `std::sync::Mutex` with parking_lot's
+//! poison-free interface (`lock()` returns the guard directly).
+
+use std::sync::MutexGuard;
+
+/// A mutex whose `lock` never returns a poison error: if a thread
+/// panicked while holding the lock, the data is handed out anyway
+/// (parking_lot semantics).
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(0);
+        *m.lock() += 5;
+        assert_eq!(*m.lock(), 5);
+        assert_eq!(m.into_inner(), 5);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let m = &m;
+                s.spawn(move || m.lock().push(i));
+            }
+        });
+        let mut v = m.into_inner();
+        v.sort_unstable();
+        assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,518 @@
+//! Vendored stand-in for the parts of `proptest` that forumcast
+//! uses. The build environment has no access to crates.io, so this
+//! shim provides the same surface — `proptest!`, `prop_assert*`,
+//! `Strategy` with `prop_map`/`prop_flat_map`, range / tuple / vec /
+//! regex-pattern strategies — over a simple deterministic runner.
+//!
+//! Differences from upstream: no shrinking (failures report the
+//! already-generated values via the assertion message), and string
+//! "regex" strategies support the subset actually used in tests
+//! (`.`, `[a-z]` classes with ranges, `{lo,hi}` repetitions).
+//!
+//! Each test function runs `PROPTEST_CASES` (default 64) cases from
+//! an RNG seeded by the test's name, so failures reproduce exactly.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a second strategy from each generated value and
+        /// draws from it.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the held value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident : $i:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+    }
+
+    /// A `Vec` of strategies generates a `Vec` of values, one per
+    /// element (proptest semantics).
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            self.iter().map(|s| s.generate(rng)).collect()
+        }
+    }
+
+    /// String patterns act as strategies for matching strings,
+    /// supporting the subset of regex syntax used in the workspace:
+    /// `.`, character classes with ranges, and `{lo,hi}` repetition.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            crate::pattern::generate(self, rng)
+        }
+    }
+}
+
+pub mod pattern {
+    //! Tiny regex-subset string generator backing `&str` strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    enum CharSet {
+        /// `.` — an arbitrary printable character (mostly ASCII, with
+        /// some multi-byte characters mixed in to exercise UTF-8
+        /// handling, mirroring proptest's arbitrary-`char` behavior).
+        Any,
+        /// An explicit alternative set from `[...]` or a literal.
+        OneOf(Vec<char>),
+    }
+
+    struct Unit {
+        set: CharSet,
+        lo: usize,
+        hi: usize,
+    }
+
+    /// Characters `.` can produce.
+    const ANY_POOL: &[char] = &[
+        'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
+        's', 't', 'u', 'v', 'w', 'x', 'y', 'z', 'A', 'B', 'C', 'D', 'E', 'Z', '0', '1', '2', '9',
+        ' ', ' ', ' ', '.', ',', '!', '?', ';', ':', '-', '_', '(', ')', '[', ']', '{', '}', '#',
+        '/', '\\', '"', '\'', '`', '+', '=', '*', '&', '%', '$', '@', '<', '>', 'é', 'ñ', 'ß', 'λ',
+        'π', '中', '文', '🦀',
+    ];
+
+    /// Generates one string matching `pat`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on syntax outside the supported subset.
+    pub fn generate(pat: &str, rng: &mut StdRng) -> String {
+        let units = parse(pat);
+        let mut out = String::new();
+        for u in &units {
+            let n = if u.lo == u.hi {
+                u.lo
+            } else {
+                rng.gen_range(u.lo..=u.hi)
+            };
+            for _ in 0..n {
+                match &u.set {
+                    CharSet::Any => out.push(ANY_POOL[rng.gen_range(0..ANY_POOL.len())]),
+                    CharSet::OneOf(chars) => {
+                        out.push(chars[rng.gen_range(0..chars.len())]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn parse(pat: &str) -> Vec<Unit> {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut units = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set = match chars[i] {
+                '.' => {
+                    i += 1;
+                    CharSet::Any
+                }
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .unwrap_or_else(|| panic!("unclosed `[` in pattern `{pat}`"))
+                        + i;
+                    let mut members = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            let (a, b) = (chars[j], chars[j + 2]);
+                            assert!(a <= b, "bad range in pattern `{pat}`");
+                            for c in a..=b {
+                                members.push(c);
+                            }
+                            j += 3;
+                        } else {
+                            members.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    assert!(!members.is_empty(), "empty class in pattern `{pat}`");
+                    i = close + 1;
+                    CharSet::OneOf(members)
+                }
+                '\\' => {
+                    i += 2;
+                    CharSet::OneOf(vec![chars[i - 1]])
+                }
+                c => {
+                    assert!(
+                        !"{}()*+?|^$".contains(c),
+                        "unsupported pattern syntax `{c}` in `{pat}`"
+                    );
+                    i += 1;
+                    CharSet::OneOf(vec![c])
+                }
+            };
+            // Optional {lo,hi} / {n} repetition.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed `{{` in pattern `{pat}`"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse().expect("pattern repeat lower bound"),
+                        b.trim().parse().expect("pattern repeat upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("pattern repeat count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            units.push(Unit { set, lo, hi });
+        }
+        units
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Size specification for [`vec`]: an exact length or a range.
+    pub trait IntoSizeRange {
+        /// Lower and inclusive upper bound.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy for `Vec`s of `element`-generated values with a
+    /// length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        VecStrategy { element, lo, hi }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = if self.lo == self.hi {
+                self.lo
+            } else {
+                rng.gen_range(self.lo..=self.hi)
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case runner used by the `proptest!` macro.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Number of cases per property: `PROPTEST_CASES` or 64.
+    pub fn num_cases() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64)
+    }
+
+    /// Per-test RNG seeded from the test's name (FNV-1a), so each
+    /// property sees a stable, distinct stream.
+    pub fn seeded_rng(test_name: &str) -> StdRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// Types with a canonical strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// The canonical strategy.
+    type Strategy: strategy::Strategy<Value = Self>;
+
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+impl Arbitrary for () {
+    type Strategy = strategy::Just<()>;
+    fn arbitrary() -> Self::Strategy {
+        strategy::Just(())
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = BoolStrategy;
+    fn arbitrary() -> Self::Strategy {
+        BoolStrategy
+    }
+}
+
+/// Uniform `bool` strategy backing `any::<bool>()`.
+pub struct BoolStrategy;
+
+impl strategy::Strategy for BoolStrategy {
+    type Value = bool;
+    fn generate(&self, rng: &mut rand::rngs::StdRng) -> bool {
+        use rand::Rng;
+        rng.gen::<bool>()
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { .. }`
+/// expands to a test running [`test_runner::num_cases`] generated
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = $crate::test_runner::num_cases();
+                let mut __rng = $crate::test_runner::seeded_rng(stringify!($name));
+                for _ in 0..__cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property (panics with the message on
+/// failure; the shim has no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{any, Arbitrary};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -2.0f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y), "y = {y}");
+        }
+
+        #[test]
+        fn tuples_and_vecs_compose(
+            v in crate::collection::vec((0u32..5, 0.0f64..1.0), 0..8),
+        ) {
+            prop_assert!(v.len() < 8);
+            for (a, b) in v {
+                prop_assert!(a < 5 && (0.0..1.0).contains(&b));
+            }
+        }
+
+        #[test]
+        fn patterns_match_their_class(s in "[a-c]{1,2}") {
+            prop_assert!(!s.is_empty() && s.len() <= 2);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s}");
+        }
+
+        #[test]
+        fn flat_map_threads_outer_value(
+            v in (1usize..5).prop_flat_map(|n| {
+                crate::collection::vec(0u32..10, n).prop_map(move |xs| (n, xs))
+            }),
+        ) {
+            prop_assert_eq!(v.0, v.1.len());
+        }
+    }
+
+    #[test]
+    fn exact_size_vec() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::seeded_rng("exact");
+        let v = crate::collection::vec(0.0f64..1.0, 4usize).generate(&mut rng);
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn dot_pattern_produces_valid_strings() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::seeded_rng("dot");
+        for _ in 0..50 {
+            let s = ".{0,20}".generate(&mut rng);
+            assert!(s.chars().count() <= 20);
+        }
+    }
+
+    #[test]
+    fn vec_of_strategies_is_a_strategy() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::seeded_rng("vecstrat");
+        let strategies: Vec<_> = (0usize..3).map(|i| (i * 10)..(i * 10 + 5)).collect();
+        let values = strategies.generate(&mut rng);
+        assert_eq!(values.len(), 3);
+        for (i, v) in values.iter().enumerate() {
+            assert!((i * 10..i * 10 + 5).contains(v));
+        }
+    }
+}

@@ -1,0 +1,496 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io (so no `syn` /
+//! `quote`); these derives parse the item's token stream by hand and
+//! emit impls of the shim `serde` crate's `Serialize` /
+//! `Deserialize` traits as generated source text. The generated
+//! impls follow serde's externally-tagged data model:
+//!
+//! - named struct        → JSON object
+//! - newtype struct      → the inner value
+//! - tuple struct        → JSON array
+//! - unit enum variant   → `"Variant"`
+//! - newtype variant     → `{"Variant": value}`
+//! - tuple variant       → `{"Variant": [..]}`
+//! - struct variant      → `{"Variant": {..}}`
+//!
+//! Supported field attribute: `#[serde(default)]`. `Option` fields
+//! default to `None` when missing, as in upstream serde. Generics
+//! are not supported (and not used in the workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+    is_option: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde shim derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde shim derive: generated Deserialize impl parses")
+}
+
+// --- parsing -------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    // Skip outer attributes and visibility until `struct` / `enum`.
+    let keyword = loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+            }
+            Some(_) => {}
+            None => panic!("serde shim derive: no struct or enum found"),
+        }
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generics are not supported (type `{name}`)");
+        }
+    }
+    let kind = if keyword == "struct" {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => panic!("serde shim derive: malformed struct `{name}`: {other:?}"),
+        }
+    } else {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: malformed enum `{name}`: {other:?}"),
+        }
+    };
+    Item { name, kind }
+}
+
+/// Consumes leading `#[...]` attributes, returning whether one of
+/// them was `#[serde(default)]`.
+fn skip_attrs(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut default = false;
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.next() {
+                    if attr_is_serde_default(g.stream()) {
+                        default = true;
+                    }
+                }
+            }
+            _ => return default,
+        }
+    }
+}
+
+/// Recognizes the content of a `#[serde(default)]` attribute. Any
+/// other `serde(...)` option is rejected loudly rather than silently
+/// mis-serialized.
+fn attr_is_serde_default(ts: TokenStream) -> bool {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match toks.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<String> = g.stream().into_iter().map(|t| t.to_string()).collect();
+            if inner.len() == 1 && inner[0] == "default" {
+                true
+            } else {
+                panic!(
+                    "serde shim derive: unsupported serde attribute `{}`",
+                    inner.join("")
+                );
+            }
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let mut toks = ts.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let default = skip_attrs(&mut toks);
+        if let Some(TokenTree::Ident(id)) = toks.peek() {
+            if id.to_string() == "pub" {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+        }
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected field name, found {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after `{name}`, found {other:?}"),
+        }
+        // Skip the type, tracking `<`/`>` depth so commas inside
+        // generic arguments don't terminate the field. Remember the
+        // ident right before the first top-level `<` to spot
+        // `Option<..>` fields.
+        let mut angle = 0i32;
+        let mut last_ident: Option<String> = None;
+        let mut opening_ident: Option<String> = None;
+        loop {
+            match toks.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == ',' && angle == 0 {
+                        toks.next();
+                        break;
+                    }
+                    if c == '<' {
+                        if angle == 0 && opening_ident.is_none() {
+                            opening_ident = last_ident.clone();
+                        }
+                        angle += 1;
+                    }
+                    if c == '>' {
+                        angle -= 1;
+                    }
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) => {
+                    last_ident = Some(id.to_string());
+                    toks.next();
+                }
+                Some(_) => {
+                    toks.next();
+                }
+            }
+        }
+        let is_option = opening_ident.as_deref() == Some("Option");
+        fields.push(Field {
+            name,
+            default,
+            is_option,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut trailing_comma = false;
+    for t in ts {
+        saw_tokens = true;
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                ',' if angle == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                }
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_tokens && !trailing_comma {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut toks = ts.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected variant name, found {other:?}"),
+        };
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip anything up to the variant separator (covers explicit
+        // discriminants like `= 3`).
+        loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// --- code generation ----------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{n}\"), \
+                         ::serde::Serialize::to_value(&self.{n})),",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{entries}])")
+        }
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let entries: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{entries}])")
+        }
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let arms: String = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_variant_arm(ty: &str, v: &Variant) -> String {
+    let tag = &v.name;
+    match &v.kind {
+        VariantKind::Unit => {
+            format!("{ty}::{tag} => ::serde::Value::Str(::std::string::String::from(\"{tag}\")),")
+        }
+        VariantKind::Tuple(1) => format!(
+            "{ty}::{tag}(f0) => ::serde::Value::Object(::std::vec![(\
+                ::std::string::String::from(\"{tag}\"), \
+                ::serde::Serialize::to_value(f0))]),"
+        ),
+        VariantKind::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let items: String = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                .collect();
+            format!(
+                "{ty}::{tag}({binds}) => ::serde::Value::Object(::std::vec![(\
+                    ::std::string::String::from(\"{tag}\"), \
+                    ::serde::Value::Array(::std::vec![{items}]))]),",
+                binds = binds.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+            let items: String = binds
+                .iter()
+                .map(|b| {
+                    format!(
+                        "(::std::string::String::from(\"{b}\"), \
+                         ::serde::Serialize::to_value({b})),"
+                    )
+                })
+                .collect();
+            format!(
+                "{ty}::{tag} {{ {binds} }} => ::serde::Value::Object(::std::vec![(\
+                    ::std::string::String::from(\"{tag}\"), \
+                    ::serde::Value::Object(::std::vec![{items}]))]),",
+                binds = binds.join(", ")
+            )
+        }
+    }
+}
+
+/// Expression deserializing one named field from `fields` (an object
+/// pair slice in scope), honoring `#[serde(default)]` and optional
+/// `Option` fields.
+fn de_field_expr(f: &Field, ty: &str) -> String {
+    let missing = if f.default {
+        "::core::default::Default::default()".to_string()
+    } else if f.is_option {
+        "::core::option::Option::None".to_string()
+    } else {
+        format!(
+            "return ::core::result::Result::Err(::serde::missing_field(\"{n}\", \"{ty}\"))",
+            n = f.name
+        )
+    };
+    format!(
+        "{n}: match ::serde::obj_get(fields, \"{n}\") {{\n\
+             ::core::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+             ::core::option::Option::None => {missing},\n\
+         }},",
+        n = f.name
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let entries: String = fields.iter().map(|f| de_field_expr(f, name)).collect();
+            format!(
+                "let fields = ::serde::expect_object(value, \"{name}\")?;\n\
+                 ::core::result::Result::Ok({name} {{ {entries} }})"
+            )
+        }
+        ItemKind::TupleStruct(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        ItemKind::TupleStruct(n) => {
+            let entries: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "let items = ::serde::expect_tuple(value, {n}, \"{name}\")?;\n\
+                 ::core::result::Result::Ok({name}({entries}))"
+            )
+        }
+        ItemKind::UnitStruct => format!("::core::result::Result::Ok({name})"),
+        ItemKind::Enum(variants) => {
+            let arms: String = variants.iter().map(|v| de_variant_arm(name, v)).collect();
+            format!(
+                "let (tag, payload) = ::serde::enum_parts(value, \"{name}\")?;\n\
+                 match tag {{\n\
+                     {arms}\n\
+                     other => ::core::result::Result::Err(\
+                         ::serde::unknown_variant(other, \"{name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+              -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn de_variant_arm(ty: &str, v: &Variant) -> String {
+    let tag = &v.name;
+    let payload = format!(
+        "payload.ok_or_else(|| ::serde::DeError::custom(\
+            \"variant `{tag}` of `{ty}` expects a payload\"))?"
+    );
+    match &v.kind {
+        VariantKind::Unit => {
+            format!("\"{tag}\" => ::core::result::Result::Ok({ty}::{tag}),")
+        }
+        VariantKind::Tuple(1) => format!(
+            "\"{tag}\" => {{\n\
+                 let inner = {payload};\n\
+                 ::core::result::Result::Ok({ty}::{tag}(\
+                     ::serde::Deserialize::from_value(inner)?))\n\
+             }}"
+        ),
+        VariantKind::Tuple(n) => {
+            let entries: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "\"{tag}\" => {{\n\
+                     let inner = {payload};\n\
+                     let items = ::serde::expect_tuple(inner, {n}, \"{ty}::{tag}\")?;\n\
+                     ::core::result::Result::Ok({ty}::{tag}({entries}))\n\
+                 }}"
+            )
+        }
+        VariantKind::Named(fields) => {
+            let entries: String = fields.iter().map(|f| de_field_expr(f, ty)).collect();
+            format!(
+                "\"{tag}\" => {{\n\
+                     let inner = {payload};\n\
+                     let fields = ::serde::expect_object(inner, \"{ty}::{tag}\")?;\n\
+                     ::core::result::Result::Ok({ty}::{tag} {{ {entries} }})\n\
+                 }}"
+            )
+        }
+    }
+}

@@ -147,5 +147,8 @@ fn masked_groups_change_predictions() {
     // Removing the user group must change (typically worsen) the
     // timing task, which the paper identifies as user-driven.
     assert_ne!(full.rmse_time, no_user.rmse_time);
-    assert!(no_user.auc <= full.auc + 0.1, "masking should not help much");
+    assert!(
+        no_user.auc <= full.auc + 0.1,
+        "masking should not help much"
+    );
 }

@@ -99,9 +99,24 @@ fn router_draw_eventually_covers_support() {
         load_window: 24.0,
     });
     let candidates = [
-        Candidate { user: UserId(0), answer_prob: 0.9, votes: 5.0, response_time: 1.0 },
-        Candidate { user: UserId(1), answer_prob: 0.9, votes: 3.0, response_time: 1.0 },
-        Candidate { user: UserId(2), answer_prob: 0.9, votes: 1.0, response_time: 1.0 },
+        Candidate {
+            user: UserId(0),
+            answer_prob: 0.9,
+            votes: 5.0,
+            response_time: 1.0,
+        },
+        Candidate {
+            user: UserId(1),
+            answer_prob: 0.9,
+            votes: 3.0,
+            response_time: 1.0,
+        },
+        Candidate {
+            user: UserId(2),
+            answer_prob: 0.9,
+            votes: 1.0,
+            response_time: 1.0,
+        },
     ];
     let rec = router.recommend(0.0, 0.0, &candidates).expect("feasible");
     // Capacity 0.5 forces a split across the two best users.

@@ -58,11 +58,8 @@ fn external_record_import_to_prediction_pipeline() {
     let (clean, _) = dataset.preprocess();
     assert_eq!(clean.num_questions(), 2);
 
-    let extractor = FeatureExtractor::fit(
-        clean.threads(),
-        clean.num_users(),
-        &ExtractorConfig::fast(),
-    );
+    let extractor =
+        FeatureExtractor::fit(clean.threads(), clean.num_users(), &ExtractorConfig::fast());
     let target = &clean.threads()[1];
     let d_q = extractor.question_topics(target);
     let x = extractor.features(users["a"], target, &d_q);
