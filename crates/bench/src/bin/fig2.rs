@@ -9,6 +9,9 @@ use forumcast_graph::{dense_graph, qa_graph, GraphStats};
 fn main() {
     let opts = parse_args();
     header("Figure 2 — SLN graph structure", &opts);
+    if opts.resume.is_some() {
+        println!("note: --resume ignored — figure 2 is single-pass graph statistics");
+    }
     let (dataset, report) = opts.config.synth.generate().preprocess();
     println!("preprocessing: {report}");
     println!("dataset: {}", dataset.stats());

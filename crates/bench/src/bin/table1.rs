@@ -11,7 +11,10 @@ use forumcast_eval::experiments::table1;
 fn main() {
     let opts = parse_args();
     header("Table I — prediction performance vs. baselines", &opts);
-    let report = table1::run(&opts.config);
+    let report = table1::run_with(&opts.config, opts.resume.as_deref()).unwrap_or_else(|e| {
+        eprintln!("table1 failed: {e}");
+        std::process::exit(1);
+    });
     println!("{report}");
     println!(
         "paper shape check: all three improvements positive? {}",

@@ -11,8 +11,15 @@
 //! * `paper` — medium dataset with the paper's 5 × 5-fold protocol.
 //!
 //! `--json` additionally dumps the machine-readable report to stdout.
+//! `--resume <path>` checkpoints completed CV folds to `<path>` (plus
+//! per-sub-run suffixes for the sweep figures) and skips them when the
+//! run is restarted with the same path. `--faults <spec>` arms the
+//! deterministic fault injector (same grammar as `FORUMCAST_FAULTS`).
+
+use std::path::PathBuf;
 
 use forumcast_eval::EvalConfig;
+use forumcast_resilience::FaultPlan;
 
 /// Command-line options shared by the regeneration binaries.
 #[derive(Debug, Clone)]
@@ -23,6 +30,8 @@ pub struct BinOptions {
     pub json: bool,
     /// The scale name that was selected.
     pub scale: String,
+    /// Checkpoint file for resumable experiments (`--resume <path>`).
+    pub resume: Option<PathBuf>,
 }
 
 /// Parses `std::env::args` into [`BinOptions`]. Unknown arguments
@@ -34,9 +43,25 @@ pub fn parse_args() -> BinOptions {
     let mut folds: Option<usize> = None;
     let mut repeats: Option<usize> = None;
     let mut threads: Option<usize> = None;
+    let mut resume: Option<PathBuf> = None;
+    let mut faults: Option<FaultPlan> = None;
     let mut pending: Option<&str> = None;
     for arg in std::env::args().skip(1) {
         if let Some(key) = pending.take() {
+            match key {
+                "resume" => {
+                    resume = Some(PathBuf::from(&arg));
+                    continue;
+                }
+                "faults" => {
+                    faults = Some(FaultPlan::parse(&arg).unwrap_or_else(|e| {
+                        eprintln!("invalid value `{arg}` for --faults: {e}");
+                        std::process::exit(2);
+                    }));
+                    continue;
+                }
+                _ => {}
+            }
             let value: usize = arg.parse().unwrap_or_else(|_| {
                 eprintln!("invalid value `{arg}` for --{key}");
                 std::process::exit(2);
@@ -61,6 +86,14 @@ pub fn parse_args() -> BinOptions {
                 pending = Some("threads");
                 continue;
             }
+            "--resume" => {
+                pending = Some("resume");
+                continue;
+            }
+            "--faults" => {
+                pending = Some("faults");
+                continue;
+            }
             "quick" => {
                 config = EvalConfig::quick();
                 scale = "quick".into();
@@ -78,11 +111,15 @@ pub fn parse_args() -> BinOptions {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: <bin> [quick|standard|paper] [--json] [--folds N] [--repeats N] \
-                     [--threads N]"
+                     [--threads N] [--resume PATH] [--faults SPEC]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(key) = pending {
+        eprintln!("missing value for --{key}");
+        std::process::exit(2);
     }
     if let Some(f) = folds {
         config.folds = f.max(2);
@@ -95,10 +132,25 @@ pub fn parse_args() -> BinOptions {
         // parallelism) — the same convention as EvalConfig::threads.
         config.threads = t;
     }
+    // --faults wins over FORUMCAST_FAULTS; either arms the injector
+    // for the whole process.
+    let plan = match faults {
+        Some(plan) => Some(plan),
+        None => FaultPlan::from_env().unwrap_or_else(|e| {
+            eprintln!("invalid {}: {e}", forumcast_resilience::FAULTS_ENV);
+            std::process::exit(2);
+        }),
+    };
+    if let Some(plan) = plan {
+        if !plan.is_empty() {
+            plan.arm_for_process();
+        }
+    }
     BinOptions {
         config,
         json,
         scale,
+        resume,
     }
 }
 
@@ -137,6 +189,7 @@ mod tests {
             config: EvalConfig::standard(),
             json: false,
             scale: "standard".into(),
+            resume: None,
         };
         assert_eq!(opts.config.repeats, 1);
         assert!(!opts.json);

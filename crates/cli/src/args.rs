@@ -15,8 +15,14 @@ commands:
   route      --data <file> --model <model-file> --question <id>
              [--lambda X] [--epsilon X] [--capacity X] [--top N]
   evaluate   [--scale <quick|standard|paper>] [--threads N]
+             [--resume <checkpoint-file>] [--faults <spec>]
   abtest     [--scale <quick|standard>] [--lambda X]
   help
+
+`--resume` saves completed cross-validation folds to the given file
+and skips them on restart. `--faults` arms the deterministic fault
+injector (same grammar as the FORUMCAST_FAULTS env var, e.g.
+`fold-panic:1`).
 ";
 
 /// A parsed CLI invocation.
@@ -84,6 +90,11 @@ pub enum Command {
         /// Worker threads (0 = auto: `FORUMCAST_THREADS` env var,
         /// else available parallelism).
         threads: usize,
+        /// Checkpoint file: completed folds are saved here and
+        /// skipped when the run restarts with the same path.
+        resume: Option<String>,
+        /// Fault-injection spec (same grammar as `FORUMCAST_FAULTS`).
+        faults: Option<String>,
     },
     /// Run the simulated A/B test.
     AbTest {
@@ -178,8 +189,10 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseEr
             let c = Command::Evaluate {
                 scale: opts.get_or("scale", "quick")?,
                 threads: opts.get_parsed_or("threads", 0)?,
+                resume: opts.get("resume").map(str::to_owned),
+                faults: opts.get("faults").map(str::to_owned),
             };
-            opts.reject_unknown(&["scale", "threads"])?;
+            opts.reject_unknown(&["scale", "threads", "resume", "faults"])?;
             Ok(c)
         }
         "abtest" => {
@@ -363,7 +376,9 @@ mod tests {
             cmd,
             Command::Evaluate {
                 scale: "quick".into(),
-                threads: 4
+                threads: 4,
+                resume: None,
+                faults: None,
             }
         );
         // Default: 0 = auto.
@@ -372,7 +387,23 @@ mod tests {
             cmd,
             Command::Evaluate {
                 scale: "quick".into(),
-                threads: 0
+                threads: 0,
+                resume: None,
+                faults: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_evaluate_resume_and_faults() {
+        let cmd = parse(argv("evaluate --resume cv.json --faults fold-panic:1")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Evaluate {
+                scale: "quick".into(),
+                threads: 0,
+                resume: Some("cv.json".into()),
+                faults: Some("fold-panic:1".into()),
             }
         );
     }

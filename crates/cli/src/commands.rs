@@ -2,6 +2,7 @@
 
 use std::error::Error;
 use std::io::Write;
+use std::path::Path;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -13,6 +14,7 @@ use forumcast_eval::{experiments::table1, EvalConfig};
 use forumcast_features::{ExtractorConfig, FeatureExtractor};
 use forumcast_graph::{dense_graph, qa_graph, GraphStats};
 use forumcast_recsys::{Candidate, QuestionRouter, RouterConfig};
+use forumcast_resilience::FaultPlan;
 use forumcast_synth::SynthConfig;
 
 use crate::args::{Command, USAGE};
@@ -59,7 +61,12 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
             capacity,
             top,
         } => route(&data, &model, question, lambda, epsilon, capacity, top, out),
-        Command::Evaluate { scale, threads } => evaluate(&scale, threads, out),
+        Command::Evaluate {
+            scale,
+            threads,
+            resume,
+            faults,
+        } => evaluate(&scale, threads, resume.as_deref(), faults.as_deref(), out),
         Command::AbTest { scale, lambda } => abtest(&scale, lambda, out),
     }
 }
@@ -88,7 +95,8 @@ fn generate(
         cfg = cfg.with_topics(k);
     }
     let dataset = cfg.generate();
-    std::fs::write(path, data_io::to_json(&dataset)?)?;
+    std::fs::write(path, data_io::to_json(&dataset)?)
+        .map_err(|e| format!("cannot write dataset to `{path}`: {e}"))?;
     writeln!(
         out,
         "wrote {} ({} questions, {} users) to {path}",
@@ -100,8 +108,9 @@ fn generate(
 }
 
 fn load_dataset(path: &str) -> Result<Dataset, Box<dyn Error>> {
-    let json = std::fs::read_to_string(path)?;
-    Ok(data_io::from_json(&json)?)
+    let json =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read dataset `{path}`: {e}"))?;
+    data_io::from_json(&json).map_err(|e| format!("invalid dataset `{path}`: {e}").into())
 }
 
 fn stats(data: &str, out: &mut dyn Write) -> CmdResult {
@@ -196,7 +205,8 @@ fn train(data: &str, fast: bool, seed: Option<u64>, path: &str, out: &mut dyn Wr
         predictor,
         history_threads: clean.num_questions(),
     };
-    std::fs::write(path, serde_json::to_string(&saved)?)?;
+    std::fs::write(path, serde_json::to_string(&saved)?)
+        .map_err(|e| format!("cannot write model to `{path}`: {e}"))?;
     writeln!(out, "model written to {path}")?;
     Ok(())
 }
@@ -210,7 +220,10 @@ fn load_model_and_extractor(
 ) -> Result<(Dataset, FeatureExtractor, ResponsePredictor), Box<dyn Error>> {
     let dataset = load_dataset(data)?;
     let (clean, _) = dataset.preprocess();
-    let saved: SavedModel = serde_json::from_str(&std::fs::read_to_string(model)?)?;
+    let json =
+        std::fs::read_to_string(model).map_err(|e| format!("cannot read model `{model}`: {e}"))?;
+    let saved: SavedModel =
+        serde_json::from_str(&json).map_err(|e| format!("invalid model `{model}`: {e}"))?;
     let ex_cfg = if fast_features {
         ExtractorConfig::fast()
     } else {
@@ -288,8 +301,16 @@ fn route(
                 rec.objective()
             )?;
             for (rank, u) in rec.ranking().into_iter().take(top).enumerate() {
-                let c = candidates.iter().find(|c| c.user == u).expect("ranked");
-                let p = rec.probabilities()[rec.users().iter().position(|&x| x == u).expect("in")];
+                let c = candidates
+                    .iter()
+                    .find(|c| c.user == u)
+                    .ok_or_else(|| format!("router ranked {u}, which is not a candidate"))?;
+                let p = rec
+                    .users()
+                    .iter()
+                    .position(|&x| x == u)
+                    .map(|i| rec.probabilities()[i])
+                    .ok_or_else(|| format!("router ranked {u} without a probability"))?;
                 writeln!(
                     out,
                     "  #{:<2} {u}: p = {p:.3}, â = {:.3}, v̂ = {:+.2}, r̂ = {:.2} h",
@@ -304,7 +325,13 @@ fn route(
     Ok(())
 }
 
-fn evaluate(scale: &str, threads: usize, out: &mut dyn Write) -> CmdResult {
+fn evaluate(
+    scale: &str,
+    threads: usize,
+    resume: Option<&str>,
+    faults: Option<&str>,
+    out: &mut dyn Write,
+) -> CmdResult {
     let mut cfg = match scale {
         "quick" => EvalConfig::quick(),
         "standard" => EvalConfig::standard(),
@@ -312,12 +339,30 @@ fn evaluate(scale: &str, threads: usize, out: &mut dyn Write) -> CmdResult {
         other => return Err(format!("unknown scale `{other}`").into()),
     };
     cfg.threads = threads;
+    // --faults wins over the FORUMCAST_FAULTS env var.
+    let plan = match faults {
+        Some(spec) => Some(
+            FaultPlan::parse(spec)
+                .map_err(|e| format!("invalid value `{spec}` for --faults: {e}"))?,
+        ),
+        None => FaultPlan::from_env()
+            .map_err(|e| format!("invalid {}: {e}", forumcast_resilience::FAULTS_ENV))?,
+    };
+    if let Some(plan) = plan {
+        if !plan.is_empty() {
+            plan.arm_for_process();
+        }
+    }
     writeln!(
         out,
         "running Table-I evaluation at scale `{scale}` ({} worker threads) …",
         cfg.worker_threads()
     )?;
-    let report = table1::run(&cfg);
+    if let Some(path) = resume {
+        writeln!(out, "checkpointing completed folds to `{path}`")?;
+    }
+    let report = table1::run_with(&cfg, resume.map(Path::new))
+        .map_err(|e| format!("evaluation failed: {e}"))?;
     writeln!(out, "{report}")?;
     Ok(())
 }

@@ -98,11 +98,25 @@ pub struct ThreadRecord {
 ///
 /// # Errors
 ///
-/// Returns [`DataError`] when the normalized records violate dataset
-/// invariants (e.g. an answer timestamped before its question).
+/// Returns [`DataError::NonFiniteTimestamp`] (naming the offending
+/// question id) when any `creation_epoch_s` is NaN or infinite —
+/// rejected up front so NaN can never flow into the epoch rebasing
+/// below — and [`DataError`] when the normalized records violate
+/// dataset invariants (e.g. an answer timestamped before its
+/// question). For noisy crawls that should be salvaged rather than
+/// rejected, see [`crate::quarantine::import_records_lenient`].
 pub fn import_records(
     records: &[ThreadRecord],
 ) -> Result<(Dataset, HashMap<String, UserId>), DataError> {
+    for r in records {
+        let all_finite = r.question.creation_epoch_s.is_finite()
+            && r.answers.iter().all(|a| a.creation_epoch_s.is_finite());
+        if !all_finite {
+            return Err(DataError::NonFiniteTimestamp {
+                question: r.question_id,
+            });
+        }
+    }
     let mut user_ids: HashMap<String, UserId> = HashMap::new();
     let intern = |key: &str, user_ids: &mut HashMap<String, UserId>| {
         let next = user_ids.len() as u32;
@@ -264,6 +278,26 @@ mod tests {
         let json = serde_json::to_string(&sample_records()).unwrap();
         let (ds, _) = import_records_json(&json).unwrap();
         assert_eq!(ds.num_questions(), 2);
+    }
+
+    #[test]
+    fn strict_import_rejects_non_finite_epoch_seconds() {
+        // NaN question timestamp: named by question id.
+        let mut records = sample_records();
+        records[1].question.creation_epoch_s = f64::NAN;
+        match import_records(&records) {
+            Err(DataError::NonFiniteTimestamp { question }) => assert_eq!(question, 101),
+            other => panic!("expected NonFiniteTimestamp, got {other:?}"),
+        }
+        // Infinite answer timestamp: the containing thread is named.
+        let mut records = sample_records();
+        records[0].answers[0].creation_epoch_s = f64::INFINITY;
+        match import_records(&records) {
+            Err(DataError::NonFiniteTimestamp { question }) => assert_eq!(question, 100),
+            other => panic!("expected NonFiniteTimestamp, got {other:?}"),
+        }
+        let err = import_records(&records).unwrap_err();
+        assert!(err.to_string().contains("q100"), "{err}");
     }
 
     #[test]

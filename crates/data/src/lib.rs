@@ -44,6 +44,7 @@ pub mod days;
 pub mod error;
 pub mod io;
 pub mod post;
+pub mod quarantine;
 pub mod stats;
 pub mod thread;
 
@@ -51,6 +52,7 @@ pub use dataset::{AnsweredPair, Dataset};
 pub use days::DayPartition;
 pub use error::DataError;
 pub use post::{Post, PostBody, UserId};
+pub use quarantine::{import_records_lenient, IngestReport, QuarantineReason};
 pub use stats::{DatasetStats, PreprocessReport};
 pub use thread::{QuestionId, Thread};
 

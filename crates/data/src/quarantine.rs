@@ -1,0 +1,367 @@
+//! Lenient record ingestion: skip-and-record instead of abort.
+//!
+//! [`crate::io::import_records`] is strict — one malformed record
+//! fails the whole import, which is the right default for curated
+//! datasets. Continuously-crawled forum data is noisier: truncated
+//! bodies, clock glitches, duplicated crawl pages. For that,
+//! [`import_records_lenient`] quarantines malformed records (with a
+//! per-reason tally in [`IngestReport`]) and builds the dataset from
+//! the rest, so a multi-hour pipeline run survives a bad crawl batch.
+//!
+//! The quarantine checks are a superset of the [`crate::Dataset`]
+//! invariants, so the construction of the surviving dataset cannot
+//! fail — the function is total. The per-record checks are also
+//! instrumented with the [`forumcast_resilience`] `ingest-io` fault
+//! site, letting CI inject I/O errors at exact record indices.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use forumcast_resilience::fault::{self, FaultSite};
+
+use crate::dataset::Dataset;
+use crate::io::ThreadRecord;
+use crate::post::{Post, PostBody, UserId};
+use crate::thread::Thread;
+
+/// Why a record was quarantined instead of imported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum QuarantineReason {
+    /// Reading the record failed (in this offline reproduction only
+    /// injected via the `ingest-io` fault site; a streaming crawler
+    /// would hit real ones).
+    IoError,
+    /// A `creation_epoch_s` is NaN or infinite.
+    NonFiniteTimestamp,
+    /// A `creation_epoch_s` is negative — before the 1970 epoch, which
+    /// no real forum crawl can produce.
+    NegativeTimestamp,
+    /// A post has an empty (or all-whitespace) user key, so it cannot
+    /// be attributed to any user.
+    EmptyUserKey,
+    /// A post has an empty (or all-whitespace) HTML body.
+    EmptyBody,
+    /// An answer is timestamped before its question.
+    AnswerBeforeQuestion,
+    /// The question id was already imported (e.g. a re-crawled page).
+    DuplicateQuestionId,
+}
+
+impl QuarantineReason {
+    /// All reasons, in check order.
+    pub const ALL: [QuarantineReason; 7] = [
+        QuarantineReason::IoError,
+        QuarantineReason::NonFiniteTimestamp,
+        QuarantineReason::NegativeTimestamp,
+        QuarantineReason::EmptyUserKey,
+        QuarantineReason::EmptyBody,
+        QuarantineReason::AnswerBeforeQuestion,
+        QuarantineReason::DuplicateQuestionId,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            QuarantineReason::IoError => "i/o error",
+            QuarantineReason::NonFiniteTimestamp => "non-finite timestamp",
+            QuarantineReason::NegativeTimestamp => "negative timestamp",
+            QuarantineReason::EmptyUserKey => "empty user key",
+            QuarantineReason::EmptyBody => "empty body",
+            QuarantineReason::AnswerBeforeQuestion => "answer before question",
+            QuarantineReason::DuplicateQuestionId => "duplicate question id",
+        }
+    }
+}
+
+impl fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Tally of a lenient import: how many records came in, how many
+/// threads survived, and per-reason quarantine counts. The invariant
+/// `records_in == threads_kept + quarantined_total()` always holds.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IngestReport {
+    /// Records offered to the importer.
+    pub records_in: usize,
+    /// Threads that survived into the dataset.
+    pub threads_kept: usize,
+    /// `(reason, count)` pairs for quarantined records, in
+    /// [`QuarantineReason::ALL`] order; zero-count reasons omitted.
+    pub quarantined: Vec<(QuarantineReason, usize)>,
+}
+
+impl IngestReport {
+    /// Total quarantined records across all reasons.
+    pub fn quarantined_total(&self) -> usize {
+        self.quarantined.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Quarantine count for one reason.
+    pub fn count(&self, reason: QuarantineReason) -> usize {
+        self.quarantined
+            .iter()
+            .find(|(r, _)| *r == reason)
+            .map_or(0, |(_, n)| *n)
+    }
+}
+
+impl fmt::Display for IngestReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "imported {}/{} records ({} quarantined",
+            self.threads_kept,
+            self.records_in,
+            self.quarantined_total()
+        )?;
+        for (reason, n) in &self.quarantined {
+            write!(f, "; {reason}: {n}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Classifies one record against the quarantine checks, in
+/// [`QuarantineReason::ALL`] order. `seen` holds already-imported
+/// question ids.
+fn classify(record: &ThreadRecord, index: usize, seen: &HashSet<u32>) -> Option<QuarantineReason> {
+    if fault::io_point(FaultSite::IngestIo, index as u64).is_err() {
+        return Some(QuarantineReason::IoError);
+    }
+    let posts = || std::iter::once(&record.question).chain(record.answers.iter());
+    if posts().any(|p| !p.creation_epoch_s.is_finite()) {
+        return Some(QuarantineReason::NonFiniteTimestamp);
+    }
+    if posts().any(|p| p.creation_epoch_s < 0.0) {
+        return Some(QuarantineReason::NegativeTimestamp);
+    }
+    if posts().any(|p| p.user.trim().is_empty()) {
+        return Some(QuarantineReason::EmptyUserKey);
+    }
+    if posts().any(|p| p.body_html.trim().is_empty()) {
+        return Some(QuarantineReason::EmptyBody);
+    }
+    if record
+        .answers
+        .iter()
+        .any(|a| a.creation_epoch_s < record.question.creation_epoch_s)
+    {
+        return Some(QuarantineReason::AnswerBeforeQuestion);
+    }
+    if seen.contains(&record.question_id) {
+        return Some(QuarantineReason::DuplicateQuestionId);
+    }
+    None
+}
+
+/// Imports a crawl in the record format like
+/// [`crate::io::import_records`], but quarantines malformed records
+/// instead of failing: each surviving thread is normalized (dense
+/// user ids, timestamps rebased to hours since the earliest surviving
+/// post) and each dropped record is tallied by reason in the returned
+/// [`IngestReport`]. Total by construction — the checks pre-enforce
+/// every [`Dataset`] invariant.
+pub fn import_records_lenient(
+    records: &[ThreadRecord],
+) -> (Dataset, HashMap<String, UserId>, IngestReport) {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut counts: HashMap<QuarantineReason, usize> = HashMap::new();
+    let mut kept: Vec<&ThreadRecord> = Vec::with_capacity(records.len());
+    for (i, r) in records.iter().enumerate() {
+        match classify(r, i, &seen) {
+            Some(reason) => *counts.entry(reason).or_insert(0) += 1,
+            None => {
+                seen.insert(r.question_id);
+                kept.push(r);
+            }
+        }
+    }
+
+    // Normalization over the survivors, mirroring the strict importer.
+    // All timestamps are finite and >= 0 here, so the epoch is finite
+    // and every rebased hour is finite and non-negative.
+    let mut user_ids: HashMap<String, UserId> = HashMap::new();
+    let intern = |key: &str, user_ids: &mut HashMap<String, UserId>| {
+        let next = user_ids.len() as u32;
+        *user_ids.entry(key.to_owned()).or_insert(UserId(next))
+    };
+    let epoch = kept
+        .iter()
+        .flat_map(|r| {
+            std::iter::once(r.question.creation_epoch_s)
+                .chain(r.answers.iter().map(|a| a.creation_epoch_s))
+        })
+        .fold(f64::INFINITY, f64::min);
+    let to_hours = |s: f64| {
+        if epoch.is_finite() {
+            (s - epoch) / 3600.0
+        } else {
+            0.0
+        }
+    };
+    let mut threads = Vec::with_capacity(kept.len());
+    for r in &kept {
+        let qa = intern(&r.question.user, &mut user_ids);
+        let question = Post::new(
+            qa,
+            to_hours(r.question.creation_epoch_s),
+            r.question.score,
+            PostBody::from_html(&r.question.body_html),
+        );
+        let answers = r
+            .answers
+            .iter()
+            .map(|a| {
+                let u = intern(&a.user, &mut user_ids);
+                Post::new(
+                    u,
+                    to_hours(a.creation_epoch_s),
+                    a.score,
+                    PostBody::from_html(&a.body_html),
+                )
+            })
+            .collect();
+        threads.push(Thread::new(r.question_id, question, answers));
+    }
+    let dataset = Dataset::new(user_ids.len() as u32, threads)
+        .expect("quarantine checks enforce every dataset invariant");
+
+    let quarantined = QuarantineReason::ALL
+        .into_iter()
+        .filter_map(|r| counts.get(&r).map(|&n| (r, n)))
+        .collect();
+    let report = IngestReport {
+        records_in: records.len(),
+        threads_kept: kept.len(),
+        quarantined,
+    };
+    (dataset, user_ids, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{import_records, PostRecord};
+    use crate::thread::QuestionId;
+
+    fn post(user: &str, epoch_s: f64, body: &str) -> PostRecord {
+        PostRecord {
+            user: user.into(),
+            creation_epoch_s: epoch_s,
+            score: 0,
+            body_html: body.into(),
+        }
+    }
+
+    fn record(id: u32, question: PostRecord, answers: Vec<PostRecord>) -> ThreadRecord {
+        ThreadRecord {
+            question_id: id,
+            question,
+            answers,
+        }
+    }
+
+    fn clean_records() -> Vec<ThreadRecord> {
+        vec![
+            record(
+                1,
+                post("alice", 1_000.0, "q one"),
+                vec![post("bob", 4_600.0, "a one")],
+            ),
+            record(2, post("bob", 8_200.0, "q two"), vec![]),
+        ]
+    }
+
+    #[test]
+    fn clean_records_match_strict_import() {
+        let records = clean_records();
+        let (strict, strict_users) = import_records(&records).unwrap();
+        let (lenient, lenient_users, report) = import_records_lenient(&records);
+        assert_eq!(strict, lenient);
+        assert_eq!(strict_users, lenient_users);
+        assert_eq!(report.records_in, 2);
+        assert_eq!(report.threads_kept, 2);
+        assert_eq!(report.quarantined_total(), 0);
+    }
+
+    #[test]
+    fn each_malformation_is_tallied_under_its_reason() {
+        let mut records = clean_records();
+        records.push(record(3, post("carol", f64::NAN, "nan q"), vec![]));
+        records.push(record(4, post("carol", -5.0, "pre-epoch q"), vec![]));
+        records.push(record(5, post("  ", 9_000.0, "anonymous q"), vec![]));
+        records.push(record(6, post("carol", 9_100.0, "   "), vec![]));
+        records.push(record(
+            7,
+            post("carol", 9_200.0, "q"),
+            vec![post("dave", 9_000.0, "early a")],
+        ));
+        records.push(record(1, post("eve", 9_300.0, "re-crawled q"), vec![]));
+        let (ds, _, report) = import_records_lenient(&records);
+        assert_eq!(ds.num_questions(), 2);
+        assert_eq!(report.records_in, 8);
+        assert_eq!(report.threads_kept, 2);
+        for reason in [
+            QuarantineReason::NonFiniteTimestamp,
+            QuarantineReason::NegativeTimestamp,
+            QuarantineReason::EmptyUserKey,
+            QuarantineReason::EmptyBody,
+            QuarantineReason::AnswerBeforeQuestion,
+            QuarantineReason::DuplicateQuestionId,
+        ] {
+            assert_eq!(report.count(reason), 1, "{reason}");
+        }
+        assert_eq!(report.quarantined_total(), 6);
+        let text = report.to_string();
+        assert!(text.contains("2/8"), "{text}");
+        assert!(text.contains("duplicate question id: 1"), "{text}");
+    }
+
+    #[test]
+    fn quarantining_does_not_shift_surviving_normalization() {
+        // The NaN record sits *between* survivors; epoch rebasing and
+        // user interning must come out as if it was never there.
+        let mut records = clean_records();
+        records.insert(1, record(9, post("mallory", f64::NAN, "bad"), vec![]));
+        let (ds, users, report) = import_records_lenient(&records);
+        assert_eq!(report.count(QuarantineReason::NonFiniteTimestamp), 1);
+        assert!(!users.contains_key("mallory"));
+        let (clean_ds, clean_users) = import_records(&clean_records()).unwrap();
+        assert_eq!(ds, clean_ds);
+        assert_eq!(users, clean_users);
+        assert_eq!(ds.thread(QuestionId(1)).unwrap().asked_at(), 0.0);
+    }
+
+    #[test]
+    fn injected_io_fault_quarantines_exactly_that_record() {
+        let _guard = forumcast_resilience::FaultPlan::parse("ingest-io:1")
+            .unwrap()
+            .arm();
+        let (ds, _, report) = import_records_lenient(&clean_records());
+        assert_eq!(report.count(QuarantineReason::IoError), 1);
+        assert_eq!(ds.num_questions(), 1);
+        assert!(ds.thread(QuestionId(1)).is_some());
+        assert!(ds.thread(QuestionId(2)).is_none());
+    }
+
+    #[test]
+    fn empty_input_is_total() {
+        let (ds, users, report) = import_records_lenient(&[]);
+        assert_eq!(ds.num_questions(), 0);
+        assert!(users.is_empty());
+        assert_eq!(report, IngestReport::default());
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let (_, _, report) = import_records_lenient(&clean_records());
+        let json = serde_json::to_string(&report).unwrap();
+        let back: IngestReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

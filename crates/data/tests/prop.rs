@@ -2,7 +2,8 @@
 
 use proptest::prelude::*;
 
-use forumcast_data::{io, Dataset, Post, PostBody, Thread, UserId};
+use forumcast_data::io::{PostRecord, ThreadRecord};
+use forumcast_data::{import_records_lenient, io, Dataset, Post, PostBody, Thread, UserId};
 
 fn arb_thread(id: u32, num_users: u32) -> impl Strategy<Value = Thread> {
     (
@@ -81,6 +82,94 @@ proptest! {
             for p in t.posts() {
                 prop_assert!(p.timestamp <= h + 1e-12);
             }
+        }
+    }
+}
+
+/// Adversarial crawl posts: NaN/infinite/negative/huge timestamps,
+/// empty user keys and bodies.
+fn arb_post_record() -> impl Strategy<Value = PostRecord> {
+    (0u8..8, 0.0f64..5_000.0, 0u8..4, 0u8..4, -5i32..10).prop_map(
+        |(esel, base, usel, bsel, score)| {
+            let creation_epoch_s = match esel {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => -base - 1.0,
+                4 => 1e308,
+                _ => base,
+            };
+            let user = match usel {
+                0 => "",
+                1 => " \t",
+                2 => "alice",
+                _ => "bob",
+            };
+            let body_html = match bsel {
+                0 => "",
+                1 => "   ",
+                2 => "plain words",
+                _ => "with <code>code</code>",
+            };
+            PostRecord {
+                user: user.to_string(),
+                creation_epoch_s,
+                score,
+                body_html: body_html.to_string(),
+            }
+        },
+    )
+}
+
+/// Adversarial crawls: small question-id range so duplicates are
+/// common, 0–2 answers per record.
+fn arb_records() -> impl Strategy<Value = Vec<ThreadRecord>> {
+    proptest::collection::vec(
+        (
+            0u32..6,
+            arb_post_record(),
+            proptest::collection::vec(arb_post_record(), 0..3),
+        ),
+        0..10,
+    )
+    .prop_map(|rs| {
+        rs.into_iter()
+            .map(|(question_id, question, answers)| ThreadRecord {
+                question_id,
+                question,
+                answers,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Lenient import is total (never panics) and its quarantine
+    /// counts balance: records in = threads kept + quarantined.
+    #[test]
+    fn lenient_import_is_total_and_counts_balance(records in arb_records()) {
+        let (ds, users, report) = import_records_lenient(&records);
+        prop_assert_eq!(report.records_in, records.len());
+        prop_assert_eq!(report.threads_kept, ds.num_questions());
+        prop_assert_eq!(
+            report.records_in,
+            report.threads_kept + report.quarantined_total()
+        );
+        prop_assert_eq!(users.len() as u32, ds.num_users());
+        // The survivors satisfy every dataset invariant.
+        prop_assert!(Dataset::new(ds.num_users(), ds.threads().to_vec()).is_ok());
+    }
+
+    /// When nothing gets quarantined, lenient and strict import agree
+    /// exactly.
+    #[test]
+    fn lenient_matches_strict_on_clean_input(records in arb_records()) {
+        let (ds, users, report) = import_records_lenient(&records);
+        if report.quarantined_total() == 0 {
+            let (strict, strict_users) =
+                io::import_records(&records).expect("lenient found nothing to quarantine");
+            prop_assert_eq!(ds, strict);
+            prop_assert_eq!(users, strict_users);
         }
     }
 }

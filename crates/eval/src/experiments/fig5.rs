@@ -2,10 +2,11 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::path::Path;
 
 use crate::config::EvalConfig;
 use crate::data::ExperimentData;
-use crate::experiments::run_cv;
+use crate::experiments::{run_cv_resumable, sub_checkpoint, CvError, CvOptions};
 use crate::fold::mean_std;
 
 /// Metrics at one value of `K`.
@@ -68,8 +69,29 @@ impl fmt::Display for Fig5Report {
 ///
 /// # Panics
 ///
-/// Panics when `ks` does not contain `reference_k`.
+/// Panics when `ks` does not contain `reference_k`, or when the
+/// sweep fails despite per-fold retries.
 pub fn run(config: &EvalConfig, ks: &[usize], reference_k: usize) -> Fig5Report {
+    run_with(config, ks, reference_k, None).unwrap_or_else(|e| panic!("fig5: {e}"))
+}
+
+/// [`run`] with an optional checkpoint base path: each swept `K`
+/// checkpoints into `<base>.k<K>.json`.
+///
+/// # Errors
+///
+/// Returns [`CvError`] when a fold exhausts its retries or a
+/// checkpoint file is unusable.
+///
+/// # Panics
+///
+/// Panics when `ks` does not contain `reference_k`.
+pub fn run_with(
+    config: &EvalConfig,
+    ks: &[usize],
+    reference_k: usize,
+    checkpoint: Option<&Path>,
+) -> Result<Fig5Report, CvError> {
     assert!(
         ks.contains(&reference_k),
         "reference K={reference_k} must be part of the sweep"
@@ -80,7 +102,8 @@ pub fn run(config: &EvalConfig, ks: &[usize], reference_k: usize) -> Fig5Report 
         let mut cfg = config.clone();
         cfg.extractor = cfg.extractor.with_topics(k);
         let data = ExperimentData::build(&dataset, &cfg);
-        let outcomes = run_cv(&data, &cfg, None, false);
+        let opts = CvOptions::maybe_checkpoint(sub_checkpoint(checkpoint, &format!("k{k}")));
+        let outcomes = run_cv_resumable(&data, &cfg, None, false, &opts)?;
         let auc = mean_std(&outcomes.iter().map(|o| o.auc).collect::<Vec<_>>()).0;
         let rv = mean_std(&outcomes.iter().map(|o| o.rmse_votes).collect::<Vec<_>>()).0;
         let rt = mean_std(&outcomes.iter().map(|o| o.rmse_time).collect::<Vec<_>>()).0;
@@ -104,10 +127,10 @@ pub fn run(config: &EvalConfig, ks: &[usize], reference_k: usize) -> Fig5Report 
             ),
         })
         .collect();
-    Fig5Report {
+    Ok(Fig5Report {
         reference_k,
         points,
-    }
+    })
 }
 
 #[cfg(test)]

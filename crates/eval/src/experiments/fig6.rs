@@ -2,12 +2,13 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::path::Path;
 
 use forumcast_features::FeatureId;
 
 use crate::config::EvalConfig;
 use crate::data::ExperimentData;
-use crate::experiments::run_cv;
+use crate::experiments::{run_cv_resumable, sub_checkpoint, CvError, CvOptions};
 use crate::fold::{mean_std, MaskSpec};
 
 /// Importance of one feature: % increase in RMSE when it is removed.
@@ -72,6 +73,10 @@ impl fmt::Display for Fig6Report {
 
 /// Runs the leave-one-feature-out study: a full CV per excluded
 /// feature (20 runs) plus one reference run, all without baselines.
+///
+/// # Panics
+///
+/// Panics when a CV run fails despite per-fold retries.
 pub fn run(config: &EvalConfig) -> Fig6Report {
     let (dataset, _) = config.synth.generate().preprocess();
     let data = ExperimentData::build(&dataset, config);
@@ -79,31 +84,52 @@ pub fn run(config: &EvalConfig) -> Fig6Report {
 }
 
 /// Runs the study on prebuilt experiment data (reused by benches).
+///
+/// # Panics
+///
+/// Panics when a CV run fails despite per-fold retries.
 pub fn run_on(data: &ExperimentData, config: &EvalConfig) -> Fig6Report {
-    let reference = run_cv(data, config, None, false);
+    run_on_with(data, config, None).unwrap_or_else(|e| panic!("fig6: {e}"))
+}
+
+/// [`run_on`] with an optional checkpoint base path: the reference
+/// run checkpoints into `<base>.ref.json` and the run excluding the
+/// `i`-th feature into `<base>.feat<i>.json`.
+///
+/// # Errors
+///
+/// Returns [`CvError`] when a fold exhausts its retries or a
+/// checkpoint file is unusable.
+pub fn run_on_with(
+    data: &ExperimentData,
+    config: &EvalConfig,
+    checkpoint: Option<&Path>,
+) -> Result<Fig6Report, CvError> {
+    let ref_opts = CvOptions::maybe_checkpoint(sub_checkpoint(checkpoint, "ref"));
+    let reference = run_cv_resumable(data, config, None, false, &ref_opts)?;
     let ref_v = mean_std(&reference.iter().map(|o| o.rmse_votes).collect::<Vec<_>>()).0;
     let ref_t = mean_std(&reference.iter().map(|o| o.rmse_time).collect::<Vec<_>>()).0;
 
     // The run_cv calls already parallelize folds internally; sweep
     // features sequentially to bound memory.
-    let bars = FeatureId::ALL
-        .iter()
-        .map(|&feature| {
-            let outcomes = run_cv(data, config, Some(MaskSpec::Feature(feature)), false);
-            let v = mean_std(&outcomes.iter().map(|o| o.rmse_votes).collect::<Vec<_>>()).0;
-            let t = mean_std(&outcomes.iter().map(|o| o.rmse_time).collect::<Vec<_>>()).0;
-            Fig6Bar {
-                feature,
-                votes_pct: (v - ref_v) / ref_v * 100.0,
-                time_pct: (t - ref_t) / ref_t * 100.0,
-            }
-        })
-        .collect();
+    let mut bars = Vec::with_capacity(FeatureId::ALL.len());
+    for (i, &feature) in FeatureId::ALL.iter().enumerate() {
+        let opts = CvOptions::maybe_checkpoint(sub_checkpoint(checkpoint, &format!("feat{i}")));
+        let outcomes =
+            run_cv_resumable(data, config, Some(MaskSpec::Feature(feature)), false, &opts)?;
+        let v = mean_std(&outcomes.iter().map(|o| o.rmse_votes).collect::<Vec<_>>()).0;
+        let t = mean_std(&outcomes.iter().map(|o| o.rmse_time).collect::<Vec<_>>()).0;
+        bars.push(Fig6Bar {
+            feature,
+            votes_pct: (v - ref_v) / ref_v * 100.0,
+            time_pct: (t - ref_t) / ref_t * 100.0,
+        });
+    }
 
-    Fig6Report {
+    Ok(Fig6Report {
         reference: (ref_v, ref_t),
         bars,
-    }
+    })
 }
 
 #[cfg(test)]

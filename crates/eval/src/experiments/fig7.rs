@@ -9,13 +9,14 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::path::Path;
 
 use forumcast_data::DayPartition;
 use forumcast_features::FeatureGroup;
 
 use crate::config::EvalConfig;
 use crate::data::ExperimentData;
-use crate::experiments::run_cv;
+use crate::experiments::{run_cv_resumable, sub_checkpoint, CvError, CvOptions};
 use crate::fold::{mean_std, MaskSpec};
 
 /// RMSEs for one (history window, excluded group) cell.
@@ -82,7 +83,28 @@ impl fmt::Display for Fig7Report {
 /// Runs the Figure 7 experiment. `windows` are the history lengths
 /// in days (paper: `[5, 10, 15, 20, 25]`); `eval_from_day` is the
 /// first evaluation day (paper: 25).
+///
+/// # Panics
+///
+/// Panics when a CV run fails despite per-fold retries.
 pub fn run(config: &EvalConfig, windows: &[usize], eval_from_day: usize) -> Fig7Report {
+    run_with(config, windows, eval_from_day, None).unwrap_or_else(|e| panic!("fig7: {e}"))
+}
+
+/// [`run`] with an optional checkpoint base path: the cell for window
+/// `w` with the full feature set checkpoints into `<base>.w<w>.ref.json`
+/// and the cell excluding the `j`-th group into `<base>.w<w>.g<j>.json`.
+///
+/// # Errors
+///
+/// Returns [`CvError`] when a fold exhausts its retries or a
+/// checkpoint file is unusable.
+pub fn run_with(
+    config: &EvalConfig,
+    windows: &[usize],
+    eval_from_day: usize,
+    checkpoint: Option<&Path>,
+) -> Result<Fig7Report, CvError> {
     let (dataset, _) = config.synth.generate().preprocess();
     let days = DayPartition::new(&dataset);
     let last_day = days.num_days();
@@ -107,24 +129,25 @@ pub fn run(config: &EvalConfig, windows: &[usize], eval_from_day: usize) -> Fig7
         cfg.buckets = 1;
         let data = ExperimentData::build_with_ranges(&sub, &cfg, warmup, &cfg.extractor);
 
-        let run_cell = |excluded: Option<FeatureGroup>| {
+        let run_cell = |excluded: Option<FeatureGroup>, tag: String| -> Result<Fig7Cell, CvError> {
             let mask = excluded.map(MaskSpec::Group);
-            let outcomes = run_cv(&data, &cfg, mask, false);
+            let opts = CvOptions::maybe_checkpoint(sub_checkpoint(checkpoint, &tag));
+            let outcomes = run_cv_resumable(&data, &cfg, mask, false, &opts)?;
             let v = mean_std(&outcomes.iter().map(|o| o.rmse_votes).collect::<Vec<_>>()).0;
             let t = mean_std(&outcomes.iter().map(|o| o.rmse_time).collect::<Vec<_>>()).0;
-            Fig7Cell {
+            Ok(Fig7Cell {
                 history_days: w,
                 excluded,
                 rmse_votes: v,
                 rmse_time: t,
-            }
+            })
         };
-        cells.push(run_cell(None));
-        for g in FeatureGroup::ALL {
-            cells.push(run_cell(Some(g)));
+        cells.push(run_cell(None, format!("w{w}.ref"))?);
+        for (j, g) in FeatureGroup::ALL.into_iter().enumerate() {
+            cells.push(run_cell(Some(g), format!("w{w}.g{j}"))?);
         }
     }
-    Fig7Report { cells }
+    Ok(Fig7Report { cells })
 }
 
 #[cfg(test)]

@@ -21,21 +21,175 @@ pub mod table1;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use forumcast_resilience::fault::{self, FaultSite};
+use forumcast_resilience::{with_retry, Checkpoint, CheckpointError};
 
 use crate::config::EvalConfig;
 use crate::data::ExperimentData;
 use crate::fold::{run_fold, FoldOutcome, MaskSpec};
-use crate::parallel::parallel_map;
+use crate::parallel::parallel_try_map;
 use crate::split::stratified_folds;
+
+/// Resilience options for a CV sweep.
+#[derive(Debug, Clone)]
+pub struct CvOptions {
+    /// Checkpoint file: completed fold outcomes are saved here after
+    /// every fold, and recorded folds are skipped on a rerun.
+    pub checkpoint: Option<PathBuf>,
+    /// Attempts per fold before the sweep fails (≥ 1). Fold work is a
+    /// pure function of its inputs, so a retried fold reproduces the
+    /// fault-free result bit for bit.
+    pub fold_attempts: usize,
+}
+
+impl Default for CvOptions {
+    fn default() -> Self {
+        CvOptions {
+            checkpoint: None,
+            fold_attempts: 3,
+        }
+    }
+}
+
+impl CvOptions {
+    /// Options writing to (and resuming from) `checkpoint`.
+    pub fn with_checkpoint(path: impl Into<PathBuf>) -> Self {
+        CvOptions {
+            checkpoint: Some(path.into()),
+            ..CvOptions::default()
+        }
+    }
+
+    /// Options with an optional checkpoint path — the shape the
+    /// experiment drivers thread through from a `--resume` flag.
+    pub fn maybe_checkpoint(path: Option<PathBuf>) -> Self {
+        CvOptions {
+            checkpoint: path,
+            ..CvOptions::default()
+        }
+    }
+}
+
+/// Derives the checkpoint file for one sub-run of a multi-CV sweep:
+/// `<base>` with `.<tag>.json` appended. The figure drivers run many
+/// independent CVs (per `K`, per excluded feature, per history
+/// window); giving each its own file under one `--resume` base path
+/// lets a restarted sweep skip every completed fold of every sub-run.
+pub fn sub_checkpoint(base: Option<&std::path::Path>, tag: &str) -> Option<PathBuf> {
+    base.map(|b| {
+        let mut name = b.as_os_str().to_os_string();
+        name.push(format!(".{tag}.json"));
+        PathBuf::from(name)
+    })
+}
+
+/// A CV sweep failed despite retries.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum CvError {
+    /// The checkpoint file could not be used.
+    Checkpoint(CheckpointError),
+    /// One fold job kept panicking until its attempts ran out.
+    FoldFailed {
+        /// Job index (repeat × folds + fold).
+        job: usize,
+        /// Attempts that ran.
+        attempts: usize,
+        /// Last panic message.
+        message: String,
+    },
+}
+
+impl fmt::Display for CvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CvError::Checkpoint(e) => write!(f, "{e}"),
+            CvError::FoldFailed {
+                job,
+                attempts,
+                message,
+            } => write!(
+                f,
+                "cv fold job {job} failed after {attempts} attempt(s): {message}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CvError {}
+
+impl From<CheckpointError> for CvError {
+    fn from(e: CheckpointError) -> Self {
+        CvError::Checkpoint(e)
+    }
+}
+
+/// Fingerprint stored in CV checkpoints: enough of the protocol to
+/// refuse resuming a differently-configured run.
+fn cv_fingerprint(
+    config: &EvalConfig,
+    mask: Option<MaskSpec>,
+    run_baselines: bool,
+    jobs: usize,
+) -> String {
+    format!(
+        "cv folds={} repeats={} seed={} negs={} mask={:?} baselines={} jobs={}",
+        config.folds,
+        config.repeats,
+        config.seed,
+        config.negatives_per_positive,
+        mask,
+        run_baselines,
+        jobs
+    )
+}
 
 /// Runs the paper's CV protocol (`repeats` × `folds` iterations,
 /// stratified by user) over prepared experiment data, in parallel.
+///
+/// Equivalent to [`run_cv_resumable`] with default [`CvOptions`]
+/// (bounded per-fold retry, no checkpoint); kept as the infallible
+/// entry point for callers without a resume path.
+///
+/// # Panics
+///
+/// Panics when a fold job exhausts its retry attempts.
 pub fn run_cv(
     data: &ExperimentData,
     config: &EvalConfig,
     mask: Option<MaskSpec>,
     run_baselines: bool,
 ) -> Vec<FoldOutcome> {
+    run_cv_resumable(data, config, mask, run_baselines, &CvOptions::default())
+        .unwrap_or_else(|e| panic!("cross-validation failed: {e}"))
+}
+
+/// [`run_cv`] with fault isolation and checkpoint/resume.
+///
+/// Each fold job runs under `catch_unwind` with bounded retry, and is
+/// instrumented with the `fold-panic` fault site (unit = job index).
+/// With a checkpoint configured, every completed fold is appended to
+/// the file atomically; on a rerun, recorded folds are skipped and
+/// merged back in job order, so an interrupted sweep resumes to
+/// output bitwise-identical to an uninterrupted one at any thread
+/// count.
+///
+/// # Errors
+///
+/// Returns [`CvError::FoldFailed`] when a fold exhausts its attempts,
+/// and [`CvError::Checkpoint`] when the checkpoint file is unusable
+/// (unreadable, corrupt, or from a different configuration).
+pub fn run_cv_resumable(
+    data: &ExperimentData,
+    config: &EvalConfig,
+    mask: Option<MaskSpec>,
+    run_baselines: bool,
+    options: &CvOptions,
+) -> Result<Vec<FoldOutcome>, CvError> {
     let mut jobs = Vec::new();
     for rep in 0..config.repeats {
         let mut rng = StdRng::seed_from_u64(config.seed ^ (0xC5 + rep as u64));
@@ -47,17 +201,62 @@ pub fn run_cv(
             jobs.push((pos_folds.clone(), neg_folds.clone(), fold));
         }
     }
-    parallel_map(&jobs, config.worker_threads(), |(pf, nf, fold)| {
-        run_fold(data, config, pf, nf, *fold, mask, run_baselines)
-    })
+
+    let meta = cv_fingerprint(config, mask, run_baselines, jobs.len());
+    let mut outcomes: Vec<Option<FoldOutcome>> = vec![None; jobs.len()];
+    let checkpoint = match &options.checkpoint {
+        Some(path) => {
+            let cp = Checkpoint::<FoldOutcome>::load(path, &meta)?
+                .unwrap_or_else(|| Checkpoint::new(meta.clone()));
+            for (unit, outcome) in &cp.entries {
+                if let Some(slot) = outcomes.get_mut(*unit as usize) {
+                    *slot = Some(*outcome);
+                }
+            }
+            Some((Mutex::new(cp), path.clone()))
+        }
+        None => None,
+    };
+
+    let pending: Vec<usize> = (0..jobs.len()).filter(|&i| outcomes[i].is_none()).collect();
+    let fresh = parallel_try_map(&pending, config.worker_threads(), |&job| {
+        let (pf, nf, fold) = &jobs[job];
+        let outcome = with_retry(&format!("cv fold job {job}"), options.fold_attempts, || {
+            fault::panic_point(FaultSite::FoldPanic, job as u64);
+            run_fold(data, config, pf, nf, *fold, mask, run_baselines)
+        })
+        .map_err(|e| CvError::FoldFailed {
+            job,
+            attempts: e.attempts,
+            message: e.message,
+        })?;
+        if let Some((cp, path)) = &checkpoint {
+            let mut cp = cp.lock().expect("checkpoint lock");
+            cp.record(job as u64, outcome);
+            cp.save(path)?;
+        }
+        Ok::<FoldOutcome, CvError>(outcome)
+    })?;
+    for (&job, outcome) in pending.iter().zip(fresh) {
+        outcomes[job] = Some(outcome);
+    }
+    Ok(outcomes
+        .into_iter()
+        .map(|o| o.expect("every job completed or restored"))
+        .collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Armed fault plans are process-global: a concurrently running
+    /// CV could consume another test's shots. Serialize CV tests.
+    static CV_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn run_cv_yields_repeats_times_folds_outcomes() {
+        let _lock = CV_LOCK.lock().unwrap();
         let mut cfg = EvalConfig::quick();
         cfg.folds = 2;
         cfg.repeats = 2;
@@ -70,6 +269,7 @@ mod tests {
 
     #[test]
     fn run_cv_identical_across_thread_counts() {
+        let _lock = CV_LOCK.lock().unwrap();
         let mut cfg = EvalConfig::quick();
         cfg.folds = 2;
         cfg.repeats = 1;
@@ -81,6 +281,85 @@ mod tests {
             cfg.threads = threads;
             let par = run_cv(&data, &cfg, None, false);
             assert_eq!(serial, par, "fold outcomes changed with {threads} threads");
+        }
+    }
+
+    fn temp_checkpoint(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("forumcast-cv-{name}-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn checkpointed_run_is_identical_and_skips_on_rerun() {
+        let _lock = CV_LOCK.lock().unwrap();
+        let mut cfg = EvalConfig::quick();
+        cfg.folds = 2;
+        cfg.repeats = 1;
+        let (ds, _) = cfg.synth.generate().preprocess();
+        let data = ExperimentData::build(&ds, &cfg);
+        let plain = run_cv(&data, &cfg, None, false);
+        let path = temp_checkpoint("skip");
+        let opts = CvOptions::with_checkpoint(&path);
+        let first = run_cv_resumable(&data, &cfg, None, false, &opts).unwrap();
+        assert_eq!(plain, first);
+        // Rerun: every fold restored from the file. Corrupting the
+        // recorded outcomes proves nothing was recomputed.
+        let meta = cv_fingerprint(&cfg, None, false, 2);
+        let mut cp = Checkpoint::<FoldOutcome>::load(&path, &meta)
+            .unwrap()
+            .unwrap();
+        for (_, o) in cp.entries.iter_mut() {
+            o.auc = 0.123;
+        }
+        cp.save(&path).unwrap();
+        let resumed = run_cv_resumable(&data, &cfg, None, false, &opts).unwrap();
+        assert!(resumed.iter().all(|o| o.auc == 0.123));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_from_other_configuration_is_refused() {
+        let mut cfg = EvalConfig::quick();
+        cfg.folds = 2;
+        cfg.repeats = 1;
+        let (ds, _) = cfg.synth.generate().preprocess();
+        let data = ExperimentData::build(&ds, &cfg);
+        let path = temp_checkpoint("meta");
+        Checkpoint::<FoldOutcome>::new("other run")
+            .save(&path)
+            .unwrap();
+        let err = run_cv_resumable(&data, &cfg, None, false, &CvOptions::with_checkpoint(&path))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CvError::Checkpoint(CheckpointError::MetaMismatch { .. })
+            ),
+            "{err}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn exhausted_fold_retries_surface_the_job_index() {
+        let _lock = CV_LOCK.lock().unwrap();
+        let mut cfg = EvalConfig::quick();
+        cfg.folds = 2;
+        cfg.repeats = 1;
+        let (ds, _) = cfg.synth.generate().preprocess();
+        let data = ExperimentData::build(&ds, &cfg);
+        let _guard = forumcast_resilience::FaultPlan::parse("fold-panic:1x3")
+            .unwrap()
+            .arm();
+        let err = run_cv_resumable(&data, &cfg, None, false, &CvOptions::default()).unwrap_err();
+        match err {
+            CvError::FoldFailed { job, attempts, .. } => {
+                assert_eq!(job, 1);
+                assert_eq!(attempts, 3);
+            }
+            other => panic!("expected FoldFailed, got {other}"),
         }
     }
 }

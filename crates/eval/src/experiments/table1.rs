@@ -2,10 +2,11 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::path::Path;
 
 use crate::config::EvalConfig;
 use crate::data::ExperimentData;
-use crate::experiments::run_cv;
+use crate::experiments::{run_cv_resumable, CvError, CvOptions};
 use crate::fold::mean_std;
 
 /// One row of Table I.
@@ -58,11 +59,27 @@ impl fmt::Display for Table1Report {
 
 /// Runs the Table I experiment: full CV with baselines on the
 /// standard protocol (`Ω = Q`, bucketed prior history).
+///
+/// # Panics
+///
+/// Panics when the CV sweep fails despite per-fold retries.
 pub fn run(config: &EvalConfig) -> Table1Report {
+    run_with(config, None).unwrap_or_else(|e| panic!("table1: {e}"))
+}
+
+/// [`run`] with an optional checkpoint file: completed folds are
+/// saved after each fold and skipped when rerun with the same path.
+///
+/// # Errors
+///
+/// Returns [`CvError`] when a fold exhausts its retries or the
+/// checkpoint file is unusable.
+pub fn run_with(config: &EvalConfig, checkpoint: Option<&Path>) -> Result<Table1Report, CvError> {
     let (dataset, _) = config.synth.generate().preprocess();
     let data = ExperimentData::build(&dataset, config);
-    let outcomes = run_cv(&data, config, None, true);
-    report_from(&outcomes)
+    let opts = CvOptions::maybe_checkpoint(checkpoint.map(Path::to_path_buf));
+    let outcomes = run_cv_resumable(&data, config, None, true, &opts)?;
+    Ok(report_from(&outcomes))
 }
 
 /// Builds the report from raw fold outcomes (exposed for reuse by the

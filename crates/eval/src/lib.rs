@@ -39,5 +39,6 @@ pub mod split;
 
 pub use config::EvalConfig;
 pub use data::{ExperimentData, PairRecord};
+pub use experiments::{run_cv, run_cv_resumable, CvError, CvOptions};
 pub use fold::{FoldOutcome, MaskSpec};
 pub use metrics::{auc, cdf_points, mae, pearson, rmse, spearman};

@@ -5,7 +5,7 @@
 //! so existing `forumcast_eval::parallel::*` call sites and docs keep
 //! working. New code should depend on `forumcast-par` directly.
 
-pub use forumcast_par::{parallel_map, resolve_threads, THREADS_ENV};
+pub use forumcast_par::{parallel_map, parallel_try_map, resolve_threads, THREADS_ENV};
 
 /// Number of worker threads to default to: the `FORUMCAST_THREADS`
 /// override when set, else the machine's available parallelism capped

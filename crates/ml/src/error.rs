@@ -1,0 +1,41 @@
+//! Training failure modes.
+
+use std::fmt;
+
+/// A training run went numerically bad instead of converging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TrainError {
+    /// The epoch loss or the parameters became non-finite — e.g. a
+    /// too-aggressive learning rate, or an injected `nan-grad` fault.
+    /// Callers are expected to retrain deterministically (same
+    /// configuration first, reduced learning rate second) rather than
+    /// abort; see `forumcast_core::VotePredictor::train`.
+    Diverged {
+        /// Zero-based epoch at which divergence was detected.
+        epoch: usize,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Diverged { epoch } => {
+                write!(f, "training diverged at epoch {epoch}: non-finite loss")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_epoch() {
+        let e = TrainError::Diverged { epoch: 17 };
+        assert!(e.to_string().contains("epoch 17"));
+    }
+}

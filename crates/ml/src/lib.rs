@@ -44,6 +44,7 @@
 //! ```
 
 pub mod activation;
+pub mod error;
 pub mod linalg;
 pub mod logistic;
 pub mod mf;
@@ -54,6 +55,7 @@ pub mod sparfa;
 pub mod trainer;
 
 pub use activation::Activation;
+pub use error::TrainError;
 pub use logistic::LogisticRegression;
 pub use mf::{MatrixFactorization, MfConfig};
 pub use mlp::{ForwardCache, LayerSpec, Mlp};

@@ -3,6 +3,9 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+use forumcast_resilience::fault::{self, FaultSite};
+
+use crate::error::TrainError;
 use crate::mlp::Mlp;
 use crate::optim::Optimizer;
 
@@ -19,6 +22,8 @@ pub struct Trainer<O> {
     batch_size: usize,
     weight_decay: f64,
     grads: Vec<f64>,
+    epochs_run: usize,
+    steps_run: u64,
 }
 
 impl<O: Optimizer> Trainer<O> {
@@ -34,6 +39,8 @@ impl<O: Optimizer> Trainer<O> {
             batch_size,
             weight_decay: 0.0,
             grads: Vec::new(),
+            epochs_run: 0,
+            steps_run: 0,
         }
     }
 
@@ -52,7 +59,13 @@ impl<O: Optimizer> Trainer<O> {
 
     /// Runs one epoch over the data in shuffled mini-batches and
     /// returns the epoch's mean squared error (computed online from
-    /// pre-update predictions).
+    /// pre-update predictions). Returns NaN when training diverged —
+    /// the loss or the parameters went non-finite; [`Self::try_epoch`]
+    /// surfaces that as a typed error instead.
+    ///
+    /// Each optimizer step probes the `nan-grad` fault site with the
+    /// trainer's cumulative step index, so a [`fault::FaultPlan`] can
+    /// corrupt one exact gradient to exercise divergence recovery.
     ///
     /// # Panics
     ///
@@ -67,6 +80,7 @@ impl<O: Optimizer> Trainer<O> {
     ) -> f64 {
         assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
         assert_eq!(mlp.output_dim(), 1, "trainer expects a scalar output");
+        self.epochs_run += 1;
         if xs.is_empty() {
             return 0.0;
         }
@@ -91,9 +105,50 @@ impl<O: Optimizer> Trainer<O> {
                     *g += self.weight_decay * p;
                 }
             }
+            if fault::fires(FaultSite::NanGrad, self.steps_run) {
+                self.grads[0] = f64::NAN;
+            }
+            self.steps_run += 1;
             self.optimizer.step(mlp.params_mut(), &self.grads);
         }
+        // A NaN gradient poisons the parameters, not necessarily the
+        // pre-update loss of this epoch — check both.
+        if !mlp.params().iter().all(|p| p.is_finite()) {
+            return f64::NAN;
+        }
         sse / xs.len() as f64
+    }
+
+    /// Like [`Self::epoch`], but surfaces divergence (non-finite loss
+    /// or parameters) as [`TrainError::Diverged`] naming the epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Diverged`] when this epoch's loss or the
+    /// post-epoch parameters are non-finite.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::epoch`].
+    pub fn try_epoch<R: Rng + ?Sized>(
+        &mut self,
+        mlp: &mut Mlp,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        rng: &mut R,
+    ) -> Result<f64, TrainError> {
+        let epoch = self.epochs_run;
+        let mse = self.epoch(mlp, xs, ys, rng);
+        if mse.is_finite() {
+            Ok(mse)
+        } else {
+            Err(TrainError::Diverged { epoch })
+        }
+    }
+
+    /// Epochs run so far (counting diverged ones).
+    pub fn epochs_run(&self) -> usize {
+        self.epochs_run
     }
 
     /// The underlying optimizer.
@@ -154,5 +209,47 @@ mod tests {
     #[should_panic(expected = "batch size")]
     fn zero_batch_size_rejected() {
         Trainer::new(Adam::new(0.01), 0);
+    }
+
+    fn toy() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..32).map(|i| vec![i as f64 / 16.0 - 1.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0]).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn injected_nan_gradient_is_detected_as_divergence() {
+        let _guard = forumcast_resilience::FaultPlan::parse("nan-grad:2")
+            .unwrap()
+            .arm();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mlp = Mlp::new(&[LayerSpec::new(1, 1, Activation::Identity)], &mut rng);
+        let (xs, ys) = toy();
+        let mut trainer = Trainer::new(Adam::new(0.01), 16);
+        // 2 batches per epoch → step 2 is the first batch of epoch 1.
+        assert!(trainer.try_epoch(&mut mlp, &xs, &ys, &mut rng).is_ok());
+        match trainer.try_epoch(&mut mlp, &xs, &ys, &mut rng) {
+            Err(TrainError::Diverged { epoch }) => assert_eq!(epoch, 1),
+            other => panic!("expected divergence at epoch 1, got {other:?}"),
+        }
+        assert_eq!(trainer.epochs_run(), 2);
+    }
+
+    #[test]
+    fn healthy_training_never_reports_divergence() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut out = Mlp::new(
+            &[
+                LayerSpec::new(1, 4, Activation::Tanh),
+                LayerSpec::new(4, 1, Activation::Identity),
+            ],
+            &mut rng,
+        );
+        let (xs, ys) = toy();
+        let mut trainer = Trainer::new(Adam::new(0.01), 8);
+        for _ in 0..20 {
+            trainer.try_epoch(&mut out, &xs, &ys, &mut rng).unwrap();
+        }
+        assert_eq!(trainer.epochs_run(), 20);
     }
 }

@@ -21,7 +21,7 @@
 //! APIs take the count as an explicit argument so tests can pin it;
 //! entry points resolve it once via [`resolve_threads`].
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Environment variable overriding the default worker-thread count.
 pub const THREADS_ENV: &str = "FORUMCAST_THREADS";
@@ -112,6 +112,66 @@ where
         .collect()
 }
 
+/// Fallible version of [`parallel_map`]: runs `f` over `items` and
+/// short-circuits on failure. When any item fails, in-flight items
+/// finish, pending items are skipped, and the error with the
+/// **lowest item index** is returned — so which error a caller sees
+/// never depends on thread interleaving. On success the results come
+/// back in input order, bitwise-identical to a sequential run.
+///
+/// # Errors
+///
+/// Returns the lowest-index `Err` produced by `f`.
+pub fn parallel_try_map<T, U, E, F>(items: &[T], max_threads: usize, f: F) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(&T) -> Result<U, E> + Sync,
+{
+    if items.len() <= 1 || max_threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let threads = max_threads.min(items.len());
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let mut results: Vec<Option<Result<U, E>>> = (0..items.len()).map(|_| None).collect();
+    let slots = parking_lot::Mutex::new(&mut results);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(&items[i]);
+                if out.is_err() {
+                    stop.store(true, Ordering::Relaxed);
+                }
+                slots.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    // Items are claimed in index order, so every unprocessed slot
+    // sits *after* the first error — scanning in order finds the
+    // lowest-index error before any empty slot.
+    let mut out = Vec::with_capacity(items.len());
+    for slot in results {
+        match slot {
+            Some(Ok(v)) => out.push(v),
+            Some(Err(e)) => return Err(e),
+            None => unreachable!("empty slot before the first error"),
+        }
+    }
+    Ok(out)
+}
+
 /// Number of items per chunk in [`parallel_chunk_fold`]. Fixed (not
 /// derived from the thread count) so the floating-point reduction
 /// tree — and therefore the bitwise result — never depends on how
@@ -181,6 +241,51 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(1));
         });
         assert!(ids.lock().unwrap().len() > 1);
+    }
+
+    #[test]
+    fn try_map_success_matches_parallel_map() {
+        let items: Vec<usize> = (0..50).collect();
+        for threads in [1, 4] {
+            let out: Result<Vec<usize>, ()> = parallel_try_map(&items, threads, |&x| Ok(x * 3));
+            assert_eq!(out.unwrap(), parallel_map(&items, threads, |&x| x * 3));
+        }
+    }
+
+    #[test]
+    fn try_map_returns_lowest_index_error_for_any_thread_count() {
+        let items: Vec<usize> = (0..40).collect();
+        for threads in [1, 2, 8] {
+            let out: Result<Vec<usize>, usize> = parallel_try_map(&items, threads, |&x| {
+                if x == 7 || x == 23 {
+                    Err(x)
+                } else {
+                    Ok(x)
+                }
+            });
+            assert_eq!(out.unwrap_err(), 7, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn try_map_stops_claiming_after_an_error() {
+        use std::sync::atomic::AtomicUsize;
+        let items: Vec<usize> = (0..1000).collect();
+        let ran = AtomicUsize::new(0);
+        let out: Result<Vec<()>, ()> = parallel_try_map(&items, 4, |&x| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(std::time::Duration::from_micros(100));
+            if x == 0 {
+                Err(())
+            } else {
+                Ok(())
+            }
+        });
+        assert!(out.is_err());
+        assert!(
+            ran.load(Ordering::Relaxed) < items.len(),
+            "all items ran despite an early error"
+        );
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! JSON checkpoint files for resumable sweeps.
+//!
+//! A [`Checkpoint`] records `(unit index, result)` entries — one per
+//! completed work item, e.g. one CV fold — plus a free-form `meta`
+//! fingerprint describing the run configuration. Drivers save the
+//! checkpoint after every completed item (atomically: write to a
+//! temporary file, then rename) and, on resume, load it back, verify
+//! the fingerprint, and skip the recorded units. Because every unit
+//! is a pure function of its inputs, merging checkpointed and freshly
+//! computed results reproduces an uninterrupted run bit for bit.
+
+use serde::{expect_object, missing_field, obj_get, Deserialize, Serialize, Value};
+use std::fmt;
+use std::path::Path;
+
+/// Completed-unit log for one resumable run.
+///
+/// Generic over the per-unit result type; the serde shim's derive
+/// does not handle generics, so `Serialize`/`Deserialize` are
+/// implemented by hand over the shim's [`Value`] model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint<T> {
+    /// Fingerprint of the run configuration. [`Checkpoint::load`]
+    /// refuses to resume when it does not match, so a checkpoint from
+    /// a differently-configured run can never be silently merged.
+    pub meta: String,
+    /// `(unit index, result)` pairs, in completion order.
+    pub entries: Vec<(u64, T)>,
+}
+
+impl<T> Checkpoint<T> {
+    /// An empty checkpoint for a run described by `meta`.
+    pub fn new(meta: impl Into<String>) -> Self {
+        Checkpoint {
+            meta: meta.into(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records the result for `unit`, replacing any earlier entry.
+    pub fn record(&mut self, unit: u64, result: T) {
+        match self.entries.iter_mut().find(|(u, _)| *u == unit) {
+            Some(slot) => slot.1 = result,
+            None => self.entries.push((unit, result)),
+        }
+    }
+
+    /// The recorded result for `unit`, if any.
+    pub fn get(&self, unit: u64) -> Option<&T> {
+        self.entries
+            .iter()
+            .find(|(u, _)| *u == unit)
+            .map(|(_, r)| r)
+    }
+}
+
+impl<T: Serialize> Checkpoint<T> {
+    /// Atomically saves the checkpoint as pretty JSON: writes
+    /// `<path>.tmp`, then renames over `path`, so a crash mid-write
+    /// never corrupts an existing checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] on filesystem failure.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let json = serde_json::to_string_pretty(self).map_err(|e| CheckpointError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let tmp = path.with_extension("tmp");
+        let io_err = |e: std::io::Error| CheckpointError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        };
+        std::fs::write(&tmp, json).map_err(io_err)?;
+        std::fs::rename(&tmp, path).map_err(io_err)
+    }
+}
+
+impl<T: Deserialize> Checkpoint<T> {
+    /// Loads a checkpoint, verifying its meta fingerprint. `Ok(None)`
+    /// when `path` does not exist (a fresh run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] on unreadable files,
+    /// [`CheckpointError::Corrupt`] on malformed JSON, and
+    /// [`CheckpointError::MetaMismatch`] when the file belongs to a
+    /// differently-configured run.
+    pub fn load(path: &Path, expected_meta: &str) -> Result<Option<Self>, CheckpointError> {
+        let json = match std::fs::read_to_string(path) {
+            Ok(json) => json,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(CheckpointError::Io {
+                    path: path.display().to_string(),
+                    message: e.to_string(),
+                })
+            }
+        };
+        let cp: Checkpoint<T> =
+            serde_json::from_str(&json).map_err(|e| CheckpointError::Corrupt {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })?;
+        if cp.meta != expected_meta {
+            return Err(CheckpointError::MetaMismatch {
+                path: path.display().to_string(),
+                expected: expected_meta.to_string(),
+                found: cp.meta,
+            });
+        }
+        Ok(Some(cp))
+    }
+}
+
+impl<T: Serialize> Serialize for Checkpoint<T> {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("meta".to_string(), self.meta.to_value()),
+            ("entries".to_string(), self.entries.to_value()),
+        ])
+    }
+}
+
+impl<T: Deserialize> Deserialize for Checkpoint<T> {
+    fn from_value(v: &Value) -> Result<Self, serde::DeError> {
+        let fields = expect_object(v, "Checkpoint")?;
+        let meta = String::from_value(
+            obj_get(fields, "meta").ok_or_else(|| missing_field("meta", "Checkpoint"))?,
+        )?;
+        let entries = Vec::<(u64, T)>::from_value(
+            obj_get(fields, "entries").ok_or_else(|| missing_field("entries", "Checkpoint"))?,
+        )?;
+        Ok(Checkpoint { meta, entries })
+    }
+}
+
+/// Failure loading or saving a [`Checkpoint`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// Filesystem read/write failed.
+    Io {
+        /// Checkpoint path.
+        path: String,
+        /// Underlying error.
+        message: String,
+    },
+    /// The file exists but is not a valid checkpoint.
+    Corrupt {
+        /// Checkpoint path.
+        path: String,
+        /// Parse error.
+        message: String,
+    },
+    /// The file belongs to a run with a different configuration.
+    MetaMismatch {
+        /// Checkpoint path.
+        path: String,
+        /// Fingerprint of the current run.
+        expected: String,
+        /// Fingerprint stored in the file.
+        found: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, message } => {
+                write!(f, "checkpoint {path}: i/o error: {message}")
+            }
+            CheckpointError::Corrupt { path, message } => {
+                write!(f, "checkpoint {path}: corrupt: {message}")
+            }
+            CheckpointError::MetaMismatch {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checkpoint {path}: belongs to a different run (expected `{expected}`, found `{found}`); \
+                 delete it or pass a matching configuration"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("forumcast-ckpt-{name}-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_entries_bitwise() {
+        let path = temp_path("roundtrip");
+        let mut cp: Checkpoint<f64> = Checkpoint::new("run A");
+        cp.record(3, 0.1 + 0.2);
+        cp.record(1, f64::MIN_POSITIVE);
+        cp.save(&path).unwrap();
+        let back = Checkpoint::<f64>::load(&path, "run A").unwrap().unwrap();
+        assert_eq!(back.meta, "run A");
+        assert_eq!(back.entries.len(), 2);
+        for ((u, x), (bu, bx)) in cp.entries.iter().zip(&back.entries) {
+            assert_eq!(u, bu);
+            assert_eq!(x.to_bits(), bx.to_bits());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn record_replaces_existing_unit() {
+        let mut cp: Checkpoint<i32> = Checkpoint::new("m");
+        cp.record(5, 1);
+        cp.record(5, 2);
+        assert_eq!(cp.entries.len(), 1);
+        assert_eq!(cp.get(5), Some(&2));
+        assert_eq!(cp.get(6), None);
+    }
+
+    #[test]
+    fn missing_file_loads_as_none() {
+        let path = temp_path("missing");
+        assert_eq!(Checkpoint::<f64>::load(&path, "m").unwrap(), None);
+    }
+
+    #[test]
+    fn meta_mismatch_is_refused() {
+        let path = temp_path("meta");
+        Checkpoint::<i32>::new("run A").save(&path).unwrap();
+        let err = Checkpoint::<i32>::load(&path, "run B").unwrap_err();
+        assert!(matches!(err, CheckpointError::MetaMismatch { .. }), "{err}");
+        assert!(err.to_string().contains("run B"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_file_is_reported_with_path() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, "{ not json").unwrap();
+        let err = Checkpoint::<i32>::load(&path, "m").unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err}");
+        assert!(err.to_string().contains("forumcast-ckpt-corrupt"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

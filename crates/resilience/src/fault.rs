@@ -1,0 +1,350 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] names *sites* (places in the pipeline instrumented
+//! with a probe) and *unit indices* (the logical work item at that
+//! site: fold job number, record number, optimizer step number). When
+//! a plan is armed, the probe for `(site, unit)` fires as many times
+//! as the plan has shots for it, then goes quiet — so a retry of the
+//! same unit succeeds, and the healed output is bitwise-identical to
+//! a fault-free run regardless of which worker thread hit the fault
+//! first.
+//!
+//! Plans are written as a comma-separated spec, e.g.
+//! `fold-panic:1,nan-grad:3` ("panic the first attempt of fold job 1;
+//! corrupt optimizer step 3"), with an optional `xN` multiplicity
+//! suffix (`fold-panic:1x3` fires three attempts in a row — enough to
+//! exhaust a bounded retry and simulate a hard failure). The spec is
+//! read from the [`FAULTS_ENV`] environment variable or passed
+//! explicitly via a CLI flag.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, Once, PoisonError, RwLock};
+
+/// Environment variable holding the fault-plan spec.
+pub const FAULTS_ENV: &str = "FORUMCAST_FAULTS";
+
+/// Prefix of every injected panic payload / error message. The panic
+/// hook installed when a plan is armed suppresses backtraces for
+/// payloads with this prefix so CI logs stay readable; real panics
+/// still print normally.
+pub const INJECTED_PREFIX: &str = "injected fault:";
+
+/// An instrumented place in the pipeline where faults can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FaultSite {
+    /// Panic inside a CV fold worker (unit = fold job index).
+    FoldPanic,
+    /// I/O error during record ingestion (unit = record index).
+    IngestIo,
+    /// NaN written into the gradient buffer before an optimizer step
+    /// (unit = cumulative step index within one trainer).
+    NanGrad,
+}
+
+impl FaultSite {
+    /// All sites, in spec-name order.
+    pub const ALL: [FaultSite; 3] = [
+        FaultSite::FoldPanic,
+        FaultSite::IngestIo,
+        FaultSite::NanGrad,
+    ];
+
+    /// The spec name (`fold-panic`, `ingest-io`, `nan-grad`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::FoldPanic => "fold-panic",
+            FaultSite::IngestIo => "ingest-io",
+            FaultSite::NanGrad => "nan-grad",
+        }
+    }
+
+    fn from_name(name: &str) -> Result<Self, FaultSpecError> {
+        FaultSite::ALL
+            .into_iter()
+            .find(|s| s.name() == name)
+            .ok_or_else(|| {
+                FaultSpecError(format!(
+                    "unknown fault site `{name}` (expected one of: fold-panic, ingest-io, nan-grad)"
+                ))
+            })
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A malformed fault-plan spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError(pub String);
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {FAULTS_ENV} spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+/// A set of faults to inject: `(site, unit, shots)` triples. Armed
+/// via [`FaultPlan::arm`]; while armed, probes at the named sites
+/// fire deterministically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    shots: Vec<(FaultSite, u64, u32)>,
+}
+
+impl FaultPlan {
+    /// Parses a spec like `fold-panic:1,ingest-io:0,nan-grad:3x2`.
+    /// Empty (or all-whitespace) specs parse to an empty plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultSpecError`] on unknown sites or unparsable
+    /// indices/multiplicities.
+    pub fn parse(spec: &str) -> Result<Self, FaultSpecError> {
+        let mut shots = Vec::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (site_s, rest) = part
+                .split_once(':')
+                .ok_or_else(|| FaultSpecError(format!("`{part}` is not of the form site:index")))?;
+            let (idx_s, count_s) = match rest.split_once('x') {
+                Some((i, c)) => (i, c),
+                None => (rest, "1"),
+            };
+            let site = FaultSite::from_name(site_s.trim())?;
+            let unit: u64 = idx_s.trim().parse().map_err(|_| {
+                FaultSpecError(format!(
+                    "`{}` is not a valid unit index in `{part}`",
+                    idx_s.trim()
+                ))
+            })?;
+            let count: u32 = count_s.trim().parse().map_err(|_| {
+                FaultSpecError(format!(
+                    "`{}` is not a valid shot count in `{part}`",
+                    count_s.trim()
+                ))
+            })?;
+            if count == 0 {
+                return Err(FaultSpecError(format!(
+                    "shot count must be >= 1 in `{part}`"
+                )));
+            }
+            shots.push((site, unit, count));
+        }
+        Ok(FaultPlan { shots })
+    }
+
+    /// Reads the plan from [`FAULTS_ENV`]. `Ok(None)` when the
+    /// variable is unset or blank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultSpecError`] when the variable is set but
+    /// malformed.
+    pub fn from_env() -> Result<Option<Self>, FaultSpecError> {
+        match std::env::var(FAULTS_ENV) {
+            Ok(spec) if !spec.trim().is_empty() => Ok(Some(Self::parse(&spec)?)),
+            _ => Ok(None),
+        }
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.shots.is_empty()
+    }
+
+    /// Arms the plan process-wide and returns a guard that disarms it
+    /// on drop. Armed scopes are serialized: a second `arm` blocks
+    /// until the first guard drops, so concurrent tests cannot see
+    /// each other's faults.
+    pub fn arm(self) -> FaultGuard {
+        install_quiet_hook();
+        let lock = ARM_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut remaining: HashMap<(FaultSite, u64), u32> = HashMap::new();
+        for (site, unit, count) in &self.shots {
+            *remaining.entry((*site, *unit)).or_insert(0) += count;
+        }
+        *ACTIVE.write().unwrap_or_else(PoisonError::into_inner) = Some(Arc::new(ActivePlan {
+            remaining: Mutex::new(remaining),
+        }));
+        ARMED.store(true, Ordering::Release);
+        FaultGuard { _lock: lock }
+    }
+
+    /// Arms the plan for the remainder of the process — for binaries
+    /// wiring up `--faults` / [`FAULTS_ENV`] at startup. Later `arm`
+    /// calls in the same process will block forever; use [`Self::arm`]
+    /// in tests.
+    pub fn arm_for_process(self) {
+        std::mem::forget(self.arm());
+    }
+}
+
+struct ActivePlan {
+    remaining: Mutex<HashMap<(FaultSite, u64), u32>>,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ACTIVE: RwLock<Option<Arc<ActivePlan>>> = RwLock::new(None);
+static ARM_LOCK: Mutex<()> = Mutex::new(());
+static HOOK: Once = Once::new();
+
+/// Disarms the plan (and releases the arming lock) on drop.
+pub struct FaultGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        ARMED.store(false, Ordering::Release);
+        *ACTIVE.write().unwrap_or_else(PoisonError::into_inner) = None;
+    }
+}
+
+fn install_quiet_hook() {
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let injected = payload
+                .downcast_ref::<String>()
+                .map(|s| s.starts_with(INJECTED_PREFIX))
+                .or_else(|| {
+                    payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.starts_with(INJECTED_PREFIX))
+                })
+                .unwrap_or(false);
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Consumes one shot for `(site, unit)` from the armed plan, if any.
+/// Returns `false` when no plan is armed, the plan has no shot for
+/// this probe, or all its shots already fired. The armed-check fast
+/// path is a single atomic load, so probes are safe in hot loops.
+pub fn fires(site: FaultSite, unit: u64) -> bool {
+    if !ARMED.load(Ordering::Acquire) {
+        return false;
+    }
+    let active = ACTIVE.read().unwrap_or_else(PoisonError::into_inner);
+    let Some(plan) = active.as_ref() else {
+        return false;
+    };
+    let mut remaining = plan
+        .remaining
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    match remaining.get_mut(&(site, unit)) {
+        Some(n) if *n > 0 => {
+            *n -= 1;
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Panics with an injected-fault payload when `(site, unit)` fires.
+pub fn panic_point(site: FaultSite, unit: u64) {
+    if fires(site, unit) {
+        panic!("{INJECTED_PREFIX} {site}:{unit}");
+    }
+}
+
+/// Returns an injected I/O error when `(site, unit)` fires.
+///
+/// # Errors
+///
+/// Returns [`std::io::Error`] exactly when the probe fires.
+pub fn io_point(site: FaultSite, unit: u64) -> std::io::Result<()> {
+    if fires(site, unit) {
+        Err(std::io::Error::other(format!(
+            "{INJECTED_PREFIX} {site}:{unit}"
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_sites_indices_and_multiplicity() {
+        let plan = FaultPlan::parse(" fold-panic:1 , ingest-io:0, nan-grad:3x2 ").unwrap();
+        assert_eq!(
+            plan.shots,
+            vec![
+                (FaultSite::FoldPanic, 1, 1),
+                (FaultSite::IngestIo, 0, 1),
+                (FaultSite::NanGrad, 3, 2),
+            ]
+        );
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("  ,  ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "fold-panic",
+            "nope:1",
+            "fold-panic:x",
+            "fold-panic:1x0",
+            "fold-panic:1xq",
+        ] {
+            let err = FaultPlan::parse(bad).unwrap_err();
+            assert!(err.to_string().contains(FAULTS_ENV), "{err}");
+        }
+    }
+
+    #[test]
+    fn fires_exactly_the_configured_number_of_times() {
+        let _guard = FaultPlan::parse("fold-panic:7x2").unwrap().arm();
+        assert!(fires(FaultSite::FoldPanic, 7));
+        assert!(fires(FaultSite::FoldPanic, 7));
+        assert!(!fires(FaultSite::FoldPanic, 7));
+        assert!(!fires(FaultSite::FoldPanic, 8));
+        assert!(!fires(FaultSite::IngestIo, 7));
+    }
+
+    #[test]
+    fn disarmed_probes_never_fire() {
+        {
+            let _guard = FaultPlan::parse("ingest-io:0").unwrap().arm();
+        }
+        assert!(!fires(FaultSite::IngestIo, 0));
+    }
+
+    #[test]
+    fn io_point_reports_site_and_unit() {
+        let _guard = FaultPlan::parse("ingest-io:4").unwrap().arm();
+        let err = io_point(FaultSite::IngestIo, 4).unwrap_err();
+        assert!(err.to_string().contains("ingest-io:4"));
+        assert!(io_point(FaultSite::IngestIo, 4).is_ok());
+    }
+
+    #[test]
+    fn panic_point_payload_carries_the_injected_prefix() {
+        let _guard = FaultPlan::parse("fold-panic:2").unwrap().arm();
+        let payload =
+            std::panic::catch_unwind(|| panic_point(FaultSite::FoldPanic, 2)).unwrap_err();
+        let msg = payload.downcast_ref::<String>().unwrap();
+        assert!(msg.starts_with(INJECTED_PREFIX), "{msg}");
+        assert!(msg.contains("fold-panic:2"));
+    }
+}

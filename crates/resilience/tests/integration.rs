@@ -1,0 +1,141 @@
+//! End-to-end resilience tests over the real CV harness: injected
+//! faults heal bitwise-identically via retry, and an interrupted
+//! sweep resumes from its checkpoint to the exact uninterrupted
+//! output.
+//!
+//! The dev-dependency on `forumcast-eval` intentionally closes a
+//! cycle in the test graph (eval → data → resilience): these tests
+//! exercise the injector through the highest-level consumer.
+
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
+
+use forumcast_eval::{
+    run_cv, run_cv_resumable, CvError, CvOptions, EvalConfig, ExperimentData, FoldOutcome,
+};
+use forumcast_resilience::FaultPlan;
+
+/// Armed fault plans are process-global, so tests that run CVs must
+/// not overlap — one could consume another's shots.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn quick_config(threads: usize) -> EvalConfig {
+    let mut cfg = EvalConfig::quick();
+    cfg.folds = 2;
+    cfg.repeats = 1;
+    cfg.threads = threads;
+    cfg
+}
+
+/// One shared dataset/feature build — by far the slowest part.
+fn shared_data() -> &'static ExperimentData {
+    static DATA: OnceLock<ExperimentData> = OnceLock::new();
+    DATA.get_or_init(|| {
+        let cfg = quick_config(1);
+        let (ds, _) = cfg.synth.generate().preprocess();
+        ExperimentData::build(&ds, &cfg)
+    })
+}
+
+/// Every float of every outcome, as raw bits — the comparison the
+/// determinism guarantees are stated in.
+fn bits(outcomes: &[FoldOutcome]) -> Vec<u64> {
+    outcomes
+        .iter()
+        .flat_map(|o| {
+            [
+                o.auc,
+                o.auc_baseline,
+                o.rmse_votes,
+                o.rmse_votes_baseline,
+                o.rmse_time,
+                o.rmse_time_baseline,
+            ]
+        })
+        .map(f64::to_bits)
+        .collect()
+}
+
+fn temp_checkpoint(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "forumcast-resilience-{name}-{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+#[test]
+fn injected_faults_heal_bitwise_identically() {
+    let _lock = LOCK.lock().unwrap();
+    let data = shared_data();
+    for threads in [1, 2] {
+        let cfg = quick_config(threads);
+        let clean = run_cv(data, &cfg, None, false);
+        // One panic in each fold job plus a NaN gradient in the vote
+        // trainer: every fault is retried away and the healed run must
+        // reproduce the fault-free bits.
+        let guard = FaultPlan::parse("fold-panic:0,fold-panic:1,nan-grad:3")
+            .unwrap()
+            .arm();
+        let healed = run_cv(data, &cfg, None, false);
+        drop(guard);
+        assert_eq!(
+            bits(&clean),
+            bits(&healed),
+            "healed run diverged at {threads} thread(s)"
+        );
+    }
+}
+
+#[test]
+fn interrupted_sweep_resumes_bitwise_identically() {
+    let _lock = LOCK.lock().unwrap();
+    let data = shared_data();
+    for threads in [1, 2] {
+        let cfg = quick_config(threads);
+        let uninterrupted = run_cv(data, &cfg, None, false);
+
+        // Kill the sweep after fold job 0: job 1 panics through all
+        // three attempts, so the run dies with job 0 checkpointed.
+        let path = temp_checkpoint(&format!("resume-t{threads}"));
+        let opts = CvOptions::with_checkpoint(&path);
+        {
+            let _guard = FaultPlan::parse("fold-panic:1x3").unwrap().arm();
+            let err = run_cv_resumable(data, &cfg, None, false, &opts).unwrap_err();
+            assert!(
+                matches!(err, CvError::FoldFailed { job: 1, .. }),
+                "expected job 1 to fail, got: {err}"
+            );
+        }
+
+        // Resume fault-free: job 0 is restored from the checkpoint,
+        // job 1 recomputed, and the concatenation matches the
+        // uninterrupted run bit for bit.
+        let resumed = run_cv_resumable(data, &cfg, None, false, &opts).unwrap();
+        assert_eq!(
+            bits(&uninterrupted),
+            bits(&resumed),
+            "resumed run diverged at {threads} thread(s)"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+/// Smoke test for the `FORUMCAST_FAULTS` env path (`scripts/check.sh`
+/// runs this suite with `fold-panic:1` set). The spec must be one the
+/// bounded retry can heal — that is the point of the smoke pass.
+#[test]
+fn env_fault_spec_is_honored_and_healed() {
+    let _lock = LOCK.lock().unwrap();
+    let data = shared_data();
+    let cfg = quick_config(2);
+    let clean = run_cv(data, &cfg, None, false);
+    let plan = FaultPlan::from_env()
+        .expect("FORUMCAST_FAULTS parses")
+        .unwrap_or_else(|| FaultPlan::parse("fold-panic:0").unwrap());
+    let _guard = plan.arm();
+    let healed = run_cv(data, &cfg, None, false);
+    assert_eq!(bits(&clean), bits(&healed));
+}

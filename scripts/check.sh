@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> fault-injection smoke (FORUMCAST_FAULTS=fold-panic:1)"
+FORUMCAST_FAULTS=fold-panic:1 cargo test -q -p forumcast-resilience
+
 echo "All checks passed."
