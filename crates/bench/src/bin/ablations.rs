@@ -11,7 +11,7 @@
 //! * the Poisson baseline's feature scaling (raw, per the paper, vs.
 //!   z-scored — stronger than the paper's).
 
-use forumcast_bench::{header, parse_args};
+use forumcast_bench::{finish, header, parse_args, root_span, status};
 use forumcast_core::{DecayMode, PredictionMode, TimingConfig};
 use forumcast_eval::experiments::run_cv;
 use forumcast_eval::fold::mean_std;
@@ -19,6 +19,7 @@ use forumcast_eval::ExperimentData;
 
 fn main() {
     let opts = parse_args();
+    let root = root_span("ablations");
     header("Ablations — design-choice deltas", &opts);
     let base_cfg = opts.config.clone();
     let (dataset, _) = base_cfg.synth.generate().preprocess();
@@ -29,7 +30,7 @@ fn main() {
         let auc = mean_std(&outcomes.iter().map(|o| o.auc).collect::<Vec<_>>()).0;
         let rv = mean_std(&outcomes.iter().map(|o| o.rmse_votes).collect::<Vec<_>>()).0;
         let rt = mean_std(&outcomes.iter().map(|o| o.rmse_time).collect::<Vec<_>>()).0;
-        println!("{label:<34} AUC {auc:.3}  RMSE(v) {rv:.3}  RMSE(r) {rt:.3}");
+        status!("{label:<34} AUC {auc:.3}  RMSE(v) {rv:.3}  RMSE(r) {rt:.3}");
     };
 
     run("full model (defaults)", &base_cfg);
@@ -58,8 +59,8 @@ fn main() {
     cfg.train.timing.max_survival_weight = f64::INFINITY;
     run("timing: unclamped survival wts", &cfg);
 
-    println!();
-    println!("(generator ablation) timing noise = pure point process (paper's own model family):");
+    status!();
+    status!("(generator ablation) timing noise = pure point process (paper's own model family):");
     let mut synth_pp = base_cfg.clone();
     synth_pp.synth.timing_noise = forumcast_synth::config::TimingNoise::PointProcess;
     let (ds_pp, _) = synth_pp.synth.generate().preprocess();
@@ -73,8 +74,10 @@ fn main() {
             .collect::<Vec<_>>(),
     )
     .0;
-    println!(
+    status!(
         "point-process noise: ours RMSE(r) {rt:.3} vs poisson {rt_b:.3} — with CV≈1 \
          delay noise, no regressor separates from the mean (see EXPERIMENTS.md)"
     );
+    drop(root);
+    finish(&opts);
 }

@@ -4,10 +4,11 @@
 //! use to one with it not", Section VI) — across a sweep of λ.
 
 use forumcast_abtest::{run, AbTestConfig};
-use forumcast_bench::{header, parse_args};
+use forumcast_bench::{finish, header, parse_args, root_span, status};
 
 fn main() {
     let opts = parse_args();
+    let root = root_span("abtest");
     header("Section VI — simulated A/B test of the recommender", &opts);
     let base = if opts.scale == "quick" {
         AbTestConfig::quick()
@@ -16,8 +17,10 @@ fn main() {
     };
     for &lambda in &[0.0, 0.5, 2.0] {
         let report = run(&base.clone().with_lambda(lambda));
-        println!("{report}");
+        status!("{report}");
     }
-    println!("shape check: higher λ should reduce the treatment arm's mean delay;");
-    println!("λ = 0 should maximize its mean votes.");
+    status!("shape check: higher λ should reduce the treatment arm's mean delay;");
+    status!("λ = 0 should maximize its mean votes.");
+    drop(root);
+    finish(&opts);
 }

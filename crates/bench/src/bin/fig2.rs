@@ -3,31 +3,34 @@
 //! 2.6 and 3.7), disconnectedness, and the degree distribution behind
 //! the visualization.
 
-use forumcast_bench::{header, parse_args};
+use forumcast_bench::{finish, header, parse_args, root_span, status};
 use forumcast_graph::{dense_graph, qa_graph, GraphStats};
 
 fn main() {
     let opts = parse_args();
+    let root = root_span("fig2");
     header("Figure 2 — SLN graph structure", &opts);
     if opts.resume.is_some() {
-        println!("note: --resume ignored — figure 2 is single-pass graph statistics");
+        status!("note: --resume ignored — figure 2 is single-pass graph statistics");
     }
     let (dataset, report) = opts.config.synth.generate().preprocess();
-    println!("preprocessing: {report}");
-    println!("dataset: {}", dataset.stats());
-    println!();
+    status!("preprocessing: {report}");
+    status!("dataset: {}", dataset.stats());
+    status!();
 
     let qa = qa_graph(dataset.num_users(), dataset.threads());
     let dense = dense_graph(dataset.num_users(), dataset.threads());
     for (name, g) in [("G_QA", &qa), ("G_D", &dense)] {
         let s = GraphStats::compute(g);
-        println!("{name}:");
-        println!("  nodes = {}, edges = {}", s.num_nodes, s.num_edges);
-        println!(
+        status!("{name}:");
+        status!("  nodes = {}, edges = {}", s.num_nodes, s.num_edges);
+        status!(
             "  average degree = {:.2} (paper: 2.6 QA / 3.7 D), variance = {:.2}, max = {}",
-            s.average_degree, s.degree_variance, s.max_degree
+            s.average_degree,
+            s.degree_variance,
+            s.max_degree
         );
-        println!(
+        status!(
             "  components = {} (largest {}, isolated {}) → disconnected: {}",
             s.num_components,
             s.largest_component,
@@ -46,11 +49,11 @@ fn main() {
             };
             buckets[b] += 1;
         }
-        println!("  degree histogram [0, 1, 2-3, 4-7, 8-15, 16-31, 32-63, 64+]:");
-        println!("    {buckets:?}");
-        println!();
+        status!("  degree histogram [0, 1, 2-3, 4-7, 8-15, 16-31, 32-63, 64+]:");
+        status!("    {buckets:?}");
+        status!();
     }
-    println!(
+    status!(
         "shape check: avg degree G_D > G_QA? {}",
         if dense.average_degree() > qa.average_degree() {
             "YES"
@@ -58,4 +61,6 @@ fn main() {
             "NO"
         }
     );
+    drop(root);
+    finish(&opts);
 }

@@ -1,20 +1,21 @@
 //! Regenerates **Figure 4**: CDFs of selected features (panels a–f),
 //! printed as CSV series suitable for replotting.
 
-use forumcast_bench::{header, maybe_json, parse_args};
+use forumcast_bench::{finish, header, maybe_json, parse_args, root_span, status};
 use forumcast_eval::experiments::fig4;
 
 fn main() {
     let opts = parse_args();
+    let root = root_span("fig4");
     header("Figure 4 — feature CDFs", &opts);
     let (dataset, _) = opts.config.synth.generate().preprocess();
     let report = fig4::run(&dataset, &opts.config.extractor, 50, 2000);
-    println!("{report}");
+    status!("{report}");
 
-    println!("\nCSV series (label,value,fraction):");
+    status!("\nCSV series (label,value,fraction):");
     let dump = |series: &fig4::CdfSeries| {
         for (v, f) in &series.points {
-            println!("{},{v:.6},{f:.3}", series.label);
+            status!("{},{v:.6},{f:.3}", series.label);
         }
     };
     dump(&report.answers_provided);
@@ -29,4 +30,6 @@ fn main() {
         dump(s);
     }
     maybe_json(&opts, &report);
+    drop(root);
+    finish(&opts);
 }

@@ -2,11 +2,12 @@
 //! the number of LDA topics `K` varies (paper: virtually no effect on
 //! `r̂`, small on `â`, larger on `v̂`; default K = 8).
 
-use forumcast_bench::{header, maybe_json, parse_args};
+use forumcast_bench::{finish, header, maybe_json, parse_args, root_span, status};
 use forumcast_eval::experiments::fig5;
 
 fn main() {
     let opts = parse_args();
+    let root = root_span("fig5");
     header("Figure 5 — topic-count sensitivity", &opts);
     let (ks, reference): (Vec<usize>, usize) = if opts.scale == "quick" {
         (vec![2, 4, 8], 4)
@@ -18,7 +19,7 @@ fn main() {
             eprintln!("fig5 failed: {e}");
             std::process::exit(1);
         });
-    println!("{report}");
+    status!("{report}");
     // Shape check: r̂ should move least across K.
     let spread = |f: &dyn Fn(&fig5::Fig5Point) -> f64| -> f64 {
         let vals: Vec<f64> = report.points.iter().map(f).collect();
@@ -27,6 +28,8 @@ fn main() {
     };
     let spread_r = spread(&|p: &fig5::Fig5Point| p.pct_change.2);
     let spread_v = spread(&|p: &fig5::Fig5Point| p.pct_change.1);
-    println!("shape check: |Δr| spread {spread_r:.2}% vs |Δv| spread {spread_v:.2}% (paper: r least sensitive)");
+    status!("shape check: |Δr| spread {spread_r:.2}% vs |Δv| spread {spread_v:.2}% (paper: r least sensitive)");
     maybe_json(&opts, &report);
+    drop(root);
+    finish(&opts);
 }

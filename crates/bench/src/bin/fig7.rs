@@ -2,11 +2,12 @@
 //! as the history window grows (`F(q) = D_{25−i} … D_{25}`,
 //! evaluation on days 25–30).
 
-use forumcast_bench::{header, maybe_json, parse_args};
+use forumcast_bench::{finish, header, maybe_json, parse_args, root_span, status};
 use forumcast_eval::experiments::fig7;
 
 fn main() {
     let opts = parse_args();
+    let root = root_span("fig7");
     header("Figure 7 — feature groups × history length", &opts);
     let windows: Vec<usize> = if opts.scale == "quick" {
         vec![10, 24]
@@ -18,13 +19,15 @@ fn main() {
             eprintln!("fig7 failed: {e}");
             std::process::exit(1);
         });
-    println!("{report}");
+    status!("{report}");
     for &w in &windows {
-        println!(
+        status!(
             "most important at {w}d: votes → {:?}, timing → {:?}",
             report.most_important(w, false),
             report.most_important(w, true)
         );
     }
     maybe_json(&opts, &report);
+    drop(root);
+    finish(&opts);
 }

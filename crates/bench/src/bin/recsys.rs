@@ -3,7 +3,7 @@
 //! through the LP of Equation (2), sweeping the quality/timing
 //! tradeoff λ and showing the load constraints in action.
 
-use forumcast_bench::{header, parse_args};
+use forumcast_bench::{finish, header, parse_args, root_span, status};
 use forumcast_core::{ResponsePredictor, TrainingSet};
 use forumcast_data::UserId;
 use forumcast_eval::ExperimentData;
@@ -11,6 +11,7 @@ use forumcast_recsys::{Candidate, QuestionRouter, RouterConfig};
 
 fn main() {
     let opts = parse_args();
+    let root = root_span("recsys");
     header("Section V — question routing demo", &opts);
     let cfg = &opts.config;
     let (dataset, _) = cfg.synth.generate().preprocess();
@@ -47,7 +48,7 @@ fn main() {
             );
         }
     }
-    println!("training joint predictor on {cut} threads …");
+    status!("training joint predictor on {cut} threads …");
     let model = ResponsePredictor::train(&ts, &cfg.train);
 
     // Route the remaining questions for several λ settings.
@@ -92,15 +93,15 @@ fn main() {
             }
         }
         let n = routed.max(1) as f64;
-        println!(
+        status!(
             "λ = {lambda:>3.1}: routed {routed} questions ({infeasible} infeasible under load caps); \
              top pick averages: v̂ = {:.2}, r̂ = {:.2} h",
             sum_votes / n,
             sum_time / n
         );
     }
-    println!();
-    println!("shape check: larger λ should lower the average r̂ of the top pick");
+    status!();
+    status!("shape check: larger λ should lower the average r̂ of the top pick");
 
     // Load-constraint illustration on one question.
     let mut router = QuestionRouter::new(RouterConfig::default());
@@ -113,15 +114,17 @@ fn main() {
         })
         .collect();
     let first = router.recommend(0.0, 0.0, &demo).expect("feasible");
-    println!(
+    status!(
         "\nload demo: first recommendation ranks {:?}",
         first.ranking()
     );
     router.record_answer(0.1, first.ranking()[0]);
     let second = router.recommend(0.2, 0.0, &demo).expect("feasible");
-    println!(
+    status!(
         "after u{} answers (cap 1/24h), next ranks {:?}",
         first.ranking()[0].0,
         second.ranking()
     );
+    drop(root);
+    finish(&opts);
 }

@@ -15,7 +15,16 @@
 //! per-sub-run suffixes for the sweep figures) and skips them when the
 //! run is restarted with the same path. `--faults <spec>` arms the
 //! deterministic fault injector (same grammar as `FORUMCAST_FAULTS`).
+//! `--trace <path>` writes a Chrome trace-event JSON file of pipeline
+//! spans (`FORUMCAST_TRACE` supplies a default path) and `--metrics`
+//! prints the per-span timing summary; binaries call [`finish`] last
+//! to flush both.
+//!
+//! All binary output goes through [`status!`] — one locked
+//! whole-line write per call — so lines from instrumented parallel
+//! work never interleave mid-line.
 
+use std::io::Write as _;
 use std::path::PathBuf;
 
 use forumcast_eval::EvalConfig;
@@ -32,6 +41,31 @@ pub struct BinOptions {
     pub scale: String,
     /// Checkpoint file for resumable experiments (`--resume <path>`).
     pub resume: Option<PathBuf>,
+    /// Chrome trace-event JSON output path (`--trace <path>`, else
+    /// the `FORUMCAST_TRACE` env var).
+    pub trace: Option<PathBuf>,
+    /// Print the per-span timing summary after the run (`--metrics`).
+    pub metrics: bool,
+}
+
+/// Writes one fully formatted status line to stdout in a single
+/// locked write. Use through the [`status!`] macro; routing every
+/// line here keeps output from instrumented parallel sections from
+/// interleaving mid-line.
+pub fn status(args: std::fmt::Arguments<'_>) {
+    let mut line = args.to_string();
+    line.push('\n');
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    lock.write_all(line.as_bytes()).expect("write status line");
+}
+
+/// `println!`-compatible status output for the regeneration binaries:
+/// formats the line, then hands it to [`status`] as one write.
+#[macro_export]
+macro_rules! status {
+    () => { $crate::status(format_args!("")) };
+    ($($arg:tt)*) => { $crate::status(format_args!($($arg)*)) };
 }
 
 /// Parses `std::env::args` into [`BinOptions`]. Unknown arguments
@@ -45,12 +79,18 @@ pub fn parse_args() -> BinOptions {
     let mut threads: Option<usize> = None;
     let mut resume: Option<PathBuf> = None;
     let mut faults: Option<FaultPlan> = None;
+    let mut trace: Option<PathBuf> = None;
+    let mut metrics = false;
     let mut pending: Option<&str> = None;
     for arg in std::env::args().skip(1) {
         if let Some(key) = pending.take() {
             match key {
                 "resume" => {
                     resume = Some(PathBuf::from(&arg));
+                    continue;
+                }
+                "trace" => {
+                    trace = Some(PathBuf::from(&arg));
                     continue;
                 }
                 "faults" => {
@@ -94,6 +134,11 @@ pub fn parse_args() -> BinOptions {
                 pending = Some("faults");
                 continue;
             }
+            "--trace" => {
+                pending = Some("trace");
+                continue;
+            }
+            "--metrics" => metrics = true,
             "quick" => {
                 config = EvalConfig::quick();
                 scale = "quick".into();
@@ -111,7 +156,7 @@ pub fn parse_args() -> BinOptions {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: <bin> [quick|standard|paper] [--json] [--folds N] [--repeats N] \
-                     [--threads N] [--resume PATH] [--faults SPEC]"
+                     [--threads N] [--resume PATH] [--faults SPEC] [--trace PATH] [--metrics]"
                 );
                 std::process::exit(2);
             }
@@ -146,31 +191,75 @@ pub fn parse_args() -> BinOptions {
             plan.arm_for_process();
         }
     }
+    // --trace wins over FORUMCAST_TRACE; either (or --metrics) arms
+    // the span collector for the whole process.
+    let trace = trace.or_else(|| {
+        std::env::var(forumcast_obs::TRACE_ENV)
+            .ok()
+            .map(PathBuf::from)
+    });
+    if trace.is_some() || metrics {
+        forumcast_obs::arm_for_process();
+    }
     BinOptions {
         config,
         json,
         scale,
         resume,
+        trace,
+        metrics,
+    }
+}
+
+/// Opens the experiment's root span when tracing is armed. Drop the
+/// guard (or let it fall out of scope) before calling [`finish`] so
+/// the root span's duration lands in the drained log.
+#[must_use = "the root span measures the scope holding the guard"]
+pub fn root_span(experiment: &str) -> forumcast_obs::SpanGuard {
+    forumcast_obs::span(experiment)
+}
+
+/// Flushes observability output: writes the Chrome trace file when
+/// `--trace`/`FORUMCAST_TRACE` was given and prints the per-span
+/// summary when `--metrics` was. A no-op when neither was requested.
+pub fn finish(opts: &BinOptions) {
+    if opts.trace.is_none() && !opts.metrics {
+        return;
+    }
+    let Some(log) = forumcast_obs::drain() else {
+        return;
+    };
+    if let Some(path) = &opts.trace {
+        match std::fs::write(path, log.to_chrome_json()) {
+            Ok(()) => status!("trace written to {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write trace to `{}`: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if opts.metrics {
+        status!("{}", log.summary().render());
     }
 }
 
 /// Prints the standard run header.
 pub fn header(experiment: &str, opts: &BinOptions) {
-    println!("=== forumcast :: {experiment} (scale: {}) ===", opts.scale);
-    println!(
+    status!("=== forumcast :: {experiment} (scale: {}) ===", opts.scale);
+    status!(
         "dataset: {} users, {} questions, K = {}",
         opts.config.synth.num_users,
         opts.config.synth.num_questions,
         opts.config.extractor.lda.num_topics
     );
-    println!();
+    status!();
 }
 
 /// Serializes a report as JSON when `--json` was passed.
 pub fn maybe_json<T: serde::Serialize>(opts: &BinOptions, report: &T) {
     if opts.json {
-        println!("\n--- json ---");
-        println!(
+        status!("\n--- json ---");
+        status!(
             "{}",
             serde_json::to_string_pretty(report).expect("report serializes")
         );
@@ -190,6 +279,8 @@ mod tests {
             json: false,
             scale: "standard".into(),
             resume: None,
+            trace: None,
+            metrics: false,
         };
         assert_eq!(opts.config.repeats, 1);
         assert!(!opts.json);

@@ -16,13 +16,16 @@ commands:
              [--lambda X] [--epsilon X] [--capacity X] [--top N]
   evaluate   [--scale <quick|standard|paper>] [--threads N]
              [--resume <checkpoint-file>] [--faults <spec>]
+             [--trace <trace-file>] [--metrics]
   abtest     [--scale <quick|standard>] [--lambda X]
   help
 
 `--resume` saves completed cross-validation folds to the given file
 and skips them on restart. `--faults` arms the deterministic fault
 injector (same grammar as the FORUMCAST_FAULTS env var, e.g.
-`fold-panic:1`).
+`fold-panic:1`). `--trace` writes a Chrome trace-event JSON file of
+pipeline spans (open in Perfetto; FORUMCAST_TRACE sets a default
+path) and `--metrics` prints a per-span wall/self-time summary.
 ";
 
 /// A parsed CLI invocation.
@@ -95,6 +98,11 @@ pub enum Command {
         resume: Option<String>,
         /// Fault-injection spec (same grammar as `FORUMCAST_FAULTS`).
         faults: Option<String>,
+        /// Chrome trace-event JSON output path (`FORUMCAST_TRACE`
+        /// supplies a default when the flag is absent).
+        trace: Option<String>,
+        /// Print the per-span timing summary after the run.
+        metrics: bool,
     },
     /// Run the simulated A/B test.
     AbTest {
@@ -191,8 +199,10 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseEr
                 threads: opts.get_parsed_or("threads", 0)?,
                 resume: opts.get("resume").map(str::to_owned),
                 faults: opts.get("faults").map(str::to_owned),
+                trace: opts.get("trace").map(str::to_owned),
+                metrics: opts.flag("metrics"),
             };
-            opts.reject_unknown(&["scale", "threads", "resume", "faults"])?;
+            opts.reject_unknown(&["scale", "threads", "resume", "faults", "trace", "metrics"])?;
             Ok(c)
         }
         "abtest" => {
@@ -379,6 +389,8 @@ mod tests {
                 threads: 4,
                 resume: None,
                 faults: None,
+                trace: None,
+                metrics: false,
             }
         );
         // Default: 0 = auto.
@@ -390,6 +402,8 @@ mod tests {
                 threads: 0,
                 resume: None,
                 faults: None,
+                trace: None,
+                metrics: false,
             }
         );
     }
@@ -404,6 +418,24 @@ mod tests {
                 threads: 0,
                 resume: Some("cv.json".into()),
                 faults: Some("fold-panic:1".into()),
+                trace: None,
+                metrics: false,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_evaluate_trace_and_metrics() {
+        let cmd = parse(argv("evaluate --trace out.json --metrics")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Evaluate {
+                scale: "quick".into(),
+                threads: 0,
+                resume: None,
+                faults: None,
+                trace: Some("out.json".into()),
+                metrics: true,
             }
         );
     }

@@ -66,7 +66,17 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
             threads,
             resume,
             faults,
-        } => evaluate(&scale, threads, resume.as_deref(), faults.as_deref(), out),
+            trace,
+            metrics,
+        } => evaluate(
+            &scale,
+            threads,
+            resume.as_deref(),
+            faults.as_deref(),
+            trace.as_deref(),
+            metrics,
+            out,
+        ),
         Command::AbTest { scale, lambda } => abtest(&scale, lambda, out),
     }
 }
@@ -325,11 +335,14 @@ fn route(
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn evaluate(
     scale: &str,
     threads: usize,
     resume: Option<&str>,
     faults: Option<&str>,
+    trace: Option<&str>,
+    metrics: bool,
     out: &mut dyn Write,
 ) -> CmdResult {
     let mut cfg = match scale {
@@ -353,6 +366,15 @@ fn evaluate(
             plan.arm_for_process();
         }
     }
+    // --trace wins over the FORUMCAST_TRACE env var. Either flag (or
+    // the env var) arms the collector; without them the probes stay
+    // no-ops and the output is byte-identical to an uninstrumented run.
+    let env_trace = std::env::var(forumcast_obs::TRACE_ENV).ok();
+    let trace_path = trace.map(str::to_owned).or(env_trace);
+    let collect = trace_path.is_some() || metrics;
+    if collect {
+        forumcast_obs::arm_for_process();
+    }
     writeln!(
         out,
         "running Table-I evaluation at scale `{scale}` ({} worker threads) …",
@@ -361,9 +383,23 @@ fn evaluate(
     if let Some(path) = resume {
         writeln!(out, "checkpointing completed folds to `{path}`")?;
     }
-    let report = table1::run_with(&cfg, resume.map(Path::new))
-        .map_err(|e| format!("evaluation failed: {e}"))?;
+    let report = {
+        let _root = forumcast_obs::span("evaluate");
+        table1::run_with(&cfg, resume.map(Path::new))
+            .map_err(|e| format!("evaluation failed: {e}"))?
+    };
     writeln!(out, "{report}")?;
+    if collect {
+        let log = forumcast_obs::drain().ok_or("trace collector was disarmed mid-run")?;
+        if let Some(path) = &trace_path {
+            std::fs::write(path, log.to_chrome_json())
+                .map_err(|e| format!("cannot write trace to `{path}`: {e}"))?;
+            writeln!(out, "trace written to {path}")?;
+        }
+        if metrics {
+            writeln!(out, "{}", log.summary().render())?;
+        }
+    }
     Ok(())
 }
 

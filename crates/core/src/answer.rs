@@ -52,6 +52,7 @@ impl AnswerPredictor {
     ///
     /// Panics when `xs` is empty or lengths mismatch.
     pub fn train(xs: &[Vec<f64>], ys: &[bool], config: &AnswerConfig) -> Self {
+        let _span = forumcast_obs::span("ml.answer.train");
         assert!(!xs.is_empty(), "need at least one training sample");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut model = LogisticRegression::new(xs[0].len());

@@ -214,6 +214,7 @@ impl TimingPredictor {
     /// Panics when `threads` contains no answers at all, or when
     /// feature dimensions are inconsistent.
     pub fn train(threads: &[ThreadObservation], config: &TimingConfig) -> Self {
+        let _span = forumcast_obs::span("ml.timing.train");
         let dim = threads
             .iter()
             .flat_map(|t| t.answers.first().map(|(x, _)| x.len()))

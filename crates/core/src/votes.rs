@@ -89,23 +89,29 @@ impl VotePredictor {
             // Injected faults fire a bounded number of times, so a
             // clean retrain at the same configuration is the healed,
             // bitwise-identical path.
-            Err(_) => match Self::try_train(xs, ys, config) {
-                Ok(p) => p,
-                Err(TrainError::Diverged { epoch }) => {
-                    let damped = VoteConfig {
-                        learning_rate: config.learning_rate * 0.1,
-                        ..config.clone()
-                    };
-                    Self::try_train(xs, ys, &damped).unwrap_or_else(|e| {
-                        panic!(
-                            "vote training diverged at epoch {epoch}, and again at \
-                             reduced learning rate {}: {e}",
-                            damped.learning_rate
-                        )
-                    })
+            Err(first) => {
+                if let TrainError::Diverged { epoch } = first {
+                    forumcast_obs::mark("ml.vote.divergence-retry", epoch as u64);
                 }
-                Err(e) => panic!("vote training failed: {e}"),
-            },
+                match Self::try_train(xs, ys, config) {
+                    Ok(p) => p,
+                    Err(TrainError::Diverged { epoch }) => {
+                        forumcast_obs::mark("ml.vote.divergence-retry", epoch as u64);
+                        let damped = VoteConfig {
+                            learning_rate: config.learning_rate * 0.1,
+                            ..config.clone()
+                        };
+                        Self::try_train(xs, ys, &damped).unwrap_or_else(|e| {
+                            panic!(
+                                "vote training diverged at epoch {epoch}, and again at \
+                                 reduced learning rate {}: {e}",
+                                damped.learning_rate
+                            )
+                        })
+                    }
+                    Err(e) => panic!("vote training failed: {e}"),
+                }
+            }
         }
     }
 
@@ -122,6 +128,7 @@ impl VotePredictor {
     /// Panics when `xs` is empty, lengths mismatch, or `hidden` is
     /// empty.
     pub fn try_train(xs: &[Vec<f64>], ys: &[f64], config: &VoteConfig) -> Result<Self, TrainError> {
+        let _span = forumcast_obs::span("ml.vote.train");
         assert!(!xs.is_empty(), "need at least one training sample");
         assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
         assert!(!config.hidden.is_empty(), "need at least one hidden layer");

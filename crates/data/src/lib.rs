@@ -52,7 +52,10 @@ pub use dataset::{AnsweredPair, Dataset};
 pub use days::DayPartition;
 pub use error::DataError;
 pub use post::{Post, PostBody, UserId};
-pub use quarantine::{import_records_lenient, IngestReport, QuarantineReason};
+pub use quarantine::{
+    import_records_lenient, import_records_lenient_with, IngestReport, LenientMode,
+    QuarantineReason,
+};
 pub use stats::{DatasetStats, PreprocessReport};
 pub use thread::{QuestionId, Thread};
 

@@ -13,6 +13,13 @@
 //! fail — the function is total. The per-record checks are also
 //! instrumented with the [`forumcast_resilience`] `ingest-io` fault
 //! site, letting CI inject I/O errors at exact record indices.
+//!
+//! Two granularities are available via [`LenientMode`]: the default
+//! drops a whole thread record when *any* of its posts is malformed,
+//! while [`LenientMode::SalvageAnswers`] keeps a thread whose
+//! question is sound and drops only its malformed answers —
+//! [`IngestReport`] then counts salvaged threads and dropped answers
+//! separately from fully quarantined records.
 
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -21,7 +28,7 @@ use std::fmt;
 use forumcast_resilience::fault::{self, FaultSite};
 
 use crate::dataset::Dataset;
-use crate::io::ThreadRecord;
+use crate::io::{PostRecord, ThreadRecord};
 use crate::post::{Post, PostBody, UserId};
 use crate::thread::Thread;
 
@@ -81,18 +88,43 @@ impl fmt::Display for QuarantineReason {
     }
 }
 
+/// How [`import_records_lenient_with`] treats a thread whose question
+/// is sound but whose answers are not.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LenientMode {
+    /// Quarantine the whole thread record when any of its posts is
+    /// malformed (the [`import_records_lenient`] default).
+    #[default]
+    DropThread,
+    /// Keep a thread whose *question* passes every check, dropping
+    /// only its malformed answers. Question-level defects (and
+    /// injected I/O errors and duplicate ids) still quarantine the
+    /// whole record.
+    SalvageAnswers,
+}
+
 /// Tally of a lenient import: how many records came in, how many
 /// threads survived, and per-reason quarantine counts. The invariant
-/// `records_in == threads_kept + quarantined_total()` always holds.
+/// `records_in == threads_kept + quarantined_total()` always holds;
+/// salvaged threads count toward `threads_kept`.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct IngestReport {
     /// Records offered to the importer.
     pub records_in: usize,
-    /// Threads that survived into the dataset.
+    /// Threads that survived into the dataset (including salvaged
+    /// ones).
     pub threads_kept: usize,
+    /// Threads kept with at least one answer dropped (always 0 under
+    /// [`LenientMode::DropThread`]).
+    pub threads_salvaged: usize,
     /// `(reason, count)` pairs for quarantined records, in
     /// [`QuarantineReason::ALL`] order; zero-count reasons omitted.
     pub quarantined: Vec<(QuarantineReason, usize)>,
+    /// `(reason, count)` pairs for answers dropped out of salvaged
+    /// threads, in [`QuarantineReason::ALL`] order; zero-count
+    /// reasons omitted. Empty under [`LenientMode::DropThread`].
+    pub answers_dropped: Vec<(QuarantineReason, usize)>,
 }
 
 impl IngestReport {
@@ -104,6 +136,19 @@ impl IngestReport {
     /// Quarantine count for one reason.
     pub fn count(&self, reason: QuarantineReason) -> usize {
         self.quarantined
+            .iter()
+            .find(|(r, _)| *r == reason)
+            .map_or(0, |(_, n)| *n)
+    }
+
+    /// Total answers dropped from salvaged threads.
+    pub fn answers_dropped_total(&self) -> usize {
+        self.answers_dropped.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Dropped-answer count for one reason.
+    pub fn answers_dropped_count(&self, reason: QuarantineReason) -> usize {
+        self.answers_dropped
             .iter()
             .find(|(r, _)| *r == reason)
             .map_or(0, |(_, n)| *n)
@@ -122,7 +167,19 @@ impl fmt::Display for IngestReport {
         for (reason, n) in &self.quarantined {
             write!(f, "; {reason}: {n}")?;
         }
-        write!(f, ")")
+        write!(f, ")")?;
+        if self.threads_salvaged > 0 {
+            write!(
+                f,
+                "; salvaged {} thread(s) dropping {} answer(s)",
+                self.threads_salvaged,
+                self.answers_dropped_total()
+            )?;
+            for (reason, n) in &self.answers_dropped {
+                write!(f, "; {reason}: {n}")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -159,6 +216,58 @@ fn classify(record: &ThreadRecord, index: usize, seen: &HashSet<u32>) -> Option<
     None
 }
 
+/// Classifies only the thread-fatal checks for salvage mode: an I/O
+/// error, a malformed *question* post, or a duplicate id. Answer
+/// defects are handled per answer by [`classify_answer`].
+fn classify_question(
+    record: &ThreadRecord,
+    index: usize,
+    seen: &HashSet<u32>,
+) -> Option<QuarantineReason> {
+    if fault::io_point(FaultSite::IngestIo, index as u64).is_err() {
+        return Some(QuarantineReason::IoError);
+    }
+    let q = &record.question;
+    if !q.creation_epoch_s.is_finite() {
+        return Some(QuarantineReason::NonFiniteTimestamp);
+    }
+    if q.creation_epoch_s < 0.0 {
+        return Some(QuarantineReason::NegativeTimestamp);
+    }
+    if q.user.trim().is_empty() {
+        return Some(QuarantineReason::EmptyUserKey);
+    }
+    if q.body_html.trim().is_empty() {
+        return Some(QuarantineReason::EmptyBody);
+    }
+    if seen.contains(&record.question_id) {
+        return Some(QuarantineReason::DuplicateQuestionId);
+    }
+    None
+}
+
+/// Classifies one answer against the per-post checks plus the
+/// answer-before-question ordering check, in
+/// [`QuarantineReason::ALL`] order.
+fn classify_answer(answer: &PostRecord, question_epoch_s: f64) -> Option<QuarantineReason> {
+    if !answer.creation_epoch_s.is_finite() {
+        return Some(QuarantineReason::NonFiniteTimestamp);
+    }
+    if answer.creation_epoch_s < 0.0 {
+        return Some(QuarantineReason::NegativeTimestamp);
+    }
+    if answer.user.trim().is_empty() {
+        return Some(QuarantineReason::EmptyUserKey);
+    }
+    if answer.body_html.trim().is_empty() {
+        return Some(QuarantineReason::EmptyBody);
+    }
+    if answer.creation_epoch_s < question_epoch_s {
+        return Some(QuarantineReason::AnswerBeforeQuestion);
+    }
+    None
+}
+
 /// Imports a crawl in the record format like
 /// [`crate::io::import_records`], but quarantines malformed records
 /// instead of failing: each surviving thread is normalized (dense
@@ -169,16 +278,56 @@ fn classify(record: &ThreadRecord, index: usize, seen: &HashSet<u32>) -> Option<
 pub fn import_records_lenient(
     records: &[ThreadRecord],
 ) -> (Dataset, HashMap<String, UserId>, IngestReport) {
+    import_records_lenient_with(records, LenientMode::DropThread)
+}
+
+/// [`import_records_lenient`] with an explicit [`LenientMode`]. Under
+/// [`LenientMode::SalvageAnswers`], a thread whose question passes
+/// every check survives with its malformed answers dropped (tallied
+/// per reason in [`IngestReport::answers_dropped`]); normalization —
+/// user interning and epoch rebasing — runs over the *surviving*
+/// posts only, so a dropped answer cannot shift any kept timestamp.
+pub fn import_records_lenient_with(
+    records: &[ThreadRecord],
+    mode: LenientMode,
+) -> (Dataset, HashMap<String, UserId>, IngestReport) {
     let mut seen: HashSet<u32> = HashSet::new();
     let mut counts: HashMap<QuarantineReason, usize> = HashMap::new();
-    let mut kept: Vec<&ThreadRecord> = Vec::with_capacity(records.len());
+    let mut answer_counts: HashMap<QuarantineReason, usize> = HashMap::new();
+    let mut threads_salvaged = 0usize;
+    // Each kept thread carries the subset of its answers that
+    // survived (all of them under `DropThread`).
+    let mut kept: Vec<(&ThreadRecord, Vec<&PostRecord>)> = Vec::with_capacity(records.len());
     for (i, r) in records.iter().enumerate() {
-        match classify(r, i, &seen) {
-            Some(reason) => *counts.entry(reason).or_insert(0) += 1,
-            None => {
-                seen.insert(r.question_id);
-                kept.push(r);
-            }
+        match mode {
+            LenientMode::DropThread => match classify(r, i, &seen) {
+                Some(reason) => *counts.entry(reason).or_insert(0) += 1,
+                None => {
+                    seen.insert(r.question_id);
+                    kept.push((r, r.answers.iter().collect()));
+                }
+            },
+            LenientMode::SalvageAnswers => match classify_question(r, i, &seen) {
+                Some(reason) => *counts.entry(reason).or_insert(0) += 1,
+                None => {
+                    seen.insert(r.question_id);
+                    let mut answers: Vec<&PostRecord> = Vec::with_capacity(r.answers.len());
+                    let mut dropped_any = false;
+                    for a in &r.answers {
+                        match classify_answer(a, r.question.creation_epoch_s) {
+                            Some(reason) => {
+                                *answer_counts.entry(reason).or_insert(0) += 1;
+                                dropped_any = true;
+                            }
+                            None => answers.push(a),
+                        }
+                    }
+                    if dropped_any {
+                        threads_salvaged += 1;
+                    }
+                    kept.push((r, answers));
+                }
+            },
         }
     }
 
@@ -192,9 +341,9 @@ pub fn import_records_lenient(
     };
     let epoch = kept
         .iter()
-        .flat_map(|r| {
+        .flat_map(|(r, answers)| {
             std::iter::once(r.question.creation_epoch_s)
-                .chain(r.answers.iter().map(|a| a.creation_epoch_s))
+                .chain(answers.iter().map(|a| a.creation_epoch_s))
         })
         .fold(f64::INFINITY, f64::min);
     let to_hours = |s: f64| {
@@ -205,7 +354,7 @@ pub fn import_records_lenient(
         }
     };
     let mut threads = Vec::with_capacity(kept.len());
-    for r in &kept {
+    for (r, kept_answers) in &kept {
         let qa = intern(&r.question.user, &mut user_ids);
         let question = Post::new(
             qa,
@@ -213,8 +362,7 @@ pub fn import_records_lenient(
             r.question.score,
             PostBody::from_html(&r.question.body_html),
         );
-        let answers = r
-            .answers
+        let answers = kept_answers
             .iter()
             .map(|a| {
                 let u = intern(&a.user, &mut user_ids);
@@ -231,15 +379,25 @@ pub fn import_records_lenient(
     let dataset = Dataset::new(user_ids.len() as u32, threads)
         .expect("quarantine checks enforce every dataset invariant");
 
-    let quarantined = QuarantineReason::ALL
-        .into_iter()
-        .filter_map(|r| counts.get(&r).map(|&n| (r, n)))
-        .collect();
+    let tally = |counts: &HashMap<QuarantineReason, usize>| -> Vec<(QuarantineReason, usize)> {
+        QuarantineReason::ALL
+            .into_iter()
+            .filter_map(|r| counts.get(&r).map(|&n| (r, n)))
+            .collect()
+    };
     let report = IngestReport {
         records_in: records.len(),
         threads_kept: kept.len(),
-        quarantined,
+        threads_salvaged,
+        quarantined: tally(&counts),
+        answers_dropped: tally(&answer_counts),
     };
+    forumcast_obs::counter_add("ingest.records", records.len() as u64);
+    forumcast_obs::counter_add("ingest.quarantined", report.quarantined_total() as u64);
+    forumcast_obs::counter_add(
+        "ingest.answers_dropped",
+        report.answers_dropped_total() as u64,
+    );
     (dataset, user_ids, report)
 }
 
@@ -363,5 +521,91 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         let back: IngestReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn salvage_keeps_thread_and_drops_only_malformed_answers() {
+        let records = vec![record(
+            1,
+            post("alice", 1_000.0, "q"),
+            vec![
+                post("bob", 4_600.0, "good a"),
+                post("  ", 5_000.0, "anonymous a"),
+                post("carol", 500.0, "early a"),
+                post("dave", 6_000.0, "another good a"),
+            ],
+        )];
+        // DropThread quarantines the whole record...
+        let (ds, _, report) = import_records_lenient_with(&records, LenientMode::DropThread);
+        assert_eq!(ds.num_questions(), 0);
+        assert_eq!(report.threads_salvaged, 0);
+        assert_eq!(report.answers_dropped_total(), 0);
+        // ...while SalvageAnswers keeps it minus the two bad answers.
+        let (ds, _, report) = import_records_lenient_with(&records, LenientMode::SalvageAnswers);
+        assert_eq!(ds.num_questions(), 1);
+        assert_eq!(report.threads_kept, 1);
+        assert_eq!(report.threads_salvaged, 1);
+        assert_eq!(report.quarantined_total(), 0);
+        assert_eq!(report.answers_dropped_total(), 2);
+        assert_eq!(
+            report.answers_dropped_count(QuarantineReason::EmptyUserKey),
+            1
+        );
+        assert_eq!(
+            report.answers_dropped_count(QuarantineReason::AnswerBeforeQuestion),
+            1
+        );
+        let thread = ds.thread(QuestionId(1)).unwrap();
+        assert_eq!(thread.num_answers(), 2);
+        let text = report.to_string();
+        assert!(
+            text.contains("salvaged 1 thread(s) dropping 2 answer(s)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn salvage_still_quarantines_question_level_defects() {
+        let mut records = clean_records();
+        records.push(record(3, post("  ", 9_000.0, "anonymous q"), vec![]));
+        records.push(record(1, post("eve", 9_300.0, "re-crawled q"), vec![]));
+        let (ds, _, report) = import_records_lenient_with(&records, LenientMode::SalvageAnswers);
+        assert_eq!(ds.num_questions(), 2);
+        assert_eq!(report.threads_kept, 2);
+        assert_eq!(report.threads_salvaged, 0);
+        assert_eq!(report.count(QuarantineReason::EmptyUserKey), 1);
+        assert_eq!(report.count(QuarantineReason::DuplicateQuestionId), 1);
+        assert_eq!(
+            report.records_in,
+            report.threads_kept + report.quarantined_total()
+        );
+    }
+
+    #[test]
+    fn salvage_rebases_epoch_over_surviving_posts_only() {
+        // The earliest timestamp in the crawl belongs to a *dropped*
+        // answer (pre-question), so rebasing must anchor on the
+        // question instead.
+        let records = vec![record(
+            1,
+            post("alice", 7_200.0, "q"),
+            vec![post("bob", 0.0, "too early"), post("carol", 10_800.0, "a")],
+        )];
+        let (ds, _, report) = import_records_lenient_with(&records, LenientMode::SalvageAnswers);
+        assert_eq!(report.answers_dropped_total(), 1);
+        let thread = ds.thread(QuestionId(1)).unwrap();
+        assert_eq!(thread.asked_at(), 0.0);
+        assert_eq!(thread.answers[0].timestamp, 1.0);
+    }
+
+    #[test]
+    fn salvage_on_clean_records_matches_drop_thread() {
+        let records = clean_records();
+        let (strict_ds, strict_users, strict_report) = import_records_lenient(&records);
+        let (ds, users, report) =
+            import_records_lenient_with(&records, LenientMode::SalvageAnswers);
+        assert_eq!(ds, strict_ds);
+        assert_eq!(users, strict_users);
+        assert_eq!(report, strict_report);
     }
 }

@@ -78,6 +78,7 @@ impl ExperimentData {
         warmup: usize,
         extractor_config: &ExtractorConfig,
     ) -> Self {
+        let _span = forumcast_obs::span("features.build");
         let threads = dataset.threads();
         assert!(
             warmup >= 1 && warmup < threads.len(),
@@ -101,6 +102,7 @@ impl ExperimentData {
             if start >= end {
                 break;
             }
+            let _bucket_span = forumcast_obs::span_unit("features.bucket", b as u64);
 
             // Pass 1 (serial): windows, answerer lists, and negative
             // sampling. Sampling stays sequential in thread order so
@@ -177,6 +179,8 @@ impl ExperimentData {
             }
         }
 
+        forumcast_obs::counter_add("features.pairs.pos", positives.len() as u64);
+        forumcast_obs::counter_add("features.pairs.neg", negatives.len() as u64);
         let layout = FeatureLayout::new(extractor_dim_topics(extractor_config));
         ExperimentData {
             dim: layout.dim(),

@@ -190,6 +190,7 @@ pub fn run_cv_resumable(
     run_baselines: bool,
     options: &CvOptions,
 ) -> Result<Vec<FoldOutcome>, CvError> {
+    let _span = forumcast_obs::span("eval.run_cv");
     let mut jobs = Vec::new();
     for rep in 0..config.repeats {
         let mut rng = StdRng::seed_from_u64(config.seed ^ (0xC5 + rep as u64));
@@ -211,6 +212,8 @@ pub fn run_cv_resumable(
             for (unit, outcome) in &cp.entries {
                 if let Some(slot) = outcomes.get_mut(*unit as usize) {
                     *slot = Some(*outcome);
+                    forumcast_obs::mark("eval.checkpoint.hit", *unit);
+                    forumcast_obs::counter_add("eval.checkpoint.folds_skipped", 1);
                 }
             }
             Some((Mutex::new(cp), path.clone()))
@@ -220,6 +223,10 @@ pub fn run_cv_resumable(
 
     let pending: Vec<usize> = (0..jobs.len()).filter(|&i| outcomes[i].is_none()).collect();
     let fresh = parallel_try_map(&pending, config.worker_threads(), |&job| {
+        // Detached span: its path roots at `eval.fold#job` whether the
+        // job ran on a worker thread or inline, keeping canonical
+        // event logs identical across thread counts.
+        let _fold_span = forumcast_obs::task_span("eval.fold", job as u64);
         let (pf, nf, fold) = &jobs[job];
         let outcome = with_retry(&format!("cv fold job {job}"), options.fold_attempts, || {
             fault::panic_point(FaultSite::FoldPanic, job as u64);

@@ -31,6 +31,7 @@ pub fn closeness(g: &Graph) -> Vec<f64> {
 /// Each node's BFS is independent and results are collected in node
 /// order, so the output is bitwise-identical for any thread count.
 pub fn closeness_with_threads(g: &Graph, threads: usize) -> Vec<f64> {
+    let _span = forumcast_obs::span("graph.closeness");
     let n = g.num_nodes();
     if n <= 1 {
         return vec![0.0; n];
@@ -74,6 +75,7 @@ pub fn betweenness(g: &Graph) -> Vec<f64> {
 /// [`betweenness`] with an explicit worker-thread count (`0` = auto).
 /// Deterministic: see [`brandes`] for the reduction-tree argument.
 pub fn betweenness_with_threads(g: &Graph, threads: usize) -> Vec<f64> {
+    let _span = forumcast_obs::span("graph.betweenness");
     let n = g.num_nodes();
     let sources: Vec<u32> = (0..n as u32).collect();
     brandes(g, &sources, 1.0, threads)
@@ -100,6 +102,7 @@ pub fn betweenness_sampled_with_threads(
     seed: u64,
     threads: usize,
 ) -> Vec<f64> {
+    let _span = forumcast_obs::span("graph.betweenness_sampled");
     let n = g.num_nodes();
     if num_pivots >= n {
         return betweenness_with_threads(g, threads);

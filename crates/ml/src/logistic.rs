@@ -126,6 +126,7 @@ impl LogisticRegression {
         let mut params: Vec<f64> = self.weights.clone();
         params.push(self.bias);
         for _ in 0..epochs {
+            forumcast_obs::counter_add("ml.logistic.epochs", 1);
             order.shuffle(rng);
             for chunk in order.chunks(batch) {
                 let mut grads = vec![0.0; dim + 1];

@@ -87,6 +87,10 @@ impl<O: Optimizer> Trainer<O> {
         if self.grads.len() != mlp.num_params() {
             self.grads = vec![0.0; mlp.num_params()];
         }
+        // Telemetry is read-only: `grad_sq` is accumulated only when a
+        // collector is armed and never feeds back into the update.
+        let telemetry = forumcast_obs::is_enabled();
+        let mut grad_sq = 0.0;
         let mut order: Vec<usize> = (0..xs.len()).collect();
         order.shuffle(rng);
         let mut sse = 0.0;
@@ -108,15 +112,25 @@ impl<O: Optimizer> Trainer<O> {
             if fault::fires(FaultSite::NanGrad, self.steps_run) {
                 self.grads[0] = f64::NAN;
             }
+            if telemetry {
+                grad_sq += self.grads.iter().map(|g| g * g).sum::<f64>();
+            }
             self.steps_run += 1;
             self.optimizer.step(mlp.params_mut(), &self.grads);
         }
         // A NaN gradient poisons the parameters, not necessarily the
         // pre-update loss of this epoch — check both.
-        if !mlp.params().iter().all(|p| p.is_finite()) {
-            return f64::NAN;
+        let mse = if mlp.params().iter().all(|p| p.is_finite()) {
+            sse / xs.len() as f64
+        } else {
+            f64::NAN
+        };
+        if telemetry {
+            let epoch = (self.epochs_run - 1) as u64;
+            forumcast_obs::metric("ml.epoch.loss", epoch, mse);
+            forumcast_obs::metric("ml.epoch.grad_norm", epoch, grad_sq.sqrt());
         }
-        sse / xs.len() as f64
+        mse
     }
 
     /// Like [`Self::epoch`], but surfaces divergence (non-finite loss

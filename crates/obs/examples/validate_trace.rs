@@ -1,0 +1,95 @@
+//! Validates a Chrome trace-event file written via `--trace` /
+//! `FORUMCAST_TRACE`: the JSON must parse, `traceEvents` must be a
+//! non-empty array, and every span name given on the command line
+//! must appear. Used by `scripts/check.sh` as the trace smoke pass.
+//!
+//! Usage: `validate_trace <trace.json> [required-span-name ...]`
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: validate_trace <trace.json> [required-span-name ...]");
+        return ExitCode::FAILURE;
+    };
+    let json = match std::fs::read_to_string(&path) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("validate_trace: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let value: serde::Value = match serde_json::from_str(&json) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("validate_trace: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let serde::Value::Object(fields) = &value else {
+        eprintln!("validate_trace: {path}: top level is not an object");
+        return ExitCode::FAILURE;
+    };
+    let Some(events) = fields
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+    else {
+        eprintln!("validate_trace: {path}: no traceEvents field");
+        return ExitCode::FAILURE;
+    };
+    let serde::Value::Array(items) = events else {
+        eprintln!("validate_trace: {path}: traceEvents is not an array");
+        return ExitCode::FAILURE;
+    };
+    if items.is_empty() {
+        eprintln!("validate_trace: {path}: traceEvents is empty");
+        return ExitCode::FAILURE;
+    }
+    let names: Vec<&str> = items
+        .iter()
+        .filter_map(|item| {
+            let serde::Value::Object(fields) = item else {
+                return None;
+            };
+            fields.iter().find(|(k, _)| k == "name").and_then(|(_, v)| {
+                if let serde::Value::Str(s) = v {
+                    Some(s.as_str())
+                } else {
+                    None
+                }
+            })
+        })
+        .collect();
+    // Unit-indexed spans are named `label#N`; a required name matches
+    // either the exact name or the label with its numeric suffix
+    // stripped (so `eval.fold` matches `eval.fold#0`).
+    let base = |name: &str| -> String {
+        match name.rsplit_once('#') {
+            Some((b, idx)) if !idx.is_empty() && idx.bytes().all(|c| c.is_ascii_digit()) => {
+                b.to_string()
+            }
+            _ => name.to_string(),
+        }
+    };
+    let mut missing = Vec::new();
+    for required in args {
+        if !names.iter().any(|n| *n == required || base(n) == required) {
+            missing.push(required);
+        }
+    }
+    if !missing.is_empty() {
+        eprintln!(
+            "validate_trace: {path}: {} events, but missing span name(s): {}",
+            items.len(),
+            missing.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "validate_trace: {path}: {} events, all required names present",
+        items.len()
+    );
+    ExitCode::SUCCESS
+}

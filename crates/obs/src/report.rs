@@ -1,0 +1,403 @@
+//! Rendering a drained event log: Chrome trace-event JSON for
+//! `chrome://tracing` / Perfetto, a canonical text form for
+//! determinism tests, and a human-readable summary table.
+
+use crate::{Event, EventKind};
+use std::collections::HashMap;
+
+/// Everything recorded between arming (or the previous drain) and one
+/// [`crate::drain`] call: canonically ordered events, name-sorted
+/// counter totals, and the wall time covered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceLog {
+    /// Events in canonical `(path, unit, seq)` order.
+    pub events: Vec<Event>,
+    /// `(name, total)` counter pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Nanoseconds from arming to the drain.
+    pub wall_ns: u64,
+}
+
+impl TraceLog {
+    /// Renders the log as Chrome trace-event JSON: spans as complete
+    /// (`"ph":"X"`) events, marks as instants (`"ph":"i"`), metrics
+    /// and final counter totals as counter (`"ph":"C"`) events.
+    /// Timestamps are microseconds. Load the file via `chrome://tracing`
+    /// or <https://ui.perfetto.dev>.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.events.len() * 160);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        let mut push = |s: String, out: &mut String| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('\n');
+            out.push_str(&s);
+        };
+        for ev in &self.events {
+            let name = escape_json(ev.name());
+            let path = escape_json(&ev.path);
+            let ts = us(ev.ts_ns);
+            let entry = match ev.kind {
+                EventKind::Span { dur_ns, self_ns } => format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{},\"pid\":1,\
+                     \"tid\":{},\"args\":{{\"path\":\"{path}\",\"self_us\":{}}}}}",
+                    us(dur_ns),
+                    ev.tid,
+                    us(self_ns),
+                ),
+                EventKind::Mark => format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":1,\
+                     \"tid\":{},\"args\":{{\"path\":\"{path}\",\"unit\":{}}}}}",
+                    ev.tid,
+                    ev.unit.map_or("null".to_string(), |u| u.to_string()),
+                ),
+                EventKind::Metric { value } => format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\
+                     \"args\":{{\"value\":{},\"unit\":{}}}}}",
+                    json_f64(value),
+                    ev.unit.map_or("null".to_string(), |u| u.to_string()),
+                ),
+            };
+            push(entry, &mut out);
+        }
+        for (cname, total) in &self.counters {
+            let entry = format!(
+                "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\
+                 \"args\":{{\"value\":{total}}}}}",
+                escape_json(cname),
+                us(self.wall_ns),
+            );
+            push(entry, &mut out);
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+
+    /// Renders only the deterministic projection of the log — paths,
+    /// units, sequence numbers, exact metric bits, counter totals; no
+    /// timestamps, durations, or thread ids. Two runs of the same
+    /// configuration must produce identical canonical lines at any
+    /// thread count.
+    pub fn canonical_lines(&self) -> Vec<String> {
+        let mut lines = Vec::with_capacity(self.events.len() + self.counters.len());
+        for ev in &self.events {
+            let unit = ev.unit.map_or("-".to_string(), |u| u.to_string());
+            lines.push(match ev.kind {
+                EventKind::Span { .. } => {
+                    format!("span {} unit={unit} seq={}", ev.path, ev.seq)
+                }
+                EventKind::Mark => {
+                    format!("mark {} unit={unit} seq={}", ev.path, ev.seq)
+                }
+                EventKind::Metric { value } => format!(
+                    "metric {} unit={unit} seq={} bits={:016x}",
+                    ev.path,
+                    ev.seq,
+                    value.to_bits()
+                ),
+            });
+        }
+        for (name, total) in &self.counters {
+            lines.push(format!("counter {name} = {total}"));
+        }
+        lines
+    }
+
+    /// Aggregates the log into a [`Summary`]: one row per span label
+    /// (unit suffixes stripped) with call count, total, and self
+    /// time, plus wall-time coverage by the longest root span.
+    pub fn summary(&self) -> Summary {
+        let mut agg: HashMap<String, SpanRow> = HashMap::new();
+        let mut root_ns: u64 = 0;
+        for ev in &self.events {
+            let EventKind::Span { dur_ns, self_ns } = ev.kind else {
+                continue;
+            };
+            if !ev.path.contains('/') {
+                root_ns = root_ns.max(dur_ns);
+            }
+            let row = agg
+                .entry(ev.base_name().to_string())
+                .or_insert_with(|| SpanRow {
+                    name: ev.base_name().to_string(),
+                    calls: 0,
+                    total_ns: 0,
+                    self_ns: 0,
+                });
+            row.calls += 1;
+            row.total_ns += dur_ns;
+            row.self_ns += self_ns;
+        }
+        let mut rows: Vec<SpanRow> = agg.into_values().collect();
+        rows.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+        Summary {
+            wall_ns: self.wall_ns,
+            covered_ns: root_ns,
+            rows,
+            counters: self.counters.clone(),
+        }
+    }
+}
+
+/// One aggregated span line in a [`Summary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRow {
+    /// Span label with unit suffixes stripped.
+    pub name: String,
+    /// How many spans with this label completed.
+    pub calls: u64,
+    /// Summed wall duration across calls.
+    pub total_ns: u64,
+    /// Summed self time (duration minus same-thread child spans).
+    pub self_ns: u64,
+}
+
+/// End-of-run aggregate view of a [`TraceLog`], rendered by
+/// [`Summary::render`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Wall time from arming to drain.
+    pub wall_ns: u64,
+    /// Duration of the longest root span — how much of the wall the
+    /// span hierarchy accounts for.
+    pub covered_ns: u64,
+    /// Per-label rows, longest total first.
+    pub rows: Vec<SpanRow>,
+    /// `(name, total)` counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl Summary {
+    /// Fraction of wall time covered by the longest root span, in
+    /// `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.covered_ns as f64 / self.wall_ns as f64
+        }
+    }
+
+    /// Renders the summary table: wall line, one row per span label
+    /// (calls, total, self, share of wall), then counter totals.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== metrics: wall {} ({:.1}% covered by spans) ==\n",
+            fmt_dur(self.wall_ns),
+            self.coverage() * 100.0
+        ));
+        if self.rows.is_empty() {
+            out.push_str("(no spans recorded)\n");
+        } else {
+            let name_w = self
+                .rows
+                .iter()
+                .map(|r| r.name.len())
+                .max()
+                .unwrap_or(4)
+                .max(4);
+            out.push_str(&format!(
+                "{:<name_w$}  {:>6}  {:>10}  {:>10}  {:>6}\n",
+                "span", "calls", "total", "self", "%wall"
+            ));
+            for row in &self.rows {
+                let pct = if self.wall_ns == 0 {
+                    0.0
+                } else {
+                    row.total_ns as f64 / self.wall_ns as f64 * 100.0
+                };
+                out.push_str(&format!(
+                    "{:<name_w$}  {:>6}  {:>10}  {:>10}  {:>5.1}%\n",
+                    row.name,
+                    row.calls,
+                    fmt_dur(row.total_ns),
+                    fmt_dur(row.self_ns),
+                    pct
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            let name_w = self
+                .counters
+                .iter()
+                .map(|(n, _)| n.len())
+                .max()
+                .unwrap_or(7)
+                .max(7);
+            out.push_str(&format!("{:<name_w$}  {:>12}\n", "counter", "total"));
+            for (name, total) in &self.counters {
+                out.push_str(&format!("{name:<name_w$}  {total:>12}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Nanoseconds rendered as microseconds with sub-µs precision — the
+/// unit Chrome trace timestamps use.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// A human-friendly duration: picks ns/µs/ms/s by magnitude.
+fn fmt_dur(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// A JSON number for `v`, or `null` when `v` is not finite (NaN
+/// losses from divergence probes must not corrupt the trace file).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `Display` omits the decimal point for integral values;
+        // keep it so strict parsers see a float consistently.
+        if s.contains(['.', 'e', 'E']) {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventKind;
+
+    fn ev(kind: EventKind, path: &str, unit: Option<u64>, seq: u64) -> Event {
+        Event {
+            kind,
+            path: path.to_string(),
+            unit,
+            seq,
+            ts_ns: 1_500,
+            tid: 0,
+        }
+    }
+
+    fn sample() -> TraceLog {
+        TraceLog {
+            events: vec![
+                ev(
+                    EventKind::Span {
+                        dur_ns: 9_000_000,
+                        self_ns: 4_000_000,
+                    },
+                    "run",
+                    None,
+                    0,
+                ),
+                ev(
+                    EventKind::Span {
+                        dur_ns: 5_000_000,
+                        self_ns: 5_000_000,
+                    },
+                    "run/fold#0",
+                    Some(0),
+                    0,
+                ),
+                ev(EventKind::Mark, "run/fold#0/ckpt.hit", Some(0), 0),
+                ev(
+                    EventKind::Metric { value: f64::NAN },
+                    "run/fold#0/loss",
+                    Some(2),
+                    0,
+                ),
+            ],
+            counters: vec![("sweeps".to_string(), 42)],
+            wall_ns: 10_000_000,
+        }
+    }
+
+    #[test]
+    fn chrome_json_parses_and_maps_nan_to_null() {
+        let json = sample().to_chrome_json();
+        let v: serde::Value = serde_json::from_str(&json).expect("valid JSON");
+        let serde::Value::Object(fields) = &v else {
+            panic!("expected object")
+        };
+        let events = fields
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .map(|(_, v)| v)
+            .expect("traceEvents");
+        let serde::Value::Array(items) = events else {
+            panic!("expected array")
+        };
+        assert_eq!(items.len(), 5); // 4 events + 1 counter total
+        assert!(json.contains("\"value\":null"), "NaN must become null");
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ph\":\"C\""));
+    }
+
+    #[test]
+    fn canonical_lines_exclude_timing_and_tid() {
+        let mut log = sample();
+        let base = log.canonical_lines();
+        for e in &mut log.events {
+            e.ts_ns += 12_345;
+            e.tid += 7;
+        }
+        log.wall_ns += 999;
+        assert_eq!(log.canonical_lines(), base);
+        assert!(base.iter().any(|l| l.starts_with("counter sweeps = 42")));
+    }
+
+    #[test]
+    fn summary_aggregates_by_base_name_and_measures_coverage() {
+        let s = sample().summary();
+        assert_eq!(s.rows.len(), 2);
+        assert_eq!(s.rows[0].name, "run");
+        assert_eq!(s.rows[1].name, "fold");
+        assert!((s.coverage() - 0.9).abs() < 1e-9);
+        let rendered = s.render();
+        assert!(rendered.contains("90.0% covered"));
+        assert!(rendered.contains("sweeps"));
+    }
+
+    #[test]
+    fn duration_formatting_picks_sane_units() {
+        assert_eq!(fmt_dur(12), "12ns");
+        assert_eq!(fmt_dur(1_500), "1.5us");
+        assert_eq!(fmt_dur(2_500_000), "2.50ms");
+        assert_eq!(fmt_dur(3_210_000_000), "3.210s");
+    }
+
+    #[test]
+    fn json_numbers_stay_floats() {
+        assert_eq!(json_f64(1.0), "1.0");
+        assert_eq!(json_f64(0.5), "0.5");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+}

@@ -84,6 +84,7 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
+    forumcast_obs::counter_add("par.tasks", items.len() as u64);
     if items.len() <= 1 || max_threads <= 1 {
         return items.iter().map(&f).collect();
     }
@@ -129,6 +130,7 @@ where
     E: Send,
     F: Fn(&T) -> Result<U, E> + Sync,
 {
+    forumcast_obs::counter_add("par.tasks", items.len() as u64);
     if items.len() <= 1 || max_threads <= 1 {
         return items.iter().map(&f).collect();
     }

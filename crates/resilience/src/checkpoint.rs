@@ -13,6 +13,8 @@ use serde::{expect_object, missing_field, obj_get, Deserialize, Serialize, Value
 use std::fmt;
 use std::path::Path;
 
+use crate::fault::{self, FaultSite};
+
 /// Completed-unit log for one resumable run.
 ///
 /// Generic over the per-unit result type; the serde shim's derive
@@ -59,6 +61,12 @@ impl<T: Serialize> Checkpoint<T> {
     /// `<path>.tmp`, then renames over `path`, so a crash mid-write
     /// never corrupts an existing checkpoint.
     ///
+    /// The tmp write probes the `ckpt-write` fault site (unit = number
+    /// of recorded entries): a fired shot leaves a *truncated* tmp
+    /// file behind and fails before the rename — exactly what a disk
+    /// full or power cut mid-write would do — so tests can prove the
+    /// real checkpoint survives untouched.
+    ///
     /// # Errors
     ///
     /// Returns [`CheckpointError::Io`] on filesystem failure.
@@ -72,8 +80,21 @@ impl<T: Serialize> Checkpoint<T> {
             path: path.display().to_string(),
             message: e.to_string(),
         };
+        if fault::fires(FaultSite::CkptWrite, self.entries.len() as u64) {
+            let _ = std::fs::write(&tmp, &json.as_bytes()[..json.len() / 2]);
+            return Err(CheckpointError::Io {
+                path: path.display().to_string(),
+                message: format!(
+                    "{} ckpt-write:{}",
+                    fault::INJECTED_PREFIX,
+                    self.entries.len()
+                ),
+            });
+        }
         std::fs::write(&tmp, json).map_err(io_err)?;
-        std::fs::rename(&tmp, path).map_err(io_err)
+        std::fs::rename(&tmp, path).map_err(io_err)?;
+        forumcast_obs::counter_add("ckpt.saves", 1);
+        Ok(())
     }
 }
 

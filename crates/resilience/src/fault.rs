@@ -42,22 +42,30 @@ pub enum FaultSite {
     /// NaN written into the gradient buffer before an optimizer step
     /// (unit = cumulative step index within one trainer).
     NanGrad,
+    /// Failure writing a checkpoint's temporary file, leaving a
+    /// truncated `.tmp` behind — the atomic tmp+rename path must keep
+    /// the real checkpoint intact (unit = entries recorded at save
+    /// time).
+    CkptWrite,
 }
 
 impl FaultSite {
     /// All sites, in spec-name order.
-    pub const ALL: [FaultSite; 3] = [
+    pub const ALL: [FaultSite; 4] = [
         FaultSite::FoldPanic,
         FaultSite::IngestIo,
         FaultSite::NanGrad,
+        FaultSite::CkptWrite,
     ];
 
-    /// The spec name (`fold-panic`, `ingest-io`, `nan-grad`).
+    /// The spec name (`fold-panic`, `ingest-io`, `nan-grad`,
+    /// `ckpt-write`).
     pub fn name(self) -> &'static str {
         match self {
             FaultSite::FoldPanic => "fold-panic",
             FaultSite::IngestIo => "ingest-io",
             FaultSite::NanGrad => "nan-grad",
+            FaultSite::CkptWrite => "ckpt-write",
         }
     }
 
@@ -67,7 +75,8 @@ impl FaultSite {
             .find(|s| s.name() == name)
             .ok_or_else(|| {
                 FaultSpecError(format!(
-                    "unknown fault site `{name}` (expected one of: fold-panic, ingest-io, nan-grad)"
+                    "unknown fault site `{name}` (expected one of: fold-panic, ingest-io, \
+                     nan-grad, ckpt-write)"
                 ))
             })
     }
@@ -251,6 +260,10 @@ pub fn fires(site: FaultSite, unit: u64) -> bool {
     match remaining.get_mut(&(site, unit)) {
         Some(n) if *n > 0 => {
             *n -= 1;
+            if forumcast_obs::is_enabled() {
+                forumcast_obs::counter_add(&format!("fault.fired.{}", site.name()), 1);
+                forumcast_obs::mark("fault.fired", unit);
+            }
             true
         }
         _ => false,

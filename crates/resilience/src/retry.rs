@@ -66,10 +66,14 @@ pub fn with_retry<T, F: FnMut() -> T>(
 ) -> Result<T, RetryExhausted> {
     assert!(attempts > 0, "retry needs at least one attempt");
     let mut last = String::new();
-    for _ in 0..attempts {
+    for attempt in 0..attempts {
         match catch_unwind(AssertUnwindSafe(&mut f)) {
             Ok(v) => return Ok(v),
-            Err(payload) => last = panic_message(payload.as_ref()),
+            Err(payload) => {
+                last = panic_message(payload.as_ref());
+                forumcast_obs::counter_add("retry.panics", 1);
+                forumcast_obs::mark("retry.panic", attempt as u64);
+            }
         }
     }
     Err(RetryExhausted {

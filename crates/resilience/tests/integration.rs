@@ -123,6 +123,48 @@ fn interrupted_sweep_resumes_bitwise_identically() {
     }
 }
 
+#[test]
+fn failed_checkpoint_write_leaves_no_partial_checkpoint_and_resumes() {
+    let _lock = LOCK.lock().unwrap();
+    let data = shared_data();
+    let cfg = quick_config(1);
+    let uninterrupted = run_cv(data, &cfg, None, false);
+
+    // With 2 fold jobs at 1 thread, saves run in order: the first
+    // holds 1 entry, the second 2. Fire the fault at the second save
+    // so a good checkpoint already exists when the write "crashes".
+    let path = temp_checkpoint("ckpt-write");
+    let opts = CvOptions::with_checkpoint(&path);
+    let tmp = path.with_extension("tmp");
+    {
+        let _guard = FaultPlan::parse("ckpt-write:2").unwrap().arm();
+        let err = run_cv_resumable(data, &cfg, None, false, &opts).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            matches!(err, CvError::Checkpoint(_)) && msg.contains("injected fault"),
+            "{msg}"
+        );
+    }
+
+    // The fired shot truncated the tmp file but never renamed it: the
+    // tmp is unparseable, while the real checkpoint is valid JSON.
+    let truncated = std::fs::read_to_string(&tmp).unwrap();
+    assert!(
+        serde_json::from_str::<serde::Value>(&truncated).is_err(),
+        "tmp file should be a truncated, unparseable write"
+    );
+    let good = std::fs::read_to_string(&path).unwrap();
+    serde_json::from_str::<serde::Value>(&good).expect("real checkpoint stayed intact");
+
+    // A fault-free rerun resumes from the intact checkpoint (job 0
+    // restored, job 1 recomputed) and reproduces the uninterrupted
+    // bits exactly.
+    let resumed = run_cv_resumable(data, &cfg, None, false, &opts).unwrap();
+    assert_eq!(bits(&uninterrupted), bits(&resumed));
+    std::fs::remove_file(&path).unwrap();
+    let _ = std::fs::remove_file(&tmp);
+}
+
 /// Smoke test for the `FORUMCAST_FAULTS` env path (`scripts/check.sh`
 /// runs this suite with `fold-panic:1` set). The spec must be one the
 /// bounded retry can heal — that is the point of the smoke pass.

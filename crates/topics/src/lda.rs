@@ -98,6 +98,7 @@ impl LdaModel {
     ///
     /// Empty documents receive the uniform topic distribution.
     pub fn train(corpus: &Corpus, config: &LdaConfig) -> LdaModel {
+        let _span = forumcast_obs::span("lda.train");
         let k = config.num_topics;
         let v = corpus.num_words().max(1);
         let d = corpus.num_docs();
@@ -128,6 +129,7 @@ impl LdaModel {
         let vbeta = v as f64 * beta;
         let mut probs = vec![0.0f64; k];
         for _sweep in 0..config.iterations {
+            forumcast_obs::counter_add("lda.gibbs.sweeps", 1);
             for (di, doc) in docs.iter().enumerate() {
                 for (ti, &w) in doc.iter().enumerate() {
                     let old = z[di][ti];
@@ -222,6 +224,7 @@ impl LdaModel {
     /// (or fully out-of-vocabulary) document yields the uniform
     /// distribution. Inference is deterministic given `seed`.
     pub fn infer(&self, doc: &BagOfWords, seed: u64) -> Vec<f64> {
+        forumcast_obs::counter_add("lda.infer.docs", 1);
         let k = self.config.num_topics;
         let tokens: Vec<usize> = doc
             .to_token_ids()
@@ -264,6 +267,7 @@ impl LdaModel {
     /// inference is independent and the output — collected in input
     /// order — is bitwise-identical for any thread count.
     pub fn infer_batch(&self, docs: &[(BagOfWords, u64)], threads: usize) -> Vec<Vec<f64>> {
+        let _span = forumcast_obs::span("lda.infer_batch");
         let threads = forumcast_par::resolve_threads(threads);
         forumcast_par::parallel_map(docs, threads, |(doc, seed)| self.infer(doc, *seed))
     }

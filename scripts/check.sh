@@ -16,4 +16,12 @@ cargo test --workspace -q
 echo "==> fault-injection smoke (FORUMCAST_FAULTS=fold-panic:1)"
 FORUMCAST_FAULTS=fold-panic:1 cargo test -q -p forumcast-resilience
 
+echo "==> trace smoke (evaluate --trace + JSON/span validation)"
+trace_file="$(mktemp -t forumcast-trace-XXXXXX.json)"
+trap 'rm -f "$trace_file"' EXIT
+cargo run -q -p forumcast-cli --bin forumcast -- \
+  evaluate --scale quick --threads 1 --trace "$trace_file" --metrics
+cargo run -q -p forumcast-obs --example validate_trace -- "$trace_file" \
+  evaluate eval.run_cv eval.fold lda.train features.build
+
 echo "All checks passed."
