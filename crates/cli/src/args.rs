@@ -15,17 +15,20 @@ commands:
   route      --data <file> --model <model-file> --question <id>
              [--lambda X] [--epsilon X] [--capacity X] [--top N]
   evaluate   [--scale <quick|standard|paper>] [--threads N]
-             [--resume <checkpoint-file>] [--faults <spec>]
-             [--trace <trace-file>] [--metrics]
+             [--resume <checkpoint-file>] [--snapshot-every N]
+             [--faults <spec>] [--trace <trace-file>] [--metrics]
   abtest     [--scale <quick|standard>] [--lambda X]
   help
 
 `--resume` saves completed cross-validation folds to the given file
-and skips them on restart. `--faults` arms the deterministic fault
-injector (same grammar as the FORUMCAST_FAULTS env var, e.g.
-`fold-panic:1`). `--trace` writes a Chrome trace-event JSON file of
-pipeline spans (open in Perfetto; FORUMCAST_TRACE sets a default
-path) and `--metrics` prints a per-span wall/self-time summary.
+and skips them on restart; `--snapshot-every` additionally snapshots
+the in-flight fold's full trainer state every N epochs so a mid-fold
+crash resumes without recomputing the fold (0 disables). `--faults`
+arms the deterministic fault injector (same grammar as the
+FORUMCAST_FAULTS env var, e.g. `fold-panic:1`). `--trace` writes a
+Chrome trace-event JSON file of pipeline spans (open in Perfetto;
+FORUMCAST_TRACE sets a default path, also honoured by `train` and
+`stats`) and `--metrics` prints a per-span wall/self-time summary.
 ";
 
 /// A parsed CLI invocation.
@@ -96,6 +99,10 @@ pub enum Command {
         /// Checkpoint file: completed folds are saved here and
         /// skipped when the run restarts with the same path.
         resume: Option<String>,
+        /// Sub-fold snapshot cadence: with `--resume`, the in-flight
+        /// fold persists its full trainer state every N epochs
+        /// (0 disables mid-fold snapshots).
+        snapshot_every: usize,
         /// Fault-injection spec (same grammar as `FORUMCAST_FAULTS`).
         faults: Option<String>,
         /// Chrome trace-event JSON output path (`FORUMCAST_TRACE`
@@ -198,11 +205,23 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseEr
                 scale: opts.get_or("scale", "quick")?,
                 threads: opts.get_parsed_or("threads", 0)?,
                 resume: opts.get("resume").map(str::to_owned),
+                snapshot_every: opts.get_parsed_or(
+                    "snapshot-every",
+                    forumcast_eval::CvOptions::default().snapshot_every,
+                )?,
                 faults: opts.get("faults").map(str::to_owned),
                 trace: opts.get("trace").map(str::to_owned),
                 metrics: opts.flag("metrics"),
             };
-            opts.reject_unknown(&["scale", "threads", "resume", "faults", "trace", "metrics"])?;
+            opts.reject_unknown(&[
+                "scale",
+                "threads",
+                "resume",
+                "snapshot-every",
+                "faults",
+                "trace",
+                "metrics",
+            ])?;
             Ok(c)
         }
         "abtest" => {
@@ -388,6 +407,7 @@ mod tests {
                 scale: "quick".into(),
                 threads: 4,
                 resume: None,
+                snapshot_every: 25,
                 faults: None,
                 trace: None,
                 metrics: false,
@@ -401,6 +421,7 @@ mod tests {
                 scale: "quick".into(),
                 threads: 0,
                 resume: None,
+                snapshot_every: 25,
                 faults: None,
                 trace: None,
                 metrics: false,
@@ -417,11 +438,29 @@ mod tests {
                 scale: "quick".into(),
                 threads: 0,
                 resume: Some("cv.json".into()),
+                snapshot_every: 25,
                 faults: Some("fold-panic:1".into()),
                 trace: None,
                 metrics: false,
             }
         );
+    }
+
+    #[test]
+    fn parses_evaluate_snapshot_every() {
+        let cmd = parse(argv("evaluate --resume cv.json --snapshot-every 2")).unwrap();
+        match cmd {
+            Command::Evaluate { snapshot_every, .. } => assert_eq!(snapshot_every, 2),
+            other => panic!("{other:?}"),
+        }
+        // 0 explicitly disables mid-fold snapshots.
+        let cmd = parse(argv("evaluate --snapshot-every 0")).unwrap();
+        match cmd {
+            Command::Evaluate { snapshot_every, .. } => assert_eq!(snapshot_every, 0),
+            other => panic!("{other:?}"),
+        }
+        let err = parse(argv("evaluate --snapshot-every lots")).unwrap_err();
+        assert!(err.to_string().contains("lots"));
     }
 
     #[test]
@@ -433,6 +472,7 @@ mod tests {
                 scale: "quick".into(),
                 threads: 0,
                 resume: None,
+                snapshot_every: 25,
                 faults: None,
                 trace: Some("out.json".into()),
                 metrics: true,

@@ -39,13 +39,13 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
             topics,
             out: path,
         } => generate(&scale, seed, topics, &path, out),
-        Command::Stats { data } => stats(&data, out),
+        Command::Stats { data } => with_env_trace("stats", out, |out| stats(&data, out)),
         Command::Train {
             data,
             fast,
             seed,
             out: path,
-        } => train(&data, fast, seed, &path, out),
+        } => with_env_trace("train", out, |out| train(&data, fast, seed, &path, out)),
         Command::Predict {
             data,
             model,
@@ -65,6 +65,7 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
             scale,
             threads,
             resume,
+            snapshot_every,
             faults,
             trace,
             metrics,
@@ -72,6 +73,7 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
             &scale,
             threads,
             resume.as_deref(),
+            snapshot_every,
             faults.as_deref(),
             trace.as_deref(),
             metrics,
@@ -79,6 +81,35 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
         ),
         Command::AbTest { scale, lambda } => abtest(&scale, lambda, out),
     }
+}
+
+/// Runs `body` under a root span, honouring the `FORUMCAST_TRACE` env
+/// var: when set, the trace collector is armed and the collected
+/// pipeline spans are written there afterwards. This is how commands
+/// without their own `--trace` flag (`train`, `stats`) get tracing;
+/// without the env var the probes stay no-ops.
+fn with_env_trace(
+    root: &'static str,
+    out: &mut dyn Write,
+    body: impl FnOnce(&mut dyn Write) -> CmdResult,
+) -> CmdResult {
+    let trace_path = std::env::var(forumcast_obs::TRACE_ENV).ok();
+    if trace_path.is_some() {
+        forumcast_obs::arm_for_process();
+    }
+    let result = {
+        let _root = forumcast_obs::span(root);
+        body(out)
+    };
+    if let Some(path) = trace_path {
+        if result.is_ok() {
+            let log = forumcast_obs::drain().ok_or("trace collector was disarmed mid-run")?;
+            std::fs::write(&path, log.to_chrome_json())
+                .map_err(|e| format!("cannot write trace to `{path}`: {e}"))?;
+            writeln!(out, "trace written to {path}")?;
+        }
+    }
+    result
 }
 
 fn synth_config(scale: &str) -> Result<SynthConfig, String> {
@@ -340,6 +371,7 @@ fn evaluate(
     scale: &str,
     threads: usize,
     resume: Option<&str>,
+    snapshot_every: usize,
     faults: Option<&str>,
     trace: Option<&str>,
     metrics: bool,
@@ -381,11 +413,19 @@ fn evaluate(
         cfg.worker_threads()
     )?;
     if let Some(path) = resume {
-        writeln!(out, "checkpointing completed folds to `{path}`")?;
+        if snapshot_every > 0 {
+            writeln!(
+                out,
+                "checkpointing completed folds to `{path}` \
+                 (sub-fold snapshots every {snapshot_every} epochs)"
+            )?;
+        } else {
+            writeln!(out, "checkpointing completed folds to `{path}`")?;
+        }
     }
     let report = {
         let _root = forumcast_obs::span("evaluate");
-        table1::run_with(&cfg, resume.map(Path::new))
+        table1::run_with(&cfg, resume.map(Path::new), snapshot_every)
             .map_err(|e| format!("evaluation failed: {e}"))?
     };
     writeln!(out, "{report}")?;

@@ -52,6 +52,6 @@ pub mod timing;
 pub mod votes;
 
 pub use answer::{AnswerConfig, AnswerPredictor};
-pub use predictor::{ResponsePredictor, TrainConfig, TrainingSet};
+pub use predictor::{ResponsePredictor, TrainConfig, TrainProgress, TrainingSet};
 pub use timing::{DecayMode, PredictionMode, ThreadObservation, TimingConfig, TimingPredictor};
-pub use votes::{VoteConfig, VotePredictor};
+pub use votes::{VoteConfig, VotePredictor, VoteTrainState};

@@ -4,9 +4,11 @@ use serde::{Deserialize, Serialize};
 
 use forumcast_features::Normalizer;
 
+use forumcast_ml::TrainState;
+
 use crate::answer::{AnswerConfig, AnswerPredictor};
 use crate::timing::{ThreadObservation, TimingConfig, TimingPredictor};
-use crate::votes::{VoteConfig, VotePredictor};
+use crate::votes::{VoteConfig, VotePredictor, VoteTrainState};
 
 /// Labeled training data for all three tasks, in raw (unnormalized)
 /// feature space. The evaluation harness builds this from a dataset
@@ -143,6 +145,41 @@ impl TrainConfig {
     }
 }
 
+/// Resumable training progress for [`ResponsePredictor::train_resumable`]:
+/// completed stages carry the finished predictor, the in-flight stage
+/// carries its mid-training snapshot. The (cheap) timing stage is
+/// always recomputed, so it never appears here.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrainProgress {
+    /// Finished answer predictor, once that stage completes.
+    pub answer: Option<AnswerPredictor>,
+    /// Mid-training answer snapshot while that stage is in flight.
+    pub answer_state: Option<TrainState>,
+    /// Finished vote predictor, once that stage completes.
+    pub votes: Option<VotePredictor>,
+    /// Mid-training vote snapshot while that stage is in flight.
+    pub votes_state: Option<VoteTrainState>,
+}
+
+impl TrainProgress {
+    /// Number of training epochs this progress makes skippable under
+    /// `config` — completed stages count in full, in-flight stages by
+    /// their snapshot epoch.
+    pub fn epochs_done(&self, config: &TrainConfig) -> u64 {
+        let answer = if self.answer.is_some() {
+            config.answer.epochs as u64
+        } else {
+            self.answer_state.as_ref().map_or(0, |s| s.epoch)
+        };
+        let votes = if self.votes.is_some() {
+            config.votes.epochs as u64
+        } else {
+            self.votes_state.as_ref().map_or(0, |s| s.train.epoch)
+        };
+        answer + votes
+    }
+}
+
 /// The paper's full system: all three predictors sharing one
 /// preprocessing pipeline (optional signed-log compression followed
 /// by z-scoring) fitted on the training features.
@@ -169,6 +206,30 @@ impl ResponsePredictor {
     ///
     /// Panics when any task has no training data.
     pub fn train(ts: &TrainingSet, config: &TrainConfig) -> Self {
+        Self::train_resumable(ts, config, None, 0, &mut |_| {})
+    }
+
+    /// [`train`](Self::train) with stage- and epoch-granular
+    /// checkpointing. `resume` restarts from a prior [`TrainProgress`]
+    /// snapshot; `snapshot_every > 0` invokes `save` with fresh
+    /// progress every that many epochs within the answer and vote
+    /// stages, plus once as each stage completes.
+    ///
+    /// Resuming from any snapshot emitted by this method reproduces
+    /// the uninterrupted run bitwise: the preprocessing preamble is
+    /// deterministically recomputed, then parameters, optimizer
+    /// moments, and the shuffle-RNG state are restored.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any task has no training data.
+    pub fn train_resumable(
+        ts: &TrainingSet,
+        config: &TrainConfig,
+        resume: Option<&TrainProgress>,
+        snapshot_every: usize,
+        save: &mut dyn FnMut(&TrainProgress),
+    ) -> Self {
         assert!(
             !ts.answer_xs.is_empty() && !ts.vote_xs.is_empty() && !ts.timing_threads.is_empty(),
             "all three tasks need training data"
@@ -187,12 +248,64 @@ impl ResponsePredictor {
         let normalizer = Normalizer::fit(&all);
         let tf = |x: &[f64]| normalizer.transform(&pre(x));
 
-        let answer_xs: Vec<Vec<f64>> = ts.answer_xs.iter().map(|x| tf(x)).collect();
-        let answer = AnswerPredictor::train(&answer_xs, &ts.answer_ys, &config.answer);
+        let mut progress = resume.cloned().unwrap_or_default();
 
-        let vote_xs: Vec<Vec<f64>> = ts.vote_xs.iter().map(|x| tf(x)).collect();
-        let votes = VotePredictor::train(&vote_xs, &ts.vote_ys, &config.votes);
+        let answer = if let Some(a) = progress.answer.clone() {
+            a
+        } else {
+            let answer_xs: Vec<Vec<f64>> = ts.answer_xs.iter().map(|x| tf(x)).collect();
+            let resume_state = progress.answer_state.take();
+            let a = AnswerPredictor::train_resumable(
+                &answer_xs,
+                &ts.answer_ys,
+                &config.answer,
+                resume_state.as_ref(),
+                snapshot_every,
+                &mut |s| {
+                    save(&TrainProgress {
+                        answer_state: Some(s.clone()),
+                        ..TrainProgress::default()
+                    })
+                },
+            );
+            progress.answer = Some(a.clone());
+            progress.answer_state = None;
+            if snapshot_every > 0 {
+                save(&progress);
+            }
+            a
+        };
 
+        let votes = if let Some(v) = progress.votes.clone() {
+            v
+        } else {
+            let vote_xs: Vec<Vec<f64>> = ts.vote_xs.iter().map(|x| tf(x)).collect();
+            let resume_state = progress.votes_state.take();
+            let answer_done = progress.answer.clone();
+            let v = VotePredictor::train_resumable(
+                &vote_xs,
+                &ts.vote_ys,
+                &config.votes,
+                resume_state.as_ref(),
+                snapshot_every,
+                &mut |s| {
+                    save(&TrainProgress {
+                        answer: answer_done.clone(),
+                        votes_state: Some(s.clone()),
+                        ..TrainProgress::default()
+                    })
+                },
+            );
+            progress.votes = Some(v.clone());
+            progress.votes_state = None;
+            if snapshot_every > 0 {
+                save(&progress);
+            }
+            v
+        };
+
+        // The timing stage is a closed-form accumulation pass — cheap
+        // enough to always recompute rather than checkpoint.
         let timing_threads: Vec<ThreadObservation> = ts
             .timing_threads
             .iter()
@@ -347,5 +460,72 @@ mod tests {
             back.predict_votes(&[100.0, 80.0]),
             model.predict_votes(&[100.0, 80.0])
         );
+    }
+
+    fn model_bits(m: &ResponsePredictor) -> Vec<u64> {
+        let (a, v, _) = m.parts();
+        a.coefficients()
+            .iter()
+            .chain(v.network().params().iter())
+            .map(|w| w.to_bits())
+            .collect()
+    }
+
+    #[test]
+    fn resume_from_every_progress_snapshot_is_bitwise_identical() {
+        let ts = training_set();
+        let cfg = TrainConfig {
+            votes: VoteConfig {
+                epochs: 40,
+                ..VoteConfig::fast()
+            },
+            ..TrainConfig::fast()
+        };
+        let reference = ResponsePredictor::train(&ts, &cfg);
+        let mut snapshots = Vec::new();
+        let snapshotted = ResponsePredictor::train_resumable(&ts, &cfg, None, 7, &mut |p| {
+            snapshots.push(p.clone())
+        });
+        assert_eq!(model_bits(&reference), model_bits(&snapshotted));
+        // Both stages must have produced in-flight snapshots, plus the
+        // two stage-completion snapshots.
+        assert!(snapshots.iter().any(|p| p.answer_state.is_some()));
+        assert!(snapshots.iter().any(|p| p.votes_state.is_some()));
+        assert!(snapshots.iter().any(|p| p.votes.is_some()));
+        for (i, snap) in snapshots.iter().enumerate() {
+            // Round-trip through JSON, as the on-disk checkpoint does.
+            let json = serde_json::to_string(snap).unwrap();
+            let snap: TrainProgress = serde_json::from_str(&json).unwrap();
+            let resumed =
+                ResponsePredictor::train_resumable(&ts, &cfg, Some(&snap), 0, &mut |_| {});
+            assert_eq!(
+                model_bits(&reference),
+                model_bits(&resumed),
+                "resume from snapshot {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn epochs_done_tracks_progress() {
+        let ts = training_set();
+        let cfg = TrainConfig {
+            votes: VoteConfig {
+                epochs: 40,
+                ..VoteConfig::fast()
+            },
+            ..TrainConfig::fast()
+        };
+        let mut snapshots = Vec::new();
+        ResponsePredictor::train_resumable(&ts, &cfg, None, 7, &mut |p| snapshots.push(p.clone()));
+        assert_eq!(TrainProgress::default().epochs_done(&cfg), 0);
+        let mut prev = 0;
+        for snap in &snapshots {
+            let done = snap.epochs_done(&cfg);
+            assert!(done >= prev, "progress must be monotone");
+            prev = done;
+        }
+        // The final snapshot has both stages complete.
+        assert_eq!(prev, (cfg.answer.epochs + cfg.votes.epochs) as u64);
     }
 }

@@ -7,6 +7,8 @@ use serde::{Deserialize, Serialize};
 
 use forumcast_data::{Dataset, UserId};
 use forumcast_features::{ExtractorConfig, FeatureExtractor, FeatureLayout};
+use forumcast_resilience::fault::{self, FaultSite};
+use forumcast_resilience::with_retry;
 
 use crate::config::EvalConfig;
 
@@ -142,37 +144,48 @@ impl ExperimentData {
             // worker-thread count.
             let extractor =
                 FeatureExtractor::fit(&threads[..start], dataset.num_users(), extractor_config);
-            let per_thread = forumcast_par::parallel_map(
-                &plans,
-                worker_threads,
-                |(thread, target, answerers, sampled)| {
-                    let d_q = extractor.question_topics(thread);
-                    let pos: Vec<PairRecord> = answerers
-                        .iter()
-                        .map(|&u| {
-                            let a = thread.answer_by(u).expect("answered");
-                            PairRecord {
+            // The bucket's feature matrix is a pure function of the
+            // fitted extractor and the plans (the RNG was consumed
+            // entirely in pass 1), so the materialization pass can be
+            // retried wholesale. The `alloc-pressure` probe simulates
+            // an allocation failure here — the largest transient
+            // allocation of the build — and one bounded retry degrades
+            // it to a recomputed bucket instead of an aborted sweep.
+            let per_thread = with_retry(&format!("features bucket {b}"), 2, || {
+                fault::panic_point(FaultSite::AllocPressure, b as u64);
+                forumcast_par::parallel_map(
+                    &plans,
+                    worker_threads,
+                    |(thread, target, answerers, sampled)| {
+                        let d_q = extractor.question_topics(thread);
+                        let pos: Vec<PairRecord> = answerers
+                            .iter()
+                            .map(|&u| {
+                                let a = thread.answer_by(u).expect("answered");
+                                PairRecord {
+                                    user: u,
+                                    target: *target,
+                                    x: extractor.features(u, thread, &d_q),
+                                    votes: a.votes as f64,
+                                    response_time: a.timestamp - thread.asked_at(),
+                                }
+                            })
+                            .collect();
+                        let neg: Vec<PairRecord> = sampled
+                            .iter()
+                            .map(|&u| PairRecord {
                                 user: u,
                                 target: *target,
                                 x: extractor.features(u, thread, &d_q),
-                                votes: a.votes as f64,
-                                response_time: a.timestamp - thread.asked_at(),
-                            }
-                        })
-                        .collect();
-                    let neg: Vec<PairRecord> = sampled
-                        .iter()
-                        .map(|&u| PairRecord {
-                            user: u,
-                            target: *target,
-                            x: extractor.features(u, thread, &d_q),
-                            votes: 0.0,
-                            response_time: 0.0,
-                        })
-                        .collect();
-                    (pos, neg)
-                },
-            );
+                                votes: 0.0,
+                                response_time: 0.0,
+                            })
+                            .collect();
+                        (pos, neg)
+                    },
+                )
+            })
+            .unwrap_or_else(|e| panic!("experiment data build failed: {e}"));
             for (pos, neg) in per_thread {
                 positives.extend(pos);
                 negatives.extend(neg);
@@ -323,5 +336,35 @@ mod tests {
         let cfg = EvalConfig::quick();
         let (ds, _) = SynthConfig::small().generate().preprocess();
         ExperimentData::build_with_ranges(&ds, &cfg, ds.num_questions(), &cfg.extractor);
+    }
+
+    /// One simulated allocation failure per bucket heals via the
+    /// bucket retry, and the healed build is identical to a
+    /// fault-free one — the sweep degrades gracefully instead of
+    /// aborting.
+    #[test]
+    fn alloc_pressure_heals_to_an_identical_build() {
+        let cfg = EvalConfig::quick();
+        let (ds, _) = cfg.synth.generate().preprocess();
+        let clean = ExperimentData::build(&ds, &cfg);
+        let _guard = forumcast_resilience::FaultPlan::parse("alloc-pressure:0,alloc-pressure:1")
+            .unwrap()
+            .arm();
+        let healed = ExperimentData::build(&ds, &cfg);
+        assert_eq!(clean.positives, healed.positives);
+        assert_eq!(clean.negatives, healed.negatives);
+        assert_eq!(clean.windows, healed.windows);
+    }
+
+    /// Exhausting the bucket retry is a hard, labeled failure.
+    #[test]
+    #[should_panic(expected = "features bucket 0")]
+    fn alloc_pressure_exhausting_retries_aborts_with_the_bucket_label() {
+        let cfg = EvalConfig::quick();
+        let (ds, _) = cfg.synth.generate().preprocess();
+        let _guard = forumcast_resilience::FaultPlan::parse("alloc-pressure:0x2")
+            .unwrap()
+            .arm();
+        ExperimentData::build(&ds, &cfg);
     }
 }

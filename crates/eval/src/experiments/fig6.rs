@@ -89,12 +89,14 @@ pub fn run(config: &EvalConfig) -> Fig6Report {
 ///
 /// Panics when a CV run fails despite per-fold retries.
 pub fn run_on(data: &ExperimentData, config: &EvalConfig) -> Fig6Report {
-    run_on_with(data, config, None).unwrap_or_else(|e| panic!("fig6: {e}"))
+    run_on_with(data, config, None, CvOptions::default().snapshot_every)
+        .unwrap_or_else(|e| panic!("fig6: {e}"))
 }
 
-/// [`run_on`] with an optional checkpoint base path: the reference
-/// run checkpoints into `<base>.ref.json` and the run excluding the
-/// `i`-th feature into `<base>.feat<i>.json`.
+/// [`run_on`] with an optional checkpoint base path and a sub-fold
+/// snapshot cadence (see [`CvOptions::snapshot_every`]): the
+/// reference run checkpoints into `<base>.ref.json` and the run
+/// excluding the `i`-th feature into `<base>.feat<i>.json`.
 ///
 /// # Errors
 ///
@@ -104,8 +106,10 @@ pub fn run_on_with(
     data: &ExperimentData,
     config: &EvalConfig,
     checkpoint: Option<&Path>,
+    snapshot_every: usize,
 ) -> Result<Fig6Report, CvError> {
-    let ref_opts = CvOptions::maybe_checkpoint(sub_checkpoint(checkpoint, "ref"));
+    let ref_opts = CvOptions::maybe_checkpoint(sub_checkpoint(checkpoint, "ref"))
+        .with_snapshot_every(snapshot_every);
     let reference = run_cv_resumable(data, config, None, false, &ref_opts)?;
     let ref_v = mean_std(&reference.iter().map(|o| o.rmse_votes).collect::<Vec<_>>()).0;
     let ref_t = mean_std(&reference.iter().map(|o| o.rmse_time).collect::<Vec<_>>()).0;
@@ -114,7 +118,8 @@ pub fn run_on_with(
     // features sequentially to bound memory.
     let mut bars = Vec::with_capacity(FeatureId::ALL.len());
     for (i, &feature) in FeatureId::ALL.iter().enumerate() {
-        let opts = CvOptions::maybe_checkpoint(sub_checkpoint(checkpoint, &format!("feat{i}")));
+        let opts = CvOptions::maybe_checkpoint(sub_checkpoint(checkpoint, &format!("feat{i}")))
+            .with_snapshot_every(snapshot_every);
         let outcomes =
             run_cv_resumable(data, config, Some(MaskSpec::Feature(feature)), false, &opts)?;
         let v = mean_std(&outcomes.iter().map(|o| o.rmse_votes).collect::<Vec<_>>()).0;

@@ -33,6 +33,7 @@ use crate::data::ExperimentData;
 use crate::fold::{run_fold, FoldOutcome, MaskSpec};
 use crate::parallel::parallel_try_map;
 use crate::split::stratified_folds;
+use crate::subfold::SubfoldHandle;
 
 /// Resilience options for a CV sweep.
 #[derive(Debug, Clone)]
@@ -44,6 +45,14 @@ pub struct CvOptions {
     /// pure function of its inputs, so a retried fold reproduces the
     /// fault-free result bit for bit.
     pub fold_attempts: usize,
+    /// Epoch cadence for sub-fold training snapshots
+    /// (`<checkpoint>.fold<job>.train.json`): every this many epochs
+    /// the in-flight fold persists its full trainer state — model
+    /// parameters, optimizer moments, shuffle-RNG state — so a
+    /// crashed fold resumes mid-training instead of from its start.
+    /// `0` disables sub-fold snapshots; they are only active when
+    /// `checkpoint` is also set.
+    pub snapshot_every: usize,
 }
 
 impl Default for CvOptions {
@@ -51,6 +60,7 @@ impl Default for CvOptions {
         CvOptions {
             checkpoint: None,
             fold_attempts: 3,
+            snapshot_every: 25,
         }
     }
 }
@@ -71,6 +81,14 @@ impl CvOptions {
             checkpoint: path,
             ..CvOptions::default()
         }
+    }
+
+    /// Returns the options with the sub-fold snapshot cadence set
+    /// (`0` disables mid-training snapshots) — the shape the drivers
+    /// thread through from a `--snapshot-every` flag.
+    pub fn with_snapshot_every(mut self, snapshot_every: usize) -> Self {
+        self.snapshot_every = snapshot_every;
+        self
     }
 }
 
@@ -178,11 +196,22 @@ pub fn run_cv(
 /// output bitwise-identical to an uninterrupted one at any thread
 /// count.
 ///
+/// With `snapshot_every > 0` on top of a checkpoint, resume is
+/// *epoch*-granular: each in-flight fold persists its full trainer
+/// state to `<checkpoint>.fold<job>.train.json` at that cadence, a
+/// re-run fold fast-forwards from the latest snapshot along a
+/// bitwise-identical trajectory, and the snapshot file is discarded
+/// when the fold completes. A corrupt or truncated snapshot is never
+/// trusted — the fold recomputes from its start — while a snapshot
+/// from a differently-configured run fails fast with the stale-
+/// checkpoint remedy.
+///
 /// # Errors
 ///
 /// Returns [`CvError::FoldFailed`] when a fold exhausts its attempts,
-/// and [`CvError::Checkpoint`] when the checkpoint file is unusable
-/// (unreadable, corrupt, or from a different configuration).
+/// and [`CvError::Checkpoint`] when the checkpoint file (or a stale
+/// sub-fold snapshot under it) is unusable — unreadable, corrupt, or
+/// from a different configuration.
 pub fn run_cv_resumable(
     data: &ExperimentData,
     config: &EvalConfig,
@@ -222,15 +251,53 @@ pub fn run_cv_resumable(
     };
 
     let pending: Vec<usize> = (0..jobs.len()).filter(|&i| outcomes[i].is_none()).collect();
+
+    // Sub-fold (mid-training) snapshots: one handle per pending job,
+    // nested under the fold-level checkpoint path. The kill-probe
+    // unit space starts past the fold-job indices so fault plans can
+    // target fold-start and mid-training crashes independently.
+    let subfold_for = |job: usize| -> Option<SubfoldHandle> {
+        options
+            .checkpoint
+            .as_deref()
+            .filter(|_| options.snapshot_every > 0)
+            .map(|base| {
+                SubfoldHandle::new(
+                    base,
+                    job,
+                    &meta,
+                    options.snapshot_every,
+                    (jobs.len() + job) as u64,
+                )
+            })
+    };
+    // Fail fast on stale snapshots (from a differently-configured
+    // run) before any fold work starts.
+    for &job in &pending {
+        if let Some(handle) = subfold_for(job) {
+            handle.check()?;
+        }
+    }
+
     let fresh = parallel_try_map(&pending, config.worker_threads(), |&job| {
         // Detached span: its path roots at `eval.fold#job` whether the
         // job ran on a worker thread or inline, keeping canonical
         // event logs identical across thread counts.
         let _fold_span = forumcast_obs::task_span("eval.fold", job as u64);
         let (pf, nf, fold) = &jobs[job];
+        let subfold = subfold_for(job);
         let outcome = with_retry(&format!("cv fold job {job}"), options.fold_attempts, || {
             fault::panic_point(FaultSite::FoldPanic, job as u64);
-            run_fold(data, config, pf, nf, *fold, mask, run_baselines)
+            run_fold(
+                data,
+                config,
+                pf,
+                nf,
+                *fold,
+                mask,
+                run_baselines,
+                subfold.as_ref(),
+            )
         })
         .map_err(|e| CvError::FoldFailed {
             job,
@@ -241,6 +308,11 @@ pub fn run_cv_resumable(
             let mut cp = cp.lock().expect("checkpoint lock");
             cp.record(job as u64, outcome);
             cp.save(path)?;
+        }
+        // The fold's result is durable in the fold-level checkpoint;
+        // its mid-training snapshot is no longer needed.
+        if let Some(handle) = &subfold {
+            handle.discard();
         }
         Ok::<FoldOutcome, CvError>(outcome)
     })?;
@@ -347,6 +419,129 @@ mod tests {
             "{err}"
         );
         std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The headline determinism contract: a run killed mid-training
+    /// (after a sub-fold snapshot hit disk) and then resumed produces
+    /// outcomes bitwise-identical to an uninterrupted run — at one
+    /// and two worker threads.
+    #[test]
+    fn mid_training_kill_then_resume_is_bitwise_identical() {
+        let _lock = CV_LOCK.lock().unwrap();
+        let mut cfg = EvalConfig::quick();
+        cfg.folds = 2;
+        cfg.repeats = 1;
+        let (ds, _) = cfg.synth.generate().preprocess();
+        for threads in [1, 2] {
+            cfg.threads = threads;
+            let data = ExperimentData::build(&ds, &cfg);
+            let clean = run_cv(&data, &cfg, None, false);
+
+            let path = temp_checkpoint(&format!("midkill-t{threads}"));
+            let mut opts = CvOptions::with_checkpoint(&path);
+            opts.snapshot_every = 5;
+            // fold_attempts = 1: the in-process retry is disabled, so
+            // the injected mid-training panic (fired right after fold
+            // job 1's first snapshot save, at the kill-probe unit
+            // jobs + job = 2 + 1) kills the whole run — the injected
+            // analogue of a SIGKILL — leaving the snapshot on disk.
+            opts.fold_attempts = 1;
+            {
+                let _guard = forumcast_resilience::FaultPlan::parse("fold-panic:3")
+                    .unwrap()
+                    .arm();
+                let err = run_cv_resumable(&data, &cfg, None, false, &opts).unwrap_err();
+                assert!(matches!(err, CvError::FoldFailed { job: 1, .. }), "{err}");
+            }
+            let snapshot = std::path::PathBuf::from(format!("{}.fold1.train.json", path.display()));
+            assert!(
+                snapshot.exists(),
+                "mid-training snapshot must survive the crash"
+            );
+
+            // Resume: the crashed fold fast-forwards from its
+            // snapshot; the completed fold replays from the fold-level
+            // checkpoint.
+            let resumed = run_cv_resumable(&data, &cfg, None, false, &opts).unwrap();
+            let clean_bits: Vec<u64> = clean.iter().flat_map(outcome_bits).collect();
+            let resumed_bits: Vec<u64> = resumed.iter().flat_map(outcome_bits).collect();
+            assert_eq!(clean_bits, resumed_bits, "{threads} threads");
+            assert!(
+                !snapshot.exists(),
+                "completed fold must discard its snapshot"
+            );
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    fn outcome_bits(o: &FoldOutcome) -> Vec<u64> {
+        [
+            o.auc,
+            o.auc_baseline,
+            o.rmse_votes,
+            o.rmse_votes_baseline,
+            o.rmse_time,
+            o.rmse_time_baseline,
+        ]
+        .iter()
+        .map(|x| x.to_bits())
+        .collect()
+    }
+
+    /// A corrupted (truncated) sub-fold snapshot is detected at load
+    /// and the fold recomputes from its start — still reproducing the
+    /// uninterrupted run.
+    #[test]
+    fn corrupt_subfold_snapshot_falls_back_to_fold_start_recompute() {
+        let _lock = CV_LOCK.lock().unwrap();
+        let mut cfg = EvalConfig::quick();
+        cfg.folds = 2;
+        cfg.repeats = 1;
+        let (ds, _) = cfg.synth.generate().preprocess();
+        let data = ExperimentData::build(&ds, &cfg);
+        let clean = run_cv(&data, &cfg, None, false);
+
+        let path = temp_checkpoint("corrupt-subfold");
+        let mut opts = CvOptions::with_checkpoint(&path);
+        opts.snapshot_every = 5;
+        opts.fold_attempts = 1;
+        {
+            let _guard = forumcast_resilience::FaultPlan::parse("fold-panic:3")
+                .unwrap()
+                .arm();
+            run_cv_resumable(&data, &cfg, None, false, &opts).unwrap_err();
+        }
+        let snapshot = std::path::PathBuf::from(format!("{}.fold1.train.json", path.display()));
+        let json = std::fs::read_to_string(&snapshot).unwrap();
+        std::fs::write(&snapshot, &json[..json.len() / 2]).unwrap();
+
+        let resumed = run_cv_resumable(&data, &cfg, None, false, &opts).unwrap();
+        assert_eq!(clean, resumed);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// A sub-fold snapshot left by a differently-configured run fails
+    /// fast with the stale-checkpoint remedy before any fold work.
+    #[test]
+    fn stale_subfold_snapshot_is_refused_with_the_remedy() {
+        let _lock = CV_LOCK.lock().unwrap();
+        let mut cfg = EvalConfig::quick();
+        cfg.folds = 2;
+        cfg.repeats = 1;
+        let (ds, _) = cfg.synth.generate().preprocess();
+        let data = ExperimentData::build(&ds, &cfg);
+        let path = temp_checkpoint("stale-subfold");
+        let opts = CvOptions::with_checkpoint(&path);
+        SubfoldHandle::new(&path, 0, "some other run", 5, 2)
+            .save(&forumcast_core::TrainProgress::default());
+        let err = run_cv_resumable(&data, &cfg, None, false, &opts).unwrap_err();
+        match &err {
+            CvError::Checkpoint(CheckpointError::Stale { .. }) => {}
+            other => panic!("expected Stale, got {other}"),
+        }
+        assert!(err.to_string().contains("--resume"), "{err}");
+        let snapshot = std::path::PathBuf::from(format!("{}.fold0.train.json", path.display()));
+        std::fs::remove_file(&snapshot).unwrap();
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::baselines::Baselines;
 use crate::config::EvalConfig;
 use crate::data::ExperimentData;
 use crate::metrics::{auc, rmse};
+use crate::subfold::SubfoldHandle;
 
 /// What to exclude from the feature vector in an importance study.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -43,7 +44,12 @@ pub struct FoldOutcome {
 /// (train and test), implementing the exclusion protocols of
 /// Figures 6–7. `run_baselines` can be disabled for masking sweeps
 /// (the baselines don't use features, so their numbers would not
-/// change).
+/// change). `subfold` optionally binds the fold to an epoch-granular
+/// training checkpoint: snapshots are persisted at the handle's
+/// cadence, and a snapshot left by an interrupted attempt is loaded
+/// back to fast-forward training along a bitwise-identical
+/// trajectory.
+#[allow(clippy::too_many_arguments)] // one knob per evaluation protocol axis
 pub fn run_fold(
     data: &ExperimentData,
     config: &EvalConfig,
@@ -52,6 +58,7 @@ pub fn run_fold(
     test_fold: usize,
     mask: Option<MaskSpec>,
     run_baselines: bool,
+    subfold: Option<&SubfoldHandle>,
 ) -> FoldOutcome {
     assert_eq!(pos_folds.len(), data.positives.len(), "pos fold map size");
     assert_eq!(neg_folds.len(), data.negatives.len(), "neg fold map size");
@@ -115,7 +122,26 @@ pub fn run_fold(
             .collect();
         ts.push_timing_thread(answers, non, data.windows[t], data.num_users);
     }
-    let model = ResponsePredictor::train(&ts, &config.train);
+    let model = match subfold {
+        Some(handle) => {
+            let resume = handle.load();
+            if let Some(progress) = &resume {
+                forumcast_obs::counter_add("eval.subfold.resume_hits", 1);
+                forumcast_obs::counter_add(
+                    "eval.subfold.epochs_skipped",
+                    progress.epochs_done(&config.train),
+                );
+            }
+            ResponsePredictor::train_resumable(
+                &ts,
+                &config.train,
+                resume.as_ref(),
+                handle.snapshot_every(),
+                &mut |p| handle.save(p),
+            )
+        }
+        None => ResponsePredictor::train(&ts, &config.train),
+    };
 
     // --- evaluation ---
     let mut scores = Vec::with_capacity(test_pos.len() + test_neg.len());
@@ -217,7 +243,7 @@ mod tests {
         let neg_groups: Vec<u32> = data.negatives.iter().map(|p| p.user.0).collect();
         let neg_folds = stratified_folds(&neg_groups, cfg.folds, &mut rng);
 
-        let out = run_fold(&data, &cfg, &pos_folds, &neg_folds, 0, None, true);
+        let out = run_fold(&data, &cfg, &pos_folds, &neg_folds, 0, None, true, None);
         assert!((0.0..=1.0).contains(&out.auc));
         assert!((0.0..=1.0).contains(&out.auc_baseline));
         assert!(out.rmse_votes > 0.0 && out.rmse_votes.is_finite());
@@ -245,6 +271,7 @@ mod tests {
             1,
             Some(MaskSpec::Group(FeatureGroup::Social)),
             false,
+            None,
         );
         assert_eq!(out.auc_baseline, 0.0);
         assert!(out.rmse_time.is_finite());

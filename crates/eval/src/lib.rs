@@ -36,9 +36,11 @@ pub mod fold;
 pub mod metrics;
 pub mod parallel;
 pub mod split;
+pub mod subfold;
 
 pub use config::EvalConfig;
 pub use data::{ExperimentData, PairRecord};
 pub use experiments::{run_cv, run_cv_resumable, CvError, CvOptions};
 pub use fold::{FoldOutcome, MaskSpec};
 pub use metrics::{auc, cdf_points, mae, pearson, rmse, spearman};
+pub use subfold::SubfoldHandle;

@@ -1,0 +1,197 @@
+//! Sub-fold (mid-training) checkpoint plumbing for resumable CV.
+//!
+//! A [`SubfoldHandle`] binds one fold job to its on-disk
+//! [`TrainCheckpoint`] file: `<base>.fold<job>.train.json`, next to
+//! the fold-level checkpoint at `<base>`. While the fold trains, the
+//! handle persists every `snapshot_every`-th epoch's
+//! [`TrainProgress`] atomically; when the fold is re-run after a
+//! crash, the handle loads the latest snapshot back and the trainer
+//! fast-forwards through the recorded epochs to a bitwise-identical
+//! trajectory. A completed fold discards its file — the fold-level
+//! checkpoint now carries the outcome.
+//!
+//! Failure policy, per layer:
+//!
+//! * missing file — fresh fold, train from scratch;
+//! * corrupt / truncated file — **never trusted**: counted under
+//!   `eval.subfold.corrupt` and ignored, falling back to a fold-start
+//!   recompute (which still reproduces the uninterrupted run);
+//! * stale fingerprint (file from a differently-configured run) — a
+//!   hard [`CheckpointError::Stale`] error, surfaced *before* any
+//!   fold work starts so the operator sees the remedy immediately;
+//! * failed save — best-effort: counted under
+//!   `eval.subfold.save_failed`, training continues (the fold merely
+//!   loses resume granularity).
+
+use std::path::{Path, PathBuf};
+
+use forumcast_core::TrainProgress;
+use forumcast_resilience::fault::{self, FaultSite};
+use forumcast_resilience::{CheckpointError, TrainCheckpoint};
+
+/// One fold job's sub-fold checkpoint binding. See the module docs
+/// for the failure policy.
+#[derive(Debug)]
+pub struct SubfoldHandle {
+    path: PathBuf,
+    fingerprint: String,
+    snapshot_every: usize,
+    /// Fault unit for both the post-save kill probe (`fold-panic`)
+    /// and the save-failure probe (`ckpt-write`): total job count +
+    /// job index, disjoint from the fold-level unit spaces.
+    kill_unit: u64,
+}
+
+impl SubfoldHandle {
+    /// Binds fold `job` of the run fingerprinted by `cv_meta` to its
+    /// snapshot file under `base` (the fold-level checkpoint path).
+    /// `kill_unit` is the fault-probe unit (total jobs + job index).
+    ///
+    /// The fingerprint deliberately excludes the snapshot cadence:
+    /// snapshots never perturb training, so resuming under a changed
+    /// cadence still reproduces the uninterrupted run.
+    pub fn new(
+        base: &Path,
+        job: usize,
+        cv_meta: &str,
+        snapshot_every: usize,
+        kill_unit: u64,
+    ) -> Self {
+        let mut name = base.as_os_str().to_os_string();
+        name.push(format!(".fold{job}.train.json"));
+        SubfoldHandle {
+            path: PathBuf::from(name),
+            fingerprint: format!("subfold-v1 job={job} {cv_meta}"),
+            snapshot_every,
+            kill_unit,
+        }
+    }
+
+    /// The snapshot file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The snapshot cadence (epochs between saves; never 0 for a
+    /// handle the CV driver constructs).
+    pub fn snapshot_every(&self) -> usize {
+        self.snapshot_every
+    }
+
+    /// Pre-flight check run before any fold work: surfaces a stale
+    /// snapshot (wrong fingerprint) as a hard error carrying the
+    /// path, both fingerprints, and the remedy. Every other state —
+    /// missing, corrupt, valid — is acceptable here and resolved by
+    /// [`load`](Self::load).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Stale`] exactly when the file
+    /// exists, parses, and belongs to a different run.
+    pub fn check(&self) -> Result<(), CheckpointError> {
+        match TrainCheckpoint::<TrainProgress>::load(&self.path, &self.fingerprint) {
+            Err(e @ CheckpointError::Stale { .. }) => Err(e),
+            _ => Ok(()),
+        }
+    }
+
+    /// Loads the resume snapshot, if a trustworthy one exists.
+    /// Corrupt or unreadable files are counted and ignored — the fold
+    /// recomputes from its start, which is always safe.
+    pub fn load(&self) -> Option<TrainProgress> {
+        match TrainCheckpoint::<TrainProgress>::load(&self.path, &self.fingerprint) {
+            Ok(found) => found.map(|cp| cp.payload),
+            Err(e) => {
+                forumcast_obs::counter_add("eval.subfold.corrupt", 1);
+                forumcast_obs::mark("eval.subfold.corrupt", self.kill_unit);
+                eprintln!("warning: ignoring unusable sub-fold checkpoint: {e}");
+                None
+            }
+        }
+    }
+
+    /// Persists `progress` atomically, then probes the mid-training
+    /// kill site (`fold-panic` at `kill_unit`) — the injected analogue
+    /// of a crash landing right after a snapshot hits disk. Save
+    /// failures are best-effort (counted, training continues).
+    pub fn save(&self, progress: &TrainProgress) {
+        match TrainCheckpoint::new(&*self.fingerprint, progress.clone())
+            .save(&self.path, self.kill_unit)
+        {
+            Ok(()) => {}
+            Err(e) => {
+                forumcast_obs::counter_add("eval.subfold.save_failed", 1);
+                eprintln!("warning: sub-fold checkpoint save failed (continuing): {e}");
+            }
+        }
+        fault::panic_point(FaultSite::FoldPanic, self.kill_unit);
+    }
+
+    /// Removes the snapshot file once the fold completes — its result
+    /// now lives in the fold-level checkpoint.
+    pub fn discard(&self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_base(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "forumcast-subfold-{name}-{}.json",
+            std::process::id()
+        ));
+        p
+    }
+
+    fn handle(base: &Path) -> SubfoldHandle {
+        SubfoldHandle::new(base, 3, "cv folds=2 seed=1", 25, 10)
+    }
+
+    #[test]
+    fn path_nests_under_the_fold_checkpoint_base() {
+        let base = temp_base("path");
+        let h = handle(&base);
+        let expected = format!("{}.fold3.train.json", base.display());
+        assert_eq!(h.path().display().to_string(), expected);
+    }
+
+    #[test]
+    fn save_load_discard_roundtrip() {
+        let base = temp_base("roundtrip");
+        let h = handle(&base);
+        assert!(h.load().is_none(), "fresh handle has no snapshot");
+        h.save(&TrainProgress::default());
+        assert!(h.check().is_ok());
+        assert!(h.load().is_some());
+        h.discard();
+        assert!(h.load().is_none());
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_ignored_not_trusted() {
+        let base = temp_base("corrupt");
+        let h = handle(&base);
+        h.save(&TrainProgress::default());
+        let json = std::fs::read_to_string(h.path()).unwrap();
+        std::fs::write(h.path(), &json[..json.len() / 3]).unwrap();
+        assert!(h.check().is_ok(), "corrupt is not stale");
+        assert!(h.load().is_none());
+        h.discard();
+    }
+
+    #[test]
+    fn stale_snapshot_fails_the_preflight_check() {
+        let base = temp_base("stale");
+        let writer = SubfoldHandle::new(&base, 3, "cv folds=5 seed=9", 25, 10);
+        writer.save(&TrainProgress::default());
+        let reader = handle(&base);
+        let err = reader.check().unwrap_err();
+        assert!(matches!(err, CheckpointError::Stale { .. }), "{err}");
+        assert!(err.to_string().contains("--resume"), "{err}");
+        writer.discard();
+    }
+}

@@ -5,6 +5,7 @@
 //! techniques prone to overfitting for this prediction task"
 //! (Section II-A1).
 
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -12,6 +13,7 @@ use serde::{Deserialize, Serialize};
 use crate::activation::sigmoid;
 use crate::linalg::dot;
 use crate::optim::{Adam, Optimizer};
+use crate::train_state::{glm_snapshot, restore_glm, TrainState, TrainStateError};
 
 /// Binary logistic-regression classifier
 /// `P(a = 1 | x) = 1 / (1 + e^{−xᵀβ − b})`.
@@ -101,6 +103,10 @@ impl LogisticRegression {
     /// Fits by mini-batch gradient descent with Adam, `epochs` passes,
     /// batch size 32, learning rate `lr`, L2 strength `l2`.
     ///
+    /// Each epoch shuffles a fresh identity permutation, so the RNG
+    /// state alone determines the remaining schedule — the property
+    /// sub-fold resume ([`Self::fit_resumable`]) relies on.
+    ///
     /// # Panics
     ///
     /// Panics when `xs` and `ys` lengths differ or a sample has the
@@ -118,40 +124,109 @@ impl LogisticRegression {
         if xs.is_empty() {
             return;
         }
-        let dim = self.weights.len();
         let mut opt = Adam::new(lr);
-        let mut order: Vec<usize> = (0..xs.len()).collect();
-        let batch = 32.min(xs.len());
         // Flat parameter vector: [weights..., bias].
         let mut params: Vec<f64> = self.weights.clone();
         params.push(self.bias);
         for _ in 0..epochs {
             forumcast_obs::counter_add("ml.logistic.epochs", 1);
-            order.shuffle(rng);
-            for chunk in order.chunks(batch) {
-                let mut grads = vec![0.0; dim + 1];
-                for &i in chunk {
-                    let x = &xs[i];
-                    assert_eq!(x.len(), dim, "sample dimension mismatch");
-                    let p = sigmoid(dot(&params[..dim], x) + params[dim]);
-                    let err = p - if ys[i] { 1.0 } else { 0.0 };
-                    for (g, &xi) in grads[..dim].iter_mut().zip(x) {
-                        *g += err * xi;
-                    }
-                    grads[dim] += err;
-                }
-                let scale = 1.0 / chunk.len() as f64;
-                for (j, g) in grads.iter_mut().enumerate() {
-                    *g *= scale;
-                    if j < dim {
-                        *g += l2 * params[j];
-                    }
-                }
-                opt.step(&mut params, &grads);
-            }
+            epoch_pass(&mut params, &mut opt, xs, ys, l2, rng);
         }
         self.bias = params.pop().expect("bias present");
         self.weights = params;
+    }
+
+    /// [`Self::fit`] with epoch-granular checkpointing: when `resume`
+    /// is given, training continues from that snapshot and finishes
+    /// bitwise-identically to an uninterrupted `fit`; every
+    /// `snapshot_every` completed epochs (0 disables) `on_snapshot`
+    /// receives a fresh [`TrainState`] to persist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainStateError`] when `resume` does not fit this
+    /// model (wrong parameter count, non-Adam optimizer, degenerate
+    /// RNG state).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::fit`].
+    #[allow(clippy::too_many_arguments)] // resume plumbing mirrors `fit` plus the snapshot triple
+    pub fn fit_resumable(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[bool],
+        epochs: usize,
+        lr: f64,
+        l2: f64,
+        rng: &mut StdRng,
+        resume: Option<&TrainState>,
+        snapshot_every: usize,
+        on_snapshot: &mut dyn FnMut(&TrainState),
+    ) -> Result<(), TrainStateError> {
+        assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+        if xs.is_empty() {
+            return Ok(());
+        }
+        let dim = self.weights.len();
+        let mut opt = Adam::new(lr);
+        let mut params: Vec<f64> = self.weights.clone();
+        params.push(self.bias);
+        let mut start = 0;
+        if let Some(state) = resume {
+            restore_glm(state, &mut params, &mut opt, rng)?;
+            start = state.epoch as usize;
+        }
+        for epoch in start..epochs {
+            forumcast_obs::counter_add("ml.logistic.epochs", 1);
+            epoch_pass(&mut params, &mut opt, xs, ys, l2, rng);
+            if snapshot_every > 0 && (epoch + 1) % snapshot_every == 0 && epoch + 1 < epochs {
+                on_snapshot(&glm_snapshot(&params, &opt, l2, epoch + 1, rng));
+            }
+        }
+        debug_assert_eq!(params.len(), dim + 1);
+        self.bias = params.pop().expect("bias present");
+        self.weights = params;
+        Ok(())
+    }
+}
+
+/// One shuffled mini-batch pass shared by [`LogisticRegression::fit`]
+/// and [`LogisticRegression::fit_resumable`] — keeping the two paths
+/// numerically identical is what makes resumed runs bitwise-equal to
+/// uninterrupted ones.
+fn epoch_pass<R: Rng + ?Sized>(
+    params: &mut [f64],
+    opt: &mut Adam,
+    xs: &[Vec<f64>],
+    ys: &[bool],
+    l2: f64,
+    rng: &mut R,
+) {
+    let dim = params.len() - 1;
+    let batch = 32.min(xs.len());
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.shuffle(rng);
+    for chunk in order.chunks(batch) {
+        let mut grads = vec![0.0; dim + 1];
+        for &i in chunk {
+            let x = &xs[i];
+            assert_eq!(x.len(), dim, "sample dimension mismatch");
+            let p = sigmoid(dot(&params[..dim], x) + params[dim]);
+            let err = p - if ys[i] { 1.0 } else { 0.0 };
+            for (g, &xi) in grads[..dim].iter_mut().zip(x) {
+                *g += err * xi;
+            }
+            grads[dim] += err;
+        }
+        let scale = 1.0 / chunk.len() as f64;
+        for (j, g) in grads.iter_mut().enumerate() {
+            *g *= scale;
+            if j < dim {
+                *g += l2 * params[j];
+            }
+        }
+        opt.step(params, &grads);
     }
 }
 
@@ -247,6 +322,89 @@ mod tests {
     fn mismatched_labels_panic() {
         let mut rng = StdRng::seed_from_u64(0);
         LogisticRegression::new(1).fit(&[vec![1.0]], &[], 1, 0.1, 0.0, &mut rng);
+    }
+
+    fn bits(m: &LogisticRegression) -> Vec<u64> {
+        let mut out: Vec<u64> = m.weights().iter().map(|w| w.to_bits()).collect();
+        out.push(m.bias().to_bits());
+        out
+    }
+
+    #[test]
+    fn fit_resumable_without_resume_matches_fit_bitwise() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let (xs, ys) = separable(&mut rng, 120);
+        let mut plain = LogisticRegression::new(2);
+        plain.fit(&xs, &ys, 40, 0.05, 1e-4, &mut rng.clone());
+        let mut resumable = LogisticRegression::new(2);
+        resumable
+            .fit_resumable(&xs, &ys, 40, 0.05, 1e-4, &mut rng, None, 0, &mut |_| {})
+            .unwrap();
+        assert_eq!(bits(&plain), bits(&resumable));
+    }
+
+    #[test]
+    fn resume_from_every_snapshot_is_bitwise_identical() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (xs, ys) = separable(&mut rng, 120);
+        let seed_rng = rng.clone();
+        let mut reference = LogisticRegression::new(2);
+        let mut snapshots = Vec::new();
+        reference
+            .fit_resumable(&xs, &ys, 30, 0.05, 1e-4, &mut rng, None, 7, &mut |s| {
+                snapshots.push(s.clone())
+            })
+            .unwrap();
+        assert!(!snapshots.is_empty());
+        for snap in &snapshots {
+            // Round-trip through JSON, as the on-disk checkpoint does.
+            let snap = TrainState::from_json(&snap.to_json()).unwrap();
+            let mut resumed = LogisticRegression::new(2);
+            let mut rng = seed_rng.clone();
+            resumed
+                .fit_resumable(
+                    &xs,
+                    &ys,
+                    30,
+                    0.05,
+                    1e-4,
+                    &mut rng,
+                    Some(&snap),
+                    0,
+                    &mut |_| {},
+                )
+                .unwrap();
+            assert_eq!(bits(&reference), bits(&resumed), "epoch {}", snap.epoch);
+        }
+    }
+
+    #[test]
+    fn resume_with_wrong_shape_is_a_typed_error() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let (xs, ys) = separable(&mut rng, 40);
+        let mut donor = LogisticRegression::new(2);
+        let mut snapshots = Vec::new();
+        donor
+            .fit_resumable(&xs, &ys, 10, 0.05, 0.0, &mut rng, None, 5, &mut |s| {
+                snapshots.push(s.clone())
+            })
+            .unwrap();
+        let xs3: Vec<Vec<f64>> = xs.iter().map(|x| vec![x[0], x[1], 0.0]).collect();
+        let mut other = LogisticRegression::new(3);
+        let err = other
+            .fit_resumable(
+                &xs3,
+                &ys,
+                10,
+                0.05,
+                0.0,
+                &mut rng,
+                Some(&snapshots[0]),
+                0,
+                &mut |_| {},
+            )
+            .unwrap_err();
+        assert!(matches!(err, TrainStateError::ParamShape { .. }));
     }
 
     #[test]

@@ -1,0 +1,573 @@
+//! Crash-consistent snapshots of in-progress training runs.
+//!
+//! A [`TrainState`] captures everything a mini-batch training loop
+//! needs to continue bitwise-identically after a crash: the flat
+//! parameter vector, the full optimizer state (Adam moments and step
+//! counter, SGD velocity), the weight-decay setting, the epoch/step
+//! counters, and the raw shuffle-RNG state. The snapshot is valid
+//! only at an epoch boundary — every loop in this crate draws from
+//! the RNG exclusively through per-epoch shuffles, so the RNG words
+//! alone determine the remaining mini-batch schedule.
+//!
+//! Loading is strict: [`TrainState::from_json`] rejects non-finite
+//! numbers (the JSON layer serializes NaN/∞ as `null`), degenerate
+//! RNG state, and malformed optimizer payloads with a typed
+//! [`TrainStateError`] instead of silently resuming from garbage.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use crate::optim::{Adam, Sgd};
+
+/// Everything needed to resume one training loop at an epoch
+/// boundary with bitwise-identical results.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TrainState {
+    /// Flat parameter vector (layout is owned by the training loop,
+    /// e.g. `[weights..., bias]` for the GLMs, `Mlp::params` for the
+    /// MLP trainer).
+    pub params: Vec<f64>,
+    /// Full optimizer state.
+    pub optimizer: OptimizerState,
+    /// L2 weight decay in force when the snapshot was taken.
+    pub weight_decay: f64,
+    /// Epochs completed; training resumes at this epoch index.
+    pub epoch: u64,
+    /// Optimizer steps applied (the `Trainer` cumulative step index,
+    /// which also keys the `nan-grad` fault site).
+    pub steps: u64,
+    /// Raw xoshiro256++ state of the shuffle RNG at the boundary.
+    pub rng: [u64; 4],
+}
+
+/// Serializable optimizer state, mirroring [`Adam`] / [`Sgd`]
+/// including their private moment vectors.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum OptimizerState {
+    /// Adam: hyperparameters plus step counter and both moments.
+    Adam {
+        /// Learning rate `α`.
+        learning_rate: f64,
+        /// First-moment decay `β₁`.
+        beta1: f64,
+        /// Second-moment decay `β₂`.
+        beta2: f64,
+        /// Numerical-stability constant `ε`.
+        epsilon: f64,
+        /// Bias-correction step counter.
+        t: u64,
+        /// First-moment vector.
+        m: Vec<f64>,
+        /// Second-moment vector.
+        v: Vec<f64>,
+    },
+    /// SGD: hyperparameters plus the momentum velocity.
+    Sgd {
+        /// Learning rate.
+        learning_rate: f64,
+        /// Momentum coefficient.
+        momentum: f64,
+        /// Velocity vector.
+        velocity: Vec<f64>,
+    },
+}
+
+impl OptimizerState {
+    /// Variant name, for mismatch errors.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            OptimizerState::Adam { .. } => "Adam",
+            OptimizerState::Sgd { .. } => "Sgd",
+        }
+    }
+}
+
+/// Why a [`TrainState`] could not be loaded or applied.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TrainStateError {
+    /// Structurally malformed snapshot (bad JSON, missing field,
+    /// wrong shape).
+    Parse(String),
+    /// A numeric field was NaN/∞ (serialized as `null`) — resuming
+    /// from it would poison training.
+    NonFinite {
+        /// Which field held the non-finite value.
+        field: &'static str,
+        /// Index within the field (0 for scalars).
+        index: usize,
+    },
+    /// The snapshot's optimizer variant does not match the loop's.
+    OptimizerKind {
+        /// Variant the training loop requires.
+        expected: &'static str,
+        /// Variant found in the snapshot.
+        found: &'static str,
+    },
+    /// The snapshot's parameter vector has the wrong length for the
+    /// model being resumed.
+    ParamShape {
+        /// Parameter count the model requires.
+        expected: usize,
+        /// Parameter count found in the snapshot.
+        found: usize,
+    },
+    /// The all-zero RNG state — a fixed point of xoshiro256++ that no
+    /// seeded run can reach; only a corrupted snapshot contains it.
+    DegenerateRng,
+}
+
+impl std::fmt::Display for TrainStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainStateError::Parse(msg) => write!(f, "malformed train state: {msg}"),
+            TrainStateError::NonFinite { field, index } => {
+                write!(f, "non-finite value in train state `{field}[{index}]`")
+            }
+            TrainStateError::OptimizerKind { expected, found } => write!(
+                f,
+                "train state holds a {found} optimizer but the loop uses {expected}"
+            ),
+            TrainStateError::ParamShape { expected, found } => write!(
+                f,
+                "train state has {found} parameters but the model has {expected}"
+            ),
+            TrainStateError::DegenerateRng => {
+                f.write_str("train state RNG is the degenerate all-zero xoshiro state")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainStateError {}
+
+impl TrainState {
+    /// Serializes the snapshot as JSON. Finite values round-trip
+    /// bitwise (the JSON layer prints shortest-round-trip decimals).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("train state serializes")
+    }
+
+    /// Parses and validates a JSON snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainStateError`] on malformed JSON, non-finite
+    /// numbers, unknown optimizer variants, or degenerate RNG state.
+    pub fn from_json(s: &str) -> Result<Self, TrainStateError> {
+        let v: Value =
+            serde_json::from_str(s).map_err(|e| TrainStateError::Parse(e.to_string()))?;
+        decode_train_state(&v)
+    }
+}
+
+impl Deserialize for TrainState {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        decode_train_state(v).map_err(|e| DeError::custom(e.to_string()))
+    }
+}
+
+impl Deserialize for OptimizerState {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        decode_optimizer(v).map_err(|e| DeError::custom(e.to_string()))
+    }
+}
+
+/// Snapshot/restore support for optimizers: renders the full state
+/// (including private moments) and rebuilds the optimizer from it.
+pub trait SnapshotOptimizer: Sized {
+    /// Captures the complete optimizer state.
+    fn to_state(&self) -> OptimizerState;
+
+    /// Rebuilds the optimizer from a captured state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainStateError::OptimizerKind`] when `state` holds a
+    /// different optimizer variant.
+    fn from_state(state: &OptimizerState) -> Result<Self, TrainStateError>;
+}
+
+impl SnapshotOptimizer for Adam {
+    fn to_state(&self) -> OptimizerState {
+        let (m, v) = self.moments();
+        OptimizerState::Adam {
+            learning_rate: self.learning_rate,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            epsilon: self.epsilon,
+            t: self.steps(),
+            m: m.to_vec(),
+            v: v.to_vec(),
+        }
+    }
+
+    fn from_state(state: &OptimizerState) -> Result<Self, TrainStateError> {
+        match state {
+            OptimizerState::Adam {
+                learning_rate,
+                beta1,
+                beta2,
+                epsilon,
+                t,
+                m,
+                v,
+            } => Ok(Adam::from_parts(
+                *learning_rate,
+                *beta1,
+                *beta2,
+                *epsilon,
+                *t,
+                m.clone(),
+                v.clone(),
+            )),
+            other => Err(TrainStateError::OptimizerKind {
+                expected: "Adam",
+                found: other.kind(),
+            }),
+        }
+    }
+}
+
+impl SnapshotOptimizer for Sgd {
+    fn to_state(&self) -> OptimizerState {
+        OptimizerState::Sgd {
+            learning_rate: self.learning_rate,
+            momentum: self.momentum,
+            velocity: self.velocity().to_vec(),
+        }
+    }
+
+    fn from_state(state: &OptimizerState) -> Result<Self, TrainStateError> {
+        match state {
+            OptimizerState::Sgd {
+                learning_rate,
+                momentum,
+                velocity,
+            } => Ok(Sgd::from_parts(*learning_rate, *momentum, velocity.clone())),
+            other => Err(TrainStateError::OptimizerKind {
+                expected: "Sgd",
+                found: other.kind(),
+            }),
+        }
+    }
+}
+
+/// Builds a GLM epoch-boundary snapshot (`weight_decay` carries the
+/// L2 strength, `steps` the Adam counter). Shared by the logistic and
+/// Poisson `fit_resumable` loops.
+pub(crate) fn glm_snapshot(
+    params: &[f64],
+    opt: &Adam,
+    l2: f64,
+    epoch: usize,
+    rng: &rand::rngs::StdRng,
+) -> TrainState {
+    TrainState {
+        params: params.to_vec(),
+        optimizer: opt.to_state(),
+        weight_decay: l2,
+        epoch: epoch as u64,
+        steps: opt.steps(),
+        rng: rng.state(),
+    }
+}
+
+/// Restores a GLM snapshot into the flat parameter vector, optimizer,
+/// and shuffle RNG.
+pub(crate) fn restore_glm(
+    state: &TrainState,
+    params: &mut Vec<f64>,
+    opt: &mut Adam,
+    rng: &mut rand::rngs::StdRng,
+) -> Result<(), TrainStateError> {
+    if state.params.len() != params.len() {
+        return Err(TrainStateError::ParamShape {
+            expected: params.len(),
+            found: state.params.len(),
+        });
+    }
+    if state.rng == [0; 4] {
+        return Err(TrainStateError::DegenerateRng);
+    }
+    *opt = Adam::from_state(&state.optimizer)?;
+    params.clear();
+    params.extend_from_slice(&state.params);
+    *rng = rand::rngs::StdRng::from_state(state.rng);
+    Ok(())
+}
+
+// --- strict decoding ----------------------------------------------
+//
+// Hand-written instead of derived for two reasons: the serde shim has
+// no `Deserialize for [u64; 4]`, and every number must be checked for
+// finiteness here — NaN/∞ serialize as JSON `null`, which a lenient
+// decoder would otherwise surface as an untyped shape error.
+
+fn field<'a>(
+    fields: &'a [(String, Value)],
+    name: &str,
+    ty: &str,
+) -> Result<&'a Value, TrainStateError> {
+    serde::obj_get(fields, name)
+        .ok_or_else(|| TrainStateError::Parse(format!("missing field `{name}` in `{ty}`")))
+}
+
+fn decode_finite(v: &Value, name: &'static str, index: usize) -> Result<f64, TrainStateError> {
+    match v {
+        Value::I64(n) => Ok(*n as f64),
+        Value::U64(n) => Ok(*n as f64),
+        Value::F64(x) if x.is_finite() => Ok(*x),
+        // `null` is how the JSON layer spells NaN/∞.
+        Value::F64(_) | Value::Null => Err(TrainStateError::NonFinite { field: name, index }),
+        other => Err(TrainStateError::Parse(format!(
+            "expected number for `{name}`, found {}",
+            serde::kind(other)
+        ))),
+    }
+}
+
+fn decode_finite_vec(v: &Value, name: &'static str) -> Result<Vec<f64>, TrainStateError> {
+    match v {
+        Value::Array(items) => items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| decode_finite(item, name, i))
+            .collect(),
+        other => Err(TrainStateError::Parse(format!(
+            "expected array for `{name}`, found {}",
+            serde::kind(other)
+        ))),
+    }
+}
+
+fn decode_u64(v: &Value, name: &str) -> Result<u64, TrainStateError> {
+    u64::from_value(v).map_err(|e| TrainStateError::Parse(format!("field `{name}`: {e}")))
+}
+
+fn decode_optimizer(v: &Value) -> Result<OptimizerState, TrainStateError> {
+    let (tag, payload) = serde::enum_parts(v, "OptimizerState")
+        .map_err(|e| TrainStateError::Parse(e.to_string()))?;
+    let payload = payload
+        .ok_or_else(|| TrainStateError::Parse(format!("optimizer `{tag}` has no payload")))?;
+    let fields = serde::expect_object(payload, "OptimizerState")
+        .map_err(|e| TrainStateError::Parse(e.to_string()))?;
+    match tag {
+        "Adam" => {
+            let learning_rate =
+                decode_finite(field(fields, "learning_rate", "Adam")?, "learning_rate", 0)?;
+            let beta1 = decode_finite(field(fields, "beta1", "Adam")?, "beta1", 0)?;
+            let beta2 = decode_finite(field(fields, "beta2", "Adam")?, "beta2", 0)?;
+            let epsilon = decode_finite(field(fields, "epsilon", "Adam")?, "epsilon", 0)?;
+            let t = decode_u64(field(fields, "t", "Adam")?, "t")?;
+            let m = decode_finite_vec(field(fields, "m", "Adam")?, "m")?;
+            let v = decode_finite_vec(field(fields, "v", "Adam")?, "v")?;
+            if learning_rate <= 0.0 {
+                return Err(TrainStateError::Parse(
+                    "Adam learning rate must be positive".into(),
+                ));
+            }
+            if m.len() != v.len() {
+                return Err(TrainStateError::Parse(format!(
+                    "Adam moment lengths differ: m={} v={}",
+                    m.len(),
+                    v.len()
+                )));
+            }
+            Ok(OptimizerState::Adam {
+                learning_rate,
+                beta1,
+                beta2,
+                epsilon,
+                t,
+                m,
+                v,
+            })
+        }
+        "Sgd" => {
+            let learning_rate =
+                decode_finite(field(fields, "learning_rate", "Sgd")?, "learning_rate", 0)?;
+            let momentum = decode_finite(field(fields, "momentum", "Sgd")?, "momentum", 0)?;
+            let velocity = decode_finite_vec(field(fields, "velocity", "Sgd")?, "velocity")?;
+            if learning_rate <= 0.0 {
+                return Err(TrainStateError::Parse(
+                    "SGD learning rate must be positive".into(),
+                ));
+            }
+            Ok(OptimizerState::Sgd {
+                learning_rate,
+                momentum,
+                velocity,
+            })
+        }
+        other => Err(TrainStateError::Parse(format!(
+            "unknown optimizer variant `{other}`"
+        ))),
+    }
+}
+
+fn decode_train_state(v: &Value) -> Result<TrainState, TrainStateError> {
+    let fields =
+        serde::expect_object(v, "TrainState").map_err(|e| TrainStateError::Parse(e.to_string()))?;
+    let params = decode_finite_vec(field(fields, "params", "TrainState")?, "params")?;
+    let optimizer = decode_optimizer(field(fields, "optimizer", "TrainState")?)?;
+    let weight_decay = decode_finite(
+        field(fields, "weight_decay", "TrainState")?,
+        "weight_decay",
+        0,
+    )?;
+    let epoch = decode_u64(field(fields, "epoch", "TrainState")?, "epoch")?;
+    let steps = decode_u64(field(fields, "steps", "TrainState")?, "steps")?;
+    let rng_field = field(fields, "rng", "TrainState")?;
+    let words = serde::expect_tuple(rng_field, 4, "TrainState.rng")
+        .map_err(|e| TrainStateError::Parse(e.to_string()))?;
+    let mut rng = [0u64; 4];
+    for (slot, word) in rng.iter_mut().zip(words) {
+        *slot = decode_u64(word, "rng")?;
+    }
+    if rng == [0; 4] {
+        return Err(TrainStateError::DegenerateRng);
+    }
+    Ok(TrainState {
+        params,
+        optimizer,
+        weight_decay,
+        epoch,
+        steps,
+        rng,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Optimizer;
+
+    fn adam_state() -> TrainState {
+        let mut opt = Adam::new(0.01);
+        let mut params = vec![0.5, -0.25, 1.0];
+        opt.step(&mut params, &[0.1, -0.2, 0.3]);
+        opt.step(&mut params, &[0.05, 0.0, -0.1]);
+        TrainState {
+            params,
+            optimizer: opt.to_state(),
+            weight_decay: 1e-3,
+            epoch: 7,
+            steps: 2,
+            rng: [1, 2, 3, 4],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_bitwise() {
+        let state = adam_state();
+        let back = TrainState::from_json(&state.to_json()).unwrap();
+        assert_eq!(back, state);
+        for (a, b) in state.params.iter().zip(&back.params) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn adam_restores_bitwise_identical_trajectory() {
+        let mut opt = Adam::new(0.05);
+        let mut params = vec![1.0, -1.0];
+        opt.step(&mut params, &[0.3, -0.4]);
+        let state = opt.to_state();
+        let mut restored = Adam::from_state(&state).unwrap();
+        for g in [[0.1, 0.2], [-0.3, 0.05], [0.0, 0.9]] {
+            let mut a = params.clone();
+            let mut b = params.clone();
+            opt.step(&mut a, &g);
+            restored.step(&mut b, &g);
+            assert_eq!(
+                a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+            params = a;
+        }
+    }
+
+    #[test]
+    fn nan_params_rejected_with_typed_error() {
+        let mut state = adam_state();
+        state.params[1] = f64::NAN;
+        match TrainState::from_json(&state.to_json()) {
+            Err(TrainStateError::NonFinite { field, index }) => {
+                assert_eq!(field, "params");
+                assert_eq!(index, 1);
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infinite_moment_rejected_with_typed_error() {
+        let mut state = adam_state();
+        if let OptimizerState::Adam { v, .. } = &mut state.optimizer {
+            v[0] = f64::INFINITY;
+        }
+        match TrainState::from_json(&state.to_json()) {
+            Err(TrainStateError::NonFinite { field, index }) => {
+                assert_eq!(field, "v");
+                assert_eq!(index, 0);
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_rng_rejected() {
+        let mut state = adam_state();
+        state.rng = [0; 4];
+        assert_eq!(
+            TrainState::from_json(&state.to_json()),
+            Err(TrainStateError::DegenerateRng)
+        );
+    }
+
+    #[test]
+    fn optimizer_kind_mismatch_is_typed() {
+        let sgd = Sgd::new(0.1).with_momentum(0.5);
+        let err = Adam::from_state(&sgd.to_state()).unwrap_err();
+        assert_eq!(
+            err,
+            TrainStateError::OptimizerKind {
+                expected: "Adam",
+                found: "Sgd"
+            }
+        );
+        assert!(err.to_string().contains("Sgd"));
+    }
+
+    #[test]
+    fn truncated_json_is_a_parse_error() {
+        let json = adam_state().to_json();
+        let cut = &json[..json.len() / 2];
+        assert!(matches!(
+            TrainState::from_json(cut),
+            Err(TrainStateError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn sgd_velocity_roundtrips() {
+        let mut opt = Sgd::new(0.1).with_momentum(0.9);
+        let mut params = vec![0.0, 0.0];
+        opt.step(&mut params, &[1.0, -1.0]);
+        let state = TrainState {
+            params,
+            optimizer: opt.to_state(),
+            weight_decay: 0.0,
+            epoch: 1,
+            steps: 1,
+            rng: [9, 9, 9, 9],
+        };
+        let back = TrainState::from_json(&state.to_json()).unwrap();
+        assert_eq!(back, state);
+        let restored = Sgd::from_state(&back.optimizer).unwrap();
+        assert_eq!(
+            restored.velocity(),
+            Sgd::from_state(&state.optimizer).unwrap().velocity()
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based round-trip coverage for [`TrainState`]
+//! serialization: arbitrary bit patterns (subnormals included) must
+//! survive the JSON round trip bitwise, and NaN/∞ must be rejected at
+//! load with a typed error.
+
+use proptest::prelude::*;
+
+use forumcast_ml::{OptimizerState, TrainState, TrainStateError};
+
+/// f64 drawn from raw bit patterns, folded into the finite range:
+/// clearing the exponent of a NaN/∞ pattern yields a subnormal (or
+/// zero), so subnormals stay heavily represented.
+fn arb_finite_f64() -> impl Strategy<Value = f64> {
+    (0u64..=u64::MAX).prop_map(|bits| {
+        let f = f64::from_bits(bits);
+        if f.is_finite() {
+            f
+        } else {
+            f64::from_bits(bits & !0x7FF0_0000_0000_0000)
+        }
+    })
+}
+
+fn arb_state() -> impl Strategy<Value = TrainState> {
+    (
+        proptest::collection::vec(arb_finite_f64(), 1..12),
+        proptest::collection::vec((arb_finite_f64(), arb_finite_f64()), 1..12),
+        arb_finite_f64(),
+        (0u64..10_000, 0u64..1_000_000),
+        (
+            1u64..=u64::MAX,
+            0u64..=u64::MAX,
+            0u64..=u64::MAX,
+            0u64..=u64::MAX,
+        ),
+    )
+        .prop_map(|(params, mv, wd, (epoch, steps), (r0, r1, r2, r3))| {
+            let (m, v): (Vec<f64>, Vec<f64>) = mv.into_iter().unzip();
+            TrainState {
+                params,
+                optimizer: OptimizerState::Adam {
+                    learning_rate: 0.01,
+                    beta1: 0.9,
+                    beta2: 0.999,
+                    epsilon: 1e-8,
+                    t: steps,
+                    m,
+                    v,
+                },
+                weight_decay: wd.abs(),
+                epoch,
+                steps,
+                // First word forced non-zero so the state is never the
+                // degenerate all-zero xoshiro fixed point.
+                rng: [r0, r1, r2, r3],
+            }
+        })
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    /// Finite states — subnormals, ±0, extreme exponents — round-trip
+    /// through JSON bitwise.
+    #[test]
+    fn roundtrip_is_bitwise(state in arb_state()) {
+        let back = TrainState::from_json(&state.to_json()).unwrap();
+        prop_assert_eq!(bits(&back.params), bits(&state.params));
+        prop_assert_eq!(
+            back.weight_decay.to_bits(),
+            state.weight_decay.to_bits()
+        );
+        prop_assert_eq!(back.epoch, state.epoch);
+        prop_assert_eq!(back.steps, state.steps);
+        prop_assert_eq!(back.rng, state.rng);
+        match (&back.optimizer, &state.optimizer) {
+            (
+                OptimizerState::Adam { t: ta, m: ma, v: va, .. },
+                OptimizerState::Adam { t: tb, m: mb, v: vb, .. },
+            ) => {
+                prop_assert_eq!(ta, tb);
+                prop_assert_eq!(bits(ma), bits(mb));
+                prop_assert_eq!(bits(va), bits(vb));
+            }
+            other => prop_assert!(false, "variant changed: {:?}", other),
+        }
+    }
+
+    /// A NaN or ∞ anywhere in the parameter vector is rejected at
+    /// load with the typed [`TrainStateError::NonFinite`] error.
+    #[test]
+    fn non_finite_params_rejected(
+        state in arb_state(),
+        slot in 0usize..12,
+        inf in any::<bool>(),
+    ) {
+        let mut state = state;
+        let idx = slot % state.params.len();
+        state.params[idx] = if inf { f64::INFINITY } else { f64::NAN };
+        match TrainState::from_json(&state.to_json()) {
+            Err(TrainStateError::NonFinite { field, index }) => {
+                prop_assert_eq!(field, "params");
+                prop_assert_eq!(index, idx);
+            }
+            other => prop_assert!(false, "expected NonFinite, got {:?}", other),
+        }
+    }
+
+    /// Same rejection for the optimizer moment vectors.
+    #[test]
+    fn non_finite_moments_rejected(
+        state in arb_state(),
+        slot in 0usize..12,
+        second in any::<bool>(),
+    ) {
+        let mut state = state;
+        let expected_field = if second { "v" } else { "m" };
+        let idx;
+        {
+            let OptimizerState::Adam { m, v, .. } = &mut state.optimizer else {
+                panic!("arb_state builds Adam");
+            };
+            let target = if second { v } else { m };
+            idx = slot % target.len();
+            target[idx] = f64::NEG_INFINITY;
+        }
+        match TrainState::from_json(&state.to_json()) {
+            Err(TrainStateError::NonFinite { field, index }) => {
+                prop_assert_eq!(field, expected_field);
+                prop_assert_eq!(index, idx);
+            }
+            other => prop_assert!(false, "expected NonFinite, got {:?}", other),
+        }
+    }
+}

@@ -157,6 +157,159 @@ impl<T: Deserialize> Deserialize for Checkpoint<T> {
     }
 }
 
+/// Current on-disk format version for [`TrainCheckpoint`] files.
+/// Bumped whenever the payload layout changes incompatibly; readers
+/// refuse (as [`CheckpointError::Corrupt`]) anything else.
+pub const SUBFOLD_FORMAT_VERSION: u32 = 1;
+
+/// A versioned, fingerprinted single-payload checkpoint for sub-fold
+/// (mid-training) state. Where [`Checkpoint`] logs completed units,
+/// `TrainCheckpoint` holds *one* in-flight snapshot — the latest
+/// epoch-granular training state of the fold currently running — and
+/// nests beside the fold-level checkpoint (`<base>.fold<N>.train.json`
+/// next to `<base>`).
+///
+/// The same crash-consistency contract applies: saves are atomic
+/// (tmp + rename, probing the `ckpt-write` fault site), loads verify
+/// the format version and the run fingerprint, and a file that fails
+/// either check is never silently trusted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainCheckpoint<T> {
+    /// On-disk format version; always [`SUBFOLD_FORMAT_VERSION`] for
+    /// values produced by this build.
+    pub version: u32,
+    /// Fingerprint of the run configuration *and* the fold this
+    /// snapshot belongs to. [`TrainCheckpoint::load`] refuses to
+    /// resume ([`CheckpointError::Stale`]) when it does not match.
+    pub fingerprint: String,
+    /// The mid-training snapshot.
+    pub payload: T,
+}
+
+impl<T> TrainCheckpoint<T> {
+    /// Wraps `payload` in the current format version under
+    /// `fingerprint`.
+    pub fn new(fingerprint: impl Into<String>, payload: T) -> Self {
+        TrainCheckpoint {
+            version: SUBFOLD_FORMAT_VERSION,
+            fingerprint: fingerprint.into(),
+            payload,
+        }
+    }
+}
+
+impl<T: Serialize> TrainCheckpoint<T> {
+    /// Atomically saves the snapshot (write `<path>.tmp`, rename over
+    /// `path`), probing the `ckpt-write` fault site at `unit` — the
+    /// caller picks a unit disjoint from fold-level saves so shot
+    /// plans can target either layer independently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] on filesystem failure.
+    pub fn save(&self, path: &Path, unit: u64) -> Result<(), CheckpointError> {
+        let json = serde_json::to_string_pretty(self).map_err(|e| CheckpointError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let tmp = path.with_extension("tmp");
+        let io_err = |e: std::io::Error| CheckpointError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        };
+        if fault::fires(FaultSite::CkptWrite, unit) {
+            let _ = std::fs::write(&tmp, &json.as_bytes()[..json.len() / 2]);
+            return Err(CheckpointError::Io {
+                path: path.display().to_string(),
+                message: format!("{} ckpt-write:{unit}", fault::INJECTED_PREFIX),
+            });
+        }
+        std::fs::write(&tmp, json).map_err(io_err)?;
+        std::fs::rename(&tmp, path).map_err(io_err)?;
+        forumcast_obs::counter_add("ckpt.subfold.saves", 1);
+        Ok(())
+    }
+}
+
+impl<T: Deserialize> TrainCheckpoint<T> {
+    /// Loads a sub-fold snapshot, verifying format version and
+    /// fingerprint. `Ok(None)` when `path` does not exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] on unreadable files,
+    /// [`CheckpointError::Corrupt`] on malformed JSON or an unknown
+    /// format version, and [`CheckpointError::Stale`] when the file
+    /// belongs to a differently-configured run or a different fold.
+    pub fn load(path: &Path, expected_fingerprint: &str) -> Result<Option<Self>, CheckpointError> {
+        let json = match std::fs::read_to_string(path) {
+            Ok(json) => json,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(CheckpointError::Io {
+                    path: path.display().to_string(),
+                    message: e.to_string(),
+                })
+            }
+        };
+        let cp: TrainCheckpoint<T> =
+            serde_json::from_str(&json).map_err(|e| CheckpointError::Corrupt {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })?;
+        if cp.version != SUBFOLD_FORMAT_VERSION {
+            return Err(CheckpointError::Corrupt {
+                path: path.display().to_string(),
+                message: format!(
+                    "unknown sub-fold format version {} (this build reads version {})",
+                    cp.version, SUBFOLD_FORMAT_VERSION
+                ),
+            });
+        }
+        if cp.fingerprint != expected_fingerprint {
+            return Err(CheckpointError::Stale {
+                path: path.display().to_string(),
+                expected: expected_fingerprint.to_string(),
+                found: cp.fingerprint,
+            });
+        }
+        Ok(Some(cp))
+    }
+}
+
+impl<T: Serialize> Serialize for TrainCheckpoint<T> {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("version".to_string(), self.version.to_value()),
+            ("fingerprint".to_string(), self.fingerprint.to_value()),
+            ("payload".to_string(), self.payload.to_value()),
+        ])
+    }
+}
+
+impl<T: Deserialize> Deserialize for TrainCheckpoint<T> {
+    fn from_value(v: &Value) -> Result<Self, serde::DeError> {
+        let fields = expect_object(v, "TrainCheckpoint")?;
+        let version = u32::from_value(
+            obj_get(fields, "version")
+                .ok_or_else(|| missing_field("version", "TrainCheckpoint"))?,
+        )?;
+        let fingerprint = String::from_value(
+            obj_get(fields, "fingerprint")
+                .ok_or_else(|| missing_field("fingerprint", "TrainCheckpoint"))?,
+        )?;
+        let payload = T::from_value(
+            obj_get(fields, "payload")
+                .ok_or_else(|| missing_field("payload", "TrainCheckpoint"))?,
+        )?;
+        Ok(TrainCheckpoint {
+            version,
+            fingerprint,
+            payload,
+        })
+    }
+}
+
 /// Failure loading or saving a [`Checkpoint`].
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -184,6 +337,17 @@ pub enum CheckpointError {
         /// Fingerprint stored in the file.
         found: String,
     },
+    /// A sub-fold snapshot whose fingerprint does not match the
+    /// current run — left behind by an earlier, differently-configured
+    /// invocation.
+    Stale {
+        /// Sub-fold checkpoint path.
+        path: String,
+        /// Fingerprint of the current run.
+        expected: String,
+        /// Fingerprint stored in the file.
+        found: String,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -203,6 +367,17 @@ impl fmt::Display for CheckpointError {
                 f,
                 "checkpoint {path}: belongs to a different run (expected `{expected}`, found `{found}`); \
                  delete it or pass a matching configuration"
+            ),
+            CheckpointError::Stale {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "stale sub-fold checkpoint {path}: this run expects fingerprint `{expected}` \
+                 but the file carries `{found}`; delete the file to discard that partial \
+                 training state, or rerun with the `--resume` path and configuration of the \
+                 run that wrote it"
             ),
         }
     }
@@ -272,6 +447,71 @@ mod tests {
         let err = Checkpoint::<i32>::load(&path, "m").unwrap_err();
         assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err}");
         assert!(err.to_string().contains("forumcast-ckpt-corrupt"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn subfold_roundtrip_preserves_payload_bitwise() {
+        let path = temp_path("subfold-roundtrip");
+        let cp = TrainCheckpoint::new("fold 3 of run A", vec![0.1 + 0.2, f64::MIN_POSITIVE]);
+        cp.save(&path, 0).unwrap();
+        let back = TrainCheckpoint::<Vec<f64>>::load(&path, "fold 3 of run A")
+            .unwrap()
+            .unwrap();
+        assert_eq!(back.version, SUBFOLD_FORMAT_VERSION);
+        for (x, bx) in cp.payload.iter().zip(&back.payload) {
+            assert_eq!(x.to_bits(), bx.to_bits());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn subfold_missing_file_loads_as_none() {
+        let path = temp_path("subfold-missing");
+        assert_eq!(TrainCheckpoint::<i32>::load(&path, "f").unwrap(), None);
+    }
+
+    #[test]
+    fn subfold_unknown_version_is_corrupt_not_trusted() {
+        let path = temp_path("subfold-version");
+        let mut cp = TrainCheckpoint::new("f", 7i32);
+        cp.version = SUBFOLD_FORMAT_VERSION + 1;
+        cp.save(&path, 0).unwrap();
+        let err = TrainCheckpoint::<i32>::load(&path, "f").unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err}");
+        assert!(err.to_string().contains("format version"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn subfold_truncated_file_is_corrupt_not_trusted() {
+        let path = temp_path("subfold-truncated");
+        TrainCheckpoint::new("f", vec![1.0f64, 2.0])
+            .save(&path, 0)
+            .unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &json[..json.len() / 2]).unwrap();
+        let err = TrainCheckpoint::<Vec<f64>>::load(&path, "f").unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The stale-fingerprint error must hand the operator everything
+    /// needed to act: the offending path, both fingerprints, and the
+    /// `--resume` remedy.
+    #[test]
+    fn subfold_stale_fingerprint_names_path_fingerprints_and_remedy() {
+        let path = temp_path("subfold-stale");
+        TrainCheckpoint::new("quick scale, 5 folds", 7i32)
+            .save(&path, 0)
+            .unwrap();
+        let err = TrainCheckpoint::<i32>::load(&path, "full scale, 10 folds").unwrap_err();
+        assert!(matches!(err, CheckpointError::Stale { .. }), "{err}");
+        let msg = err.to_string();
+        assert!(msg.contains(path.display().to_string().as_str()), "{msg}");
+        assert!(msg.contains("full scale, 10 folds"), "{msg}");
+        assert!(msg.contains("quick scale, 5 folds"), "{msg}");
+        assert!(msg.contains("--resume"), "{msg}");
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -35,7 +35,12 @@ pub const INJECTED_PREFIX: &str = "injected fault:";
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum FaultSite {
-    /// Panic inside a CV fold worker (unit = fold job index).
+    /// Panic inside a CV fold worker (unit = fold job index). The
+    /// sub-fold resume path adds a second probe right after each
+    /// mid-training snapshot save, at unit = total job count + fold
+    /// job index — a disjoint unit space, so a plan can kill a fold
+    /// *mid-training* (with snapshots already on disk) without also
+    /// tripping the fold-start probe.
     FoldPanic,
     /// I/O error during record ingestion (unit = record index).
     IngestIo,
@@ -47,25 +52,32 @@ pub enum FaultSite {
     /// the real checkpoint intact (unit = entries recorded at save
     /// time).
     CkptWrite,
+    /// Simulated allocation failure while materializing the experiment
+    /// feature matrix (unit = feature-bucket index): the bucket build
+    /// panics as an out-of-memory condition would, and the retry
+    /// wrapper must degrade gracefully instead of aborting the sweep.
+    AllocPressure,
 }
 
 impl FaultSite {
     /// All sites, in spec-name order.
-    pub const ALL: [FaultSite; 4] = [
+    pub const ALL: [FaultSite; 5] = [
         FaultSite::FoldPanic,
         FaultSite::IngestIo,
         FaultSite::NanGrad,
         FaultSite::CkptWrite,
+        FaultSite::AllocPressure,
     ];
 
     /// The spec name (`fold-panic`, `ingest-io`, `nan-grad`,
-    /// `ckpt-write`).
+    /// `ckpt-write`, `alloc-pressure`).
     pub fn name(self) -> &'static str {
         match self {
             FaultSite::FoldPanic => "fold-panic",
             FaultSite::IngestIo => "ingest-io",
             FaultSite::NanGrad => "nan-grad",
             FaultSite::CkptWrite => "ckpt-write",
+            FaultSite::AllocPressure => "alloc-pressure",
         }
     }
 
@@ -76,7 +88,7 @@ impl FaultSite {
             .ok_or_else(|| {
                 FaultSpecError(format!(
                     "unknown fault site `{name}` (expected one of: fold-panic, ingest-io, \
-                     nan-grad, ckpt-write)"
+                     nan-grad, ckpt-write, alloc-pressure)"
                 ))
             })
     }

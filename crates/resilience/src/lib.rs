@@ -31,6 +31,6 @@ pub mod checkpoint;
 pub mod fault;
 pub mod retry;
 
-pub use checkpoint::{Checkpoint, CheckpointError};
+pub use checkpoint::{Checkpoint, CheckpointError, TrainCheckpoint, SUBFOLD_FORMAT_VERSION};
 pub use fault::{FaultGuard, FaultPlan, FaultSite, FaultSpecError, FAULTS_ENV};
 pub use retry::{with_retry, RetryExhausted};

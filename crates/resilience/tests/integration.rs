@@ -134,7 +134,10 @@ fn failed_checkpoint_write_leaves_no_partial_checkpoint_and_resumes() {
     // holds 1 entry, the second 2. Fire the fault at the second save
     // so a good checkpoint already exists when the write "crashes".
     let path = temp_checkpoint("ckpt-write");
-    let opts = CvOptions::with_checkpoint(&path);
+    // Sub-fold snapshots off: this test aims `ckpt-write` at the
+    // *fold-level* save units (1 and 2 = entry counts), and the job-0
+    // sub-fold save probes the same site at unit 2 (= jobs + job).
+    let opts = CvOptions::with_checkpoint(&path).with_snapshot_every(0);
     let tmp = path.with_extension("tmp");
     {
         let _guard = FaultPlan::parse("ckpt-write:2").unwrap().arm();

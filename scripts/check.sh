@@ -24,4 +24,45 @@ cargo run -q -p forumcast-cli --bin forumcast -- \
 cargo run -q -p forumcast-obs --example validate_trace -- "$trace_file" \
   evaluate eval.run_cv eval.fold lda.train features.build
 
+echo "==> trace smoke (train/stats via FORUMCAST_TRACE)"
+cargo build -q -p forumcast-cli
+fc=target/debug/forumcast
+work_dir="$(mktemp -d -t forumcast-check-XXXXXX)"
+trap 'rm -f "$trace_file"; rm -rf "$work_dir"' EXIT
+"$fc" generate --scale small --seed 1 --out "$work_dir/data.json" > /dev/null
+FORUMCAST_TRACE="$work_dir/stats.trace.json" "$fc" stats --data "$work_dir/data.json" > /dev/null
+cargo run -q -p forumcast-obs --example validate_trace -- "$work_dir/stats.trace.json" stats
+FORUMCAST_TRACE="$work_dir/train.trace.json" "$fc" train \
+  --data "$work_dir/data.json" --fast --out "$work_dir/model.json" > /dev/null
+cargo run -q -p forumcast-obs --example validate_trace -- "$work_dir/train.trace.json" \
+  train lda.train ml.answer.train ml.vote.train ml.timing.train
+
+echo "==> kill-resume smoke (SIGKILL mid-fold, then bitwise-identical resume)"
+ckpt="$work_dir/cv.json"
+"$fc" evaluate --scale quick --threads 1 > "$work_dir/clean.txt"
+"$fc" evaluate --scale quick --threads 1 \
+  --resume "$ckpt" --snapshot-every 2 > /dev/null 2>&1 &
+victim=$!
+# Wait for the first sub-fold snapshot to hit disk, then pull the plug.
+for _ in $(seq 1 1200); do
+  compgen -G "$ckpt.fold*.train.json" > /dev/null && break
+  kill -0 "$victim" 2>/dev/null || break
+  sleep 0.05
+done
+if ! kill -9 "$victim" 2>/dev/null; then
+  echo "kill-resume smoke: run finished before a sub-fold snapshot appeared" >&2
+  exit 1
+fi
+wait "$victim" 2>/dev/null || true
+if ! compgen -G "$ckpt.fold*.train.json" > /dev/null; then
+  echo "kill-resume smoke: no sub-fold snapshot on disk after SIGKILL" >&2
+  exit 1
+fi
+"$fc" evaluate --scale quick --threads 1 \
+  --resume "$ckpt" --snapshot-every 2 > "$work_dir/resumed.txt" 2> /dev/null
+# The resumed report must be byte-identical to the uninterrupted one
+# (modulo the checkpointing banner the clean run doesn't print).
+diff <(grep -v '^checkpointing' "$work_dir/clean.txt") \
+     <(grep -v '^checkpointing' "$work_dir/resumed.txt")
+
 echo "All checks passed."

@@ -134,7 +134,7 @@ fn masked_groups_change_predictions() {
     let neg_groups: Vec<u32> = data.negatives.iter().map(|n| n.user.0).collect();
     let neg_folds = stratified_folds(&neg_groups, 3, &mut rng);
 
-    let full = run_fold(&data, &cfg, &pos_folds, &neg_folds, 0, None, false);
+    let full = run_fold(&data, &cfg, &pos_folds, &neg_folds, 0, None, false, None);
     let no_user = run_fold(
         &data,
         &cfg,
@@ -143,6 +143,7 @@ fn masked_groups_change_predictions() {
         0,
         Some(MaskSpec::Group(FeatureGroup::User)),
         false,
+        None,
     );
     // Removing the user group must change (typically worsen) the
     // timing task, which the paper identifies as user-driven.
