@@ -4,7 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use forumcast_graph::{
-    betweenness, betweenness_sampled, closeness, dense_graph, qa_graph, GraphStats,
+    betweenness, betweenness_sampled, bfs_distances, closeness, dense_graph, qa_graph, BfsScratch,
+    GraphStats,
 };
 use forumcast_synth::SynthConfig;
 
@@ -32,6 +33,28 @@ fn bench_graph(c: &mut Criterion) {
         );
     }
     group.bench_function("stats", |b| b.iter(|| GraphStats::compute(&g)));
+
+    // Scratch reuse vs per-call allocation: the one-shot bfs_distances
+    // allocates fresh buffers per source; the pooled scratch is what
+    // the centrality kernels run on.
+    let sources: Vec<u32> = (0..g.num_nodes() as u32).step_by(97).collect();
+    group.bench_function("bfs_alloc_per_source", |b| {
+        b.iter(|| {
+            for &s in &sources {
+                let d = bfs_distances(&g, s);
+                criterion::black_box(d);
+            }
+        })
+    });
+    group.bench_function("bfs_scratch_reuse", |b| {
+        let mut scratch = BfsScratch::new();
+        b.iter(|| {
+            for &s in &sources {
+                scratch.run(&g, s);
+                criterion::black_box(scratch.visited().len());
+            }
+        })
+    });
     group.finish();
 }
 

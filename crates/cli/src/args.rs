@@ -3,6 +3,8 @@
 
 use std::fmt;
 
+use forumcast_features::LdaSampler;
+
 /// Usage text printed on parse errors and `--help`.
 pub const USAGE: &str = "\
 usage: forumcast <command> [options]
@@ -10,11 +12,13 @@ usage: forumcast <command> [options]
 commands:
   generate   --scale <small|medium|paper> [--seed N] [--topics K] --out <file>
   stats      --data <file>
-  train      --data <file> [--fast] [--seed N] --out <model-file>
+  train      --data <file> [--fast] [--seed N]
+             [--lda-sampler <dense|sparse>] --out <model-file>
   predict    --data <file> --model <model-file> --question <id> --user <id>
   route      --data <file> --model <model-file> --question <id>
              [--lambda X] [--epsilon X] [--capacity X] [--top N]
   evaluate   [--scale <quick|standard|paper>] [--threads N]
+             [--lda-sampler <dense|sparse>] [--topics K]
              [--resume <checkpoint-file>] [--snapshot-every N]
              [--faults <spec>] [--trace <trace-file>] [--metrics]
   abtest     [--scale <quick|standard>] [--lambda X]
@@ -29,6 +33,11 @@ FORUMCAST_FAULTS env var, e.g. `fold-panic:1`). `--trace` writes a
 Chrome trace-event JSON file of pipeline spans (open in Perfetto;
 FORUMCAST_TRACE sets a default path, also honoured by `train` and
 `stats`) and `--metrics` prints a per-span wall/self-time summary.
+`--lda-sampler` picks the Gibbs kernel: `dense` is the reference
+O(K)-per-token sampler, `sparse` the bucket-decomposed fast path
+(same model, different — still seed-deterministic — chain). On
+`evaluate`, `--topics` overrides the scale preset's LDA topic count
+(priors re-derive from K; iterations/seed/sampler are kept).
 ";
 
 /// A parsed CLI invocation.
@@ -58,6 +67,8 @@ pub enum Command {
         fast: bool,
         /// Sampling seed.
         seed: Option<u64>,
+        /// LDA Gibbs sampler implementation.
+        lda_sampler: LdaSampler,
         /// Output model path.
         out: String,
     },
@@ -96,6 +107,11 @@ pub enum Command {
         /// Worker threads (0 = auto: `FORUMCAST_THREADS` env var,
         /// else available parallelism).
         threads: usize,
+        /// LDA Gibbs sampler implementation.
+        lda_sampler: LdaSampler,
+        /// Latent topic count override (`None` keeps the scale
+        /// preset's default).
+        topics: Option<usize>,
         /// Checkpoint file: completed folds are saved here and
         /// skipped when the run restarts with the same path.
         resume: Option<String>,
@@ -170,9 +186,10 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseEr
                 data: opts.require("data")?,
                 fast: opts.flag("fast"),
                 seed: opts.get_parsed_opt("seed")?,
+                lda_sampler: opts.get_parsed_or("lda-sampler", LdaSampler::Dense)?,
                 out: opts.require("out")?,
             };
-            opts.reject_unknown(&["data", "fast", "seed", "out"])?;
+            opts.reject_unknown(&["data", "fast", "seed", "lda-sampler", "out"])?;
             Ok(c)
         }
         "predict" => {
@@ -204,6 +221,8 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseEr
             let c = Command::Evaluate {
                 scale: opts.get_or("scale", "quick")?,
                 threads: opts.get_parsed_or("threads", 0)?,
+                lda_sampler: opts.get_parsed_or("lda-sampler", LdaSampler::Dense)?,
+                topics: opts.get_parsed_opt("topics")?,
                 resume: opts.get("resume").map(str::to_owned),
                 snapshot_every: opts.get_parsed_or(
                     "snapshot-every",
@@ -216,6 +235,8 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseEr
             opts.reject_unknown(&[
                 "scale",
                 "threads",
+                "lda-sampler",
+                "topics",
                 "resume",
                 "snapshot-every",
                 "faults",
@@ -406,6 +427,8 @@ mod tests {
             Command::Evaluate {
                 scale: "quick".into(),
                 threads: 4,
+                lda_sampler: LdaSampler::Dense,
+                topics: None,
                 resume: None,
                 snapshot_every: 25,
                 faults: None,
@@ -420,6 +443,8 @@ mod tests {
             Command::Evaluate {
                 scale: "quick".into(),
                 threads: 0,
+                lda_sampler: LdaSampler::Dense,
+                topics: None,
                 resume: None,
                 snapshot_every: 25,
                 faults: None,
@@ -437,6 +462,8 @@ mod tests {
             Command::Evaluate {
                 scale: "quick".into(),
                 threads: 0,
+                lda_sampler: LdaSampler::Dense,
+                topics: None,
                 resume: Some("cv.json".into()),
                 snapshot_every: 25,
                 faults: Some("fold-panic:1".into()),
@@ -471,6 +498,8 @@ mod tests {
             Command::Evaluate {
                 scale: "quick".into(),
                 threads: 0,
+                lda_sampler: LdaSampler::Dense,
+                topics: None,
                 resume: None,
                 snapshot_every: 25,
                 faults: None,
@@ -478,6 +507,22 @@ mod tests {
                 metrics: true,
             }
         );
+    }
+
+    #[test]
+    fn parses_lda_sampler_spellings() {
+        let cmd = parse(argv("evaluate --lda-sampler sparse")).unwrap();
+        match cmd {
+            Command::Evaluate { lda_sampler, .. } => assert_eq!(lda_sampler, LdaSampler::Sparse),
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(argv("train --data d.json --lda-sampler dense --out m.json")).unwrap();
+        match cmd {
+            Command::Train { lda_sampler, .. } => assert_eq!(lda_sampler, LdaSampler::Dense),
+            other => panic!("{other:?}"),
+        }
+        let err = parse(argv("evaluate --lda-sampler turbo")).unwrap_err();
+        assert!(err.to_string().contains("turbo"), "{err}");
     }
 
     #[test]

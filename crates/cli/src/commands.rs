@@ -11,7 +11,7 @@ use forumcast_abtest::AbTestConfig;
 use forumcast_core::{ResponsePredictor, TrainConfig, TrainingSet};
 use forumcast_data::{io as data_io, Dataset, QuestionId, UserId};
 use forumcast_eval::{experiments::table1, EvalConfig};
-use forumcast_features::{ExtractorConfig, FeatureExtractor};
+use forumcast_features::{ExtractorConfig, FeatureExtractor, LdaSampler};
 use forumcast_graph::{dense_graph, qa_graph, GraphStats};
 use forumcast_recsys::{Candidate, QuestionRouter, RouterConfig};
 use forumcast_resilience::FaultPlan;
@@ -44,8 +44,11 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
             data,
             fast,
             seed,
+            lda_sampler,
             out: path,
-        } => with_env_trace("train", out, |out| train(&data, fast, seed, &path, out)),
+        } => with_env_trace("train", out, |out| {
+            train(&data, fast, seed, lda_sampler, &path, out)
+        }),
         Command::Predict {
             data,
             model,
@@ -64,6 +67,8 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
         Command::Evaluate {
             scale,
             threads,
+            lda_sampler,
+            topics,
             resume,
             snapshot_every,
             faults,
@@ -72,6 +77,8 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
         } => evaluate(
             &scale,
             threads,
+            lda_sampler,
+            topics,
             resume.as_deref(),
             snapshot_every,
             faults.as_deref(),
@@ -221,14 +228,22 @@ struct SavedModel {
     history_threads: usize,
 }
 
-fn train(data: &str, fast: bool, seed: Option<u64>, path: &str, out: &mut dyn Write) -> CmdResult {
+fn train(
+    data: &str,
+    fast: bool,
+    seed: Option<u64>,
+    lda_sampler: LdaSampler,
+    path: &str,
+    out: &mut dyn Write,
+) -> CmdResult {
     let dataset = load_dataset(data)?;
     let (clean, _) = dataset.preprocess();
-    let ex_cfg = if fast {
+    let mut ex_cfg = if fast {
         ExtractorConfig::fast()
     } else {
         ExtractorConfig::paper()
     };
+    ex_cfg.lda.sampler = lda_sampler;
     let extractor = FeatureExtractor::fit(clean.threads(), clean.num_users(), &ex_cfg);
     let ts = build_training_set(&clean, &extractor, seed.unwrap_or(0x7EA1));
     let (na, nv, nt) = ts.counts();
@@ -370,6 +385,8 @@ fn route(
 fn evaluate(
     scale: &str,
     threads: usize,
+    lda_sampler: LdaSampler,
+    topics: Option<usize>,
     resume: Option<&str>,
     snapshot_every: usize,
     faults: Option<&str>,
@@ -384,6 +401,10 @@ fn evaluate(
         other => return Err(format!("unknown scale `{other}`").into()),
     };
     cfg.threads = threads;
+    cfg.extractor.lda.sampler = lda_sampler;
+    if let Some(k) = topics {
+        cfg.extractor = cfg.extractor.with_topics(k);
+    }
     // --faults wins over the FORUMCAST_FAULTS env var.
     let plan = match faults {
         Some(spec) => Some(
@@ -502,6 +523,7 @@ mod tests {
             data: data_path.clone(),
             fast: true,
             seed: Some(1),
+            lda_sampler: LdaSampler::Sparse,
             out: model_path.clone(),
         });
         assert_eq!(code, 0, "{text}");
@@ -551,6 +573,7 @@ mod tests {
             data: data_path.clone(),
             fast: true,
             seed: None,
+            lda_sampler: LdaSampler::Dense,
             out: model_path.clone(),
         });
         let (code, text) = run_cmd(Command::Predict {

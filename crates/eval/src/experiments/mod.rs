@@ -155,14 +155,16 @@ fn cv_fingerprint(
     jobs: usize,
 ) -> String {
     format!(
-        "cv folds={} repeats={} seed={} negs={} mask={:?} baselines={} jobs={}",
+        "cv folds={} repeats={} seed={} negs={} mask={:?} baselines={} jobs={} sampler={} k={}",
         config.folds,
         config.repeats,
         config.seed,
         config.negatives_per_positive,
         mask,
         run_baselines,
-        jobs
+        jobs,
+        config.extractor.lda.sampler,
+        config.extractor.lda.num_topics
     )
 }
 

@@ -1,11 +1,14 @@
 //! Breadth-first search distances.
 
-use std::collections::VecDeque;
-
 use crate::graph::Graph;
+use crate::scratch::BfsScratch;
 
 /// Unweighted shortest-path distances `z_{s,v}` from `source` to all
 /// nodes. Unreachable nodes get `u32::MAX`.
+///
+/// One-shot convenience over [`BfsScratch`]; kernels that run many
+/// BFS passes should hold a scratch and call
+/// [`BfsScratch::run`] to avoid the per-call allocation.
 ///
 /// # Panics
 ///
@@ -21,23 +24,9 @@ use crate::graph::Graph;
 /// assert_eq!(d[3], u32::MAX); // isolated
 /// ```
 pub fn bfs_distances(g: &Graph, source: u32) -> Vec<u32> {
-    assert!(
-        (source as usize) < g.num_nodes(),
-        "source {source} out of range"
-    );
-    let mut dist = vec![u32::MAX; g.num_nodes()];
-    dist[source as usize] = 0;
-    let mut queue = VecDeque::from([source]);
-    while let Some(u) = queue.pop_front() {
-        let du = dist[u as usize];
-        for &v in g.neighbors(u) {
-            if dist[v as usize] == u32::MAX {
-                dist[v as usize] = du + 1;
-                queue.push_back(v);
-            }
-        }
-    }
-    dist
+    let mut scratch = BfsScratch::new();
+    scratch.run(g, source);
+    (0..g.num_nodes() as u32).map(|v| scratch.dist(v)).collect()
 }
 
 #[cfg(test)]

@@ -27,14 +27,14 @@ use crate::graph::Graph;
 /// assert!(!g.has_edge(1, 2)); // answerers not linked in G_QA
 /// ```
 pub fn qa_graph(num_users: u32, threads: &[Thread]) -> Graph {
-    let mut g = Graph::new(num_users as usize);
+    let mut edges = Vec::new();
     for t in threads {
         let asker = t.asker().0;
         for a in &t.answers {
-            g.add_edge(asker, a.author.0);
+            edges.push((asker, a.author.0));
         }
     }
-    g
+    Graph::from_edges(num_users as usize, &edges)
 }
 
 /// Builds the **denser graph** `G_D`: all participants of a thread
@@ -58,16 +58,16 @@ pub fn qa_graph(num_users: u32, threads: &[Thread]) -> Graph {
 /// assert!(g.has_edge(1, 2)); // co-answerers are linked in G_D
 /// ```
 pub fn dense_graph(num_users: u32, threads: &[Thread]) -> Graph {
-    let mut g = Graph::new(num_users as usize);
+    let mut edges = Vec::new();
     for t in threads {
         let users = t.participants();
         for (i, &u) in users.iter().enumerate() {
             for &v in &users[i + 1..] {
-                g.add_edge(u.0, v.0);
+                edges.push((u.0, v.0));
             }
         }
     }
-    g
+    Graph::from_edges(num_users as usize, &edges)
 }
 
 #[cfg(test)]

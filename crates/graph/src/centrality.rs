@@ -4,10 +4,9 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::collections::VecDeque;
 
-use crate::bfs::bfs_distances;
 use crate::graph::Graph;
+use crate::scratch::{BfsScratch, BrandesScratch, ScratchPool};
 
 /// Closeness centrality of every node, per the paper's definition
 /// `l_u = (|U| − 1) / Σ_{v ≠ u} z_{u,v}` where unreachable pairs are
@@ -28,8 +27,11 @@ pub fn closeness(g: &Graph) -> Vec<f64> {
 }
 
 /// [`closeness`] with an explicit worker-thread count (`0` = auto).
-/// Each node's BFS is independent and results are collected in node
-/// order, so the output is bitwise-identical for any thread count.
+/// Each node's BFS is independent and partial results concatenate in
+/// chunk (= node) order, so the output is bitwise-identical for any
+/// thread count. BFS state comes from a [`ScratchPool`]: every chunk
+/// reuses one scratch across all its sources, so the inner loop
+/// performs no per-source allocation.
 pub fn closeness_with_threads(g: &Graph, threads: usize) -> Vec<f64> {
     let _span = forumcast_obs::span("graph.closeness");
     let n = g.num_nodes();
@@ -37,21 +39,40 @@ pub fn closeness_with_threads(g: &Graph, threads: usize) -> Vec<f64> {
         return vec![0.0; n];
     }
     let threads = forumcast_par::resolve_threads(threads);
-    let nodes: Vec<u32> = (0..n as u32).collect();
-    forumcast_par::parallel_map(&nodes, threads, |&u| {
-        let dist = bfs_distances(g, u);
-        let sum: u64 = dist
-            .iter()
-            .enumerate()
-            .filter(|&(v, &d)| v != u as usize && d != u32::MAX)
-            .map(|(_, &d)| d as u64)
-            .sum();
-        if sum > 0 {
-            (n as f64 - 1.0) / sum as f64
-        } else {
-            0.0
-        }
-    })
+    let pool: ScratchPool<BfsScratch> = ScratchPool::new();
+    let out = forumcast_par::parallel_chunk_fold(
+        n,
+        threads,
+        |range| {
+            let mut scratch = pool.acquire();
+            let partial: Vec<f64> = range
+                .map(|u| {
+                    scratch.run(g, u as u32);
+                    // The source contributes distance 0, so summing
+                    // every visited node equals the v ≠ u sum; nodes
+                    // never visited are exactly the unreachable ones.
+                    let sum: u64 = scratch
+                        .visited()
+                        .iter()
+                        .map(|&v| scratch.dist(v) as u64)
+                        .sum();
+                    if sum > 0 {
+                        (n as f64 - 1.0) / sum as f64
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            pool.release(scratch);
+            partial
+        },
+        |partials| partials.concat(),
+    );
+    forumcast_obs::counter_add(
+        "graph.bfs.scratch_reuses",
+        (n.saturating_sub(pool.created())) as u64,
+    );
+    out
 }
 
 /// Exact betweenness centrality of every node via Brandes' algorithm:
@@ -123,14 +144,25 @@ pub fn betweenness_sampled_with_threads(
 /// thread count), each chunk accumulates into its own partial `bc`
 /// vector in source order, and partials merge in chunk order — so the
 /// floating-point reduction tree, and therefore the bitwise result,
-/// is identical whether 1 or N workers ran.
+/// is identical whether 1 or N workers ran. Per-source state
+/// ([`BrandesScratch`]: σ/δ/dist/flat predecessors) comes from a
+/// shared [`ScratchPool`], so the source loop allocates nothing.
 fn brandes(g: &Graph, sources: &[u32], scale: f64, threads: usize) -> Vec<f64> {
     let n = g.num_nodes();
     let threads = forumcast_par::resolve_threads(threads);
+    let pool: ScratchPool<BrandesScratch> = ScratchPool::new();
     let mut bc = forumcast_par::parallel_chunk_fold(
         sources.len(),
         threads,
-        |range| brandes_chunk(g, &sources[range], scale),
+        |range| {
+            let mut scratch = pool.acquire();
+            let mut bc = vec![0.0f64; n];
+            for &s in &sources[range] {
+                scratch.accumulate(g, s, scale, &mut bc);
+            }
+            pool.release(scratch);
+            bc
+        },
         |partials| {
             let mut bc = vec![0.0f64; n];
             for partial in partials {
@@ -141,60 +173,13 @@ fn brandes(g: &Graph, sources: &[u32], scale: f64, threads: usize) -> Vec<f64> {
             bc
         },
     );
+    forumcast_obs::counter_add(
+        "graph.bfs.scratch_reuses",
+        (sources.len().saturating_sub(pool.created())) as u64,
+    );
     // Undirected graphs: each pair counted from both endpoints.
     for b in &mut bc {
         *b /= 2.0;
-    }
-    bc
-}
-
-/// Serial Brandes accumulation over one chunk of sources, returning
-/// the chunk's partial `bc` vector. Buffers are reused across the
-/// chunk's sources.
-fn brandes_chunk(g: &Graph, sources: &[u32], scale: f64) -> Vec<f64> {
-    let n = g.num_nodes();
-    let mut bc = vec![0.0f64; n];
-    // Reused per-source buffers.
-    let mut sigma = vec![0.0f64; n];
-    let mut dist = vec![i64::MAX; n];
-    let mut delta = vec![0.0f64; n];
-    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
-
-    for &s in sources {
-        // Reset buffers.
-        for v in 0..n {
-            sigma[v] = 0.0;
-            dist[v] = i64::MAX;
-            delta[v] = 0.0;
-            preds[v].clear();
-        }
-        sigma[s as usize] = 1.0;
-        dist[s as usize] = 0;
-        let mut stack: Vec<u32> = Vec::new();
-        let mut queue = VecDeque::from([s]);
-        while let Some(v) = queue.pop_front() {
-            stack.push(v);
-            let dv = dist[v as usize];
-            for &w in g.neighbors(v) {
-                if dist[w as usize] == i64::MAX {
-                    dist[w as usize] = dv + 1;
-                    queue.push_back(w);
-                }
-                if dist[w as usize] == dv + 1 {
-                    sigma[w as usize] += sigma[v as usize];
-                    preds[w as usize].push(v);
-                }
-            }
-        }
-        while let Some(w) = stack.pop() {
-            for &v in &preds[w as usize] {
-                delta[v as usize] +=
-                    sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
-            }
-            if w != s {
-                bc[w as usize] += delta[w as usize] * scale;
-            }
-        }
     }
     bc
 }

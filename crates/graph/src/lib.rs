@@ -38,6 +38,7 @@ pub mod centrality;
 pub mod graph;
 pub mod pagerank;
 pub mod ra;
+pub mod scratch;
 pub mod stats;
 
 pub use bfs::bfs_distances;
@@ -47,6 +48,7 @@ pub use centrality::{
     closeness, closeness_with_threads,
 };
 pub use graph::Graph;
-pub use pagerank::{average_clustering, clustering_coefficient, pagerank};
+pub use pagerank::{average_clustering, clustering_coefficient, pagerank, PageRankScratch};
 pub use ra::resource_allocation;
+pub use scratch::{BfsScratch, BrandesScratch, ScratchPool};
 pub use stats::GraphStats;

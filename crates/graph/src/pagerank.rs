@@ -26,40 +26,71 @@ use crate::graph::Graph;
 /// assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
 /// ```
 pub fn pagerank(g: &Graph, damping: f64, iterations: usize) -> Vec<f64> {
-    assert!(
-        (0.0..1.0).contains(&damping),
-        "damping must be in [0, 1), got {damping}"
-    );
-    let n = g.num_nodes();
-    if n == 0 {
-        return Vec::new();
+    let mut scratch = PageRankScratch::new();
+    scratch.run(g, damping, iterations).to_vec()
+}
+
+/// Reusable rank/next buffers for repeated [`pagerank`] runs (e.g.
+/// the per-fold feature builds): the power iteration itself already
+/// works in place, so reusing the two vectors removes the only
+/// allocations the kernel makes.
+#[derive(Debug, Default)]
+pub struct PageRankScratch {
+    rank: Vec<f64>,
+    next: Vec<f64>,
+}
+
+impl PageRankScratch {
+    /// A fresh scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        PageRankScratch::default()
     }
-    let uniform = 1.0 / n as f64;
-    let mut rank = vec![uniform; n];
-    let mut next = vec![0.0; n];
-    for _ in 0..iterations {
-        let mut dangling_mass = 0.0;
-        for v in next.iter_mut() {
-            *v = 0.0;
-        }
-        for (u, &r) in rank.iter().enumerate() {
-            let deg = g.degree(u as u32);
-            if deg == 0 {
-                dangling_mass += r;
-                continue;
+
+    /// Runs the power iteration, returning the rank vector (valid
+    /// until the next `run`). Same arithmetic, in the same order, as
+    /// the original one-shot implementation — results are bitwise
+    /// unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `damping` is not in `[0, 1)`.
+    pub fn run(&mut self, g: &Graph, damping: f64, iterations: usize) -> &[f64] {
+        assert!(
+            (0.0..1.0).contains(&damping),
+            "damping must be in [0, 1), got {damping}"
+        );
+        let _span = forumcast_obs::span("graph.pagerank");
+        let n = g.num_nodes();
+        let uniform = 1.0 / n.max(1) as f64;
+        self.rank.clear();
+        self.rank.resize(n, uniform);
+        self.next.clear();
+        self.next.resize(n, 0.0);
+        let (rank, next) = (&mut self.rank, &mut self.next);
+        for _ in 0..iterations {
+            let mut dangling_mass = 0.0;
+            for v in next.iter_mut() {
+                *v = 0.0;
             }
-            let share = r / deg as f64;
-            for &v in g.neighbors(u as u32) {
-                next[v as usize] += share;
+            for (u, &r) in rank.iter().enumerate() {
+                let deg = g.degree(u as u32);
+                if deg == 0 {
+                    dangling_mass += r;
+                    continue;
+                }
+                let share = r / deg as f64;
+                for &v in g.neighbors(u as u32) {
+                    next[v as usize] += share;
+                }
             }
+            let teleport = (1.0 - damping) * uniform + damping * dangling_mass * uniform;
+            for v in next.iter_mut() {
+                *v = damping * *v + teleport;
+            }
+            std::mem::swap(rank, next);
         }
-        let teleport = (1.0 - damping) * uniform + damping * dangling_mass * uniform;
-        for v in next.iter_mut() {
-            *v = damping * *v + teleport;
-        }
-        std::mem::swap(&mut rank, &mut next);
+        &self.rank
     }
-    rank
 }
 
 /// Local clustering coefficient of every node: the fraction of a
@@ -154,6 +185,17 @@ mod tests {
     #[should_panic(expected = "damping")]
     fn pagerank_bad_damping_panics() {
         pagerank(&Graph::new(1), 1.0, 10);
+    }
+
+    #[test]
+    fn pagerank_scratch_reuse_matches_one_shot() {
+        let a = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let b = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let mut scratch = PageRankScratch::new();
+        // Run big-then-small to force a buffer shrink between runs.
+        assert_eq!(scratch.run(&b, 0.85, 50), pagerank(&b, 0.85, 50));
+        assert_eq!(scratch.run(&a, 0.85, 50), pagerank(&a, 0.85, 50));
+        assert_eq!(scratch.run(&Graph::new(0), 0.85, 5).len(), 0);
     }
 
     #[test]

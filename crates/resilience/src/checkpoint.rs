@@ -224,9 +224,19 @@ impl<T: Serialize> TrainCheckpoint<T> {
                 message: format!("{} ckpt-write:{unit}", fault::INJECTED_PREFIX),
             });
         }
+        let bytes = json.len() as u64;
+        let started = std::time::Instant::now();
         std::fs::write(&tmp, json).map_err(io_err)?;
         std::fs::rename(&tmp, path).map_err(io_err)?;
         forumcast_obs::counter_add("ckpt.subfold.saves", 1);
+        // Snapshot cost telemetry: the ROADMAP's JSON-vs-binary format
+        // decision hinges on how large these payloads get and how long
+        // the write+rename takes in practice.
+        forumcast_obs::counter_add("ckpt.subfold.bytes", bytes);
+        forumcast_obs::counter_add(
+            "ckpt.subfold.write_ms",
+            started.elapsed().as_millis() as u64,
+        );
         Ok(())
     }
 }
@@ -411,6 +421,35 @@ mod tests {
             assert_eq!(u, bu);
             assert_eq!(x.to_bits(), bx.to_bits());
         }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn subfold_save_reports_bytes_and_write_duration() {
+        let path = temp_path("save-cost");
+        let cp = TrainCheckpoint::new("fp", vec![1u32, 2, 3]);
+        let guard = forumcast_obs::arm();
+        cp.save(&path, 0).unwrap();
+        let log = forumcast_obs::drain().expect("collector armed");
+        drop(guard);
+        let counter = |name: &str| {
+            log.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+        };
+        let written = std::fs::metadata(&path).unwrap().len();
+        // Concurrent unarmed tests may also save while we are armed,
+        // so assert lower bounds rather than exact equality.
+        assert!(counter("ckpt.subfold.saves").unwrap() >= 1);
+        assert!(
+            counter("ckpt.subfold.bytes").unwrap() >= written,
+            "byte counter must cover at least this save's payload"
+        );
+        assert!(
+            counter("ckpt.subfold.write_ms").is_some(),
+            "write duration counter must be emitted"
+        );
         std::fs::remove_file(&path).unwrap();
     }
 

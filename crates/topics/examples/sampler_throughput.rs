@@ -1,0 +1,76 @@
+//! Dense-vs-sparse Gibbs throughput on a Zipf-skewed synthetic
+//! corpus, across topic counts. Run with `--release`:
+//!
+//! ```text
+//! cargo run --release -p forumcast-topics --example sampler_throughput
+//! ```
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use forumcast_text::{BagOfWords, Corpus};
+use forumcast_topics::{LdaConfig, LdaModel, LdaSampler};
+
+/// Topic-structured corpus: `themes` disjoint word blocks, each doc
+/// drawing ~90% of its tokens from one home theme with Zipf-skewed
+/// word popularity inside the block — the shape real forum text has
+/// and the shape that concentrates `n_kw` rows.
+fn themed_corpus(num_docs: usize, themes: usize, words_per_theme: usize, seed: u64) -> Corpus {
+    let vocab = themes * words_per_theme;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let h: f64 = (1..=words_per_theme).map(|j| 1.0 / j as f64).sum();
+    let docs: Vec<BagOfWords> = (0..num_docs)
+        .map(|d| {
+            let home = d % themes;
+            let len = rng.gen_range(20..80);
+            let ids: Vec<usize> = (0..len)
+                .map(|_| {
+                    let theme = if rng.gen_bool(0.9) {
+                        home
+                    } else {
+                        rng.gen_range(0..themes)
+                    };
+                    let mut u = rng.gen::<f64>() * h;
+                    let mut j = 0;
+                    while j + 1 < words_per_theme {
+                        u -= 1.0 / (j + 1) as f64;
+                        if u <= 0.0 {
+                            break;
+                        }
+                        j += 1;
+                    }
+                    theme * words_per_theme + j
+                })
+                .collect();
+            BagOfWords::from_ids(&ids)
+        })
+        .collect();
+    Corpus::from_bows(docs, vocab)
+}
+
+fn main() {
+    let corpus = themed_corpus(400, 12, 50, 7);
+    let tokens: usize = (0..corpus.num_docs())
+        .map(|d| corpus.doc(d).total() as usize)
+        .sum();
+    println!("corpus: {} docs, {} tokens", corpus.num_docs(), tokens);
+    for &k in &[4usize, 8, 16, 32, 64] {
+        let mut times = Vec::new();
+        for sampler in [LdaSampler::Dense, LdaSampler::Sparse] {
+            let cfg = LdaConfig::new(k).with_iterations(30).with_sampler(sampler);
+            let t0 = Instant::now();
+            let m = LdaModel::train(&corpus, &cfg);
+            let dt = t0.elapsed().as_secs_f64();
+            times.push(dt);
+            std::hint::black_box(m.doc_topics(0));
+        }
+        println!(
+            "K={k:3}  dense {:7.1} ms  sparse {:7.1} ms  speedup {:.2}x",
+            times[0] * 1e3,
+            times[1] * 1e3,
+            times[0] / times[1]
+        );
+    }
+}

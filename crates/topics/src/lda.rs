@@ -1,10 +1,65 @@
 //! Collapsed Gibbs sampling for Latent Dirichlet Allocation.
+//!
+//! Two samplers share the same model: the [`Dense`](LdaSampler::Dense)
+//! reference path evaluates the full `K`-term conditional per token,
+//! while the [`Sparse`](LdaSampler::Sparse) path uses the SparseLDA
+//! decomposition (Yao, Mimno & McCallum, KDD 2009) of the collapsed
+//! conditional
+//!
+//! ```text
+//! p(z = k) ∝ (n_dk + α)(n_kw + β) / (n_k + Vβ)
+//!          =  αβ / (n_k + Vβ)            — smoothing bucket `s`
+//!          +  n_dk · β / (n_k + Vβ)      — document bucket `r`
+//!          + (n_dk + α) n_kw / (n_k + Vβ) — word bucket `q`
+//! ```
+//!
+//! into three buckets whose partial sums are maintained incrementally,
+//! so resampling a token only walks the document's active topics and
+//! the word's nonzero topics instead of all `K`. Both samplers draw
+//! from the *exact same* conditional distribution; the sparse path is
+//! deterministic given the seed but follows a different (equally
+//! valid) Gibbs trajectory than dense, so the two are compared by
+//! perplexity/total-variation parity rather than bitwise equality.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use forumcast_text::{BagOfWords, Corpus};
+
+/// Which Gibbs sampler [`LdaModel::train`] and [`LdaModel::infer`]
+/// use. `Dense` is the original reference implementation; `Sparse`
+/// samples the identical conditional with SparseLDA bucket sums.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum LdaSampler {
+    /// Full `K`-term conditional per token (reference path; bitwise
+    /// identical to the historical implementation).
+    #[default]
+    Dense,
+    /// SparseLDA three-bucket sampler (`s`/`r`/`q` partial sums).
+    Sparse,
+}
+
+impl std::str::FromStr for LdaSampler {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "dense" => Ok(LdaSampler::Dense),
+            "sparse" => Ok(LdaSampler::Sparse),
+            other => Err(format!("unknown sampler `{other}` (dense|sparse)")),
+        }
+    }
+}
+
+impl std::fmt::Display for LdaSampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LdaSampler::Dense => "dense",
+            LdaSampler::Sparse => "sparse",
+        })
+    }
+}
 
 /// Hyperparameters for [`LdaModel::train`].
 ///
@@ -24,6 +79,10 @@ pub struct LdaConfig {
     pub infer_iterations: usize,
     /// RNG seed (training is deterministic given the seed).
     pub seed: u64,
+    /// Gibbs sampler implementation (missing in configs saved before
+    /// the sparse path existed, so it defaults to `Dense`).
+    #[serde(default)]
+    pub sampler: LdaSampler,
 }
 
 impl LdaConfig {
@@ -43,6 +102,7 @@ impl LdaConfig {
             iterations: 200,
             infer_iterations: 30,
             seed: 0xF0CA,
+            sampler: LdaSampler::Dense,
         }
     }
 
@@ -64,6 +124,12 @@ impl LdaConfig {
         self.beta = beta;
         self
     }
+
+    /// Sets the Gibbs sampler implementation.
+    pub fn with_sampler(mut self, sampler: LdaSampler) -> Self {
+        self.sampler = sampler;
+        self
+    }
 }
 
 impl Default for LdaConfig {
@@ -75,15 +141,45 @@ impl Default for LdaConfig {
 
 /// A trained LDA model: topic–word distributions `φ` plus the
 /// document–topic distributions `θ` of the training corpus.
+///
+/// Both matrices are stored as contiguous row-major buffers (`φ` is
+/// `K × V`, `θ` is `D × K`) so sweeps and lookups stay on a single
+/// cache-friendly allocation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LdaModel {
     config: LdaConfig,
     num_words: usize,
-    /// `φ[k][w]` — probability of word `w` under topic `k` (smoothed
-    /// point estimate from the final Gibbs state).
-    phi: Vec<Vec<f64>>,
-    /// `θ[d][k]` — topic distribution of training document `d`.
-    theta: Vec<Vec<f64>>,
+    /// Row-major `K × V`: `phi[k * V + w]` — probability of word `w`
+    /// under topic `k` (smoothed point estimate from the final Gibbs
+    /// state).
+    phi: Vec<f64>,
+    /// Row-major `D × K`: `theta[d * K + k]` — topic distribution of
+    /// training document `d`.
+    theta: Vec<f64>,
+}
+
+/// Per-sampler bucket-hit tallies, accumulated locally during a sweep
+/// and flushed to the obs counters in one batch (the counter sink is
+/// a global mutex — per-token updates would serialize the hot loop).
+#[derive(Default)]
+struct BucketHits {
+    s: u64,
+    r: u64,
+    q: u64,
+}
+
+impl BucketHits {
+    fn flush(&self) {
+        if self.s > 0 {
+            forumcast_obs::counter_add("lda.sparse.bucket_hits.s", self.s);
+        }
+        if self.r > 0 {
+            forumcast_obs::counter_add("lda.sparse.bucket_hits.r", self.r);
+        }
+        if self.q > 0 {
+            forumcast_obs::counter_add("lda.sparse.bucket_hits.q", self.q);
+        }
+    }
 }
 
 impl LdaModel {
@@ -104,71 +200,86 @@ impl LdaModel {
         let d = corpus.num_docs();
         let mut rng = StdRng::seed_from_u64(config.seed);
 
-        // Token-level views of each document.
-        let docs: Vec<Vec<usize>> = corpus.iter().map(BagOfWords::to_token_ids).collect();
-        // Topic assignment per token, initialized uniformly at random.
-        let mut z: Vec<Vec<usize>> = docs
-            .iter()
-            .map(|doc| doc.iter().map(|_| rng.gen_range(0..k)).collect())
-            .collect();
+        // Token-level view of the corpus, flattened to one contiguous
+        // buffer with per-document offsets (CSR layout).
+        let mut tokens: Vec<u32> = Vec::new();
+        let mut doc_offsets: Vec<usize> = Vec::with_capacity(d + 1);
+        doc_offsets.push(0);
+        for bow in corpus.iter() {
+            for w in bow.to_token_ids() {
+                tokens.push(w as u32);
+            }
+            doc_offsets.push(tokens.len());
+        }
+        // Topic assignment per token, initialized uniformly at random
+        // (document order, so the init stream matches the historical
+        // nested-vec layout bit for bit).
+        let mut z: Vec<u32> = tokens.iter().map(|_| rng.gen_range(0..k) as u32).collect();
 
-        let mut n_dk = vec![vec![0u32; k]; d]; // doc–topic counts
-        let mut n_kw = vec![vec![0u32; v]; k]; // topic–word counts
+        let mut n_dk = vec![0u32; d * k]; // doc–topic counts, row-major D × K
+        let mut n_kw = vec![0u32; k * v]; // topic–word counts, row-major K × V
         let mut n_k = vec![0u64; k]; // topic totals
-        for (di, doc) in docs.iter().enumerate() {
-            for (ti, &w) in doc.iter().enumerate() {
-                let t = z[di][ti];
-                n_dk[di][t] += 1;
-                n_kw[t][w] += 1;
+        for di in 0..d {
+            for ti in doc_offsets[di]..doc_offsets[di + 1] {
+                let w = tokens[ti] as usize;
+                let t = z[ti] as usize;
+                n_dk[di * k + t] += 1;
+                n_kw[t * v + w] += 1;
                 n_k[t] += 1;
             }
         }
 
-        let alpha = config.alpha;
-        let beta = config.beta;
-        let vbeta = v as f64 * beta;
-        let mut probs = vec![0.0f64; k];
-        for _sweep in 0..config.iterations {
-            forumcast_obs::counter_add("lda.gibbs.sweeps", 1);
-            for (di, doc) in docs.iter().enumerate() {
-                for (ti, &w) in doc.iter().enumerate() {
-                    let old = z[di][ti];
-                    n_dk[di][old] -= 1;
-                    n_kw[old][w] -= 1;
-                    n_k[old] -= 1;
-
-                    let mut total = 0.0;
-                    for t in 0..k {
-                        let p = (n_dk[di][t] as f64 + alpha) * (n_kw[t][w] as f64 + beta)
-                            / (n_k[t] as f64 + vbeta);
-                        probs[t] = p;
-                        total += p;
-                    }
-                    let new = sample_index(&probs, total, &mut rng);
-                    z[di][ti] = new;
-                    n_dk[di][new] += 1;
-                    n_kw[new][w] += 1;
-                    n_k[new] += 1;
-                }
-            }
+        match config.sampler {
+            LdaSampler::Dense => dense_sweeps(
+                config,
+                &tokens,
+                &doc_offsets,
+                &mut z,
+                &mut n_dk,
+                &mut n_kw,
+                &mut n_k,
+                v,
+                &mut rng,
+            ),
+            LdaSampler::Sparse => sparse_sweeps(
+                config,
+                &tokens,
+                &doc_offsets,
+                &mut z,
+                &mut n_dk,
+                &mut n_kw,
+                &mut n_k,
+                v,
+                &mut rng,
+            ),
+        }
+        if !tokens.is_empty() && config.iterations > 0 {
+            forumcast_obs::counter_add(
+                "lda.gibbs.tokens",
+                tokens.len() as u64 * config.iterations as u64,
+            );
         }
 
         // Point estimates.
-        let phi: Vec<Vec<f64>> = (0..k)
-            .map(|t| {
-                let denom = n_k[t] as f64 + vbeta;
-                (0..v).map(|w| (n_kw[t][w] as f64 + beta) / denom).collect()
-            })
-            .collect();
-        let theta: Vec<Vec<f64>> = (0..d)
-            .map(|di| {
-                let len: u32 = n_dk[di].iter().sum();
-                let denom = len as f64 + k as f64 * alpha;
-                (0..k)
-                    .map(|t| (n_dk[di][t] as f64 + alpha) / denom)
-                    .collect()
-            })
-            .collect();
+        let alpha = config.alpha;
+        let beta = config.beta;
+        let vbeta = v as f64 * beta;
+        let mut phi = vec![0.0f64; k * v];
+        for t in 0..k {
+            let denom = n_k[t] as f64 + vbeta;
+            for w in 0..v {
+                phi[t * v + w] = (n_kw[t * v + w] as f64 + beta) / denom;
+            }
+        }
+        let mut theta = vec![0.0f64; d * k];
+        for di in 0..d {
+            let row = &n_dk[di * k..(di + 1) * k];
+            let len: u32 = row.iter().sum();
+            let denom = len as f64 + k as f64 * alpha;
+            for t in 0..k {
+                theta[di * k + t] = (row[t] as f64 + alpha) / denom;
+            }
+        }
 
         LdaModel {
             config: config.clone(),
@@ -188,6 +299,11 @@ impl LdaModel {
         self.num_words
     }
 
+    /// Number of training documents.
+    pub fn num_docs(&self) -> usize {
+        self.theta.len() / self.config.num_topics
+    }
+
     /// The training configuration.
     pub fn config(&self) -> &LdaConfig {
         &self.config
@@ -199,12 +315,8 @@ impl LdaModel {
     ///
     /// Panics when `doc` is out of range.
     pub fn doc_topics(&self, doc: usize) -> &[f64] {
-        &self.theta[doc]
-    }
-
-    /// All training document–topic distributions.
-    pub fn all_doc_topics(&self) -> &[Vec<f64>] {
-        &self.theta
+        let k = self.config.num_topics;
+        &self.theta[doc * k..(doc + 1) * k]
     }
 
     /// Topic–word distribution `φ_k`.
@@ -213,7 +325,7 @@ impl LdaModel {
     ///
     /// Panics when `topic >= K`.
     pub fn topic_words(&self, topic: usize) -> &[f64] {
-        &self.phi[topic]
+        &self.phi[topic * self.num_words..(topic + 1) * self.num_words]
     }
 
     /// Infers the topic distribution of a held-out document by fold-in
@@ -234,6 +346,19 @@ impl LdaModel {
         if tokens.is_empty() {
             return vec![1.0 / k as f64; k];
         }
+        let n_dk = match self.config.sampler {
+            LdaSampler::Dense => self.infer_counts_dense(&tokens, seed),
+            LdaSampler::Sparse => self.infer_counts_sparse(&tokens, seed),
+        };
+        let alpha = self.config.alpha;
+        let denom = tokens.len() as f64 + k as f64 * alpha;
+        (0..k).map(|t| (n_dk[t] as f64 + alpha) / denom).collect()
+    }
+
+    /// Reference fold-in: the full `K`-term conditional per token.
+    fn infer_counts_dense(&self, tokens: &[usize], seed: u64) -> Vec<u32> {
+        let k = self.config.num_topics;
+        let v = self.num_words;
         let mut rng = StdRng::seed_from_u64(seed);
         let mut z: Vec<usize> = tokens.iter().map(|_| rng.gen_range(0..k)).collect();
         let mut n_dk = vec![0u32; k];
@@ -248,7 +373,7 @@ impl LdaModel {
                 n_dk[old] -= 1;
                 let mut total = 0.0;
                 for t in 0..k {
-                    let p = (n_dk[t] as f64 + alpha) * self.phi[t][w];
+                    let p = (n_dk[t] as f64 + alpha) * self.phi[t * v + w];
                     probs[t] = p;
                     total += p;
                 }
@@ -257,8 +382,95 @@ impl LdaModel {
                 n_dk[new] += 1;
             }
         }
-        let denom = tokens.len() as f64 + k as f64 * alpha;
-        (0..k).map(|t| (n_dk[t] as f64 + alpha) / denom).collect()
+        n_dk
+    }
+
+    /// Bucket fold-in: `p(z = k) ∝ α·φ_{k,w} + n_dk·φ_{k,w}` splits
+    /// into a per-word smoothing mass `s_w = α·Σ_k φ_{k,w}` (computed
+    /// once per token position, amortized over all sweeps) and a
+    /// document bucket walked over the doc's active topics only.
+    fn infer_counts_sparse(&self, tokens: &[usize], seed: u64) -> Vec<u32> {
+        let k = self.config.num_topics;
+        let v = self.num_words;
+        let alpha = self.config.alpha;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut z: Vec<usize> = tokens.iter().map(|_| rng.gen_range(0..k)).collect();
+        let mut n_dk = vec![0u32; k];
+        for &t in &z {
+            n_dk[t] += 1;
+        }
+        // Smoothing mass per token position; one K-walk per token for
+        // the whole call instead of one per token per sweep.
+        let s_w: Vec<f64> = tokens
+            .iter()
+            .map(|&w| alpha * (0..k).map(|t| self.phi[t * v + w]).sum::<f64>())
+            .collect();
+        let mut active: Vec<u32> = (0..k as u32).filter(|&t| n_dk[t as usize] > 0).collect();
+        let mut hits = BucketHits::default();
+        let mut degenerate = 0u64;
+        for _sweep in 0..self.config.infer_iterations {
+            for (ti, &w) in tokens.iter().enumerate() {
+                let old = z[ti];
+                n_dk[old] -= 1;
+                if n_dk[old] == 0 {
+                    let pos = active
+                        .iter()
+                        .position(|&t| t as usize == old)
+                        .expect("active-topic list out of sync with document counts");
+                    active.swap_remove(pos);
+                }
+                let mut r_sum = 0.0;
+                for &t in &active {
+                    r_sum += n_dk[t as usize] as f64 * self.phi[t as usize * v + w];
+                }
+                let total = s_w[ti] + r_sum;
+                let u = rng.gen::<f64>();
+                let new = if !(total.is_finite() && total > 0.0) {
+                    debug_assert!(
+                        false,
+                        "degenerate fold-in row: total = {total} over {k} topics"
+                    );
+                    degenerate += 1;
+                    ((u * k as f64) as usize).min(k - 1)
+                } else {
+                    let mut x = u * total;
+                    if x < r_sum {
+                        hits.r += 1;
+                        let mut pick = active[active.len() - 1] as usize;
+                        for &t in &active {
+                            x -= n_dk[t as usize] as f64 * self.phi[t as usize * v + w];
+                            if x <= 0.0 {
+                                pick = t as usize;
+                                break;
+                            }
+                        }
+                        pick
+                    } else {
+                        hits.s += 1;
+                        x -= r_sum;
+                        let mut pick = k - 1;
+                        for t in 0..k {
+                            x -= alpha * self.phi[t * v + w];
+                            if x <= 0.0 {
+                                pick = t;
+                                break;
+                            }
+                        }
+                        pick
+                    }
+                };
+                z[ti] = new;
+                n_dk[new] += 1;
+                if n_dk[new] == 1 {
+                    active.push(new as u32);
+                }
+            }
+        }
+        hits.flush();
+        if degenerate > 0 {
+            forumcast_obs::counter_add("lda.sample.degenerate", degenerate);
+        }
+        n_dk
     }
 
     /// Batch fold-in inference: [`LdaModel::infer`] over many
@@ -272,23 +484,280 @@ impl LdaModel {
         forumcast_par::parallel_map(docs, threads, |(doc, seed)| self.infer(doc, *seed))
     }
 
-    /// The `n` highest-probability word ids of `topic`, for
-    /// interpretability and diagnostics.
+    /// The `n` highest-probability word ids of `topic` (ties broken by
+    /// ascending word id), for interpretability and diagnostics.
+    ///
+    /// Uses a partial selection (`select_nth_unstable_by`) plus a sort
+    /// of the selected slice, so the cost is `O(V + n log n)` instead
+    /// of sorting the whole vocabulary.
     ///
     /// # Panics
     ///
     /// Panics when `topic >= K`.
     pub fn top_words(&self, topic: usize, n: usize) -> Vec<usize> {
+        let row = self.topic_words(topic);
+        let n = n.min(self.num_words);
+        if n == 0 {
+            return Vec::new();
+        }
+        let by_prob_desc_then_id =
+            |a: &usize, b: &usize| row[*b].total_cmp(&row[*a]).then_with(|| a.cmp(b));
         let mut idx: Vec<usize> = (0..self.num_words).collect();
-        idx.sort_by(|&a, &b| self.phi[topic][b].total_cmp(&self.phi[topic][a]));
-        idx.truncate(n);
+        if n < idx.len() {
+            idx.select_nth_unstable_by(n - 1, by_prob_desc_then_id);
+            idx.truncate(n);
+        }
+        idx.sort_unstable_by(by_prob_desc_then_id);
         idx
     }
 }
 
+/// The reference dense Gibbs sweeps: per token, the full `K`-term
+/// conditional. Bitwise-identical to the historical implementation
+/// (same RNG stream, same floating-point operation order).
+#[allow(clippy::too_many_arguments)]
+fn dense_sweeps(
+    config: &LdaConfig,
+    tokens: &[u32],
+    doc_offsets: &[usize],
+    z: &mut [u32],
+    n_dk: &mut [u32],
+    n_kw: &mut [u32],
+    n_k: &mut [u64],
+    v: usize,
+    rng: &mut StdRng,
+) {
+    let k = config.num_topics;
+    let alpha = config.alpha;
+    let beta = config.beta;
+    let vbeta = v as f64 * beta;
+    let mut probs = vec![0.0f64; k];
+    for _sweep in 0..config.iterations {
+        forumcast_obs::counter_add("lda.gibbs.sweeps", 1);
+        for di in 0..doc_offsets.len() - 1 {
+            for ti in doc_offsets[di]..doc_offsets[di + 1] {
+                let w = tokens[ti] as usize;
+                let old = z[ti] as usize;
+                n_dk[di * k + old] -= 1;
+                n_kw[old * v + w] -= 1;
+                n_k[old] -= 1;
+
+                let mut total = 0.0;
+                for t in 0..k {
+                    let p = (n_dk[di * k + t] as f64 + alpha) * (n_kw[t * v + w] as f64 + beta)
+                        / (n_k[t] as f64 + vbeta);
+                    probs[t] = p;
+                    total += p;
+                }
+                let new = sample_index(&probs, total, rng);
+                z[ti] = new as u32;
+                n_dk[di * k + new] += 1;
+                n_kw[new * v + w] += 1;
+                n_k[new] += 1;
+            }
+        }
+    }
+}
+
+/// SparseLDA sweeps: the conditional is split into smoothing (`s`),
+/// document (`r`), and word (`q`) buckets with incrementally
+/// maintained partial sums, so a token resample walks only the
+/// document's active topics and the word's nonzero topics. The bucket
+/// sums are rebuilt at sweep (`s`) and document (`r`, `q_coef`) starts
+/// to bound floating-point drift; the walks carry a guarded
+/// last-element fallback for the residual ulps.
+#[allow(clippy::too_many_arguments)]
+fn sparse_sweeps(
+    config: &LdaConfig,
+    tokens: &[u32],
+    doc_offsets: &[usize],
+    z: &mut [u32],
+    n_dk: &mut [u32],
+    n_kw: &mut [u32],
+    n_k: &mut [u64],
+    v: usize,
+    rng: &mut StdRng,
+) {
+    let k = config.num_topics;
+    let alpha = config.alpha;
+    let beta = config.beta;
+    let vbeta = v as f64 * beta;
+    let ab = alpha * beta;
+
+    // Cached reciprocals 1/(n_k + Vβ): the dense path pays K divisions
+    // per token, this pays two (one per changed topic).
+    let mut inv_nk: Vec<f64> = n_k.iter().map(|&nk| 1.0 / (nk as f64 + vbeta)).collect();
+    // Per-word list of topics with n_kw > 0 — the `q` walk domain.
+    let mut word_topics: Vec<Vec<u32>> = vec![Vec::new(); v];
+    for t in 0..k {
+        for w in 0..v {
+            if n_kw[t * v + w] > 0 {
+                word_topics[w].push(t as u32);
+            }
+        }
+    }
+    // Per-document scratch, reused across all documents.
+    let mut q_coef = vec![0.0f64; k];
+    let mut q_terms: Vec<f64> = Vec::with_capacity(k);
+    let mut active: Vec<u32> = Vec::with_capacity(k);
+
+    let mut hits = BucketHits::default();
+    let mut degenerate = 0u64;
+    for _sweep in 0..config.iterations {
+        forumcast_obs::counter_add("lda.gibbs.sweeps", 1);
+        // Rebuild the smoothing bucket each sweep to bound drift.
+        let mut s_sum: f64 = inv_nk.iter().map(|&inv| ab * inv).sum();
+        for di in 0..doc_offsets.len() - 1 {
+            let doc = &tokens[doc_offsets[di]..doc_offsets[di + 1]];
+            if doc.is_empty() {
+                continue;
+            }
+            // Document bucket and coefficients, rebuilt per document.
+            active.clear();
+            let mut r_sum = 0.0;
+            for t in 0..k {
+                let ndk = n_dk[di * k + t];
+                q_coef[t] = (ndk as f64 + alpha) * inv_nk[t];
+                if ndk > 0 {
+                    active.push(t as u32);
+                    r_sum += ndk as f64 * beta * inv_nk[t];
+                }
+            }
+            for ti in doc_offsets[di]..doc_offsets[di + 1] {
+                let w = tokens[ti] as usize;
+                let old = z[ti] as usize;
+
+                // Remove the token's current assignment, updating the
+                // bucket sums around the count changes.
+                s_sum -= ab * inv_nk[old];
+                r_sum -= n_dk[di * k + old] as f64 * beta * inv_nk[old];
+                n_dk[di * k + old] -= 1;
+                n_kw[old * v + w] -= 1;
+                if n_kw[old * v + w] == 0 {
+                    let wt = &mut word_topics[w];
+                    let pos = wt
+                        .iter()
+                        .position(|&t| t as usize == old)
+                        .expect("word-topic list out of sync with counts");
+                    wt.swap_remove(pos);
+                }
+                n_k[old] -= 1;
+                inv_nk[old] = 1.0 / (n_k[old] as f64 + vbeta);
+                s_sum += ab * inv_nk[old];
+                r_sum += n_dk[di * k + old] as f64 * beta * inv_nk[old];
+                q_coef[old] = (n_dk[di * k + old] as f64 + alpha) * inv_nk[old];
+                if n_dk[di * k + old] == 0 {
+                    let pos = active
+                        .iter()
+                        .position(|&t| t as usize == old)
+                        .expect("active-topic list out of sync with counts");
+                    active.swap_remove(pos);
+                }
+
+                // Word bucket: mass over the word's nonzero topics.
+                let wt = &word_topics[w];
+                q_terms.clear();
+                let mut q_sum = 0.0;
+                for &t in wt {
+                    let term = q_coef[t as usize] * n_kw[t as usize * v + w] as f64;
+                    q_terms.push(term);
+                    q_sum += term;
+                }
+
+                let total = q_sum + r_sum + s_sum;
+                let u = rng.gen::<f64>();
+                let new = if !(total.is_finite() && total > 0.0) {
+                    debug_assert!(
+                        false,
+                        "degenerate sparse sampling row: total = {total} over {k} topics"
+                    );
+                    degenerate += 1;
+                    ((u * k as f64) as usize).min(k - 1)
+                } else {
+                    let mut x = u * total;
+                    if x < q_sum {
+                        hits.q += 1;
+                        let mut pick = wt[wt.len() - 1] as usize;
+                        for (i, &t) in wt.iter().enumerate() {
+                            x -= q_terms[i];
+                            if x <= 0.0 {
+                                pick = t as usize;
+                                break;
+                            }
+                        }
+                        pick
+                    } else if x < q_sum + r_sum && !active.is_empty() {
+                        hits.r += 1;
+                        x -= q_sum;
+                        let mut pick = active[active.len() - 1] as usize;
+                        for &t in &active {
+                            x -= n_dk[di * k + t as usize] as f64 * beta * inv_nk[t as usize];
+                            if x <= 0.0 {
+                                pick = t as usize;
+                                break;
+                            }
+                        }
+                        pick
+                    } else {
+                        hits.s += 1;
+                        x -= q_sum + r_sum;
+                        let mut pick = k - 1;
+                        for (t, &inv) in inv_nk.iter().enumerate() {
+                            x -= ab * inv;
+                            if x <= 0.0 {
+                                pick = t;
+                                break;
+                            }
+                        }
+                        pick
+                    }
+                };
+
+                // Add the new assignment back, mirroring the removal.
+                s_sum -= ab * inv_nk[new];
+                r_sum -= n_dk[di * k + new] as f64 * beta * inv_nk[new];
+                if n_kw[new * v + w] == 0 {
+                    word_topics[w].push(new as u32);
+                }
+                n_kw[new * v + w] += 1;
+                n_k[new] += 1;
+                inv_nk[new] = 1.0 / (n_k[new] as f64 + vbeta);
+                n_dk[di * k + new] += 1;
+                if n_dk[di * k + new] == 1 {
+                    active.push(new as u32);
+                }
+                s_sum += ab * inv_nk[new];
+                r_sum += n_dk[di * k + new] as f64 * beta * inv_nk[new];
+                q_coef[new] = (n_dk[di * k + new] as f64 + alpha) * inv_nk[new];
+                z[ti] = new as u32;
+            }
+        }
+    }
+    hits.flush();
+    if degenerate > 0 {
+        forumcast_obs::counter_add("lda.sample.degenerate", degenerate);
+    }
+}
+
 /// Samples an index proportionally to `probs` (which sum to `total`).
+///
+/// A degenerate row (`total` zero, negative, or non-finite) trips a
+/// debug assertion; in release builds it is counted under the
+/// `lda.sample.degenerate` obs counter and resolved by a deterministic
+/// uniform fallback, so bad rows are observable instead of silently
+/// mapped to the last index.
 fn sample_index(probs: &[f64], total: f64, rng: &mut StdRng) -> usize {
-    let mut u = rng.gen::<f64>() * total;
+    let r = rng.gen::<f64>();
+    if !(total.is_finite() && total > 0.0) {
+        debug_assert!(
+            false,
+            "degenerate sampling row: total = {total} over {} probs",
+            probs.len()
+        );
+        forumcast_obs::counter_add("lda.sample.degenerate", 1);
+        return ((r * probs.len() as f64) as usize).min(probs.len() - 1);
+    }
+    let mut u = r * total;
     for (i, &p) in probs.iter().enumerate() {
         u -= p;
         if u <= 0.0 {
@@ -388,27 +857,14 @@ mod tests {
     }
 
     #[test]
-    fn training_is_deterministic_given_seed() {
+    fn sparse_sampler_separates_themes_too() {
         let (corpus, _) = separable_corpus();
-        let cfg = LdaConfig::new(2).with_iterations(20).with_seed(5);
-        let m1 = LdaModel::train(&corpus, &cfg);
-        let m2 = LdaModel::train(&corpus, &cfg);
-        assert_eq!(m1.doc_topics(3), m2.doc_topics(3));
-        assert_eq!(m1.topic_words(1), m2.topic_words(1));
-    }
-
-    #[test]
-    fn inference_matches_training_theme() {
-        let (corpus, vocab) = separable_corpus();
         let cfg = LdaConfig::new(2)
             .with_iterations(100)
-            .with_priors(0.1, 0.01);
+            .with_priors(0.1, 0.01)
+            .with_seed(11)
+            .with_sampler(LdaSampler::Sparse);
         let model = LdaModel::train(&corpus, &cfg);
-        let cat_doc = forumcast_text::BagOfWords::encode(
-            &["cat", "meow", "purr", "cat", "whisker", "meow"],
-            &vocab,
-        );
-        let theta = model.infer(&cat_doc, 99);
         let cat_topic = model
             .doc_topics(0)
             .iter()
@@ -416,10 +872,82 @@ mod tests {
             .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
-        assert!(
-            theta[cat_topic] > 0.6,
-            "held-out cat doc got {theta:?} (cat topic {cat_topic})"
-        );
+        for d in 0..corpus.num_docs() {
+            let theta = model.doc_topics(d);
+            let dominant = theta
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0;
+            assert_eq!(
+                dominant == cat_topic,
+                d % 2 == 0,
+                "doc {d} landed on the wrong theme: {theta:?}"
+            );
+            assert!(theta[dominant] > 0.7, "doc {d} not concentrated: {theta:?}");
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let (corpus, _) = separable_corpus();
+        for sampler in [LdaSampler::Dense, LdaSampler::Sparse] {
+            let cfg = LdaConfig::new(2)
+                .with_iterations(20)
+                .with_seed(5)
+                .with_sampler(sampler);
+            let m1 = LdaModel::train(&corpus, &cfg);
+            let m2 = LdaModel::train(&corpus, &cfg);
+            assert_eq!(m1.doc_topics(3), m2.doc_topics(3), "{sampler} θ");
+            assert_eq!(m1.topic_words(1), m2.topic_words(1), "{sampler} φ");
+        }
+    }
+
+    /// The sparse path maintains its counts incrementally; after
+    /// training, its final state must still describe the same corpus
+    /// (θ rows sum to 1, φ rows sum to 1 — i.e. no count was lost).
+    #[test]
+    fn sparse_final_state_is_consistent() {
+        let (corpus, _) = separable_corpus();
+        let cfg = LdaConfig::new(3)
+            .with_iterations(30)
+            .with_sampler(LdaSampler::Sparse);
+        let model = LdaModel::train(&corpus, &cfg);
+        for d in 0..corpus.num_docs() {
+            assert!((model.doc_topics(d).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        for t in 0..3 {
+            assert!((model.topic_words(t).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inference_matches_training_theme() {
+        let (corpus, vocab) = separable_corpus();
+        for sampler in [LdaSampler::Dense, LdaSampler::Sparse] {
+            let cfg = LdaConfig::new(2)
+                .with_iterations(100)
+                .with_priors(0.1, 0.01)
+                .with_sampler(sampler);
+            let model = LdaModel::train(&corpus, &cfg);
+            let cat_doc = forumcast_text::BagOfWords::encode(
+                &["cat", "meow", "purr", "cat", "whisker", "meow"],
+                &vocab,
+            );
+            let theta = model.infer(&cat_doc, 99);
+            let cat_topic = model
+                .doc_topics(0)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0;
+            assert!(
+                theta[cat_topic] > 0.6,
+                "held-out cat doc got {theta:?} with {sampler} (cat topic {cat_topic})"
+            );
+        }
     }
 
     #[test]
@@ -443,10 +971,13 @@ mod tests {
     #[test]
     fn single_topic_model_is_degenerate_but_valid() {
         let (corpus, _) = separable_corpus();
-        let model = LdaModel::train(&corpus, &LdaConfig::new(1).with_iterations(5));
-        assert_eq!(model.doc_topics(0), &[1.0]);
-        let theta = model.infer(corpus.doc(0), 3);
-        assert_eq!(theta, vec![1.0]);
+        for sampler in [LdaSampler::Dense, LdaSampler::Sparse] {
+            let cfg = LdaConfig::new(1).with_iterations(5).with_sampler(sampler);
+            let model = LdaModel::train(&corpus, &cfg);
+            assert_eq!(model.doc_topics(0), &[1.0]);
+            let theta = model.infer(corpus.doc(0), 3);
+            assert_eq!(theta, vec![1.0]);
+        }
     }
 
     #[test]
@@ -458,32 +989,38 @@ mod tests {
     #[test]
     fn empty_corpus_trains_trivially() {
         let corpus = Corpus::from_bows(vec![], 0);
-        let model = LdaModel::train(&corpus, &LdaConfig::new(2).with_iterations(5));
-        assert_eq!(model.num_topics(), 2);
-        assert_eq!(model.all_doc_topics().len(), 0);
+        for sampler in [LdaSampler::Dense, LdaSampler::Sparse] {
+            let cfg = LdaConfig::new(2).with_iterations(5).with_sampler(sampler);
+            let model = LdaModel::train(&corpus, &cfg);
+            assert_eq!(model.num_topics(), 2);
+            assert_eq!(model.num_docs(), 0);
+        }
     }
 
     #[test]
     fn batch_inference_bitwise_matches_serial_for_any_thread_count() {
         let (corpus, _) = separable_corpus();
-        let model = LdaModel::train(&corpus, &LdaConfig::new(3).with_iterations(20));
-        let docs: Vec<(forumcast_text::BagOfWords, u64)> = (0..corpus.num_docs())
-            .map(|d| (corpus.doc(d).clone(), d as u64 * 13 + 1))
-            .collect();
-        let serial: Vec<Vec<f64>> = docs
-            .iter()
-            .map(|(doc, seed)| model.infer(doc, *seed))
-            .collect();
-        for threads in [1, 2, 7] {
-            let batch = model.infer_batch(&docs, threads);
-            assert_eq!(batch.len(), serial.len());
-            for (d, (a, b)) in serial.iter().zip(&batch).enumerate() {
-                for (x, y) in a.iter().zip(b) {
-                    assert_eq!(
-                        x.to_bits(),
-                        y.to_bits(),
-                        "doc {d} differs with {threads} threads"
-                    );
+        for sampler in [LdaSampler::Dense, LdaSampler::Sparse] {
+            let cfg = LdaConfig::new(3).with_iterations(20).with_sampler(sampler);
+            let model = LdaModel::train(&corpus, &cfg);
+            let docs: Vec<(forumcast_text::BagOfWords, u64)> = (0..corpus.num_docs())
+                .map(|d| (corpus.doc(d).clone(), d as u64 * 13 + 1))
+                .collect();
+            let serial: Vec<Vec<f64>> = docs
+                .iter()
+                .map(|(doc, seed)| model.infer(doc, *seed))
+                .collect();
+            for threads in [1, 2, 7] {
+                let batch = model.infer_batch(&docs, threads);
+                assert_eq!(batch.len(), serial.len());
+                for (d, (a, b)) in serial.iter().zip(&batch).enumerate() {
+                    for (x, y) in a.iter().zip(b) {
+                        assert_eq!(
+                            x.to_bits(),
+                            y.to_bits(),
+                            "doc {d} differs with {threads} threads ({sampler})"
+                        );
+                    }
                 }
             }
         }
@@ -498,5 +1035,86 @@ mod tests {
         for (a, b) in back.doc_topics(0).iter().zip(model.doc_topics(0)) {
             assert!((a - b).abs() < 1e-12, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn config_missing_sampler_field_defaults_to_dense() {
+        let json = serde_json::to_string(&LdaConfig::new(2)).unwrap();
+        // Simulate a config saved before the sampler field existed.
+        let stripped = json
+            .replace(",\"sampler\":\"Dense\"", "")
+            .replace("\"sampler\":\"Dense\",", "");
+        assert!(!stripped.contains("sampler"), "{stripped}");
+        let back: LdaConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.sampler, LdaSampler::Dense);
+    }
+
+    #[test]
+    fn sampler_parses_from_cli_spelling() {
+        assert_eq!("dense".parse::<LdaSampler>().unwrap(), LdaSampler::Dense);
+        assert_eq!("sparse".parse::<LdaSampler>().unwrap(), LdaSampler::Sparse);
+        assert!("fancy".parse::<LdaSampler>().is_err());
+        assert_eq!(LdaSampler::Sparse.to_string(), "sparse");
+    }
+
+    #[test]
+    fn top_words_breaks_ties_by_word_id() {
+        // Uniform φ row: every word ties, so top-n must be the first n
+        // word ids.
+        let corpus = Corpus::from_bows(
+            vec![forumcast_text::BagOfWords::from_ids(&[0, 1, 2, 3, 4])],
+            5,
+        );
+        let model = LdaModel::train(&corpus, &LdaConfig::new(1).with_iterations(0));
+        assert_eq!(model.top_words(0, 3), vec![0, 1, 2]);
+        assert_eq!(model.top_words(0, 0), Vec::<usize>::new());
+        // n larger than the vocabulary clamps.
+        assert_eq!(model.top_words(0, 99).len(), 5);
+    }
+
+    #[test]
+    fn top_words_matches_full_sort() {
+        let (corpus, _) = separable_corpus();
+        let model = LdaModel::train(&corpus, &LdaConfig::new(2).with_iterations(30));
+        for topic in 0..2 {
+            let row = model.topic_words(topic);
+            let mut full: Vec<usize> = (0..model.num_words()).collect();
+            full.sort_by(|&a, &b| row[b].total_cmp(&row[a]).then_with(|| a.cmp(&b)));
+            for n in [1, 3, model.num_words()] {
+                assert_eq!(
+                    model.top_words(topic, n),
+                    full[..n],
+                    "topic {topic} top {n}"
+                );
+            }
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "degenerate sampling row")]
+    fn degenerate_row_trips_debug_assertion() {
+        let mut rng = StdRng::seed_from_u64(1);
+        sample_index(&[0.0, 0.0], 0.0, &mut rng);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn degenerate_row_falls_back_deterministically_in_release() {
+        let guard = forumcast_obs::arm();
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = sample_index(&[0.0, 0.0, 0.0], 0.0, &mut rng);
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = sample_index(&[0.0, 0.0, 0.0], f64::NAN, &mut rng);
+        assert_eq!(a, b, "fallback must not depend on the bad total");
+        assert!(a < 3);
+        let log = forumcast_obs::drain().expect("collector armed");
+        drop(guard);
+        let degenerate = log
+            .counters
+            .iter()
+            .find(|(n, _)| n == "lda.sample.degenerate")
+            .map_or(0, |(_, v)| *v);
+        assert_eq!(degenerate, 2);
     }
 }

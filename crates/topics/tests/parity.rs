@@ -1,0 +1,173 @@
+//! Dense-vs-sparse sampler parity harness.
+//!
+//! The sparse bucket sampler draws from the *same* collapsed Gibbs
+//! conditional as the dense reference, but consumes randomness
+//! differently, so the two chains are distinct and cannot be compared
+//! bitwise. What must hold is *statistical* parity: on corpora with
+//! real topic structure both samplers land on models of equivalent
+//! quality (held-out perplexity) that assign essentially the same
+//! document–topic distributions, up to a permutation of topic labels.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use forumcast_text::{BagOfWords, Corpus};
+use forumcast_topics::{perplexity, LdaConfig, LdaModel, LdaSampler};
+
+/// A skewed two-theme corpus: two disjoint 8-word themes, documents
+/// drawing ~90% of tokens from their home theme, with Zipf-ish word
+/// popularity inside each theme (sparse-friendly skew, matching the
+/// forum-corpus shape the sampler targets).
+fn themed_corpus(num_docs: usize, seed: u64) -> Corpus {
+    let vocab = 16usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let docs: Vec<BagOfWords> = (0..num_docs)
+        .map(|d| {
+            let home = d % 2; // theme 0 or 1
+            let len = rng.gen_range(8..25);
+            let ids: Vec<usize> = (0..len)
+                .map(|_| {
+                    let theme = if rng.gen_bool(0.9) { home } else { 1 - home };
+                    // Zipf-ish: word j within a theme with weight 1/(j+1).
+                    let mut u = rng.gen::<f64>() * 2.717_857; // H_8
+                    let mut j = 0;
+                    while j < 7 {
+                        u -= 1.0 / (j + 1) as f64;
+                        if u <= 0.0 {
+                            break;
+                        }
+                        j += 1;
+                    }
+                    theme * 8 + j
+                })
+                .collect();
+            BagOfWords::from_ids(&ids)
+        })
+        .collect();
+    Corpus::from_bows(docs, vocab)
+}
+
+/// TV distance between two distributions.
+fn tv(a: &[f64], b: &[f64]) -> f64 {
+    0.5 * a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>()
+}
+
+/// Mean per-document TV distance between the two models' θ, under the
+/// best topic-label permutation (Gibbs chains may discover the same
+/// topics in different order). `K` is small, so brute force is fine.
+fn best_permuted_mean_tv(a: &LdaModel, b: &LdaModel) -> f64 {
+    let k = a.num_topics();
+    assert_eq!(k, b.num_topics());
+    let perms = permutations(k);
+    let docs = a.num_docs();
+    perms
+        .iter()
+        .map(|perm| {
+            (0..docs)
+                .map(|d| {
+                    let ta = a.doc_topics(d);
+                    let tb = b.doc_topics(d);
+                    let permuted: Vec<f64> = (0..k).map(|t| tb[perm[t]]).collect();
+                    tv(ta, &permuted)
+                })
+                .sum::<f64>()
+                / docs as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn permutations(k: usize) -> Vec<Vec<usize>> {
+    if k == 1 {
+        return vec![vec![0]];
+    }
+    let mut out = Vec::new();
+    for sub in permutations(k - 1) {
+        for pos in 0..k {
+            let mut p: Vec<usize> = sub.iter().map(|&x| x + usize::from(x >= pos)).collect();
+            p.insert(0, pos);
+            out.push(p);
+        }
+    }
+    out
+}
+
+fn train_pair(corpus: &Corpus, k: usize, iterations: usize) -> (LdaModel, LdaModel) {
+    let base = LdaConfig::new(k).with_iterations(iterations).with_seed(42);
+    let dense = LdaModel::train(corpus, &base.clone().with_sampler(LdaSampler::Dense));
+    let sparse = LdaModel::train(corpus, &base.with_sampler(LdaSampler::Sparse));
+    (dense, sparse)
+}
+
+#[test]
+fn perplexity_parity_on_themed_corpus() {
+    let corpus = themed_corpus(60, 11);
+    let heldout = themed_corpus(20, 99);
+    let (dense, sparse) = train_pair(&corpus, 2, 150);
+    let pd = perplexity(&dense, &heldout, 7);
+    let ps = perplexity(&sparse, &heldout, 7);
+    assert!(pd.is_finite() && ps.is_finite());
+    let rel = (pd - ps).abs() / pd;
+    assert!(
+        rel < 0.05,
+        "held-out perplexity diverged: dense {pd:.3} vs sparse {ps:.3} ({rel:.4} rel)"
+    );
+}
+
+#[test]
+fn document_topic_distributions_agree_up_to_label_permutation() {
+    let corpus = themed_corpus(60, 23);
+    let (dense, sparse) = train_pair(&corpus, 2, 150);
+    let mean_tv = best_permuted_mean_tv(&dense, &sparse);
+    assert!(
+        mean_tv < 0.12,
+        "mean per-doc TV distance {mean_tv:.4} exceeds parity bound"
+    );
+}
+
+#[test]
+fn parity_holds_at_more_topics_than_themes() {
+    // K = 3 over 2 themes: the surplus topic must not break parity.
+    let corpus = themed_corpus(60, 37);
+    let heldout = themed_corpus(20, 101);
+    let (dense, sparse) = train_pair(&corpus, 3, 150);
+    let pd = perplexity(&dense, &heldout, 3);
+    let ps = perplexity(&sparse, &heldout, 3);
+    let rel = (pd - ps).abs() / pd;
+    assert!(
+        rel < 0.10,
+        "held-out perplexity diverged: dense {pd:.3} vs sparse {ps:.3} ({rel:.4} rel)"
+    );
+}
+
+proptest! {
+    /// On arbitrary random corpora both samplers produce valid models
+    /// whose training-set perplexities stay within a loose band of
+    /// each other (different chains, same model family).
+    #[test]
+    fn samplers_stay_comparable_on_random_corpora(seed in 0u64..1000, k in 2usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vocab = 12;
+        let docs: Vec<BagOfWords> = (0..12)
+            .map(|_| {
+                let len = rng.gen_range(3..20);
+                let ids: Vec<usize> = (0..len).map(|_| rng.gen_range(0..vocab)).collect();
+                BagOfWords::from_ids(&ids)
+            })
+            .collect();
+        let corpus = Corpus::from_bows(docs, vocab);
+        let (dense, sparse) = train_pair(&corpus, k, 40);
+        for d in 0..corpus.num_docs() {
+            let t = sparse.doc_topics(d);
+            prop_assert!((t.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(t.iter().all(|&p| p > 0.0));
+        }
+        let pd = perplexity(&dense, &corpus, 5);
+        let ps = perplexity(&sparse, &corpus, 5);
+        prop_assert!(pd.is_finite() && ps.is_finite());
+        let ratio = ps / pd;
+        // Unstructured corpora give noisy chains; parity here means
+        // "same ballpark", not the tight themed-corpus bound.
+        prop_assert!((0.5..2.0).contains(&ratio), "ratio {ratio} (dense {pd}, sparse {ps})");
+    }
+}

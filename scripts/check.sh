@@ -65,4 +65,35 @@ fi
 diff <(grep -v '^checkpointing' "$work_dir/clean.txt") \
      <(grep -v '^checkpointing' "$work_dir/resumed.txt")
 
+echo "==> perf smoke (quick features.build, dense vs sparse Gibbs, release)"
+# Regressions surface in the log, not as a hard gate: the smoke prints
+# wall time and Gibbs tokens/sec for both samplers from the --metrics
+# summary (lda.gibbs.tokens counter / lda.train span wall time).
+# --topics 64 puts the run in the regime the sparse sampler targets
+# (realistic skewed per-word topic counts; the quick preset's K = 4 is
+# too small for bucket decomposition to pay for itself).
+cargo build -q --release -p forumcast-cli
+fcr=target/release/forumcast
+for sampler in dense sparse; do
+  "$fcr" evaluate --scale quick --threads 1 --topics 64 \
+    --lda-sampler "$sampler" --metrics > "$work_dir/perf.$sampler.txt"
+  awk -v sampler="$sampler" '
+    function ms(str) {
+      if (str ~ /us$/) return substr(str, 1, length(str) - 2) / 1000.0
+      if (str ~ /ms$/) return substr(str, 1, length(str) - 2) + 0
+      if (str ~ /s$/)  return substr(str, 1, length(str) - 1) * 1000.0
+      return str + 0
+    }
+    $1 == "lda.train"        { train_ms = ms($3) }
+    $1 == "features.build"   { build_ms = ms($3) }
+    $1 == "lda.gibbs.tokens" { tokens = $2 }
+    END {
+      if (train_ms > 0 && tokens > 0)
+        printf "perf[%s]: features.build %.1f ms, lda.train %.1f ms, %.0f Gibbs tokens/sec\n",
+               sampler, build_ms, train_ms, tokens / (train_ms / 1000.0)
+      else
+        printf "perf[%s]: metrics summary missing lda.train/tokens\n", sampler
+    }' "$work_dir/perf.$sampler.txt"
+done
+
 echo "All checks passed."
