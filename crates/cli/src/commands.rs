@@ -401,6 +401,10 @@ fn evaluate(
         other => return Err(format!("unknown scale `{other}`").into()),
     };
     cfg.threads = threads;
+    // The same flag drives mini-batch gradient accumulation; the
+    // fixed-order reduction keeps results bitwise identical at any
+    // thread count, so this only affects wall time.
+    forumcast_ml::set_train_threads(threads);
     cfg.extractor.lda.sampler = lda_sampler;
     if let Some(k) = topics {
         cfg.extractor = cfg.extractor.with_topics(k);

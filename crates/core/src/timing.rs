@@ -26,7 +26,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use forumcast_ml::{Activation, Adam, LayerSpec, Mlp, Optimizer};
+use forumcast_ml::{Activation, Adam, LayerSpec, Mlp, MlpScratch, Optimizer};
 
 /// Lower clamp for the excitation μ inside logs and divisions.
 const MU_FLOOR: f64 = 1e-8;
@@ -271,6 +271,10 @@ impl TimingPredictor {
             .as_ref()
             .map(|g| vec![0.0; g.num_params()])
             .unwrap_or_default();
+        // One scratch per network, reused across every observation and
+        // epoch — the hot loop performs no allocations.
+        let mut scratch_f = MlpScratch::new();
+        let mut scratch_g = MlpScratch::new();
 
         for _epoch in 0..config.epochs {
             order.shuffle(&mut rng);
@@ -287,6 +291,8 @@ impl TimingPredictor {
                     decay_net.as_ref(),
                     constant_decay,
                     config.max_survival_weight,
+                    &mut scratch_f,
+                    &mut scratch_g,
                     &mut grads_f,
                     &mut grads_g,
                 );
@@ -510,13 +516,18 @@ fn first_event_expectation(mu: f64, omega: f64, window: f64) -> f64 {
     (sum * step / 3.0) / mass
 }
 
-/// Accumulates ∂(−L_q)/∂Θ for one thread into `grads_f` / `grads_g`.
+/// Accumulates ∂(−L_q)/∂Θ for one thread into `grads_f` / `grads_g`,
+/// running every forward/backward pass through the caller's pooled
+/// scratches (no per-observation allocation).
+#[allow(clippy::too_many_arguments)] // the two nets each carry grads plus scratch
 fn accumulate_thread_grads(
     t: &ThreadObservation,
     f: &Mlp,
     g: Option<&Mlp>,
     constant_decay: f64,
     max_survival_weight: f64,
+    scratch_f: &mut MlpScratch,
+    scratch_g: &mut MlpScratch,
     grads_f: &mut [f64],
     grads_g: &mut [f64],
 ) {
@@ -524,13 +535,12 @@ fn accumulate_thread_grads(
     let window = t.window;
 
     let mut handle = |x: &Vec<f64>, event: Option<f64>, weight: f64| {
-        let cache_f = f.forward_cache(x);
-        let mu_raw = cache_f.output()[0];
+        let mu_raw = f.forward_scratch(x, scratch_f)[0];
         let mu = mu_raw.max(MU_FLOOR);
-        let (omega, cache_g) = match g {
+        let (omega, omega_raw) = match g {
             Some(gn) => {
-                let c = gn.forward_cache(x);
-                (c.output()[0].max(OMEGA_FLOOR), Some(c))
+                let raw = gn.forward_scratch(x, scratch_g)[0];
+                (raw.max(OMEGA_FLOOR), Some(raw))
             }
             None => (constant_decay, None),
         };
@@ -550,10 +560,10 @@ fn accumulate_thread_grads(
             dl_dmu = 0.0;
         }
         // Minimize −L → upstream gradient is −dL.
-        f.backward(&cache_f, &[-dl_dmu], grads_f);
-        if let (Some(gn), Some(cg)) = (g, &cache_g) {
-            if cg.output()[0] >= OMEGA_FLOOR {
-                gn.backward(cg, &[-dl_domega], grads_g);
+        f.backward_scratch(scratch_f, &[-dl_dmu], grads_f);
+        if let (Some(gn), Some(raw)) = (g, omega_raw) {
+            if raw >= OMEGA_FLOOR {
+                gn.backward_scratch(scratch_g, &[-dl_domega], grads_g);
             }
         }
     };
@@ -805,12 +815,16 @@ mod tests {
         };
         let mut grads_f = vec![0.0; f.num_params()];
         let mut grads_g = vec![0.0; g.num_params()];
+        let mut scratch_f = MlpScratch::new();
+        let mut scratch_g = MlpScratch::new();
         accumulate_thread_grads(
             &t,
             &f,
             Some(&g),
             0.0,
             f64::INFINITY,
+            &mut scratch_f,
+            &mut scratch_g,
             &mut grads_f,
             &mut grads_g,
         );

@@ -1,0 +1,83 @@
+//! Quick-scale training throughput probe used by the check.sh
+//! determinism smoke: trains the same MLP at a configurable thread
+//! count, prints samples/sec, and fingerprints the learned parameters
+//! so serial and parallel runs can be diffed bit-for-bit.
+//!
+//! ```text
+//! cargo run --release -p forumcast-ml --example train_throughput -- \
+//!     --threads 2 --samples 2048 --epochs 8
+//! ```
+
+use std::time::Instant;
+
+use forumcast_ml::{Activation, Adam, LayerSpec, Mlp, Trainer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arg(name: &str, default: usize) -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            let v = args
+                .next()
+                .unwrap_or_else(|| panic!("{name} needs a value"));
+            return v
+                .parse()
+                .unwrap_or_else(|_| panic!("{name} expects an integer, got `{v}`"));
+        }
+    }
+    default
+}
+
+/// FNV-1a over the parameter bits — stable, order-sensitive, and
+/// cheap enough for a smoke script to diff.
+fn params_fnv(mlp: &Mlp) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for p in mlp.params() {
+        for byte in p.to_bits().to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn main() {
+    let threads = arg("--threads", 1);
+    let samples = arg("--samples", 2048);
+    let epochs = arg("--epochs", 8);
+
+    let mut rng = StdRng::seed_from_u64(12345);
+    let mut mlp = Mlp::new(
+        &[
+            LayerSpec::new(8, 32, Activation::Tanh),
+            LayerSpec::new(32, 1, Activation::Identity),
+        ],
+        &mut rng,
+    );
+    let xs: Vec<Vec<f64>> = (0..samples)
+        .map(|i| {
+            (0..8)
+                .map(|j| ((i * 13 + j * 5) as f64 * 0.07).sin())
+                .collect()
+        })
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| x[0] * x[1] - 0.5 * x[2] + x[7].tanh())
+        .collect();
+
+    let mut trainer = Trainer::new(Adam::new(0.01), 256).with_threads(threads);
+    let start = Instant::now();
+    let mut mse = 0.0;
+    for _ in 0..epochs {
+        mse = trainer.epoch(&mut mlp, &xs, &ys, &mut rng);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let sps = (samples * epochs) as f64 / elapsed;
+
+    println!("threads={threads} samples={samples} epochs={epochs}");
+    println!("final_mse={mse:.6}");
+    println!("samples_per_sec={sps:.0}");
+    println!("params_fnv={:016x}", params_fnv(&mlp));
+}

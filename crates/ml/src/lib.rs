@@ -6,13 +6,19 @@
 //! point-process-ready training stack, so this crate implements
 //! everything needed from first principles:
 //!
-//! * [`linalg`] — small dense vector helpers;
+//! * [`linalg`] — blocked dense kernels (`dot`/`axpy`/`gemv`-family)
+//!   shared by every trainer, with fixed blocking so all code paths
+//!   associate floating-point sums identically;
 //! * [`activation`] — ReLU / tanh / sigmoid / softplus / identity;
 //! * [`mlp`] — fully-connected networks with flat parameter storage
 //!   and reverse-mode gradients ([`Mlp::backward`]), so custom losses
 //!   (e.g. the point-process likelihood in `forumcast-core`) can push
-//!   arbitrary output gradients through the network;
+//!   arbitrary output gradients through the network; hot loops reuse
+//!   an [`MlpScratch`] instead of allocating per sample;
 //! * [`optim`] — SGD and Adam (the paper's optimizer);
+//! * [`batch`] — deterministic batch-parallel gradient accumulation
+//!   ([`set_train_threads`]): fixed-order chunk reduction makes
+//!   1-vs-N-thread training bitwise identical;
 //! * [`logistic`] — L2-regularized logistic regression (the `â`
 //!   predictor);
 //! * [`mf`] — biased matrix factorization (baseline for `v̂`);
@@ -44,7 +50,9 @@
 //! ```
 
 pub mod activation;
+pub mod batch;
 pub mod error;
+mod glm;
 pub mod linalg;
 pub mod logistic;
 pub mod mf;
@@ -56,10 +64,11 @@ pub mod train_state;
 pub mod trainer;
 
 pub use activation::Activation;
+pub use batch::{set_train_threads, train_threads};
 pub use error::TrainError;
 pub use logistic::LogisticRegression;
 pub use mf::{MatrixFactorization, MfConfig};
-pub use mlp::{ForwardCache, LayerSpec, Mlp};
+pub use mlp::{ForwardCache, LayerSpec, Mlp, MlpScratch};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use poisson::PoissonRegression;
 pub use sparfa::{Sparfa, SparfaConfig};

@@ -6,13 +6,13 @@
 //! (Section II-A1).
 
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::activation::sigmoid;
+use crate::glm::{self, GlmScratch};
 use crate::linalg::dot;
-use crate::optim::{Adam, Optimizer};
+use crate::optim::Adam;
 use crate::train_state::{glm_snapshot, restore_glm, TrainState, TrainStateError};
 
 /// Binary logistic-regression classifier
@@ -101,7 +101,8 @@ impl LogisticRegression {
     }
 
     /// Fits by mini-batch gradient descent with Adam, `epochs` passes,
-    /// batch size 32, learning rate `lr`, L2 strength `l2`.
+    /// batch size 32, learning rate `lr`, L2 strength `l2`, and the
+    /// crate-global thread setting (see [`crate::set_train_threads`]).
     ///
     /// Each epoch shuffles a fresh identity permutation, so the RNG
     /// state alone determines the remaining schedule — the property
@@ -120,6 +121,29 @@ impl LogisticRegression {
         l2: f64,
         rng: &mut R,
     ) {
+        self.fit_with(xs, ys, epochs, lr, l2, 32, 0, rng);
+    }
+
+    /// [`Self::fit`] with explicit batch size and worker-thread count
+    /// (`threads == 0` uses the crate-global setting). Gradient
+    /// accumulation follows the fixed-order chunk reduction, so any
+    /// thread count yields bitwise-identical parameters.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::fit`], plus `batch_size == 0`.
+    #[allow(clippy::too_many_arguments)] // fit's knobs plus the batch/thread pair
+    pub fn fit_with<R: Rng + ?Sized>(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[bool],
+        epochs: usize,
+        lr: f64,
+        l2: f64,
+        batch_size: usize,
+        threads: usize,
+        rng: &mut R,
+    ) {
         assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
         if xs.is_empty() {
             return;
@@ -128,9 +152,20 @@ impl LogisticRegression {
         // Flat parameter vector: [weights..., bias].
         let mut params: Vec<f64> = self.weights.clone();
         params.push(self.bias);
+        let mut scratch = GlmScratch::default();
         for _ in 0..epochs {
             forumcast_obs::counter_add("ml.logistic.epochs", 1);
-            epoch_pass(&mut params, &mut opt, xs, ys, l2, rng);
+            glm::epoch_pass(
+                &mut params,
+                &mut opt,
+                xs,
+                l2,
+                batch_size,
+                threads,
+                &mut scratch,
+                rng,
+                |z, i| sigmoid(z) - if ys[i] { 1.0 } else { 0.0 },
+            );
         }
         self.bias = params.pop().expect("bias present");
         self.weights = params;
@@ -177,9 +212,20 @@ impl LogisticRegression {
             restore_glm(state, &mut params, &mut opt, rng)?;
             start = state.epoch as usize;
         }
+        let mut scratch = GlmScratch::default();
         for epoch in start..epochs {
             forumcast_obs::counter_add("ml.logistic.epochs", 1);
-            epoch_pass(&mut params, &mut opt, xs, ys, l2, rng);
+            glm::epoch_pass(
+                &mut params,
+                &mut opt,
+                xs,
+                l2,
+                32,
+                0,
+                &mut scratch,
+                rng,
+                |z, i| sigmoid(z) - if ys[i] { 1.0 } else { 0.0 },
+            );
             if snapshot_every > 0 && (epoch + 1) % snapshot_every == 0 && epoch + 1 < epochs {
                 on_snapshot(&glm_snapshot(&params, &opt, l2, epoch + 1, rng));
             }
@@ -188,45 +234,6 @@ impl LogisticRegression {
         self.bias = params.pop().expect("bias present");
         self.weights = params;
         Ok(())
-    }
-}
-
-/// One shuffled mini-batch pass shared by [`LogisticRegression::fit`]
-/// and [`LogisticRegression::fit_resumable`] — keeping the two paths
-/// numerically identical is what makes resumed runs bitwise-equal to
-/// uninterrupted ones.
-fn epoch_pass<R: Rng + ?Sized>(
-    params: &mut [f64],
-    opt: &mut Adam,
-    xs: &[Vec<f64>],
-    ys: &[bool],
-    l2: f64,
-    rng: &mut R,
-) {
-    let dim = params.len() - 1;
-    let batch = 32.min(xs.len());
-    let mut order: Vec<usize> = (0..xs.len()).collect();
-    order.shuffle(rng);
-    for chunk in order.chunks(batch) {
-        let mut grads = vec![0.0; dim + 1];
-        for &i in chunk {
-            let x = &xs[i];
-            assert_eq!(x.len(), dim, "sample dimension mismatch");
-            let p = sigmoid(dot(&params[..dim], x) + params[dim]);
-            let err = p - if ys[i] { 1.0 } else { 0.0 };
-            for (g, &xi) in grads[..dim].iter_mut().zip(x) {
-                *g += err * xi;
-            }
-            grads[dim] += err;
-        }
-        let scale = 1.0 / chunk.len() as f64;
-        for (j, g) in grads.iter_mut().enumerate() {
-            *g *= scale;
-            if j < dim {
-                *g += l2 * params[j];
-            }
-        }
-        opt.step(params, &grads);
     }
 }
 

@@ -129,11 +129,16 @@ impl MatrixFactorization {
                 let err = self.predict(u, i) - v;
                 self.user_bias[u] -= lr * (err + l2 * self.user_bias[u]);
                 self.item_bias[i] -= lr * (err + l2 * self.item_bias[i]);
-                for f in 0..k {
-                    let pu = self.user_factors[u * k + f];
-                    let qi = self.item_factors[i * k + f];
-                    self.user_factors[u * k + f] -= lr * (err * qi + l2 * pu);
-                    self.item_factors[i * k + f] -= lr * (err * pu + l2 * qi);
+                // Zipped slice walk over the two factor rows: one
+                // bounds check per row instead of four per component,
+                // with the pre-update values read into locals so the
+                // coupled update keeps its original semantics.
+                let pu = &mut self.user_factors[u * k..(u + 1) * k];
+                let qi = &mut self.item_factors[i * k..(i + 1) * k];
+                for (p, q) in pu.iter_mut().zip(qi.iter_mut()) {
+                    let (pv, qv) = (*p, *q);
+                    *p -= lr * (err * qv + l2 * pv);
+                    *q -= lr * (err * pv + l2 * qv);
                 }
             }
         }

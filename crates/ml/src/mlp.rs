@@ -64,6 +64,88 @@ impl ForwardCache {
     }
 }
 
+/// Reusable flat buffers for [`Mlp::forward_scratch`] /
+/// [`Mlp::backward_scratch`] — the allocation-free twin of
+/// [`ForwardCache`], following the graph crate's `BfsScratch`
+/// discipline: lazily sized on first use, resized only when the
+/// network shape changes, reused (with a [`reuses`](Self::reuses)
+/// count) otherwise. One scratch serves one network shape at a time;
+/// a forward pass overwrites every cell it reads, so no clearing is
+/// needed between passes.
+#[derive(Debug, Default)]
+pub struct MlpScratch {
+    /// Flat activations: the input segment followed by one segment per
+    /// layer output, at [`Self::offsets`].
+    acts: Vec<f64>,
+    /// Start offset of segment `l` in `acts` (`layers + 1` entries,
+    /// the last being the output segment).
+    offsets: Vec<usize>,
+    /// δ ping-pong buffers for the backward pass, sized to the widest
+    /// layer interface.
+    delta: Vec<f64>,
+    delta_next: Vec<f64>,
+    /// `(inputs, outputs)` per layer of the network the buffers are
+    /// currently sized for.
+    shape: Vec<(usize, usize)>,
+    /// Times `prepare` found the buffers already sized.
+    reuses: u64,
+}
+
+impl MlpScratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        MlpScratch::default()
+    }
+
+    /// How many forward passes reused the buffers without resizing.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// Sizes the buffers for `mlp`, counting a reuse when they already
+    /// fit.
+    fn prepare(&mut self, mlp: &Mlp) {
+        let fits = self.shape.len() == mlp.specs.len()
+            && self
+                .shape
+                .iter()
+                .zip(&mlp.specs)
+                .all(|(&(i, o), s)| i == s.inputs && o == s.outputs);
+        if fits {
+            self.reuses += 1;
+            return;
+        }
+        self.shape.clear();
+        self.shape
+            .extend(mlp.specs.iter().map(|s| (s.inputs, s.outputs)));
+        self.offsets.clear();
+        self.offsets.push(0);
+        let mut total = mlp.specs[0].inputs;
+        let mut max_width = mlp.specs[0].inputs;
+        for spec in &mlp.specs {
+            self.offsets.push(total);
+            total += spec.outputs;
+            max_width = max_width.max(spec.outputs);
+        }
+        self.acts.resize(total, 0.0);
+        self.delta.resize(max_width, 0.0);
+        self.delta_next.resize(max_width, 0.0);
+    }
+
+    /// Panics unless the scratch holds a pass for `mlp`'s shape.
+    fn assert_prepared(&self, mlp: &Mlp) {
+        assert!(
+            self.shape.len() == mlp.specs.len()
+                && self
+                    .shape
+                    .iter()
+                    .zip(&mlp.specs)
+                    .all(|(&(i, o), s)| i == s.inputs && o == s.outputs),
+            "scratch holds no forward pass for this network shape"
+        );
+    }
+}
+
 /// A fully-connected feed-forward network.
 ///
 /// # Example
@@ -173,16 +255,47 @@ impl Mlp {
             let input = activations.last().expect("non-empty");
             let w = &self.params[offset..offset + spec.outputs * spec.inputs];
             let b = &self.params[offset + spec.outputs * spec.inputs..offset + spec.num_params()];
-            let mut out = Vec::with_capacity(spec.outputs);
-            for o in 0..spec.outputs {
-                let row = &w[o * spec.inputs..(o + 1) * spec.inputs];
-                let z = crate::linalg::dot(row, input) + b[o];
-                out.push(spec.activation.apply(z));
+            let mut out = vec![0.0; spec.outputs];
+            crate::linalg::gemv(w, spec.outputs, spec.inputs, input, b, &mut out);
+            for y in &mut out {
+                *y = spec.activation.apply(*y);
             }
             offset += spec.num_params();
             activations.push(out);
         }
         ForwardCache { activations }
+    }
+
+    /// [`Self::forward_cache`] without allocations: runs the network
+    /// on `x`, storing every layer's activations in `scratch`, and
+    /// returns the output slice. Bitwise-identical to
+    /// [`Self::forward_cache`] — both reduce through the same
+    /// [`crate::linalg`] kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != input_dim()`.
+    pub fn forward_scratch<'s>(&self, x: &[f64], scratch: &'s mut MlpScratch) -> &'s [f64] {
+        assert_eq!(x.len(), self.input_dim(), "input dimension mismatch");
+        scratch.prepare(self);
+        scratch.acts[..x.len()].copy_from_slice(x);
+        let mut offset = 0;
+        for (l, spec) in self.specs.iter().enumerate() {
+            let w = &self.params[offset..offset + spec.outputs * spec.inputs];
+            let b = &self.params[offset + spec.outputs * spec.inputs..offset + spec.num_params()];
+            // The output segment starts where the input segment ends,
+            // so one split yields both without aliasing.
+            let (head, tail) = scratch.acts.split_at_mut(scratch.offsets[l + 1]);
+            let input = &head[scratch.offsets[l]..scratch.offsets[l] + spec.inputs];
+            let out = &mut tail[..spec.outputs];
+            crate::linalg::gemv(w, spec.outputs, spec.inputs, input, b, out);
+            for y in out.iter_mut() {
+                *y = spec.activation.apply(*y);
+            }
+            offset += spec.num_params();
+        }
+        let last = scratch.offsets[self.specs.len()];
+        &scratch.acts[last..last + self.output_dim()]
     }
 
     /// Backpropagates `grad_output = ∂L/∂y` through the cached pass,
@@ -210,15 +323,9 @@ impl Mlp {
             "grad_output dimension mismatch"
         );
         let mut grad = grad_output.to_vec();
-        // Offsets of each layer in the flat parameter vector.
-        let mut offsets = Vec::with_capacity(self.specs.len());
-        let mut acc = 0;
-        for spec in &self.specs {
-            offsets.push(acc);
-            acc += spec.num_params();
-        }
+        let mut offset = self.params.len();
         for (l, spec) in self.specs.iter().enumerate().rev() {
-            let offset = offsets[l];
+            offset -= spec.num_params();
             let input = &cache.activations[l];
             let output = &cache.activations[l + 1];
             // δ = ∂L/∂z = ∂L/∂y ⊙ σ'(z), with σ' from the output.
@@ -227,22 +334,67 @@ impl Mlp {
                 .zip(output)
                 .map(|(&g, &y)| g * spec.activation.derivative_from_output(y))
                 .collect();
+            let w = &self.params[offset..offset + spec.outputs * spec.inputs];
             let (gw, gb) =
                 grads[offset..offset + spec.num_params()].split_at_mut(spec.outputs * spec.inputs);
+            crate::linalg::axpy(1.0, &delta, gb);
+            crate::linalg::rank1_accum(gw, spec.outputs, spec.inputs, &delta, input);
             let mut grad_in = vec![0.0; spec.inputs];
-            for o in 0..spec.outputs {
-                let d = delta[o];
-                gb[o] += d;
-                let row = &mut gw[o * spec.inputs..(o + 1) * spec.inputs];
-                let w_row = &self.params[offset + o * spec.inputs..offset + (o + 1) * spec.inputs];
-                for i in 0..spec.inputs {
-                    row[i] += d * input[i];
-                    grad_in[i] += d * w_row[i];
-                }
-            }
+            crate::linalg::gemv_t_accum(w, spec.outputs, spec.inputs, &delta, &mut grad_in);
             grad = grad_in;
         }
         grad
+    }
+
+    /// [`Self::backward`] without allocations: backpropagates
+    /// `grad_output` through the pass most recently recorded in
+    /// `scratch` by [`Self::forward_scratch`], **accumulating** into
+    /// `grads`. Produces bitwise-identical gradient accumulation to
+    /// [`Self::backward`] (same kernels, same order); the input
+    /// gradient is not materialized — callers that need `∂L/∂x` use
+    /// the cache-based API.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `grads` or `grad_output` has the wrong length, or
+    /// when `scratch` holds no pass for this network's shape.
+    pub fn backward_scratch(
+        &self,
+        scratch: &mut MlpScratch,
+        grad_output: &[f64],
+        grads: &mut [f64],
+    ) {
+        assert_eq!(grads.len(), self.params.len(), "grads length mismatch");
+        assert_eq!(
+            grad_output.len(),
+            self.output_dim(),
+            "grad_output dimension mismatch"
+        );
+        scratch.assert_prepared(self);
+        scratch.delta[..grad_output.len()].copy_from_slice(grad_output);
+        let mut offset = self.params.len();
+        for (l, spec) in self.specs.iter().enumerate().rev() {
+            offset -= spec.num_params();
+            let input = &scratch.acts[scratch.offsets[l]..scratch.offsets[l] + spec.inputs];
+            let output =
+                &scratch.acts[scratch.offsets[l + 1]..scratch.offsets[l + 1] + spec.outputs];
+            // δ = ∂L/∂z = ∂L/∂y ⊙ σ'(z), with σ' from the output.
+            for (d, &y) in scratch.delta[..spec.outputs].iter_mut().zip(output) {
+                *d *= spec.activation.derivative_from_output(y);
+            }
+            let delta = &scratch.delta[..spec.outputs];
+            let w = &self.params[offset..offset + spec.outputs * spec.inputs];
+            let (gw, gb) =
+                grads[offset..offset + spec.num_params()].split_at_mut(spec.outputs * spec.inputs);
+            crate::linalg::axpy(1.0, delta, gb);
+            crate::linalg::rank1_accum(gw, spec.outputs, spec.inputs, delta, input);
+            if l > 0 {
+                let grad_in = &mut scratch.delta_next[..spec.inputs];
+                grad_in.fill(0.0);
+                crate::linalg::gemv_t_accum(w, spec.outputs, spec.inputs, delta, grad_in);
+                std::mem::swap(&mut scratch.delta, &mut scratch.delta_next);
+            }
+        }
     }
 }
 
@@ -372,6 +524,133 @@ mod tests {
         for (a, b) in g1.iter().zip(&g2) {
             assert!((2.0 * a - b).abs() < 1e-12);
         }
+    }
+
+    const ALL_ACTIVATIONS: [Activation; 5] = [
+        Activation::Relu,
+        Activation::Tanh,
+        Activation::Sigmoid,
+        Activation::Softplus,
+        Activation::Identity,
+    ];
+
+    #[test]
+    fn scratch_pass_matches_cache_pass_bitwise_for_all_activations() {
+        let mut scratch = MlpScratch::new();
+        for (k, act) in ALL_ACTIVATIONS.into_iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(100 + k as u64);
+            let mlp = Mlp::new(
+                &[
+                    LayerSpec::new(3, 5, act),
+                    LayerSpec::new(5, 4, act),
+                    LayerSpec::new(4, 2, Activation::Identity),
+                ],
+                &mut rng,
+            );
+            let x = [0.4, -0.9, 1.3];
+            let cache = mlp.forward_cache(&x);
+            let out = mlp.forward_scratch(&x, &mut scratch);
+            assert_eq!(out.len(), 2);
+            for (a, b) in out.iter().zip(cache.output()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{act:?} forward");
+            }
+            let go = [0.7, -1.2];
+            let mut g_cache = vec![0.0; mlp.num_params()];
+            mlp.backward(&cache, &go, &mut g_cache);
+            let mut g_scratch = vec![0.0; mlp.num_params()];
+            mlp.backward_scratch(&mut scratch, &go, &mut g_scratch);
+            for (i, (a, b)) in g_scratch.iter().zip(&g_cache).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{act:?} grad {i}");
+            }
+        }
+    }
+
+    /// Finite-difference check of the scratch kernels for every
+    /// activation, with loss L = Σ y_i².
+    #[test]
+    fn backward_scratch_matches_finite_differences_for_all_activations() {
+        for (k, act) in ALL_ACTIVATIONS.into_iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(40 + k as u64);
+            let mut mlp = Mlp::new(
+                &[
+                    LayerSpec::new(3, 6, act),
+                    LayerSpec::new(6, 2, Activation::Identity),
+                ],
+                &mut rng,
+            );
+            let x = vec![0.35, -0.65, 1.05];
+            let loss = |m: &Mlp, x: &[f64]| -> f64 { m.forward(x).iter().map(|y| y * y).sum() };
+            let mut scratch = MlpScratch::new();
+            let grad_out: Vec<f64> = mlp
+                .forward_scratch(&x, &mut scratch)
+                .iter()
+                .map(|&y| 2.0 * y)
+                .collect();
+            let mut grads = vec![0.0; mlp.num_params()];
+            mlp.backward_scratch(&mut scratch, &grad_out, &mut grads);
+            let eps = 1e-6;
+            #[allow(clippy::needless_range_loop)] // params are mutated per index below
+            for i in 0..mlp.num_params() {
+                let orig = mlp.params()[i];
+                mlp.params_mut()[i] = orig + eps;
+                let lp = loss(&mlp, &x);
+                mlp.params_mut()[i] = orig - eps;
+                let lm = loss(&mlp, &x);
+                mlp.params_mut()[i] = orig;
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (numeric - grads[i]).abs() < 1e-5,
+                    "{act:?} param {i}: numeric {numeric} vs analytic {}",
+                    grads[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_scratch_accumulates_across_calls() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mlp = small_net(&mut rng);
+        let x = [0.2, 0.8];
+        let mut scratch = MlpScratch::new();
+        mlp.forward_scratch(&x, &mut scratch);
+        let go = [1.0];
+        let mut g1 = vec![0.0; mlp.num_params()];
+        mlp.backward_scratch(&mut scratch, &go, &mut g1);
+        let mut g2 = vec![0.0; mlp.num_params()];
+        mlp.backward_scratch(&mut scratch, &go, &mut g2);
+        mlp.backward_scratch(&mut scratch, &go, &mut g2);
+        for (a, b) in g1.iter().zip(&g2) {
+            assert!((2.0 * a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scratch_reuses_buffers_and_resizes_across_shapes() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = small_net(&mut rng);
+        let b = Mlp::new(&[LayerSpec::new(4, 2, Activation::Relu)], &mut rng);
+        let mut scratch = MlpScratch::new();
+        a.forward_scratch(&[0.1, 0.2], &mut scratch);
+        assert_eq!(scratch.reuses(), 0);
+        a.forward_scratch(&[0.3, 0.4], &mut scratch);
+        a.forward_scratch(&[0.5, 0.6], &mut scratch);
+        assert_eq!(scratch.reuses(), 2);
+        // A different shape re-sizes instead of reusing.
+        b.forward_scratch(&[0.0, 0.0, 0.0, 0.0], &mut scratch);
+        assert_eq!(scratch.reuses(), 2);
+        b.forward_scratch(&[1.0, 0.0, 0.0, 0.0], &mut scratch);
+        assert_eq!(scratch.reuses(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no forward pass")]
+    fn backward_scratch_without_forward_panics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mlp = small_net(&mut rng);
+        let mut scratch = MlpScratch::new();
+        let mut grads = vec![0.0; mlp.num_params()];
+        mlp.backward_scratch(&mut scratch, &[1.0], &mut grads);
     }
 
     #[test]

@@ -7,12 +7,12 @@
 //! (Karagiannis et al., INFOCOM 2004).
 
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::glm::{self, GlmScratch};
 use crate::linalg::dot;
-use crate::optim::{Adam, Optimizer};
+use crate::optim::Adam;
 use crate::train_state::{glm_snapshot, restore_glm, TrainState, TrainStateError};
 
 /// Poisson GLM `λ(x) = exp(xᵀβ + b)`, fitted by maximizing the
@@ -92,8 +92,10 @@ impl PoissonRegression {
         nll / xs.len() as f64 + 0.5 * l2 * dot(&self.weights, &self.weights)
     }
 
-    /// Fits by mini-batch Adam on the negative log-likelihood.
-    /// Targets must be non-negative (counts or discretized times).
+    /// Fits by mini-batch Adam on the negative log-likelihood with
+    /// batch size 32 and the crate-global thread setting (see
+    /// [`crate::set_train_threads`]). Targets must be non-negative
+    /// (counts or discretized times).
     ///
     /// Each epoch shuffles a fresh identity permutation, so the RNG
     /// state alone determines the remaining schedule — the property
@@ -111,6 +113,29 @@ impl PoissonRegression {
         l2: f64,
         rng: &mut R,
     ) {
+        self.fit_with(xs, ys, epochs, lr, l2, 32, 0, rng);
+    }
+
+    /// [`Self::fit`] with explicit batch size and worker-thread count
+    /// (`threads == 0` uses the crate-global setting). Gradient
+    /// accumulation follows the fixed-order chunk reduction, so any
+    /// thread count yields bitwise-identical parameters.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::fit`], plus `batch_size == 0`.
+    #[allow(clippy::too_many_arguments)] // fit's knobs plus the batch/thread pair
+    pub fn fit_with<R: Rng + ?Sized>(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        epochs: usize,
+        lr: f64,
+        l2: f64,
+        batch_size: usize,
+        threads: usize,
+        rng: &mut R,
+    ) {
         assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
         assert!(
             ys.iter().all(|&y| y >= 0.0),
@@ -122,8 +147,19 @@ impl PoissonRegression {
         let mut params: Vec<f64> = self.weights.clone();
         params.push(self.bias);
         let mut opt = Adam::new(lr);
+        let mut scratch = GlmScratch::default();
         for _ in 0..epochs {
-            epoch_pass(&mut params, &mut opt, xs, ys, l2, rng);
+            glm::epoch_pass(
+                &mut params,
+                &mut opt,
+                xs,
+                l2,
+                batch_size,
+                threads,
+                &mut scratch,
+                rng,
+                |z, i| z.clamp(-30.0, 30.0).exp() - ys[i],
+            );
         }
         self.bias = params.pop().expect("bias present");
         self.weights = params;
@@ -173,8 +209,19 @@ impl PoissonRegression {
             restore_glm(state, &mut params, &mut opt, rng)?;
             start = state.epoch as usize;
         }
+        let mut scratch = GlmScratch::default();
         for epoch in start..epochs {
-            epoch_pass(&mut params, &mut opt, xs, ys, l2, rng);
+            glm::epoch_pass(
+                &mut params,
+                &mut opt,
+                xs,
+                l2,
+                32,
+                0,
+                &mut scratch,
+                rng,
+                |z, i| z.clamp(-30.0, 30.0).exp() - ys[i],
+            );
             if snapshot_every > 0 && (epoch + 1) % snapshot_every == 0 && epoch + 1 < epochs {
                 on_snapshot(&glm_snapshot(&params, &opt, l2, epoch + 1, rng));
             }
@@ -182,46 +229,6 @@ impl PoissonRegression {
         self.bias = params.pop().expect("bias present");
         self.weights = params;
         Ok(())
-    }
-}
-
-/// One shuffled mini-batch pass shared by [`PoissonRegression::fit`]
-/// and [`PoissonRegression::fit_resumable`] — keeping the two paths
-/// numerically identical is what makes resumed runs bitwise-equal to
-/// uninterrupted ones.
-fn epoch_pass<R: Rng + ?Sized>(
-    params: &mut [f64],
-    opt: &mut Adam,
-    xs: &[Vec<f64>],
-    ys: &[f64],
-    l2: f64,
-    rng: &mut R,
-) {
-    let dim = params.len() - 1;
-    let batch = 32.min(xs.len());
-    let mut order: Vec<usize> = (0..xs.len()).collect();
-    order.shuffle(rng);
-    for chunk in order.chunks(batch) {
-        let mut grads = vec![0.0; dim + 1];
-        for &i in chunk {
-            let x = &xs[i];
-            let z = (dot(&params[..dim], x) + params[dim]).clamp(-30.0, 30.0);
-            let lambda = z.exp();
-            // d/dz (λ − y z) = λ − y.
-            let err = lambda - ys[i];
-            for (g, &xi) in grads[..dim].iter_mut().zip(x) {
-                *g += err * xi;
-            }
-            grads[dim] += err;
-        }
-        let scale = 1.0 / chunk.len() as f64;
-        for (j, g) in grads.iter_mut().enumerate() {
-            *g *= scale;
-            if j < dim {
-                *g += l2 * params[j];
-            }
-        }
-        opt.step(params, &grads);
     }
 }
 

@@ -143,18 +143,21 @@ impl Sparfa {
                 self.intercepts[q] =
                     (self.intercepts[q] - lr * err) / (1.0 + lr * self.config.intercept_l2);
                 self.user_intercepts[u] = (self.user_intercepts[u] - lr * err) / (1.0 + lr * l2);
-                for f in 0..k {
-                    let w = self.abilities[u * k + f];
-                    let c = self.loadings[q * k + f];
-                    let new_w = w - lr * (err * c + l2 * w);
-                    self.abilities[u * k + f] = new_w.max(0.0);
+                // Zipped slice walk over the ability/loading rows: one
+                // bounds check per row instead of four per component,
+                // with pre-update values read into locals so the
+                // coupled update keeps its original semantics.
+                let ws = &mut self.abilities[u * k..(u + 1) * k];
+                let cs = &mut self.loadings[q * k..(q + 1) * k];
+                for (wf, cf) in ws.iter_mut().zip(cs.iter_mut()) {
+                    let (w, c) = (*wf, *cf);
+                    *wf = (w - lr * (err * c + l2 * w)).max(0.0);
                     // Loadings are clamped non-negative as well: a
                     // question observed only with negative labels then
                     // shrinks toward 0 instead of flipping the sign of
                     // every user's ability contribution, which would
                     // anti-generalize to the question's held-out pairs.
-                    let new_c = c - lr * (err * w + l2 * c);
-                    self.loadings[q * k + f] = new_c.max(0.0);
+                    *cf = (c - lr * (err * w + l2 * c)).max(0.0);
                 }
             }
         }

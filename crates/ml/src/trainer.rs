@@ -6,8 +6,9 @@ use rand::Rng;
 
 use forumcast_resilience::fault::{self, FaultSite};
 
+use crate::batch;
 use crate::error::TrainError;
-use crate::mlp::Mlp;
+use crate::mlp::{Mlp, MlpScratch};
 use crate::optim::Optimizer;
 use crate::train_state::{SnapshotOptimizer, TrainState, TrainStateError};
 
@@ -23,7 +24,11 @@ pub struct Trainer<O> {
     optimizer: O,
     batch_size: usize,
     weight_decay: f64,
+    threads: usize,
     grads: Vec<f64>,
+    chunk_buf: Vec<f64>,
+    scratch: MlpScratch,
+    order: Vec<usize>,
     epochs_run: usize,
     steps_run: u64,
 }
@@ -40,7 +45,11 @@ impl<O: Optimizer> Trainer<O> {
             optimizer,
             batch_size,
             weight_decay: 0.0,
+            threads: 0,
             grads: Vec::new(),
+            chunk_buf: Vec::new(),
+            scratch: MlpScratch::new(),
+            order: Vec::new(),
             epochs_run: 0,
             steps_run: 0,
         }
@@ -59,15 +68,40 @@ impl<O: Optimizer> Trainer<O> {
         self
     }
 
+    /// Sets the worker-thread count for mini-batch gradient
+    /// accumulation; `0` (the default) follows the crate-global
+    /// setting from [`crate::set_train_threads`]. Accumulation uses
+    /// the fixed-order chunk reduction of `forumcast-par`, so the
+    /// thread count never changes the trained parameters — only wall
+    /// time. It is therefore not part of [`TrainState`] snapshots:
+    /// a run snapshotted at one thread count resumes bit-identically
+    /// at another.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Runs one epoch over the data in shuffled mini-batches and
     /// returns the epoch's mean squared error (computed online from
     /// pre-update predictions). Returns NaN when training diverged —
     /// the loss or the parameters went non-finite; [`Self::try_epoch`]
-    /// surfaces that as a typed error instead.
+    /// surfaces that as a typed error instead. An empty dataset is a
+    /// no-op: it neither advances the epoch counter nor consumes RNG
+    /// state, so snapshots are unaffected.
+    ///
+    /// Per-sample forward/backward passes run through the trainer's
+    /// pooled [`MlpScratch`] and, when more than one worker is
+    /// configured ([`Self::with_threads`]), gradient accumulation
+    /// fans out across the batch with the fixed-order chunk
+    /// reduction — bitwise identical for any thread count.
     ///
     /// Each optimizer step probes the `nan-grad` fault site with the
     /// trainer's cumulative step index, so a [`fault::FaultPlan`] can
     /// corrupt one exact gradient to exercise divergence recovery.
+    /// The `ml.epoch.grad_norm` metric reports the mean per-step
+    /// gradient norm over the epoch's non-poisoned steps (omitted
+    /// when every step was poisoned), so the statistic stays finite
+    /// and well-defined under fault injection.
     ///
     /// # Panics
     ///
@@ -82,44 +116,61 @@ impl<O: Optimizer> Trainer<O> {
     ) -> f64 {
         assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
         assert_eq!(mlp.output_dim(), 1, "trainer expects a scalar output");
-        self.epochs_run += 1;
         if xs.is_empty() {
             return 0.0;
         }
-        if self.grads.len() != mlp.num_params() {
-            self.grads = vec![0.0; mlp.num_params()];
-        }
-        // Telemetry is read-only: `grad_sq` is accumulated only when a
-        // collector is armed and never feeds back into the update.
+        self.epochs_run += 1;
+        self.grads.resize(mlp.num_params(), 0.0);
+        let threads = batch::effective_threads(self.threads);
+        // Telemetry is read-only: norms are accumulated only when a
+        // collector is armed and never feed back into the update.
         let telemetry = forumcast_obs::is_enabled();
-        let mut grad_sq = 0.0;
-        let mut order: Vec<usize> = (0..xs.len()).collect();
-        order.shuffle(rng);
+        let mut norm_sum = 0.0;
+        let mut clean_steps = 0u64;
+        self.order.clear();
+        self.order.extend(0..xs.len());
+        self.order.shuffle(rng);
         let mut sse = 0.0;
+        let order = std::mem::take(&mut self.order);
         for chunk in order.chunks(self.batch_size) {
-            self.grads.iter_mut().for_each(|g| *g = 0.0);
-            for &i in chunk {
-                let cache = mlp.forward_cache(&xs[i]);
-                let err = cache.output()[0] - ys[i];
-                sse += err * err;
-                // d/dŷ of ½(ŷ−y)² scaled by 2/batch → use err * 2 / n.
-                let go = [2.0 * err / chunk.len() as f64];
-                mlp.backward(&cache, &go, &mut self.grads);
-            }
+            let mlp_ref: &Mlp = mlp;
+            sse += batch::accumulate_batch(
+                chunk.len(),
+                threads,
+                &mut self.grads,
+                &mut self.chunk_buf,
+                &mut self.scratch,
+                MlpScratch::new,
+                |range, scratch, buf| {
+                    let mut partial = 0.0;
+                    for pos in range {
+                        let i = chunk[pos];
+                        let out = mlp_ref.forward_scratch(&xs[i], scratch);
+                        let err = out[0] - ys[i];
+                        partial += err * err;
+                        // d/dŷ of ½(ŷ−y)² scaled by 2/batch → err * 2 / n.
+                        let go = [2.0 * err / chunk.len() as f64];
+                        mlp_ref.backward_scratch(scratch, &go, buf);
+                    }
+                    partial
+                },
+            );
             if self.weight_decay > 0.0 {
                 for (g, p) in self.grads.iter_mut().zip(mlp.params()) {
                     *g += self.weight_decay * p;
                 }
             }
-            if fault::fires(FaultSite::NanGrad, self.steps_run) {
+            let poisoned = fault::fires(FaultSite::NanGrad, self.steps_run);
+            if poisoned {
                 self.grads[0] = f64::NAN;
-            }
-            if telemetry {
-                grad_sq += self.grads.iter().map(|g| g * g).sum::<f64>();
+            } else if telemetry {
+                norm_sum += crate::linalg::norm2(&self.grads);
+                clean_steps += 1;
             }
             self.steps_run += 1;
             self.optimizer.step(mlp.params_mut(), &self.grads);
         }
+        self.order = order;
         // A NaN gradient poisons the parameters, not necessarily the
         // pre-update loss of this epoch — check both.
         let mse = if mlp.params().iter().all(|p| p.is_finite()) {
@@ -130,7 +181,9 @@ impl<O: Optimizer> Trainer<O> {
         if telemetry {
             let epoch = (self.epochs_run - 1) as u64;
             forumcast_obs::metric("ml.epoch.loss", epoch, mse);
-            forumcast_obs::metric("ml.epoch.grad_norm", epoch, grad_sq.sqrt());
+            if clean_steps > 0 {
+                forumcast_obs::metric("ml.epoch.grad_norm", epoch, norm_sum / clean_steps as f64);
+            }
         }
         mse
     }
@@ -261,6 +314,26 @@ mod tests {
         let mut mlp = Mlp::new(&[LayerSpec::new(1, 1, Activation::Identity)], &mut rng);
         let mut trainer = Trainer::new(Adam::new(0.01), 4);
         assert_eq!(trainer.epoch(&mut mlp, &[], &[], &mut rng), 0.0);
+    }
+
+    #[test]
+    fn empty_epoch_does_not_advance_counters_rng_or_snapshot() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut mlp = Mlp::new(&[LayerSpec::new(1, 1, Activation::Identity)], &mut rng);
+        let mut trainer = Trainer::new(Adam::new(0.01), 4);
+        let before = trainer.snapshot(&mlp, &rng);
+        trainer.epoch(&mut mlp, &[], &[], &mut rng);
+        assert_eq!(trainer.epochs_run(), 0, "empty epoch must not count");
+        let after = trainer.snapshot(&mlp, &rng);
+        assert_eq!(
+            before.to_json(),
+            after.to_json(),
+            "empty epoch must leave snapshot state (epoch, steps, RNG) untouched"
+        );
+        // A real epoch afterwards still numbers itself from 0.
+        let (xs, ys) = toy();
+        trainer.epoch(&mut mlp, &xs, &ys, &mut rng);
+        assert_eq!(trainer.epochs_run(), 1);
     }
 
     #[test]

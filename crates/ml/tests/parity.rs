@@ -1,0 +1,142 @@
+//! 1-vs-N-thread bitwise parity for the training stack.
+//!
+//! Mini-batch gradient accumulation fans out over `forumcast-par`'s
+//! fixed-order chunk reduction, so the thread count must never change
+//! a single output bit — the same discipline (and test shape) as
+//! `topics/tests/parity.rs` for the LDA samplers. Each case trains
+//! with batches larger than `CHUNK_SIZE = 64` so the parallel path
+//! actually engages, then compares every learned parameter bitwise.
+
+use forumcast_ml::{
+    Activation, Adam, LayerSpec, LogisticRegression, Mlp, PoissonRegression, Trainer,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const THREADS: [usize; 3] = [1, 2, 7];
+
+fn features(n: usize, dim: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|j| ((i * 7 + j * 3) as f64 * 0.13).sin())
+                .collect()
+        })
+        .collect()
+}
+
+fn mlp_bits(mlp: &Mlp) -> Vec<u64> {
+    mlp.params().iter().map(|p| p.to_bits()).collect()
+}
+
+fn train_mlp(threads: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut mlp = Mlp::new(
+        &[
+            LayerSpec::new(4, 12, Activation::Tanh),
+            LayerSpec::new(12, 1, Activation::Identity),
+        ],
+        &mut rng,
+    );
+    let xs = features(600, 4);
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| x[0] * x[1] - 0.5 * x[2] + x[3].tanh())
+        .collect();
+    let mut trainer = Trainer::new(Adam::new(0.01), 256)
+        .with_weight_decay(1e-4)
+        .with_threads(threads);
+    for _ in 0..3 {
+        trainer.epoch(&mut mlp, &xs, &ys, &mut rng);
+    }
+    mlp_bits(&mlp)
+}
+
+#[test]
+fn trainer_epoch_is_bitwise_identical_across_thread_counts() {
+    let serial = train_mlp(THREADS[0]);
+    for &threads in &THREADS[1..] {
+        assert_eq!(serial, train_mlp(threads), "threads={threads}");
+    }
+}
+
+fn train_logistic(threads: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(17);
+    let xs = features(600, 5);
+    let ys: Vec<bool> = xs.iter().map(|x| x[0] + x[1] - x[4] > 0.0).collect();
+    let mut model = LogisticRegression::new(5);
+    model.fit_with(&xs, &ys, 4, 0.05, 1e-4, 256, threads, &mut rng);
+    let mut bits: Vec<u64> = model.weights().iter().map(|w| w.to_bits()).collect();
+    bits.push(model.bias().to_bits());
+    bits
+}
+
+#[test]
+fn logistic_fit_is_bitwise_identical_across_thread_counts() {
+    let serial = train_logistic(THREADS[0]);
+    for &threads in &THREADS[1..] {
+        assert_eq!(serial, train_logistic(threads), "threads={threads}");
+    }
+}
+
+fn train_poisson(threads: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(23);
+    let xs = features(600, 3);
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| (0.4 + 0.8 * x[0] - 0.3 * x[2]).exp().round())
+        .collect();
+    let mut model = PoissonRegression::new(3);
+    model.fit_with(&xs, &ys, 4, 0.05, 1e-6, 256, threads, &mut rng);
+    let mut bits: Vec<u64> = model.weights().iter().map(|w| w.to_bits()).collect();
+    bits.push(model.bias().to_bits());
+    bits
+}
+
+#[test]
+fn poisson_fit_is_bitwise_identical_across_thread_counts() {
+    let serial = train_poisson(THREADS[0]);
+    for &threads in &THREADS[1..] {
+        assert_eq!(serial, train_poisson(threads), "threads={threads}");
+    }
+}
+
+/// The thread count is not part of [`forumcast_ml::TrainState`]: a run
+/// snapshotted while training serially must resume bit-identically on
+/// seven workers (and vice versa) — the PR 4 sub-fold resume guarantee
+/// carried over to the parallel kernels.
+#[test]
+fn snapshot_at_one_thread_resumes_bitwise_identically_at_seven() {
+    let make_net = |rng: &mut StdRng| {
+        Mlp::new(
+            &[
+                LayerSpec::new(4, 8, Activation::Tanh),
+                LayerSpec::new(8, 1, Activation::Identity),
+            ],
+            rng,
+        )
+    };
+    let xs = features(300, 4);
+    let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] - x[3]).collect();
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut mlp = make_net(&mut rng);
+    let mut trainer = Trainer::new(Adam::new(0.01), 128).with_threads(1);
+    for _ in 0..3 {
+        trainer.epoch(&mut mlp, &xs, &ys, &mut rng);
+    }
+    let state = trainer.snapshot(&mlp, &rng);
+    for _ in 0..3 {
+        trainer.epoch(&mut mlp, &xs, &ys, &mut rng);
+    }
+
+    let mut rng7 = StdRng::seed_from_u64(0);
+    let mut mlp7 = make_net(&mut rng7);
+    let mut trainer7 = Trainer::new(Adam::new(0.01), 128).with_threads(7);
+    trainer7.restore(&state, &mut mlp7, &mut rng7).unwrap();
+    for _ in 0..3 {
+        trainer7.epoch(&mut mlp7, &xs, &ys, &mut rng7);
+    }
+
+    assert_eq!(mlp_bits(&mlp), mlp_bits(&mlp7));
+}

@@ -180,6 +180,19 @@ where
 /// many workers ran.
 pub const CHUNK_SIZE: usize = 64;
 
+/// The fixed chunk decomposition of `0..num_items` used by
+/// [`parallel_chunk_fold`]: [`CHUNK_SIZE`]-item ranges in item order,
+/// the last one short. A pure function of `num_items`, so serial
+/// fallbacks that fold these ranges and merge them in order are
+/// bitwise-identical to the parallel reduction — callers that must
+/// match the parallel tree (e.g. gradient accumulation in
+/// `forumcast-ml`) iterate this instead of re-deriving the split.
+pub fn chunk_ranges(num_items: usize) -> impl Iterator<Item = std::ops::Range<usize>> {
+    (0..num_items)
+        .step_by(CHUNK_SIZE)
+        .map(move |start| start..(start + CHUNK_SIZE).min(num_items))
+}
+
 /// Deterministic parallel fold: splits `0..num_items` into
 /// [`CHUNK_SIZE`]-item chunks, folds each chunk serially in item
 /// order with `fold_chunk` (producing a per-chunk accumulator), and
@@ -203,10 +216,7 @@ where
     F: Fn(std::ops::Range<usize>) -> A + Sync,
     M: FnOnce(Vec<A>) -> R,
 {
-    let chunks: Vec<std::ops::Range<usize>> = (0..num_items)
-        .step_by(CHUNK_SIZE.max(1))
-        .map(|start| start..(start + CHUNK_SIZE).min(num_items))
-        .collect();
+    let chunks: Vec<std::ops::Range<usize>> = chunk_ranges(num_items).collect();
     let partials = parallel_map(&chunks, max_threads, |r| fold_chunk(r.clone()));
     merge(partials)
 }
@@ -328,6 +338,20 @@ mod tests {
                 par.to_bits(),
                 "thread count {threads} changed the reduction"
             );
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_cover_items_exactly_once_in_order() {
+        for n in [0, 1, 63, 64, 65, 128, 1000] {
+            let ranges: Vec<_> = chunk_ranges(n).collect();
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "n={n}");
+                assert!(r.len() <= CHUNK_SIZE && !r.is_empty(), "n={n} range {r:?}");
+                next = r.end;
+            }
+            assert_eq!(next, n);
         }
     }
 
