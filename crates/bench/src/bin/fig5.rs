@@ -19,7 +19,7 @@ fn main() {
         &ks,
         reference,
         opts.resume.as_deref(),
-        opts.snapshot_every,
+        &opts.cv_options(),
     )
     .unwrap_or_else(|e| {
         eprintln!("fig5 failed: {e}");

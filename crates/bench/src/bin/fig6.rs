@@ -17,7 +17,7 @@ fn main() {
         &data,
         &opts.config,
         opts.resume.as_deref(),
-        opts.snapshot_every,
+        &opts.cv_options(),
     )
     .unwrap_or_else(|e| {
         eprintln!("fig6 failed: {e}");

@@ -19,7 +19,7 @@ fn main() {
         &windows,
         25,
         opts.resume.as_deref(),
-        opts.snapshot_every,
+        &opts.cv_options(),
     )
     .unwrap_or_else(|e| {
         eprintln!("fig7 failed: {e}");

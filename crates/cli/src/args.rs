@@ -4,6 +4,7 @@
 use std::fmt;
 
 use forumcast_features::LdaSampler;
+use forumcast_resilience::CkptFormat;
 
 /// Usage text printed on parse errors and `--help`.
 pub const USAGE: &str = "\
@@ -20,14 +21,22 @@ commands:
   evaluate   [--scale <quick|standard|paper>] [--threads N]
              [--lda-sampler <dense|sparse>] [--topics K]
              [--resume <checkpoint-file>] [--snapshot-every N]
+             [--ckpt-format <binary|json>]
              [--faults <spec>] [--trace <trace-file>] [--metrics]
+  ckpt       <inspect|verify|repair> --file <checkpoint-file>
   abtest     [--scale <quick|standard>] [--lambda X]
   help
 
 `--resume` saves completed cross-validation folds to the given file
 and skips them on restart; `--snapshot-every` additionally snapshots
 the in-flight fold's full trainer state every N epochs so a mid-fold
-crash resumes without recomputing the fold (0 disables). `--faults`
+crash resumes without recomputing the fold (0 disables).
+`--ckpt-format` picks the checkpoint encoding: `binary` (default) is
+the framed, CRC-checksummed store, `json` the legacy text files;
+loading sniffs the content, so either build resumes the other's
+files. `ckpt inspect` prints a checkpoint's header and frame layout,
+`ckpt verify` exits non-zero naming the first damaged frame, and
+`ckpt repair` truncates the file to its last valid frame. `--faults`
 arms the deterministic fault injector (same grammar as the
 FORUMCAST_FAULTS env var, e.g. `fold-panic:1`). `--trace` writes a
 Chrome trace-event JSON file of pipeline spans (open in Perfetto;
@@ -119,6 +128,9 @@ pub enum Command {
         /// fold persists its full trainer state every N epochs
         /// (0 disables mid-fold snapshots).
         snapshot_every: usize,
+        /// On-disk checkpoint encoding (framed binary store or the
+        /// legacy JSON).
+        ckpt_format: CkptFormat,
         /// Fault-injection spec (same grammar as `FORUMCAST_FAULTS`).
         faults: Option<String>,
         /// Chrome trace-event JSON output path (`FORUMCAST_TRACE`
@@ -126,6 +138,13 @@ pub enum Command {
         trace: Option<String>,
         /// Print the per-span timing summary after the run.
         metrics: bool,
+    },
+    /// Inspect, verify, or repair a checkpoint file.
+    Ckpt {
+        /// What to do with the file.
+        action: CkptAction,
+        /// The checkpoint file.
+        file: String,
     },
     /// Run the simulated A/B test.
     AbTest {
@@ -136,6 +155,17 @@ pub enum Command {
     },
     /// Print usage.
     Help,
+}
+
+/// Sub-action of the `ckpt` command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CkptAction {
+    /// Print the header and frame layout.
+    Inspect,
+    /// Exit non-zero naming the first damaged frame, if any.
+    Verify,
+    /// Truncate the file to its last valid frame.
+    Repair,
 }
 
 /// Argument-parsing failure.
@@ -162,6 +192,28 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseEr
         .next()
         .ok_or_else(|| ParseError("missing command".into()))?;
     let rest: Vec<String> = args.collect();
+    // `ckpt` takes a positional action word before its options.
+    if cmd == "ckpt" {
+        let action = match rest.first().map(String::as_str) {
+            Some("inspect") => CkptAction::Inspect,
+            Some("verify") => CkptAction::Verify,
+            Some("repair") => CkptAction::Repair,
+            Some(other) => {
+                return Err(ParseError(format!(
+                    "unknown ckpt action `{other}` (inspect|verify|repair)"
+                )))
+            }
+            None => {
+                return Err(ParseError(
+                    "ckpt requires an action: inspect|verify|repair".into(),
+                ))
+            }
+        };
+        let opts = Options::parse(&rest[1..])?;
+        let file = opts.require("file")?;
+        opts.reject_unknown(&["file"])?;
+        return Ok(Command::Ckpt { action, file });
+    }
     let opts = Options::parse(&rest)?;
     match cmd.as_str() {
         "generate" => {
@@ -228,6 +280,11 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseEr
                     "snapshot-every",
                     forumcast_eval::CvOptions::default().snapshot_every,
                 )?,
+                ckpt_format: match opts.get("ckpt-format") {
+                    None => CkptFormat::default(),
+                    Some(raw) => CkptFormat::parse(raw)
+                        .map_err(|e| ParseError(format!("invalid --ckpt-format: {e}")))?,
+                },
                 faults: opts.get("faults").map(str::to_owned),
                 trace: opts.get("trace").map(str::to_owned),
                 metrics: opts.flag("metrics"),
@@ -239,6 +296,7 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseEr
                 "topics",
                 "resume",
                 "snapshot-every",
+                "ckpt-format",
                 "faults",
                 "trace",
                 "metrics",
@@ -431,6 +489,7 @@ mod tests {
                 topics: None,
                 resume: None,
                 snapshot_every: 25,
+                ckpt_format: CkptFormat::Binary,
                 faults: None,
                 trace: None,
                 metrics: false,
@@ -447,6 +506,7 @@ mod tests {
                 topics: None,
                 resume: None,
                 snapshot_every: 25,
+                ckpt_format: CkptFormat::Binary,
                 faults: None,
                 trace: None,
                 metrics: false,
@@ -466,6 +526,7 @@ mod tests {
                 topics: None,
                 resume: Some("cv.json".into()),
                 snapshot_every: 25,
+                ckpt_format: CkptFormat::Binary,
                 faults: Some("fold-panic:1".into()),
                 trace: None,
                 metrics: false,
@@ -502,6 +563,7 @@ mod tests {
                 topics: None,
                 resume: None,
                 snapshot_every: 25,
+                ckpt_format: CkptFormat::Binary,
                 faults: None,
                 trace: Some("out.json".into()),
                 metrics: true,
@@ -538,6 +600,44 @@ mod tests {
     fn malformed_numbers_error() {
         let err = parse(argv("predict --data d --model m --question abc --user 1")).unwrap_err();
         assert!(err.to_string().contains("abc"));
+    }
+
+    #[test]
+    fn parses_ckpt_format() {
+        let cmd = parse(argv("evaluate --resume cv.ckpt --ckpt-format json")).unwrap();
+        match cmd {
+            Command::Evaluate { ckpt_format, .. } => assert_eq!(ckpt_format, CkptFormat::Json),
+            other => panic!("{other:?}"),
+        }
+        let err = parse(argv("evaluate --ckpt-format yaml")).unwrap_err();
+        assert!(err.to_string().contains("yaml"), "{err}");
+    }
+
+    #[test]
+    fn parses_ckpt_subcommand() {
+        let cmd = parse(argv("ckpt verify --file cv.ckpt")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Ckpt {
+                action: CkptAction::Verify,
+                file: "cv.ckpt".into()
+            }
+        );
+        for (word, action) in [
+            ("inspect", CkptAction::Inspect),
+            ("repair", CkptAction::Repair),
+        ] {
+            match parse(argv(&format!("ckpt {word} --file x"))).unwrap() {
+                Command::Ckpt { action: a, .. } => assert_eq!(a, action),
+                other => panic!("{other:?}"),
+            }
+        }
+        let err = parse(argv("ckpt --file x")).unwrap_err();
+        assert!(err.to_string().contains("action"), "{err}");
+        let err = parse(argv("ckpt defrag --file x")).unwrap_err();
+        assert!(err.to_string().contains("defrag"), "{err}");
+        let err = parse(argv("ckpt verify")).unwrap_err();
+        assert!(err.to_string().contains("--file"), "{err}");
     }
 
     #[test]

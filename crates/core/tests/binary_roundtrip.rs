@@ -1,0 +1,112 @@
+//! The on-disk binary checkpoint path must be lossless for training
+//! progress: every `TrainProgress` snapshot emitted mid-training has
+//! to survive the store codec bitwise, and resuming from a snapshot
+//! that went through the codec must reproduce the uninterrupted run
+//! exactly.
+
+use serde::{Deserialize, Serialize};
+
+use forumcast_core::{ResponsePredictor, TrainConfig, TrainProgress, TrainingSet, VoteConfig};
+use forumcast_store::{decode_value, encode_value};
+
+/// A 2-feature world, mirroring the unit-test fixture: feature 0
+/// drives answering & speed, feature 1 drives votes.
+fn training_set() -> TrainingSet {
+    let mut ts = TrainingSet::new(2);
+    for i in 0..60 {
+        let active = i % 2 == 0;
+        let skilled = i % 3 == 0;
+        let x = vec![
+            if active { 500.0 } else { 100.0 },
+            if skilled { 80.0 } else { 20.0 },
+        ];
+        ts.push_answer(x.clone(), active);
+        ts.push_vote(x.clone(), if skilled { 5.0 } else { 0.0 });
+        if active {
+            ts.push_timing_thread(
+                vec![(x, 2.0 + (i % 4) as f64)],
+                vec![vec![100.0, 20.0]],
+                100.0,
+                30,
+            );
+        }
+    }
+    ts
+}
+
+fn config() -> TrainConfig {
+    TrainConfig {
+        votes: VoteConfig {
+            epochs: 40,
+            ..VoteConfig::fast()
+        },
+        ..TrainConfig::fast()
+    }
+}
+
+fn model_bits(m: &ResponsePredictor) -> Vec<u64> {
+    let (a, v, _) = m.parts();
+    a.coefficients()
+        .iter()
+        .chain(v.network().params().iter())
+        .map(|w| w.to_bits())
+        .collect()
+}
+
+#[test]
+fn every_train_progress_snapshot_roundtrips_bitwise_through_the_codec() {
+    let ts = training_set();
+    let cfg = config();
+    let reference = ResponsePredictor::train(&ts, &cfg);
+
+    let mut snapshots = Vec::new();
+    let snapshotted =
+        ResponsePredictor::train_resumable(&ts, &cfg, None, 7, &mut |p| snapshots.push(p.clone()));
+    assert_eq!(model_bits(&reference), model_bits(&snapshotted));
+    assert!(snapshots.iter().any(|p| p.answer_state.is_some()));
+    assert!(snapshots.iter().any(|p| p.votes_state.is_some()));
+
+    for (i, snap) in snapshots.iter().enumerate() {
+        // Round-trip through the binary codec, as the on-disk binary
+        // checkpoint does.
+        let bytes = encode_value(&snap.to_value());
+        let value =
+            decode_value(&bytes).unwrap_or_else(|e| panic!("snapshot {i} failed to decode: {e}"));
+        let back = TrainProgress::from_value(&value)
+            .unwrap_or_else(|e| panic!("snapshot {i} failed validation: {e}"));
+
+        // Canonical encoding: the decoded snapshot re-encodes to the
+        // exact same bytes, so no field drifted in transit.
+        assert_eq!(
+            encode_value(&back.to_value()),
+            bytes,
+            "snapshot {i} is not bitwise stable through the codec"
+        );
+
+        // And resuming from the round-tripped snapshot reproduces the
+        // uninterrupted run down to the last bit.
+        let resumed = ResponsePredictor::train_resumable(&ts, &cfg, Some(&back), 0, &mut |_| {});
+        assert_eq!(
+            model_bits(&reference),
+            model_bits(&resumed),
+            "resume from codec-roundtripped snapshot {i}"
+        );
+    }
+}
+
+#[test]
+fn binary_progress_is_smaller_than_json() {
+    let ts = training_set();
+    let cfg = config();
+    let mut last = None;
+    ResponsePredictor::train_resumable(&ts, &cfg, None, 7, &mut |p| last = Some(p.clone()));
+    let progress = last.expect("at least one snapshot");
+    let binary = encode_value(&progress.to_value());
+    let json = serde_json::to_string(&progress).unwrap();
+    assert!(
+        binary.len() < json.len(),
+        "binary ({}) should undercut JSON ({})",
+        binary.len(),
+        json.len()
+    );
+}

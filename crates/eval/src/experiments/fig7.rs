@@ -88,19 +88,13 @@ impl fmt::Display for Fig7Report {
 ///
 /// Panics when a CV run fails despite per-fold retries.
 pub fn run(config: &EvalConfig, windows: &[usize], eval_from_day: usize) -> Fig7Report {
-    run_with(
-        config,
-        windows,
-        eval_from_day,
-        None,
-        CvOptions::default().snapshot_every,
-    )
-    .unwrap_or_else(|e| panic!("fig7: {e}"))
+    run_with(config, windows, eval_from_day, None, &CvOptions::default())
+        .unwrap_or_else(|e| panic!("fig7: {e}"))
 }
 
-/// [`run`] with an optional checkpoint base path and a sub-fold
-/// snapshot cadence (see [`CvOptions::snapshot_every`]): the cell for
-/// window `w` with the full feature set checkpoints into
+/// [`run`] with an optional checkpoint base path and resilience
+/// options (see [`CvOptions`]; `opts.checkpoint` itself is ignored):
+/// the cell for window `w` with the full feature set checkpoints into
 /// `<base>.w<w>.ref.json` and the cell excluding the `j`-th group
 /// into `<base>.w<w>.g<j>.json`.
 ///
@@ -113,7 +107,7 @@ pub fn run_with(
     windows: &[usize],
     eval_from_day: usize,
     checkpoint: Option<&Path>,
-    snapshot_every: usize,
+    opts: &CvOptions,
 ) -> Result<Fig7Report, CvError> {
     let (dataset, _) = config.synth.generate().preprocess();
     let days = DayPartition::new(&dataset);
@@ -141,8 +135,7 @@ pub fn run_with(
 
         let run_cell = |excluded: Option<FeatureGroup>, tag: String| -> Result<Fig7Cell, CvError> {
             let mask = excluded.map(MaskSpec::Group);
-            let opts = CvOptions::maybe_checkpoint(sub_checkpoint(checkpoint, &tag))
-                .with_snapshot_every(snapshot_every);
+            let opts = opts.for_sub(sub_checkpoint(checkpoint, &tag));
             let outcomes = run_cv_resumable(&data, &cfg, mask, false, &opts)?;
             let v = mean_std(&outcomes.iter().map(|o| o.rmse_votes).collect::<Vec<_>>()).0;
             let t = mean_std(&outcomes.iter().map(|o| o.rmse_time).collect::<Vec<_>>()).0;

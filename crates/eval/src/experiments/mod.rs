@@ -26,7 +26,7 @@ use std::path::PathBuf;
 use std::sync::Mutex;
 
 use forumcast_resilience::fault::{self, FaultSite};
-use forumcast_resilience::{with_retry, Checkpoint, CheckpointError};
+use forumcast_resilience::{reclaim_tmp, with_retry, Checkpoint, CheckpointError, CkptFormat};
 
 use crate::config::EvalConfig;
 use crate::data::ExperimentData;
@@ -46,13 +46,18 @@ pub struct CvOptions {
     /// fault-free result bit for bit.
     pub fold_attempts: usize,
     /// Epoch cadence for sub-fold training snapshots
-    /// (`<checkpoint>.fold<job>.train.json`): every this many epochs
+    /// (`<checkpoint>.fold<job>.train.ckpt`): every this many epochs
     /// the in-flight fold persists its full trainer state — model
     /// parameters, optimizer moments, shuffle-RNG state — so a
     /// crashed fold resumes mid-training instead of from its start.
     /// `0` disables sub-fold snapshots; they are only active when
     /// `checkpoint` is also set.
     pub snapshot_every: usize,
+    /// On-disk checkpoint format: the framed, CRC-checked binary
+    /// store (default) or the legacy JSON files. Loading always
+    /// sniffs the file content, so a run can switch formats and still
+    /// resume from checkpoints written under the other one.
+    pub format: CkptFormat,
 }
 
 impl Default for CvOptions {
@@ -61,6 +66,7 @@ impl Default for CvOptions {
             checkpoint: None,
             fold_attempts: 3,
             snapshot_every: 25,
+            format: CkptFormat::default(),
         }
     }
 }
@@ -89,6 +95,24 @@ impl CvOptions {
     pub fn with_snapshot_every(mut self, snapshot_every: usize) -> Self {
         self.snapshot_every = snapshot_every;
         self
+    }
+
+    /// Returns the options with the on-disk checkpoint format set —
+    /// the shape the drivers thread through from a `--ckpt-format`
+    /// flag.
+    pub fn with_format(mut self, format: CkptFormat) -> Self {
+        self.format = format;
+        self
+    }
+
+    /// The same options re-targeted at a sub-run's checkpoint file —
+    /// how the multi-CV figure drivers carry one option set across
+    /// their per-`K` / per-feature / per-window sweeps.
+    pub fn for_sub(&self, checkpoint: Option<PathBuf>) -> Self {
+        CvOptions {
+            checkpoint,
+            ..self.clone()
+        }
     }
 }
 
@@ -200,7 +224,7 @@ pub fn run_cv(
 ///
 /// With `snapshot_every > 0` on top of a checkpoint, resume is
 /// *epoch*-granular: each in-flight fold persists its full trainer
-/// state to `<checkpoint>.fold<job>.train.json` at that cadence, a
+/// state to `<checkpoint>.fold<job>.train.ckpt` at that cadence, a
 /// re-run fold fast-forwards from the latest snapshot along a
 /// bitwise-identical trajectory, and the snapshot file is discarded
 /// when the fold completes. A corrupt or truncated snapshot is never
@@ -238,8 +262,22 @@ pub fn run_cv_resumable(
     let mut outcomes: Vec<Option<FoldOutcome>> = vec![None; jobs.len()];
     let checkpoint = match &options.checkpoint {
         Some(path) => {
-            let cp = Checkpoint::<FoldOutcome>::load(path, &meta)?
-                .unwrap_or_else(|| Checkpoint::new(meta.clone()));
+            // A crash mid-save leaves `<path>.tmp` behind; the real
+            // file (if any) is still the last complete save, so the
+            // leftover is reclaimed (counted `ckpt.tmp.reclaimed`).
+            reclaim_tmp(path);
+            let cp = match Checkpoint::<FoldOutcome>::load(path, &meta) {
+                Ok(found) => found.unwrap_or_else(|| Checkpoint::new(meta.clone())),
+                // An unusable checkpoint was already quarantined to
+                // `<path>.corrupt` by the loader: fall back to a
+                // counted full recompute instead of aborting the run.
+                Err(e @ CheckpointError::Corrupt { .. }) => {
+                    forumcast_obs::counter_add("eval.checkpoint.corrupt_recovered", 1);
+                    eprintln!("warning: checkpoint unusable, recomputing its folds: {e}");
+                    Checkpoint::new(meta.clone())
+                }
+                Err(e) => return Err(e.into()),
+            };
             for (unit, outcome) in &cp.entries {
                 if let Some(slot) = outcomes.get_mut(*unit as usize) {
                     *slot = Some(*outcome);
@@ -270,6 +308,7 @@ pub fn run_cv_resumable(
                     &meta,
                     options.snapshot_every,
                     (jobs.len() + job) as u64,
+                    options.format,
                 )
             })
     };
@@ -309,7 +348,7 @@ pub fn run_cv_resumable(
         if let Some((cp, path)) = &checkpoint {
             let mut cp = cp.lock().expect("checkpoint lock");
             cp.record(job as u64, outcome);
-            cp.save(path)?;
+            cp.save_with(path, options.format)?;
         }
         // The fold's result is durable in the fold-level checkpoint;
         // its mid-training snapshot is no longer needed.
@@ -455,7 +494,7 @@ mod tests {
                 let err = run_cv_resumable(&data, &cfg, None, false, &opts).unwrap_err();
                 assert!(matches!(err, CvError::FoldFailed { job: 1, .. }), "{err}");
             }
-            let snapshot = std::path::PathBuf::from(format!("{}.fold1.train.json", path.display()));
+            let snapshot = std::path::PathBuf::from(format!("{}.fold1.train.ckpt", path.display()));
             assert!(
                 snapshot.exists(),
                 "mid-training snapshot must survive the crash"
@@ -513,12 +552,115 @@ mod tests {
                 .arm();
             run_cv_resumable(&data, &cfg, None, false, &opts).unwrap_err();
         }
-        let snapshot = std::path::PathBuf::from(format!("{}.fold1.train.json", path.display()));
-        let json = std::fs::read_to_string(&snapshot).unwrap();
-        std::fs::write(&snapshot, &json[..json.len() / 2]).unwrap();
+        let snapshot = std::path::PathBuf::from(format!("{}.fold1.train.ckpt", path.display()));
+        let bytes = std::fs::read(&snapshot).unwrap();
+        std::fs::write(&snapshot, &bytes[..bytes.len() / 2]).unwrap();
 
         let resumed = run_cv_resumable(&data, &cfg, None, false, &opts).unwrap();
         assert_eq!(clean, resumed);
+        std::fs::remove_file(&path).unwrap();
+        // A truncation that still scans as a valid store prefix is
+        // silently truncated (not quarantined); one that breaks a
+        // frame is moved aside. Clean up either way.
+        let _ = std::fs::remove_file(forumcast_store::corrupt_path(&snapshot));
+    }
+
+    /// A corrupted *fold-level* checkpoint is quarantined by the
+    /// loader and the sweep recomputes (counted) instead of aborting.
+    #[test]
+    fn corrupt_fold_checkpoint_recomputes_instead_of_aborting() {
+        let _lock = CV_LOCK.lock().unwrap();
+        let mut cfg = EvalConfig::quick();
+        cfg.folds = 2;
+        cfg.repeats = 1;
+        let (ds, _) = cfg.synth.generate().preprocess();
+        let data = ExperimentData::build(&ds, &cfg);
+        let clean = run_cv(&data, &cfg, None, false);
+
+        let path = temp_checkpoint("corrupt-fold-ckpt");
+        let opts = CvOptions::with_checkpoint(&path);
+        run_cv_resumable(&data, &cfg, None, false, &opts).unwrap();
+        // Flip a bit in the last frame's CRC: the frame is complete
+        // but its checksum no longer matches, so the next load
+        // detects and quarantines it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        *bytes.last_mut().unwrap() ^= 0x08;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let resumed = run_cv_resumable(&data, &cfg, None, false, &opts).unwrap();
+        assert_eq!(clean, resumed, "recomputed run must match the clean one");
+        let quarantined = forumcast_store::corrupt_path(&path);
+        assert!(
+            quarantined.exists(),
+            "corrupt checkpoint must be moved aside, not deleted"
+        );
+        std::fs::remove_file(&quarantined).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// A stale `<path>.tmp` left by a crash mid-save is reclaimed
+    /// when the run restarts, before the checkpoint is read.
+    #[test]
+    fn stale_checkpoint_tmp_is_reclaimed_on_restart() {
+        let _lock = CV_LOCK.lock().unwrap();
+        let mut cfg = EvalConfig::quick();
+        cfg.folds = 2;
+        cfg.repeats = 1;
+        let (ds, _) = cfg.synth.generate().preprocess();
+        let data = ExperimentData::build(&ds, &cfg);
+        let path = temp_checkpoint("tmp-reclaim");
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, b"half-written checkpoint junk").unwrap();
+        let opts = CvOptions::with_checkpoint(&path);
+        run_cv_resumable(&data, &cfg, None, false, &opts).unwrap();
+        assert!(!tmp.exists(), "stale tmp must be reclaimed at startup");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Format migration: a run interrupted under the legacy JSON
+    /// format resumes under the binary default — reading both the
+    /// JSON fold-level checkpoint and the JSON sub-fold snapshot —
+    /// to bits identical to an uninterrupted run.
+    #[test]
+    fn json_era_checkpoints_resume_under_binary_bitwise_identically() {
+        let _lock = CV_LOCK.lock().unwrap();
+        let mut cfg = EvalConfig::quick();
+        cfg.folds = 2;
+        cfg.repeats = 1;
+        let (ds, _) = cfg.synth.generate().preprocess();
+        let data = ExperimentData::build(&ds, &cfg);
+        let clean = run_cv(&data, &cfg, None, false);
+
+        let path = temp_checkpoint("json-migration");
+        let mut json_opts = CvOptions::with_checkpoint(&path).with_format(CkptFormat::Json);
+        json_opts.snapshot_every = 5;
+        json_opts.fold_attempts = 1;
+        {
+            let _guard = forumcast_resilience::FaultPlan::parse("fold-panic:3")
+                .unwrap()
+                .arm();
+            run_cv_resumable(&data, &cfg, None, false, &json_opts).unwrap_err();
+        }
+        let snapshot = std::path::PathBuf::from(format!("{}.fold1.train.json", path.display()));
+        assert!(snapshot.exists(), "JSON-era sub-fold snapshot on disk");
+        assert!(
+            std::fs::read(&path).unwrap().starts_with(b"{"),
+            "fold-level checkpoint was written as JSON"
+        );
+
+        // Resume with the binary default: both JSON files are read
+        // (sniffed / legacy fallback) and the result is bitwise
+        // identical to the uninterrupted run.
+        let mut bin_opts = CvOptions::with_checkpoint(&path);
+        bin_opts.snapshot_every = 5;
+        let resumed = run_cv_resumable(&data, &cfg, None, false, &bin_opts).unwrap();
+        let clean_bits: Vec<u64> = clean.iter().flat_map(outcome_bits).collect();
+        let resumed_bits: Vec<u64> = resumed.iter().flat_map(outcome_bits).collect();
+        assert_eq!(clean_bits, resumed_bits);
+        assert!(
+            !snapshot.exists(),
+            "completed fold discards the legacy snapshot too"
+        );
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -534,7 +676,7 @@ mod tests {
         let data = ExperimentData::build(&ds, &cfg);
         let path = temp_checkpoint("stale-subfold");
         let opts = CvOptions::with_checkpoint(&path);
-        SubfoldHandle::new(&path, 0, "some other run", 5, 2)
+        SubfoldHandle::new(&path, 0, "some other run", 5, 2, CkptFormat::Binary)
             .save(&forumcast_core::TrainProgress::default());
         let err = run_cv_resumable(&data, &cfg, None, false, &opts).unwrap_err();
         match &err {
@@ -542,7 +684,7 @@ mod tests {
             other => panic!("expected Stale, got {other}"),
         }
         assert!(err.to_string().contains("--resume"), "{err}");
-        let snapshot = std::path::PathBuf::from(format!("{}.fold0.train.json", path.display()));
+        let snapshot = std::path::PathBuf::from(format!("{}.fold0.train.ckpt", path.display()));
         std::fs::remove_file(&snapshot).unwrap();
     }
 

@@ -64,16 +64,16 @@ impl fmt::Display for Table1Report {
 ///
 /// Panics when the CV sweep fails despite per-fold retries.
 pub fn run(config: &EvalConfig) -> Table1Report {
-    run_with(config, None, CvOptions::default().snapshot_every)
-        .unwrap_or_else(|e| panic!("table1: {e}"))
+    run_with(config, None, &CvOptions::default()).unwrap_or_else(|e| panic!("table1: {e}"))
 }
 
-/// [`run`] with an optional checkpoint file and a sub-fold snapshot
-/// cadence: completed folds are saved after each fold and skipped
-/// when rerun with the same path, and (with a checkpoint set) every
-/// `snapshot_every` training epochs the in-flight fold persists its
-/// trainer state so even a mid-fold crash resumes without losing the
-/// fold (`0` disables sub-fold snapshots).
+/// [`run`] with an optional checkpoint file and resilience options:
+/// completed folds are saved after each fold (in `opts.format`) and
+/// skipped when rerun with the same path, and (with a checkpoint set)
+/// every `opts.snapshot_every` training epochs the in-flight fold
+/// persists its trainer state so even a mid-fold crash resumes
+/// without losing the fold. `opts.checkpoint` itself is ignored — the
+/// `checkpoint` argument names the file.
 ///
 /// # Errors
 ///
@@ -82,12 +82,11 @@ pub fn run(config: &EvalConfig) -> Table1Report {
 pub fn run_with(
     config: &EvalConfig,
     checkpoint: Option<&Path>,
-    snapshot_every: usize,
+    opts: &CvOptions,
 ) -> Result<Table1Report, CvError> {
     let (dataset, _) = config.synth.generate().preprocess();
     let data = ExperimentData::build(&dataset, config);
-    let opts = CvOptions::maybe_checkpoint(checkpoint.map(Path::to_path_buf))
-        .with_snapshot_every(snapshot_every);
+    let opts = opts.for_sub(checkpoint.map(Path::to_path_buf));
     let outcomes = run_cv_resumable(&data, config, None, true, &opts)?;
     Ok(report_from(&outcomes))
 }

@@ -42,5 +42,6 @@ pub use config::EvalConfig;
 pub use data::{ExperimentData, PairRecord};
 pub use experiments::{run_cv, run_cv_resumable, CvError, CvOptions};
 pub use fold::{FoldOutcome, MaskSpec};
+pub use forumcast_resilience::CkptFormat;
 pub use metrics::{auc, cdf_points, mae, pearson, rmse, spearman};
 pub use subfold::SubfoldHandle;

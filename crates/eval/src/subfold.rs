@@ -1,21 +1,29 @@
 //! Sub-fold (mid-training) checkpoint plumbing for resumable CV.
 //!
 //! A [`SubfoldHandle`] binds one fold job to its on-disk
-//! [`TrainCheckpoint`] file: `<base>.fold<job>.train.json`, next to
-//! the fold-level checkpoint at `<base>`. While the fold trains, the
-//! handle persists every `snapshot_every`-th epoch's
+//! [`TrainCheckpoint`] file: `<base>.fold<job>.train.ckpt` (framed
+//! binary; `.json` when the run selects the legacy JSON format), next
+//! to the fold-level checkpoint at `<base>`. While the fold trains,
+//! the handle persists every `snapshot_every`-th epoch's
 //! [`TrainProgress`] atomically; when the fold is re-run after a
 //! crash, the handle loads the latest snapshot back and the trainer
 //! fast-forwards through the recorded epochs to a bitwise-identical
 //! trajectory. A completed fold discards its file — the fold-level
 //! checkpoint now carries the outcome.
 //!
+//! A binary-format handle also *reads* the legacy
+//! `<base>.fold<job>.train.json` path left behind by an older build,
+//! so an in-flight resume survives the format switch; new snapshots
+//! are always written in the selected format.
+//!
 //! Failure policy, per layer:
 //!
 //! * missing file — fresh fold, train from scratch;
-//! * corrupt / truncated file — **never trusted**: counted under
-//!   `eval.subfold.corrupt` and ignored, falling back to a fold-start
-//!   recompute (which still reproduces the uninterrupted run);
+//! * corrupt / truncated file — **never trusted**: quarantined to
+//!   `<file>.corrupt` by the loader, counted under
+//!   `eval.subfold.corrupt`, and ignored, falling back to a
+//!   fold-start recompute (which still reproduces the uninterrupted
+//!   run);
 //! * stale fingerprint (file from a differently-configured run) — a
 //!   hard [`CheckpointError::Stale`] error, surfaced *before* any
 //!   fold work starts so the operator sees the remedy immediately;
@@ -24,21 +32,27 @@
 //!   loses resume granularity).
 
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use forumcast_core::TrainProgress;
 use forumcast_resilience::fault::{self, FaultSite};
-use forumcast_resilience::{CheckpointError, TrainCheckpoint};
+use forumcast_resilience::{reclaim_tmp, CheckpointError, CkptFormat, TrainCheckpoint};
 
 /// One fold job's sub-fold checkpoint binding. See the module docs
 /// for the failure policy.
 #[derive(Debug)]
 pub struct SubfoldHandle {
     path: PathBuf,
+    /// Legacy JSON snapshot path, read (never written) by a
+    /// binary-format handle so resumes survive the format migration.
+    legacy_path: Option<PathBuf>,
     fingerprint: String,
     snapshot_every: usize,
+    format: CkptFormat,
     /// Fault unit for both the post-save kill probe (`fold-panic`)
-    /// and the save-failure probe (`ckpt-write`): total job count +
-    /// job index, disjoint from the fold-level unit spaces.
+    /// and the save-failure probes (`ckpt-write`, `torn-write`,
+    /// `bit-flip`, `fsync-fail`): total job count + job index,
+    /// disjoint from the fold-level unit spaces.
     kill_unit: u64,
 }
 
@@ -47,27 +61,38 @@ impl SubfoldHandle {
     /// snapshot file under `base` (the fold-level checkpoint path).
     /// `kill_unit` is the fault-probe unit (total jobs + job index).
     ///
-    /// The fingerprint deliberately excludes the snapshot cadence:
-    /// snapshots never perturb training, so resuming under a changed
-    /// cadence still reproduces the uninterrupted run.
+    /// The fingerprint deliberately excludes the snapshot cadence and
+    /// the on-disk format: neither perturbs training, so resuming
+    /// under a changed cadence or format still reproduces the
+    /// uninterrupted run.
     pub fn new(
         base: &Path,
         job: usize,
         cv_meta: &str,
         snapshot_every: usize,
         kill_unit: u64,
+        format: CkptFormat,
     ) -> Self {
-        let mut name = base.as_os_str().to_os_string();
-        name.push(format!(".fold{job}.train.json"));
+        let suffixed = |ext: &str| {
+            let mut name = base.as_os_str().to_os_string();
+            name.push(format!(".fold{job}.train.{ext}"));
+            PathBuf::from(name)
+        };
+        let (path, legacy_path) = match format {
+            CkptFormat::Binary => (suffixed("ckpt"), Some(suffixed("json"))),
+            CkptFormat::Json => (suffixed("json"), None),
+        };
         SubfoldHandle {
-            path: PathBuf::from(name),
+            path,
+            legacy_path,
             fingerprint: format!("subfold-v1 job={job} {cv_meta}"),
             snapshot_every,
+            format,
             kill_unit,
         }
     }
 
-    /// The snapshot file path.
+    /// The snapshot file path (in the handle's write format).
     pub fn path(&self) -> &Path {
         &self.path
     }
@@ -78,6 +103,12 @@ impl SubfoldHandle {
         self.snapshot_every
     }
 
+    /// The paths a resume may read: the primary path first, then the
+    /// legacy JSON path a pre-migration build would have written.
+    fn read_paths(&self) -> impl Iterator<Item = &Path> {
+        std::iter::once(self.path.as_path()).chain(self.legacy_path.as_deref())
+    }
+
     /// Pre-flight check run before any fold work: surfaces a stale
     /// snapshot (wrong fingerprint) as a hard error carrying the
     /// path, both fingerprints, and the remedy. Every other state —
@@ -86,38 +117,63 @@ impl SubfoldHandle {
     ///
     /// # Errors
     ///
-    /// Returns [`CheckpointError::Stale`] exactly when the file
-    /// exists, parses, and belongs to a different run.
+    /// Returns [`CheckpointError::Stale`] exactly when a snapshot
+    /// file (primary or legacy) exists, parses, and belongs to a
+    /// different run.
     pub fn check(&self) -> Result<(), CheckpointError> {
-        match TrainCheckpoint::<TrainProgress>::load(&self.path, &self.fingerprint) {
-            Err(e @ CheckpointError::Stale { .. }) => Err(e),
-            _ => Ok(()),
-        }
-    }
-
-    /// Loads the resume snapshot, if a trustworthy one exists.
-    /// Corrupt or unreadable files are counted and ignored — the fold
-    /// recomputes from its start, which is always safe.
-    pub fn load(&self) -> Option<TrainProgress> {
-        match TrainCheckpoint::<TrainProgress>::load(&self.path, &self.fingerprint) {
-            Ok(found) => found.map(|cp| cp.payload),
-            Err(e) => {
-                forumcast_obs::counter_add("eval.subfold.corrupt", 1);
-                forumcast_obs::mark("eval.subfold.corrupt", self.kill_unit);
-                eprintln!("warning: ignoring unusable sub-fold checkpoint: {e}");
-                None
+        for path in self.read_paths() {
+            if let Err(e @ CheckpointError::Stale { .. }) =
+                TrainCheckpoint::<TrainProgress>::load(path, &self.fingerprint)
+            {
+                return Err(e);
             }
         }
+        Ok(())
     }
 
-    /// Persists `progress` atomically, then probes the mid-training
-    /// kill site (`fold-panic` at `kill_unit`) — the injected analogue
-    /// of a crash landing right after a snapshot hits disk. Save
-    /// failures are best-effort (counted, training continues).
+    /// Loads the resume snapshot, if a trustworthy one exists,
+    /// preferring the primary path and falling back to the legacy
+    /// JSON one. A stale `.tmp` leftover from a crash mid-save is
+    /// reclaimed first. Corrupt or unreadable files are counted
+    /// (`eval.subfold.corrupt`) and skipped — with no usable
+    /// snapshot the fold recomputes from its start, which is always
+    /// safe. Read time lands in the `ckpt.subfold.read_ms` counter.
+    pub fn load(&self) -> Option<TrainProgress> {
+        reclaim_tmp(&self.path);
+        let started = Instant::now();
+        let mut found = None;
+        for path in self.read_paths() {
+            match TrainCheckpoint::<TrainProgress>::load(path, &self.fingerprint) {
+                Ok(Some(cp)) => {
+                    found = Some(cp.payload);
+                    break;
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    forumcast_obs::counter_add("eval.subfold.corrupt", 1);
+                    forumcast_obs::mark("eval.subfold.corrupt", self.kill_unit);
+                    eprintln!("warning: ignoring unusable sub-fold checkpoint: {e}");
+                }
+            }
+        }
+        forumcast_obs::counter_add(
+            "ckpt.subfold.read_ms",
+            u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX),
+        );
+        found
+    }
+
+    /// Persists `progress` atomically in the handle's format, then
+    /// probes the mid-training kill site (`fold-panic` at
+    /// `kill_unit`) — the injected analogue of a crash landing right
+    /// after a snapshot hits disk. Save failures are best-effort
+    /// (counted, training continues).
     pub fn save(&self, progress: &TrainProgress) {
-        match TrainCheckpoint::new(&*self.fingerprint, progress.clone())
-            .save(&self.path, self.kill_unit)
-        {
+        match TrainCheckpoint::new(&*self.fingerprint, progress.clone()).save_with(
+            &self.path,
+            self.kill_unit,
+            self.format,
+        ) {
             Ok(()) => {}
             Err(e) => {
                 forumcast_obs::counter_add("eval.subfold.save_failed", 1);
@@ -127,10 +183,13 @@ impl SubfoldHandle {
         fault::panic_point(FaultSite::FoldPanic, self.kill_unit);
     }
 
-    /// Removes the snapshot file once the fold completes — its result
-    /// now lives in the fold-level checkpoint.
+    /// Removes the snapshot file (and any legacy-format leftover)
+    /// once the fold completes — its result now lives in the
+    /// fold-level checkpoint.
     pub fn discard(&self) {
-        let _ = std::fs::remove_file(&self.path);
+        for path in self.read_paths() {
+            let _ = std::fs::remove_file(path);
+        }
     }
 }
 
@@ -148,15 +207,18 @@ mod tests {
     }
 
     fn handle(base: &Path) -> SubfoldHandle {
-        SubfoldHandle::new(base, 3, "cv folds=2 seed=1", 25, 10)
+        SubfoldHandle::new(base, 3, "cv folds=2 seed=1", 25, 10, CkptFormat::Binary)
     }
 
     #[test]
     fn path_nests_under_the_fold_checkpoint_base() {
         let base = temp_base("path");
         let h = handle(&base);
-        let expected = format!("{}.fold3.train.json", base.display());
+        let expected = format!("{}.fold3.train.ckpt", base.display());
         assert_eq!(h.path().display().to_string(), expected);
+        let legacy = SubfoldHandle::new(&base, 3, "m", 25, 10, CkptFormat::Json);
+        let expected = format!("{}.fold3.train.json", base.display());
+        assert_eq!(legacy.path().display().to_string(), expected);
     }
 
     #[test]
@@ -176,17 +238,50 @@ mod tests {
         let base = temp_base("corrupt");
         let h = handle(&base);
         h.save(&TrainProgress::default());
-        let json = std::fs::read_to_string(h.path()).unwrap();
-        std::fs::write(h.path(), &json[..json.len() / 3]).unwrap();
+        // Flip a bit in the last frame's CRC: the frame checksum
+        // catches it and the loader quarantines the file rather than
+        // trusting the contents.
+        let mut bad = std::fs::read(h.path()).unwrap();
+        *bad.last_mut().unwrap() ^= 0x10;
+        std::fs::write(h.path(), &bad).unwrap();
         assert!(h.check().is_ok(), "corrupt is not stale");
         assert!(h.load().is_none());
+        let quarantined = forumcast_store::corrupt_path(h.path());
+        assert!(quarantined.exists(), "corrupt snapshot is moved aside");
+        std::fs::remove_file(&quarantined).unwrap();
         h.discard();
+    }
+
+    #[test]
+    fn legacy_json_snapshot_is_read_by_a_binary_handle() {
+        let base = temp_base("legacy");
+        let meta = "cv folds=2 seed=1";
+        let old = SubfoldHandle::new(&base, 3, meta, 25, 10, CkptFormat::Json);
+        old.save(&TrainProgress::default());
+        let new = handle(&base);
+        assert!(new.check().is_ok());
+        assert!(
+            new.load().is_some(),
+            "binary handle must fall back to the legacy JSON snapshot"
+        );
+        new.discard();
+        assert!(!old.path().exists(), "discard removes the legacy file too");
+    }
+
+    #[test]
+    fn stale_tmp_leftover_is_reclaimed_on_load() {
+        let base = temp_base("tmpreclaim");
+        let h = handle(&base);
+        let tmp = h.path().with_extension("tmp");
+        std::fs::write(&tmp, b"half-written junk").unwrap();
+        assert!(h.load().is_none());
+        assert!(!tmp.exists(), "load must reclaim the stale tmp file");
     }
 
     #[test]
     fn stale_snapshot_fails_the_preflight_check() {
         let base = temp_base("stale");
-        let writer = SubfoldHandle::new(&base, 3, "cv folds=5 seed=9", 25, 10);
+        let writer = SubfoldHandle::new(&base, 3, "cv folds=5 seed=9", 25, 10, CkptFormat::Binary);
         writer.save(&TrainProgress::default());
         let reader = handle(&base);
         let err = reader.check().unwrap_err();

@@ -9,10 +9,18 @@
 //! the RNG exclusively through per-epoch shuffles, so the RNG words
 //! alone determine the remaining mini-batch schedule.
 //!
-//! Loading is strict: [`TrainState::from_json`] rejects non-finite
-//! numbers (the JSON layer serializes NaN/∞ as `null`), degenerate
-//! RNG state, and malformed optimizer payloads with a typed
+//! Loading is strict: [`TrainState::from_json`] and
+//! [`TrainState::from_bytes`] reject non-finite numbers (the JSON
+//! layer serializes NaN/∞ as `null`; the binary codec carries their
+//! raw bits, which the same validation then refuses), degenerate RNG
+//! state, and malformed optimizer payloads with a typed
 //! [`TrainStateError`] instead of silently resuming from garbage.
+//!
+//! Two wire formats share that validation: JSON (legacy, shortest
+//! round-trip decimals) and the `forumcast-store` binary codec
+//! ([`TrainState::to_bytes`]), which packs the parameter and moment
+//! vectors as contiguous little-endian doubles — bitwise-exact and
+//! several times smaller than the decimal rendering.
 
 use serde::{DeError, Deserialize, Serialize, Value};
 
@@ -156,6 +164,29 @@ impl TrainState {
     pub fn from_json(s: &str) -> Result<Self, TrainStateError> {
         let v: Value =
             serde_json::from_str(s).map_err(|e| TrainStateError::Parse(e.to_string()))?;
+        decode_train_state(&v)
+    }
+
+    /// Serializes the snapshot with the store's binary codec. Every
+    /// `f64` is stored as raw IEEE bits, so the round-trip is exact
+    /// by construction; the flat parameter and moment vectors take
+    /// the packed contiguous-doubles encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        forumcast_store::encode_value(&self.to_value())
+    }
+
+    /// Parses and validates a binary snapshot, applying exactly the
+    /// same strictness as [`from_json`](Self::from_json): the codec
+    /// can represent NaN/∞ faithfully, and this decoder still refuses
+    /// to resume from them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainStateError`] on malformed bytes, non-finite
+    /// numbers, unknown optimizer variants, or degenerate RNG state.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TrainStateError> {
+        let v = forumcast_store::decode_value(bytes)
+            .map_err(|e| TrainStateError::Parse(e.to_string()))?;
         decode_train_state(&v)
     }
 }
@@ -484,6 +515,56 @@ mod tests {
                 b.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
             );
             params = a;
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip_is_bitwise_including_subnormals() {
+        let mut state = adam_state();
+        state.params.push(f64::MIN_POSITIVE); // smallest subnormal-adjacent
+        state.params.push(-0.0);
+        state.params.push(5e-324); // smallest subnormal
+        let back = TrainState::from_bytes(&state.to_bytes()).unwrap();
+        assert_eq!(back, state);
+        for (a, b) in state.params.iter().zip(&back.params) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Canonical encoding: re-encoding the decoded state is
+        // byte-identical.
+        assert_eq!(back.to_bytes(), state.to_bytes());
+    }
+
+    #[test]
+    fn binary_is_smaller_than_json() {
+        let mut state = adam_state();
+        state.params = (0..512).map(|i| (i as f64).sin()).collect();
+        assert!(state.to_bytes().len() < state.to_json().len() / 2);
+    }
+
+    #[test]
+    fn binary_nan_rejected_even_though_representable() {
+        let mut state = adam_state();
+        state.params[0] = f64::NAN;
+        // The binary codec carries the NaN bits faithfully …
+        let bytes = state.to_bytes();
+        // … and the validating decoder still refuses them.
+        match TrainState::from_bytes(&bytes) {
+            Err(TrainStateError::NonFinite { field, index }) => {
+                assert_eq!(field, "params");
+                assert_eq!(index, 0);
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_truncation_of_binary_state_is_a_typed_error() {
+        let bytes = adam_state().to_bytes();
+        for cut in 0..bytes.len() {
+            match TrainState::from_bytes(&bytes[..cut]) {
+                Err(_) => {}
+                Ok(s) => panic!("truncation at {cut} decoded silently to {s:?}"),
+            }
         }
     }
 

@@ -1,19 +1,135 @@
-//! JSON checkpoint files for resumable sweeps.
+//! Checkpoint files for resumable sweeps.
 //!
 //! A [`Checkpoint`] records `(unit index, result)` entries — one per
 //! completed work item, e.g. one CV fold — plus a free-form `meta`
 //! fingerprint describing the run configuration. Drivers save the
 //! checkpoint after every completed item (atomically: write to a
-//! temporary file, then rename) and, on resume, load it back, verify
-//! the fingerprint, and skip the recorded units. Because every unit
-//! is a pure function of its inputs, merging checkpointed and freshly
-//! computed results reproduces an uninterrupted run bit for bit.
+//! temporary file, fsync, then rename) and, on resume, load it back,
+//! verify the fingerprint, and skip the recorded units. Because every
+//! unit is a pure function of its inputs, merging checkpointed and
+//! freshly computed results reproduces an uninterrupted run bit for
+//! bit.
+//!
+//! # Formats
+//!
+//! The default on-disk format ([`CkptFormat::Binary`]) is the framed
+//! binary store from `forumcast-store`: a CRC-guarded header carrying
+//! the fingerprint, then one CRC-guarded frame per entry. Torn tails
+//! truncate to the valid entry prefix (the lost tail is recomputed);
+//! any CRC mismatch quarantines the file to `<path>.corrupt` and
+//! surfaces as [`CheckpointError::Corrupt`]. The legacy JSON format
+//! ([`CkptFormat::Json`]) is still written on request and **read
+//! transparently for one release**: loads sniff the file magic, so a
+//! PR 4-era JSON checkpoint resumes seamlessly and the next save
+//! migrates it to binary.
+//!
+//! # Fault sites
+//!
+//! Saves probe four sites (unit = the caller's save unit):
+//! `ckpt-write` (truncated tmp, error before rename — the legacy
+//! crash-mid-write), `torn-write` (final frame cut *after* a
+//! successful rename), `bit-flip` (one payload bit flipped
+//! post-rename), and `fsync-fail` (save errors at the sync step, old
+//! checkpoint intact).
 
 use serde::{expect_object, missing_field, obj_get, Deserialize, Serialize, Value};
 use std::fmt;
 use std::path::Path;
 
 use crate::fault::{self, FaultSite};
+use forumcast_store::{
+    decode_value, encode_value, is_store_bytes, Corruption, SaveOptions, StoreError, StoreFile,
+};
+
+pub use forumcast_store::reclaim_tmp;
+
+/// On-disk checkpoint encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CkptFormat {
+    /// Framed, CRC-checksummed binary store (the default).
+    #[default]
+    Binary,
+    /// Legacy pretty-printed JSON (kept one release for migration).
+    Json,
+}
+
+impl CkptFormat {
+    /// Parses a `--ckpt-format` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted values.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "binary" => Ok(CkptFormat::Binary),
+            "json" => Ok(CkptFormat::Json),
+            other => Err(format!(
+                "unknown checkpoint format `{other}` (expected `binary` or `json`)"
+            )),
+        }
+    }
+
+    /// The spec name (`binary` / `json`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CkptFormat::Binary => "binary",
+            CkptFormat::Json => "json",
+        }
+    }
+}
+
+impl fmt::Display for CkptFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds the [`SaveOptions`] for one save by probing the
+/// media-damage fault sites at `unit`. `torn-write` and `bit-flip`
+/// complete the save and plant damage for the next reader;
+/// `fsync-fail` makes the save itself error.
+fn injected_save_options(unit: u64) -> SaveOptions {
+    let mut opts = SaveOptions::default();
+    if fault::fires(FaultSite::TornWrite, unit) {
+        opts.corruption = Some(Corruption::TearLastFrame);
+    }
+    if fault::fires(FaultSite::BitFlip, unit) {
+        opts.corruption = Some(Corruption::FlipPayloadBit { bit: unit });
+    }
+    if fault::fires(FaultSite::FsyncFail, unit) {
+        opts.fail_sync = Some(format!("{} fsync-fail:{unit}", fault::INJECTED_PREFIX));
+    }
+    opts
+}
+
+fn store_io_err(path: &Path, e: StoreError) -> CheckpointError {
+    CheckpointError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    }
+}
+
+/// The legacy `ckpt-write` fault: leave a truncated tmp behind and
+/// fail before the rename, exactly what a disk-full or power cut
+/// mid-write does. Returns the error to surface when fired; `bytes`
+/// is lazy so the unfired fast path costs one atomic load.
+fn ckpt_write_fault(
+    path: &Path,
+    unit: u64,
+    bytes: impl FnOnce() -> Vec<u8>,
+) -> Option<CheckpointError> {
+    if fault::fires(FaultSite::CkptWrite, unit) {
+        let bytes = bytes();
+        let tmp = path.with_extension("tmp");
+        let _ = std::fs::write(&tmp, &bytes[..bytes.len() / 2]);
+        Some(CheckpointError::Io {
+            path: path.display().to_string(),
+            message: format!("{} ckpt-write:{unit}", fault::INJECTED_PREFIX),
+        })
+    } else {
+        None
+    }
+}
 
 /// Completed-unit log for one resumable run.
 ///
@@ -57,42 +173,63 @@ impl<T> Checkpoint<T> {
 }
 
 impl<T: Serialize> Checkpoint<T> {
-    /// Atomically saves the checkpoint as pretty JSON: writes
-    /// `<path>.tmp`, then renames over `path`, so a crash mid-write
-    /// never corrupts an existing checkpoint.
-    ///
-    /// The tmp write probes the `ckpt-write` fault site (unit = number
-    /// of recorded entries): a fired shot leaves a *truncated* tmp
-    /// file behind and fails before the rename — exactly what a disk
-    /// full or power cut mid-write would do — so tests can prove the
-    /// real checkpoint survives untouched.
+    /// Saves in the default (binary) format. See [`Self::save_with`].
     ///
     /// # Errors
     ///
     /// Returns [`CheckpointError::Io`] on filesystem failure.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
-        let json = serde_json::to_string_pretty(self).map_err(|e| CheckpointError::Io {
-            path: path.display().to_string(),
-            message: e.to_string(),
-        })?;
-        let tmp = path.with_extension("tmp");
-        let io_err = |e: std::io::Error| CheckpointError::Io {
-            path: path.display().to_string(),
-            message: e.to_string(),
-        };
-        if fault::fires(FaultSite::CkptWrite, self.entries.len() as u64) {
-            let _ = std::fs::write(&tmp, &json.as_bytes()[..json.len() / 2]);
-            return Err(CheckpointError::Io {
-                path: path.display().to_string(),
-                message: format!(
-                    "{} ckpt-write:{}",
-                    fault::INJECTED_PREFIX,
-                    self.entries.len()
-                ),
-            });
+        self.save_with(path, CkptFormat::default())
+    }
+
+    /// Atomically and durably saves the checkpoint: writes
+    /// `<path>.tmp`, fsyncs, renames over `path`, fsyncs the parent
+    /// directory — a crash mid-write never corrupts an existing
+    /// checkpoint, and a completed save survives power loss.
+    ///
+    /// Probes the `ckpt-write`, `torn-write`, `bit-flip`, and
+    /// `fsync-fail` fault sites at unit = number of recorded entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] on filesystem failure
+    /// (including the injected `ckpt-write`/`fsync-fail` faults).
+    pub fn save_with(&self, path: &Path, format: CkptFormat) -> Result<(), CheckpointError> {
+        let unit = self.entries.len() as u64;
+        match format {
+            CkptFormat::Binary => {
+                // One frame per entry: a torn tail costs only the
+                // last entries, which resume recomputes.
+                let frames: Vec<Vec<u8>> = self
+                    .entries
+                    .iter()
+                    .map(|(u, r)| encode_value(&Value::Array(vec![Value::U64(*u), r.to_value()])))
+                    .collect();
+                let store = StoreFile::new(&self.meta, frames);
+                if let Some(err) = ckpt_write_fault(path, unit, || store.encode()) {
+                    return Err(err);
+                }
+                store
+                    .save(path, &injected_save_options(unit))
+                    .map_err(|e| store_io_err(path, e))?;
+            }
+            CkptFormat::Json => {
+                let json = serde_json::to_string_pretty(self).map_err(|e| CheckpointError::Io {
+                    path: path.display().to_string(),
+                    message: e.to_string(),
+                })?;
+                if let Some(err) = ckpt_write_fault(path, unit, || json.clone().into_bytes()) {
+                    return Err(err);
+                }
+                let tmp = path.with_extension("tmp");
+                let io_err = |e: std::io::Error| CheckpointError::Io {
+                    path: path.display().to_string(),
+                    message: e.to_string(),
+                };
+                std::fs::write(&tmp, json).map_err(io_err)?;
+                std::fs::rename(&tmp, path).map_err(io_err)?;
+            }
         }
-        std::fs::write(&tmp, json).map_err(io_err)?;
-        std::fs::rename(&tmp, path).map_err(io_err)?;
         forumcast_obs::counter_add("ckpt.saves", 1);
         Ok(())
     }
@@ -100,17 +237,26 @@ impl<T: Serialize> Checkpoint<T> {
 
 impl<T: Deserialize> Checkpoint<T> {
     /// Loads a checkpoint, verifying its meta fingerprint. `Ok(None)`
-    /// when `path` does not exist (a fresh run).
+    /// when `path` does not exist (a fresh run). The format is
+    /// sniffed from the file magic: binary stores and legacy JSON
+    /// checkpoints both load through this one entry point.
+    ///
+    /// Corruption policy: a torn binary tail silently yields the
+    /// valid entry prefix (counted `store.frame.torn` — resume
+    /// recomputes the lost tail); a CRC mismatch or malformed JSON
+    /// quarantines the file to `<path>.corrupt` (counted
+    /// `ckpt.corrupt.quarantined`) and returns
+    /// [`CheckpointError::Corrupt`].
     ///
     /// # Errors
     ///
     /// Returns [`CheckpointError::Io`] on unreadable files,
-    /// [`CheckpointError::Corrupt`] on malformed JSON, and
+    /// [`CheckpointError::Corrupt`] on damage, and
     /// [`CheckpointError::MetaMismatch`] when the file belongs to a
     /// differently-configured run.
     pub fn load(path: &Path, expected_meta: &str) -> Result<Option<Self>, CheckpointError> {
-        let json = match std::fs::read_to_string(path) {
-            Ok(json) => json,
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => {
                 return Err(CheckpointError::Io {
@@ -119,11 +265,11 @@ impl<T: Deserialize> Checkpoint<T> {
                 })
             }
         };
-        let cp: Checkpoint<T> =
-            serde_json::from_str(&json).map_err(|e| CheckpointError::Corrupt {
-                path: path.display().to_string(),
-                message: e.to_string(),
-            })?;
+        let cp = if is_store_bytes(&bytes) {
+            Self::load_binary(path)?
+        } else {
+            Self::load_json(path, &bytes)?
+        };
         if cp.meta != expected_meta {
             return Err(CheckpointError::MetaMismatch {
                 path: path.display().to_string(),
@@ -133,6 +279,79 @@ impl<T: Deserialize> Checkpoint<T> {
         }
         Ok(Some(cp))
     }
+
+    fn load_binary(path: &Path) -> Result<Self, CheckpointError> {
+        let store = load_store(path)?;
+        let mut entries = Vec::with_capacity(store.frames.len());
+        for (i, frame) in store.frames.iter().enumerate() {
+            entries.push(decode_entry::<T>(path, i, frame)?);
+        }
+        Ok(Checkpoint {
+            meta: store.fingerprint,
+            entries,
+        })
+    }
+
+    fn load_json(path: &Path, bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let corrupt = |message: String| {
+            forumcast_store::quarantine(path);
+            CheckpointError::Corrupt {
+                path: path.display().to_string(),
+                message,
+            }
+        };
+        let json = std::str::from_utf8(bytes).map_err(|e| corrupt(format!("not UTF-8: {e}")))?;
+        serde_json::from_str(json).map_err(|e| corrupt(e.to_string()))
+    }
+}
+
+/// Loads the raw store, translating store-level failures into
+/// checkpoint errors (the store has already counted and quarantined
+/// as its policy dictates).
+fn load_store(path: &Path) -> Result<StoreFile, CheckpointError> {
+    StoreFile::load(path).map_err(|e| match e {
+        StoreError::Io { source, .. } => CheckpointError::Io {
+            path: path.display().to_string(),
+            message: source.to_string(),
+        },
+        other => CheckpointError::Corrupt {
+            path: path.display().to_string(),
+            message: other.to_string(),
+        },
+    })
+}
+
+/// Decodes one `(unit, result)` checkpoint frame. A frame that
+/// passed its CRC but fails decoding means schema drift, not media
+/// damage — still quarantined so resume falls back to recompute
+/// instead of looping on the same bad file.
+fn decode_entry<T: Deserialize>(
+    path: &Path,
+    index: usize,
+    frame: &[u8],
+) -> Result<(u64, T), CheckpointError> {
+    let corrupt = |message: String| {
+        forumcast_store::quarantine(path);
+        CheckpointError::Corrupt {
+            path: path.display().to_string(),
+            message,
+        }
+    };
+    let value = decode_value(frame).map_err(|e| corrupt(format!("entry frame {index}: {e}")))?;
+    let Value::Array(parts) = &value else {
+        return Err(corrupt(format!("entry frame {index}: not a pair")));
+    };
+    let (Some(unit_v), Some(result_v), 2) = (parts.first(), parts.get(1), parts.len()) else {
+        return Err(corrupt(format!("entry frame {index}: not a pair")));
+    };
+    let unit = match unit_v {
+        Value::U64(u) => *u,
+        Value::I64(u) if *u >= 0 => *u as u64,
+        _ => return Err(corrupt(format!("entry frame {index}: bad unit index"))),
+    };
+    let result =
+        T::from_value(result_v).map_err(|e| corrupt(format!("entry frame {index}: {e}")))?;
+    Ok((unit, result))
 }
 
 impl<T: Serialize> Serialize for Checkpoint<T> {
@@ -166,13 +385,13 @@ pub const SUBFOLD_FORMAT_VERSION: u32 = 1;
 /// (mid-training) state. Where [`Checkpoint`] logs completed units,
 /// `TrainCheckpoint` holds *one* in-flight snapshot — the latest
 /// epoch-granular training state of the fold currently running — and
-/// nests beside the fold-level checkpoint (`<base>.fold<N>.train.json`
-/// next to `<base>`).
+/// nests beside the fold-level checkpoint (`<base>.fold<N>.train.ckpt`
+/// next to `<base>`; `.train.json` in the legacy format).
 ///
-/// The same crash-consistency contract applies: saves are atomic
-/// (tmp + rename, probing the `ckpt-write` fault site), loads verify
-/// the format version and the run fingerprint, and a file that fails
-/// either check is never silently trusted.
+/// The same crash-consistency contract applies: saves are atomic and
+/// durable (tmp + fsync + rename, probing the save fault sites),
+/// loads verify the format version and the run fingerprint, and a
+/// file that fails either check is never silently trusted.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrainCheckpoint<T> {
     /// On-disk format version; always [`SUBFOLD_FORMAT_VERSION`] for
@@ -199,39 +418,69 @@ impl<T> TrainCheckpoint<T> {
 }
 
 impl<T: Serialize> TrainCheckpoint<T> {
-    /// Atomically saves the snapshot (write `<path>.tmp`, rename over
-    /// `path`), probing the `ckpt-write` fault site at `unit` — the
-    /// caller picks a unit disjoint from fold-level saves so shot
-    /// plans can target either layer independently.
+    /// Saves in the default (binary) format. See [`Self::save_with`].
     ///
     /// # Errors
     ///
     /// Returns [`CheckpointError::Io`] on filesystem failure.
     pub fn save(&self, path: &Path, unit: u64) -> Result<(), CheckpointError> {
-        let json = serde_json::to_string_pretty(self).map_err(|e| CheckpointError::Io {
-            path: path.display().to_string(),
-            message: e.to_string(),
-        })?;
-        let tmp = path.with_extension("tmp");
-        let io_err = |e: std::io::Error| CheckpointError::Io {
-            path: path.display().to_string(),
-            message: e.to_string(),
-        };
-        if fault::fires(FaultSite::CkptWrite, unit) {
-            let _ = std::fs::write(&tmp, &json.as_bytes()[..json.len() / 2]);
-            return Err(CheckpointError::Io {
-                path: path.display().to_string(),
-                message: format!("{} ckpt-write:{unit}", fault::INJECTED_PREFIX),
-            });
-        }
-        let bytes = json.len() as u64;
+        self.save_with(path, unit, CkptFormat::default())
+    }
+
+    /// Atomically and durably saves the snapshot, probing the
+    /// `ckpt-write`/`torn-write`/`bit-flip`/`fsync-fail` fault sites
+    /// at `unit` — the caller picks a unit disjoint from fold-level
+    /// saves so shot plans can target either layer independently.
+    ///
+    /// Binary layout: frame 0 is the format version, frame 1 the
+    /// payload; the fingerprint rides in the store header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] on filesystem failure.
+    pub fn save_with(
+        &self,
+        path: &Path,
+        unit: u64,
+        format: CkptFormat,
+    ) -> Result<(), CheckpointError> {
         let started = std::time::Instant::now();
-        std::fs::write(&tmp, json).map_err(io_err)?;
-        std::fs::rename(&tmp, path).map_err(io_err)?;
+        let bytes = match format {
+            CkptFormat::Binary => {
+                let frames = vec![
+                    encode_value(&Value::U64(u64::from(self.version))),
+                    encode_value(&self.payload.to_value()),
+                ];
+                let store = StoreFile::new(&self.fingerprint, frames);
+                if let Some(err) = ckpt_write_fault(path, unit, || store.encode()) {
+                    return Err(err);
+                }
+                store
+                    .save(path, &injected_save_options(unit))
+                    .map_err(|e| store_io_err(path, e))?
+            }
+            CkptFormat::Json => {
+                let json = serde_json::to_string_pretty(self).map_err(|e| CheckpointError::Io {
+                    path: path.display().to_string(),
+                    message: e.to_string(),
+                })?;
+                if let Some(err) = ckpt_write_fault(path, unit, || json.clone().into_bytes()) {
+                    return Err(err);
+                }
+                let tmp = path.with_extension("tmp");
+                let io_err = |e: std::io::Error| CheckpointError::Io {
+                    path: path.display().to_string(),
+                    message: e.to_string(),
+                };
+                let bytes = json.len() as u64;
+                std::fs::write(&tmp, json).map_err(io_err)?;
+                std::fs::rename(&tmp, path).map_err(io_err)?;
+                bytes
+            }
+        };
         forumcast_obs::counter_add("ckpt.subfold.saves", 1);
         // Snapshot cost telemetry: the ROADMAP's JSON-vs-binary format
-        // decision hinges on how large these payloads get and how long
-        // the write+rename takes in practice.
+        // decision uses these as the before/after.
         forumcast_obs::counter_add("ckpt.subfold.bytes", bytes);
         forumcast_obs::counter_add(
             "ckpt.subfold.write_ms",
@@ -243,17 +492,21 @@ impl<T: Serialize> TrainCheckpoint<T> {
 
 impl<T: Deserialize> TrainCheckpoint<T> {
     /// Loads a sub-fold snapshot, verifying format version and
-    /// fingerprint. `Ok(None)` when `path` does not exist.
+    /// fingerprint; the on-disk format is sniffed from the file
+    /// magic. `Ok(None)` when `path` does not exist.
     ///
     /// # Errors
     ///
     /// Returns [`CheckpointError::Io`] on unreadable files,
-    /// [`CheckpointError::Corrupt`] on malformed JSON or an unknown
-    /// format version, and [`CheckpointError::Stale`] when the file
-    /// belongs to a differently-configured run or a different fold.
+    /// [`CheckpointError::Corrupt`] on damage (a torn or
+    /// CRC-mismatched snapshot is never partially trusted — unlike
+    /// fold-level entries, half a training state is useless) or an
+    /// unknown format version, and [`CheckpointError::Stale`] when
+    /// the file belongs to a differently-configured run or a
+    /// different fold.
     pub fn load(path: &Path, expected_fingerprint: &str) -> Result<Option<Self>, CheckpointError> {
-        let json = match std::fs::read_to_string(path) {
-            Ok(json) => json,
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => {
                 return Err(CheckpointError::Io {
@@ -262,11 +515,11 @@ impl<T: Deserialize> TrainCheckpoint<T> {
                 })
             }
         };
-        let cp: TrainCheckpoint<T> =
-            serde_json::from_str(&json).map_err(|e| CheckpointError::Corrupt {
-                path: path.display().to_string(),
-                message: e.to_string(),
-            })?;
+        let cp = if is_store_bytes(&bytes) {
+            Self::load_binary(path)?
+        } else {
+            Self::load_json(path, &bytes)?
+        };
         if cp.version != SUBFOLD_FORMAT_VERSION {
             return Err(CheckpointError::Corrupt {
                 path: path.display().to_string(),
@@ -284,6 +537,51 @@ impl<T: Deserialize> TrainCheckpoint<T> {
             });
         }
         Ok(Some(cp))
+    }
+
+    fn load_binary(path: &Path) -> Result<Self, CheckpointError> {
+        let corrupt = |message: String| CheckpointError::Corrupt {
+            path: path.display().to_string(),
+            message,
+        };
+        let store = load_store(path)?;
+        // A torn tail left fewer than the two required frames: the
+        // snapshot is unusable, which for a sub-fold means "recompute
+        // the fold from its start".
+        if store.frames.len() < 2 {
+            return Err(corrupt(format!(
+                "sub-fold snapshot truncated: {} of 2 frames survived",
+                store.frames.len()
+            )));
+        }
+        let version = match decode_value(&store.frames[0])
+            .map_err(|e| corrupt(format!("version frame: {e}")))?
+        {
+            Value::U64(v) => u32::try_from(v).unwrap_or(u32::MAX),
+            Value::I64(v) if v >= 0 => u32::try_from(v).unwrap_or(u32::MAX),
+            other => return Err(corrupt(format!("version frame: unexpected {other:?}"))),
+        };
+        let payload_value =
+            decode_value(&store.frames[1]).map_err(|e| corrupt(format!("payload frame: {e}")))?;
+        let payload =
+            T::from_value(&payload_value).map_err(|e| corrupt(format!("payload: {e}")))?;
+        Ok(TrainCheckpoint {
+            version,
+            fingerprint: store.fingerprint,
+            payload,
+        })
+    }
+
+    fn load_json(path: &Path, bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let corrupt = |message: String| {
+            forumcast_store::quarantine(path);
+            CheckpointError::Corrupt {
+                path: path.display().to_string(),
+                message,
+            }
+        };
+        let json = std::str::from_utf8(bytes).map_err(|e| corrupt(format!("not UTF-8: {e}")))?;
+        serde_json::from_str(json).map_err(|e| corrupt(e.to_string()))
     }
 }
 
@@ -398,29 +696,52 @@ impl std::error::Error for CheckpointError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use std::path::PathBuf;
 
     fn temp_path(name: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
         p.push(format!("forumcast-ckpt-{name}-{}.json", std::process::id()));
         let _ = std::fs::remove_file(&p);
+        let _ = std::fs::remove_file(forumcast_store::corrupt_path(&p));
         p
     }
 
     #[test]
     fn save_load_roundtrip_preserves_entries_bitwise() {
-        let path = temp_path("roundtrip");
-        let mut cp: Checkpoint<f64> = Checkpoint::new("run A");
-        cp.record(3, 0.1 + 0.2);
-        cp.record(1, f64::MIN_POSITIVE);
-        cp.save(&path).unwrap();
-        let back = Checkpoint::<f64>::load(&path, "run A").unwrap().unwrap();
-        assert_eq!(back.meta, "run A");
-        assert_eq!(back.entries.len(), 2);
-        for ((u, x), (bu, bx)) in cp.entries.iter().zip(&back.entries) {
-            assert_eq!(u, bu);
-            assert_eq!(x.to_bits(), bx.to_bits());
+        for format in [CkptFormat::Binary, CkptFormat::Json] {
+            let path = temp_path(&format!("roundtrip-{format}"));
+            let mut cp: Checkpoint<f64> = Checkpoint::new("run A");
+            cp.record(3, 0.1 + 0.2);
+            cp.record(1, f64::MIN_POSITIVE);
+            cp.save_with(&path, format).unwrap();
+            let back = Checkpoint::<f64>::load(&path, "run A").unwrap().unwrap();
+            assert_eq!(back.meta, "run A");
+            assert_eq!(back.entries.len(), 2);
+            for ((u, x), (bu, bx)) in cp.entries.iter().zip(&back.entries) {
+                assert_eq!(u, bu);
+                assert_eq!(x.to_bits(), bx.to_bits());
+            }
+            std::fs::remove_file(&path).unwrap();
         }
+    }
+
+    #[test]
+    fn default_format_is_binary_and_json_still_loads() {
+        let path = temp_path("default-binary");
+        let mut cp: Checkpoint<i32> = Checkpoint::new("m");
+        cp.record(0, 7);
+        cp.save(&path).unwrap();
+        let head = std::fs::read(&path).unwrap();
+        assert!(
+            forumcast_store::is_store_bytes(&head),
+            "default save must write the binary store format"
+        );
+        // Overwrite with the legacy JSON encoding: the sniffing load
+        // reads it transparently (one-release migration window).
+        cp.save_with(&path, CkptFormat::Json).unwrap();
+        let back = Checkpoint::<i32>::load(&path, "m").unwrap().unwrap();
+        assert_eq!(back.get(0), Some(&7));
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -476,31 +797,115 @@ mod tests {
         let err = Checkpoint::<i32>::load(&path, "run B").unwrap_err();
         assert!(matches!(err, CheckpointError::MetaMismatch { .. }), "{err}");
         assert!(err.to_string().contains("run B"));
+        assert!(path.exists(), "meta mismatch must not quarantine");
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
-    fn corrupt_file_is_reported_with_path() {
+    fn corrupt_json_is_reported_and_quarantined() {
         let path = temp_path("corrupt");
         std::fs::write(&path, "{ not json").unwrap();
         let err = Checkpoint::<i32>::load(&path, "m").unwrap_err();
         assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err}");
         assert!(err.to_string().contains("forumcast-ckpt-corrupt"));
+        let quarantined = forumcast_store::corrupt_path(&path);
+        assert!(quarantined.exists(), "corrupt JSON must be moved aside");
+        assert!(!path.exists());
+        std::fs::remove_file(&quarantined).unwrap();
+    }
+
+    #[test]
+    fn torn_write_fault_loses_only_the_tail_entries() {
+        let path = temp_path("torn-write");
+        let mut cp: Checkpoint<i32> = Checkpoint::new("m");
+        cp.record(0, 10);
+        cp.record(1, 11);
+        cp.record(2, 12);
+        {
+            let _guard = FaultPlan::parse("torn-write:3").unwrap().arm();
+            // Save succeeds: the tear is post-rename media damage.
+            cp.save(&path).unwrap();
+        }
+        let back = Checkpoint::<i32>::load(&path, "m").unwrap().unwrap();
+        assert_eq!(back.entries, vec![(0, 10), (1, 11)]);
+        assert!(
+            path.exists(),
+            "torn checkpoint is truncated, not quarantined"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_fault_is_detected_and_quarantined() {
+        let path = temp_path("bit-flip");
+        let mut cp: Checkpoint<f64> = Checkpoint::new("m");
+        cp.record(0, 1.0);
+        cp.record(1, 2.0);
+        {
+            let _guard = FaultPlan::parse("bit-flip:2").unwrap().arm();
+            cp.save(&path).unwrap();
+        }
+        let err = Checkpoint::<f64>::load(&path, "m").unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err}");
+        assert!(err.to_string().contains("CRC mismatch"), "{err}");
+        let quarantined = forumcast_store::corrupt_path(&path);
+        assert!(quarantined.exists());
+        assert!(!path.exists());
+        std::fs::remove_file(&quarantined).unwrap();
+    }
+
+    #[test]
+    fn fsync_fail_fault_errors_and_keeps_the_old_checkpoint() {
+        let path = temp_path("fsync-fail");
+        let mut cp: Checkpoint<i32> = Checkpoint::new("m");
+        cp.record(0, 1);
+        cp.save(&path).unwrap();
+        cp.record(1, 2);
+        {
+            let _guard = FaultPlan::parse("fsync-fail:2").unwrap().arm();
+            let err = cp.save(&path).unwrap_err();
+            assert!(
+                err.to_string().contains("fsync-fail:2"),
+                "injected sync failure must be typed: {err}"
+            );
+        }
+        // The previous checkpoint survives untouched and loadable.
+        let back = Checkpoint::<i32>::load(&path, "m").unwrap().unwrap();
+        assert_eq!(back.entries, vec![(0, 1)]);
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
     fn subfold_roundtrip_preserves_payload_bitwise() {
-        let path = temp_path("subfold-roundtrip");
-        let cp = TrainCheckpoint::new("fold 3 of run A", vec![0.1 + 0.2, f64::MIN_POSITIVE]);
-        cp.save(&path, 0).unwrap();
-        let back = TrainCheckpoint::<Vec<f64>>::load(&path, "fold 3 of run A")
+        for format in [CkptFormat::Binary, CkptFormat::Json] {
+            let path = temp_path(&format!("subfold-roundtrip-{format}"));
+            let cp = TrainCheckpoint::new("fold 3 of run A", vec![0.1 + 0.2, f64::MIN_POSITIVE]);
+            cp.save_with(&path, 0, format).unwrap();
+            let back = TrainCheckpoint::<Vec<f64>>::load(&path, "fold 3 of run A")
+                .unwrap()
+                .unwrap();
+            assert_eq!(back.version, SUBFOLD_FORMAT_VERSION);
+            for (x, bx) in cp.payload.iter().zip(&back.payload) {
+                assert_eq!(x.to_bits(), bx.to_bits());
+            }
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    /// JSON drops NaN (serializes as null, rejected or zeroed on
+    /// read); binary must carry non-finite payload bits verbatim so
+    /// the validation layer above can reject them with its *typed*
+    /// error instead of silently mutating state.
+    #[test]
+    fn subfold_binary_preserves_nonfinite_bits() {
+        let path = temp_path("subfold-nan");
+        let bits = 0x7FF8_0000_DEAD_BEEFu64;
+        let cp = TrainCheckpoint::new("f", vec![f64::from_bits(bits)]);
+        cp.save_with(&path, 0, CkptFormat::Binary).unwrap();
+        let back = TrainCheckpoint::<Vec<f64>>::load(&path, "f")
             .unwrap()
             .unwrap();
-        assert_eq!(back.version, SUBFOLD_FORMAT_VERSION);
-        for (x, bx) in cp.payload.iter().zip(&back.payload) {
-            assert_eq!(x.to_bits(), bx.to_bits());
-        }
+        assert_eq!(back.payload[0].to_bits(), bits);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -512,26 +917,44 @@ mod tests {
 
     #[test]
     fn subfold_unknown_version_is_corrupt_not_trusted() {
-        let path = temp_path("subfold-version");
-        let mut cp = TrainCheckpoint::new("f", 7i32);
-        cp.version = SUBFOLD_FORMAT_VERSION + 1;
-        cp.save(&path, 0).unwrap();
-        let err = TrainCheckpoint::<i32>::load(&path, "f").unwrap_err();
-        assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err}");
-        assert!(err.to_string().contains("format version"));
-        std::fs::remove_file(&path).unwrap();
+        for format in [CkptFormat::Binary, CkptFormat::Json] {
+            let path = temp_path(&format!("subfold-version-{format}"));
+            let mut cp = TrainCheckpoint::new("f", 7i32);
+            cp.version = SUBFOLD_FORMAT_VERSION + 1;
+            cp.save_with(&path, 0, format).unwrap();
+            let err = TrainCheckpoint::<i32>::load(&path, "f").unwrap_err();
+            assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err}");
+            assert!(err.to_string().contains("format version"));
+            std::fs::remove_file(&path).unwrap();
+        }
     }
 
     #[test]
-    fn subfold_truncated_file_is_corrupt_not_trusted() {
+    fn subfold_truncated_json_is_corrupt_not_trusted() {
         let path = temp_path("subfold-truncated");
         TrainCheckpoint::new("f", vec![1.0f64, 2.0])
-            .save(&path, 0)
+            .save_with(&path, 0, CkptFormat::Json)
             .unwrap();
         let json = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, &json[..json.len() / 2]).unwrap();
         let err = TrainCheckpoint::<Vec<f64>>::load(&path, "f").unwrap_err();
         assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err}");
+        let quarantined = forumcast_store::corrupt_path(&path);
+        assert!(quarantined.exists(), "corrupt JSON snapshot is moved aside");
+        std::fs::remove_file(&quarantined).unwrap();
+    }
+
+    #[test]
+    fn subfold_torn_binary_is_corrupt_not_partially_trusted() {
+        let path = temp_path("subfold-torn");
+        let cp = TrainCheckpoint::new("f", vec![1.0f64; 64]);
+        {
+            let _guard = FaultPlan::parse("torn-write:5").unwrap().arm();
+            cp.save_with(&path, 5, CkptFormat::Binary).unwrap();
+        }
+        let err = TrainCheckpoint::<Vec<f64>>::load(&path, "f").unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err}");
+        assert!(err.to_string().contains("truncated"), "{err}");
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -552,5 +975,24 @@ mod tests {
         assert!(msg.contains("quick scale, 5 folds"), "{msg}");
         assert!(msg.contains("--resume"), "{msg}");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stale_tmp_is_reclaimed_and_counted() {
+        let path = temp_path("tmp-reclaim");
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, b"half a checkpoint").unwrap();
+        let guard = forumcast_obs::arm();
+        assert!(reclaim_tmp(&path));
+        let log = forumcast_obs::drain().expect("collector armed");
+        drop(guard);
+        assert!(!tmp.exists());
+        assert!(
+            log.counters
+                .iter()
+                .any(|(n, v)| n == "ckpt.tmp.reclaimed" && *v >= 1),
+            "reclaim must be counted"
+        );
+        assert!(!reclaim_tmp(&path), "nothing left to reclaim");
     }
 }

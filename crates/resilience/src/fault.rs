@@ -57,20 +57,40 @@ pub enum FaultSite {
     /// panics as an out-of-memory condition would, and the retry
     /// wrapper must degrade gracefully instead of aborting the sweep.
     AllocPressure,
+    /// Media-level torn write: the checkpoint's final frame is cut
+    /// mid-payload *after* the rename completed, so the save reports
+    /// success and the damage is only visible to the next reader
+    /// (unit = same save-unit as `ckpt-write`). The store must
+    /// truncate to the valid frame prefix, never surface partial
+    /// bytes.
+    TornWrite,
+    /// Media-level bit rot: one payload bit of the written checkpoint
+    /// is flipped post-rename; the save reports success (unit = same
+    /// save-unit as `ckpt-write`). The reader must detect the CRC
+    /// mismatch and quarantine the file.
+    BitFlip,
+    /// `fsync` failure during a checkpoint save: the save errors out
+    /// before the rename, leaving the previous checkpoint intact
+    /// (unit = same save-unit as `ckpt-write`).
+    FsyncFail,
 }
 
 impl FaultSite {
     /// All sites, in spec-name order.
-    pub const ALL: [FaultSite; 5] = [
+    pub const ALL: [FaultSite; 8] = [
         FaultSite::FoldPanic,
         FaultSite::IngestIo,
         FaultSite::NanGrad,
         FaultSite::CkptWrite,
         FaultSite::AllocPressure,
+        FaultSite::TornWrite,
+        FaultSite::BitFlip,
+        FaultSite::FsyncFail,
     ];
 
     /// The spec name (`fold-panic`, `ingest-io`, `nan-grad`,
-    /// `ckpt-write`, `alloc-pressure`).
+    /// `ckpt-write`, `alloc-pressure`, `torn-write`, `bit-flip`,
+    /// `fsync-fail`).
     pub fn name(self) -> &'static str {
         match self {
             FaultSite::FoldPanic => "fold-panic",
@@ -78,6 +98,9 @@ impl FaultSite {
             FaultSite::NanGrad => "nan-grad",
             FaultSite::CkptWrite => "ckpt-write",
             FaultSite::AllocPressure => "alloc-pressure",
+            FaultSite::TornWrite => "torn-write",
+            FaultSite::BitFlip => "bit-flip",
+            FaultSite::FsyncFail => "fsync-fail",
         }
     }
 
@@ -88,7 +111,7 @@ impl FaultSite {
             .ok_or_else(|| {
                 FaultSpecError(format!(
                     "unknown fault site `{name}` (expected one of: fold-panic, ingest-io, \
-                     nan-grad, ckpt-write, alloc-pressure)"
+                     nan-grad, ckpt-write, alloc-pressure, torn-write, bit-flip, fsync-fail)"
                 ))
             })
     }

@@ -31,6 +31,8 @@ pub mod checkpoint;
 pub mod fault;
 pub mod retry;
 
-pub use checkpoint::{Checkpoint, CheckpointError, TrainCheckpoint, SUBFOLD_FORMAT_VERSION};
+pub use checkpoint::{
+    reclaim_tmp, Checkpoint, CheckpointError, CkptFormat, TrainCheckpoint, SUBFOLD_FORMAT_VERSION,
+};
 pub use fault::{FaultGuard, FaultPlan, FaultSite, FaultSpecError, FAULTS_ENV};
 pub use retry::{with_retry, RetryExhausted};

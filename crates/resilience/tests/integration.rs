@@ -150,14 +150,20 @@ fn failed_checkpoint_write_leaves_no_partial_checkpoint_and_resumes() {
     }
 
     // The fired shot truncated the tmp file but never renamed it: the
-    // tmp is unparseable, while the real checkpoint is valid JSON.
-    let truncated = std::fs::read_to_string(&tmp).unwrap();
+    // tmp is damaged (a torn store or a broken header), while the
+    // real checkpoint still scans clean.
+    let truncated = std::fs::read(&tmp).unwrap();
+    let tmp_damaged = match forumcast_store::scan(&truncated, &tmp) {
+        Err(_) => true,
+        Ok(report) => report.issue.is_some(),
+    };
     assert!(
-        serde_json::from_str::<serde::Value>(&truncated).is_err(),
+        tmp_damaged,
         "tmp file should be a truncated, unparseable write"
     );
-    let good = std::fs::read_to_string(&path).unwrap();
-    serde_json::from_str::<serde::Value>(&good).expect("real checkpoint stayed intact");
+    let good = std::fs::read(&path).unwrap();
+    let report = forumcast_store::scan(&good, &path).expect("real checkpoint stayed intact");
+    assert!(report.issue.is_none(), "real checkpoint stayed intact");
 
     // A fault-free rerun resumes from the intact checkpoint (job 0
     // restored, job 1 recomputed) and reproduces the uninterrupted

@@ -1,0 +1,180 @@
+//! LEB128 variable-length integers — the length and integer encoding
+//! of the store's postcard-style payload codec.
+//!
+//! `u64` values are encoded little-endian base-128 (7 bits per byte,
+//! high bit = continuation); `i64` values are zigzag-mapped first so
+//! small negative numbers stay small. Encodings are canonical on the
+//! write side (minimal length); the decoder is *total*: any byte
+//! slice either yields a value and a consumed length or a
+//! [`VarintError`], never a panic.
+
+/// Maximum encoded length of a `u64` (ceil(64 / 7) bytes).
+pub const MAX_LEN: usize = 10;
+
+/// Decode failure: the input ended mid-varint or overflowed 64 bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VarintError {
+    /// Input ended while the continuation bit was still set.
+    Truncated,
+    /// More than 64 significant bits.
+    Overflow,
+}
+
+impl std::fmt::Display for VarintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VarintError::Truncated => f.write_str("varint truncated"),
+            VarintError::Overflow => f.write_str("varint overflows u64"),
+        }
+    }
+}
+
+impl std::error::Error for VarintError {}
+
+/// Appends the LEB128 encoding of `value` to `out`.
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends the zigzag-LEB128 encoding of `value` to `out`.
+pub fn write_i64(out: &mut Vec<u8>, value: i64) {
+    write_u64(out, zigzag(value));
+}
+
+/// Reads a LEB128 `u64` from the front of `bytes`, returning the
+/// value and the number of bytes consumed.
+///
+/// # Errors
+///
+/// [`VarintError::Truncated`] if `bytes` ends mid-varint,
+/// [`VarintError::Overflow`] if the encoding carries more than 64
+/// significant bits.
+pub fn read_u64(bytes: &[u8]) -> Result<(u64, usize), VarintError> {
+    let mut value: u64 = 0;
+    for (i, &byte) in bytes.iter().enumerate().take(MAX_LEN) {
+        let payload = u64::from(byte & 0x7F);
+        let shift = 7 * i as u32;
+        // The tenth byte may only contribute the lowest significant
+        // bit (64 = 9*7 + 1); anything more overflows.
+        if shift == 63 && payload > 1 {
+            return Err(VarintError::Overflow);
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+    }
+    if bytes.len() >= MAX_LEN {
+        Err(VarintError::Overflow)
+    } else {
+        Err(VarintError::Truncated)
+    }
+}
+
+/// Reads a zigzag-LEB128 `i64` from the front of `bytes`.
+///
+/// # Errors
+///
+/// Same conditions as [`read_u64`].
+pub fn read_i64(bytes: &[u8]) -> Result<(i64, usize), VarintError> {
+    let (raw, used) = read_u64(bytes)?;
+    Ok((unzigzag(raw), used))
+}
+
+fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+fn unzigzag(raw: u64) -> i64 {
+    ((raw >> 1) as i64) ^ -((raw & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_u64(v: u64) {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v);
+        let (back, used) = read_u64(&buf).expect("decode");
+        assert_eq!(back, v);
+        assert_eq!(used, buf.len());
+    }
+
+    fn roundtrip_i64(v: i64) {
+        let mut buf = Vec::new();
+        write_i64(&mut buf, v);
+        let (back, used) = read_i64(&buf).expect("decode");
+        assert_eq!(back, v);
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn u64_boundaries_roundtrip() {
+        for v in [
+            0,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            roundtrip_u64(v);
+        }
+    }
+
+    #[test]
+    fn i64_boundaries_roundtrip() {
+        for v in [0, 1, -1, 63, -64, 64, -65, i64::MAX, i64::MIN] {
+            roundtrip_i64(v);
+        }
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        write_i64(&mut buf, -64);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::from(u32::MAX));
+        for cut in 0..buf.len() {
+            assert_eq!(read_u64(&buf[..cut]), Err(VarintError::Truncated));
+        }
+    }
+
+    #[test]
+    fn overlong_input_is_an_overflow() {
+        // Eleven continuation bytes: more than any u64 encoding.
+        let buf = [0x80u8; 11];
+        assert_eq!(read_u64(&buf), Err(VarintError::Overflow));
+        // Ten bytes whose last carries more than the one allowed bit.
+        let mut buf = [0x80u8; 10];
+        buf[9] = 0x02;
+        assert_eq!(read_u64(&buf), Err(VarintError::Overflow));
+    }
+
+    #[test]
+    fn max_u64_is_ten_bytes() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), MAX_LEN);
+    }
+}

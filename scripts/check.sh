@@ -37,33 +37,99 @@ FORUMCAST_TRACE="$work_dir/train.trace.json" "$fc" train \
 cargo run -q -p forumcast-obs --example validate_trace -- "$work_dir/train.trace.json" \
   train lda.train ml.answer.train ml.vote.train ml.timing.train
 
-echo "==> kill-resume smoke (SIGKILL mid-fold, then bitwise-identical resume)"
-ckpt="$work_dir/cv.json"
-"$fc" evaluate --scale quick --threads 1 > "$work_dir/clean.txt"
-"$fc" evaluate --scale quick --threads 1 \
-  --resume "$ckpt" --snapshot-every 2 > /dev/null 2>&1 &
-victim=$!
-# Wait for the first sub-fold snapshot to hit disk, then pull the plug.
-for _ in $(seq 1 1200); do
-  compgen -G "$ckpt.fold*.train.json" > /dev/null && break
-  kill -0 "$victim" 2>/dev/null || break
-  sleep 0.05
+echo "==> kill-storm smoke (repeated SIGKILLs at seeded points, bitwise heal)"
+# For each thread count: run clean, then restart the checkpointed run
+# and SIGKILL it three times — each kill lands a seeded delay after the
+# first observed checkpoint write of that attempt, so the storm samples
+# different epochs — and finally let one attempt run to completion. The
+# healed report must be byte-identical to the uninterrupted one.
+ckpt_activity() {
+  # Content fingerprint of every checkpoint artifact (fold-level file,
+  # sub-fold snapshots, tmp files); changes on every snapshot write.
+  # `|| true` keeps the unmatched glob from tripping pipefail before
+  # the first write.
+  { cat "$1"* 2>/dev/null || true; } | cksum
+}
+for t in 1 2; do
+  ckpt="$work_dir/storm$t.ckpt"
+  "$fc" evaluate --scale quick --threads "$t" > "$work_dir/storm$t.clean.txt"
+  kills=0
+  for delay in 0.05 0.15 0.30; do
+    before="$(ckpt_activity "$ckpt")"
+    "$fc" evaluate --scale quick --threads "$t" \
+      --resume "$ckpt" --snapshot-every 2 > /dev/null 2>&1 &
+    victim=$!
+    for _ in $(seq 1 1200); do
+      [ "$(ckpt_activity "$ckpt")" != "$before" ] && break
+      kill -0 "$victim" 2>/dev/null || break
+      sleep 0.05
+    done
+    sleep "$delay"
+    if kill -9 "$victim" 2>/dev/null; then
+      kills=$((kills + 1))
+    fi
+    wait "$victim" 2>/dev/null || true
+  done
+  if [ "$kills" -lt 3 ]; then
+    echo "kill-storm smoke: only $kills of 3 SIGKILLs landed (threads=$t)" >&2
+    exit 1
+  fi
+  if ! compgen -G "$ckpt*" > /dev/null; then
+    echo "kill-storm smoke: no checkpoint artifacts on disk after the storm (threads=$t)" >&2
+    exit 1
+  fi
+  "$fc" evaluate --scale quick --threads "$t" \
+    --resume "$ckpt" --snapshot-every 2 > "$work_dir/storm$t.healed.txt" 2> /dev/null
+  # The healed report must be byte-identical to the uninterrupted one
+  # (modulo the checkpointing banner the clean run doesn't print).
+  diff <(grep -v '^checkpointing' "$work_dir/storm$t.clean.txt") \
+       <(grep -v '^checkpointing' "$work_dir/storm$t.healed.txt")
+  echo "kill-storm[threads=$t]: $kills SIGKILLs, healed run bitwise-identical"
 done
-if ! kill -9 "$victim" 2>/dev/null; then
-  echo "kill-resume smoke: run finished before a sub-fold snapshot appeared" >&2
+
+echo "==> corruption smoke (ckpt verify flags a flipped byte, repair heals)"
+# The storm leaves a completed fold-level binary checkpoint behind;
+# flip the last byte (the final frame's CRC) and the verifier must
+# reject it naming the offending frame, after which repair truncates
+# to the valid prefix and verify passes again.
+good="$work_dir/storm1.ckpt"
+bad="$work_dir/flipped.ckpt"
+[ -f "$good" ] || { echo "corruption smoke: storm left no checkpoint" >&2; exit 1; }
+cp "$good" "$bad"
+size=$(stat -c %s "$bad")
+last=$(dd if="$bad" bs=1 skip=$((size - 1)) count=1 2>/dev/null | od -An -tu1 | tr -d ' ')
+printf "$(printf '\\%03o' $((last ^ 8)))" \
+  | dd of="$bad" bs=1 seek=$((size - 1)) conv=notrunc 2>/dev/null
+if "$fc" ckpt verify --file "$bad" > "$work_dir/verify.txt" 2>&1; then
+  echo "corruption smoke: verify accepted a corrupted checkpoint" >&2
   exit 1
 fi
-wait "$victim" 2>/dev/null || true
-if ! compgen -G "$ckpt.fold*.train.json" > /dev/null; then
-  echo "kill-resume smoke: no sub-fold snapshot on disk after SIGKILL" >&2
-  exit 1
-fi
-"$fc" evaluate --scale quick --threads 1 \
-  --resume "$ckpt" --snapshot-every 2 > "$work_dir/resumed.txt" 2> /dev/null
-# The resumed report must be byte-identical to the uninterrupted one
-# (modulo the checkpointing banner the clean run doesn't print).
-diff <(grep -v '^checkpointing' "$work_dir/clean.txt") \
-     <(grep -v '^checkpointing' "$work_dir/resumed.txt")
+grep -Eq 'frame [0-9]+' "$work_dir/verify.txt" \
+  || { echo "corruption smoke: verify did not name the damaged frame" >&2; \
+       cat "$work_dir/verify.txt" >&2; exit 1; }
+"$fc" ckpt repair --file "$bad" > /dev/null
+"$fc" ckpt verify --file "$bad" > /dev/null
+echo "corruption: $(head -1 "$work_dir/verify.txt"), repaired and re-verified"
+
+echo "==> checkpoint size report (ckpt.subfold.bytes, JSON vs binary)"
+# Informational, like the perf smoke: the same checkpointed run in
+# both formats, reporting sub-fold snapshot volume and write time.
+for fmt in json binary; do
+  "$fc" evaluate --scale quick --threads 1 --ckpt-format "$fmt" \
+    --resume "$work_dir/size.$fmt.ckpt" --snapshot-every 2 --metrics \
+    > "$work_dir/size.$fmt.txt"
+  awk -v fmt="$fmt" '
+    $1 == "ckpt.subfold.saves"    { saves = $2 }
+    $1 == "ckpt.subfold.bytes"    { bytes = $2 }
+    $1 == "ckpt.subfold.write_ms" { wms = $2 }
+    END {
+      if (saves > 0)
+        printf "ckpt[%s]: %d sub-fold saves, %d bytes (%d/save), %d ms writing\n",
+               fmt, saves, bytes, bytes / saves, wms
+      else
+        printf "ckpt[%s]: no sub-fold saves recorded\n", fmt
+    }' "$work_dir/size.$fmt.txt"
+done
 
 echo "==> perf smoke (quick features.build, dense vs sparse Gibbs, release)"
 # Regressions surface in the log, not as a hard gate: the smoke prints
