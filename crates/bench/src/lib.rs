@@ -20,9 +20,11 @@
 //! by default). `--faults <spec>` arms the
 //! deterministic fault injector (same grammar as `FORUMCAST_FAULTS`).
 //! `--trace <path>` writes a Chrome trace-event JSON file of pipeline
-//! spans (`FORUMCAST_TRACE` supplies a default path) and `--metrics`
-//! prints the per-span timing summary; binaries call [`finish`] last
-//! to flush both.
+//! spans (`FORUMCAST_TRACE` supplies a default path), `--metrics`
+//! prints the per-span timing summary, and `--bench-json <path>`
+//! writes the machine-readable bench report (versioned
+//! `forumcast-bench` schema, diffable with `forumcast bench
+//! compare`); binaries call [`finish`] last to flush all three.
 //!
 //! All binary output goes through [`status!`] — one locked
 //! whole-line write per call — so lines from instrumented parallel
@@ -58,6 +60,9 @@ pub struct BinOptions {
     pub trace: Option<PathBuf>,
     /// Print the per-span timing summary after the run (`--metrics`).
     pub metrics: bool,
+    /// Machine-readable bench report output path
+    /// (`--bench-json <path>`, `forumcast-bench` schema).
+    pub bench_json: Option<PathBuf>,
 }
 
 /// Writes one fully formatted status line to stdout in a single
@@ -107,6 +112,7 @@ pub fn parse_args() -> BinOptions {
     let mut faults: Option<FaultPlan> = None;
     let mut trace: Option<PathBuf> = None;
     let mut metrics = false;
+    let mut bench_json: Option<PathBuf> = None;
     let mut pending: Option<&str> = None;
     for arg in std::env::args().skip(1) {
         if let Some(key) = pending.take() {
@@ -117,6 +123,10 @@ pub fn parse_args() -> BinOptions {
                 }
                 "trace" => {
                     trace = Some(PathBuf::from(&arg));
+                    continue;
+                }
+                "bench-json" => {
+                    bench_json = Some(PathBuf::from(&arg));
                     continue;
                 }
                 "faults" => {
@@ -180,6 +190,10 @@ pub fn parse_args() -> BinOptions {
                 pending = Some("trace");
                 continue;
             }
+            "--bench-json" => {
+                pending = Some("bench-json");
+                continue;
+            }
             "--metrics" => metrics = true,
             "quick" => {
                 config = EvalConfig::quick();
@@ -200,7 +214,7 @@ pub fn parse_args() -> BinOptions {
                     "usage: <bin> [quick|standard|paper] [--json] [--folds N] [--repeats N] \
                      [--threads N] [--resume PATH] [--snapshot-every N] \
                      [--ckpt-format binary|json] [--faults SPEC] \
-                     [--trace PATH] [--metrics]"
+                     [--trace PATH] [--metrics] [--bench-json PATH]"
                 );
                 std::process::exit(2);
             }
@@ -242,7 +256,7 @@ pub fn parse_args() -> BinOptions {
             .ok()
             .map(PathBuf::from)
     });
-    if trace.is_some() || metrics {
+    if trace.is_some() || metrics || bench_json.is_some() {
         forumcast_obs::arm_for_process();
     }
     BinOptions {
@@ -254,6 +268,7 @@ pub fn parse_args() -> BinOptions {
         ckpt_format,
         trace,
         metrics,
+        bench_json,
     }
 }
 
@@ -266,10 +281,11 @@ pub fn root_span(experiment: &str) -> forumcast_obs::SpanGuard {
 }
 
 /// Flushes observability output: writes the Chrome trace file when
-/// `--trace`/`FORUMCAST_TRACE` was given and prints the per-span
-/// summary when `--metrics` was. A no-op when neither was requested.
+/// `--trace`/`FORUMCAST_TRACE` was given, the bench report when
+/// `--bench-json` was, and prints the per-span summary when
+/// `--metrics` was. A no-op when none were requested.
 pub fn finish(opts: &BinOptions) {
-    if opts.trace.is_none() && !opts.metrics {
+    if opts.trace.is_none() && !opts.metrics && opts.bench_json.is_none() {
         return;
     }
     let Some(log) = forumcast_obs::drain() else {
@@ -280,6 +296,15 @@ pub fn finish(opts: &BinOptions) {
             Ok(()) => status!("trace written to {}", path.display()),
             Err(e) => {
                 eprintln!("cannot write trace to `{}`: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &opts.bench_json {
+        match std::fs::write(path, log.to_bench_json()) {
+            Ok(()) => status!("bench report written to {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write bench report to `{}`: {e}", path.display());
                 std::process::exit(1);
             }
         }
@@ -329,6 +354,7 @@ mod tests {
             ckpt_format: CkptFormat::default(),
             trace: None,
             metrics: false,
+            bench_json: None,
         };
         assert_eq!(opts.config.repeats, 1);
         assert!(!opts.json);

@@ -23,7 +23,10 @@ commands:
              [--resume <checkpoint-file>] [--snapshot-every N]
              [--ckpt-format <binary|json>]
              [--faults <spec>] [--trace <trace-file>] [--metrics]
+             [--bench-json <report-file>]
   ckpt       <inspect|verify|repair> --file <checkpoint-file>
+  bench      compare <baseline.json> <current.json>
+             [--tolerance X] [--p99-tolerance X] [--min-ms MS]
   abtest     [--scale <quick|standard>] [--lambda X]
   help
 
@@ -47,6 +50,14 @@ O(K)-per-token sampler, `sparse` the bucket-decomposed fast path
 (same model, different — still seed-deterministic — chain). On
 `evaluate`, `--topics` overrides the scale preset's LDA topic count
 (priors re-derive from K; iterations/seed/sampler are kept).
+`--bench-json` writes a machine-readable bench report (versioned
+`forumcast-bench` schema: wall time, per-span totals and
+p50/p90/p99/max latencies, counter throughputs). `bench compare`
+diffs two such reports and exits non-zero when the current run
+regressed past tolerance: `--tolerance` bounds the wall-time and
+per-span total ratio (default 1.5), `--p99-tolerance` the per-span
+p99 ratio (default 2.0), and `--min-ms` is the noise floor below
+which baseline durations never gate (default 20).
 ";
 
 /// A parsed CLI invocation.
@@ -138,6 +149,9 @@ pub enum Command {
         trace: Option<String>,
         /// Print the per-span timing summary after the run.
         metrics: bool,
+        /// Machine-readable bench report output path (versioned
+        /// `forumcast-bench` schema).
+        bench_json: Option<String>,
     },
     /// Inspect, verify, or repair a checkpoint file.
     Ckpt {
@@ -145,6 +159,20 @@ pub enum Command {
         action: CkptAction,
         /// The checkpoint file.
         file: String,
+    },
+    /// Diff two bench reports and gate on regressions.
+    BenchCompare {
+        /// Committed baseline report path.
+        baseline: String,
+        /// Freshly emitted report path.
+        current: String,
+        /// Max allowed current/baseline ratio for wall time and
+        /// per-span totals.
+        tolerance: f64,
+        /// Max allowed ratio for per-span p99.
+        p99_tolerance: f64,
+        /// Baseline durations below this (ms) never gate.
+        min_ms: f64,
     },
     /// Run the simulated A/B test.
     AbTest {
@@ -213,6 +241,40 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseEr
         let file = opts.require("file")?;
         opts.reject_unknown(&["file"])?;
         return Ok(Command::Ckpt { action, file });
+    }
+    // `bench` takes an action word plus two positional report paths.
+    if cmd == "bench" {
+        match rest.first().map(String::as_str) {
+            Some("compare") => {}
+            Some(other) => {
+                return Err(ParseError(format!(
+                    "unknown bench action `{other}` (compare)"
+                )))
+            }
+            None => return Err(ParseError("bench requires an action: compare".into())),
+        }
+        let is_path = |s: &&String| !s.starts_with("--");
+        let baseline = rest
+            .get(1)
+            .filter(is_path)
+            .ok_or_else(|| ParseError("bench compare requires <baseline> <current>".into()))?
+            .clone();
+        let current = rest
+            .get(2)
+            .filter(is_path)
+            .ok_or_else(|| ParseError("bench compare requires <baseline> <current>".into()))?
+            .clone();
+        let defaults = forumcast_obs::CompareOptions::default();
+        let opts = Options::parse(&rest[3..])?;
+        let c = Command::BenchCompare {
+            baseline,
+            current,
+            tolerance: opts.get_parsed_or("tolerance", defaults.tolerance)?,
+            p99_tolerance: opts.get_parsed_or("p99-tolerance", defaults.p99_tolerance)?,
+            min_ms: opts.get_parsed_or("min-ms", defaults.min_ms)?,
+        };
+        opts.reject_unknown(&["tolerance", "p99-tolerance", "min-ms"])?;
+        return Ok(c);
     }
     let opts = Options::parse(&rest)?;
     match cmd.as_str() {
@@ -288,6 +350,7 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseEr
                 faults: opts.get("faults").map(str::to_owned),
                 trace: opts.get("trace").map(str::to_owned),
                 metrics: opts.flag("metrics"),
+                bench_json: opts.get("bench-json").map(str::to_owned),
             };
             opts.reject_unknown(&[
                 "scale",
@@ -300,6 +363,7 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseEr
                 "faults",
                 "trace",
                 "metrics",
+                "bench-json",
             ])?;
             Ok(c)
         }
@@ -493,6 +557,7 @@ mod tests {
                 faults: None,
                 trace: None,
                 metrics: false,
+                bench_json: None,
             }
         );
         // Default: 0 = auto.
@@ -510,6 +575,7 @@ mod tests {
                 faults: None,
                 trace: None,
                 metrics: false,
+                bench_json: None,
             }
         );
     }
@@ -530,6 +596,7 @@ mod tests {
                 faults: Some("fold-panic:1".into()),
                 trace: None,
                 metrics: false,
+                bench_json: None,
             }
         );
     }
@@ -567,8 +634,58 @@ mod tests {
                 faults: None,
                 trace: Some("out.json".into()),
                 metrics: true,
+                bench_json: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_evaluate_bench_json() {
+        let cmd = parse(argv("evaluate --bench-json bench.json")).unwrap();
+        match cmd {
+            Command::Evaluate { bench_json, .. } => {
+                assert_eq!(bench_json.as_deref(), Some("bench.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_bench_compare() {
+        let cmd = parse(argv("bench compare base.json cur.json")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::BenchCompare {
+                baseline: "base.json".into(),
+                current: "cur.json".into(),
+                tolerance: 1.5,
+                p99_tolerance: 2.0,
+                min_ms: 20.0,
+            }
+        );
+        let cmd = parse(argv(
+            "bench compare a.json b.json --tolerance 1.2 --p99-tolerance 3 --min-ms 5",
+        ))
+        .unwrap();
+        match cmd {
+            Command::BenchCompare {
+                tolerance,
+                p99_tolerance,
+                min_ms,
+                ..
+            } => {
+                assert_eq!(tolerance, 1.2);
+                assert_eq!(p99_tolerance, 3.0);
+                assert_eq!(min_ms, 5.0);
+            }
+            other => panic!("{other:?}"),
+        }
+        let err = parse(argv("bench compare only-one.json")).unwrap_err();
+        assert!(err.to_string().contains("<baseline> <current>"), "{err}");
+        let err = parse(argv("bench diff a b")).unwrap_err();
+        assert!(err.to_string().contains("diff"), "{err}");
+        let err = parse(argv("bench")).unwrap_err();
+        assert!(err.to_string().contains("compare"), "{err}");
     }
 
     #[test]

@@ -75,6 +75,7 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
             faults,
             trace,
             metrics,
+            bench_json,
         } => evaluate(
             &scale,
             threads,
@@ -86,9 +87,17 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
             faults.as_deref(),
             trace.as_deref(),
             metrics,
+            bench_json.as_deref(),
             out,
         ),
         Command::Ckpt { action, file } => ckpt(action, &file, out),
+        Command::BenchCompare {
+            baseline,
+            current,
+            tolerance,
+            p99_tolerance,
+            min_ms,
+        } => bench_compare(&baseline, &current, tolerance, p99_tolerance, min_ms, out),
         Command::AbTest { scale, lambda } => abtest(&scale, lambda, out),
     }
 }
@@ -165,15 +174,24 @@ fn load_dataset(path: &str) -> Result<Dataset, Box<dyn Error>> {
 }
 
 fn stats(data: &str, out: &mut dyn Write) -> CmdResult {
-    let dataset = load_dataset(data)?;
+    let dataset = {
+        let _s = forumcast_obs::span("stats.load");
+        load_dataset(data)?
+    };
     writeln!(out, "raw:   {}", dataset.stats())?;
-    let (clean, report) = dataset.preprocess();
+    let (clean, report) = {
+        let _s = forumcast_obs::span("stats.preprocess");
+        dataset.preprocess()
+    };
     writeln!(out, "clean: {}", clean.stats())?;
     writeln!(out, "preprocessing: {report}")?;
-    for (name, g) in [
-        ("G_QA", qa_graph(clean.num_users(), clean.threads())),
-        ("G_D", dense_graph(clean.num_users(), clean.threads())),
-    ] {
+    let builders = [
+        ("G_QA", qa_graph as fn(_, _) -> _),
+        ("G_D", dense_graph as fn(_, _) -> _),
+    ];
+    for (i, (name, build)) in builders.into_iter().enumerate() {
+        let _g_span = forumcast_obs::span_unit("stats.graph", i as u64);
+        let g = build(clean.num_users(), clean.threads());
         let s = GraphStats::compute(&g);
         writeln!(
             out,
@@ -396,6 +414,7 @@ fn evaluate(
     faults: Option<&str>,
     trace: Option<&str>,
     metrics: bool,
+    bench_json: Option<&str>,
     out: &mut dyn Write,
 ) -> CmdResult {
     let mut cfg = match scale {
@@ -432,7 +451,7 @@ fn evaluate(
     // no-ops and the output is byte-identical to an uninstrumented run.
     let env_trace = std::env::var(forumcast_obs::TRACE_ENV).ok();
     let trace_path = trace.map(str::to_owned).or(env_trace);
-    let collect = trace_path.is_some() || metrics;
+    let collect = trace_path.is_some() || metrics || bench_json.is_some();
     if collect {
         forumcast_obs::arm_for_process();
     }
@@ -473,11 +492,120 @@ fn evaluate(
                 .map_err(|e| format!("cannot write trace to `{path}`: {e}"))?;
             writeln!(out, "trace written to {path}")?;
         }
+        if let Some(path) = bench_json {
+            std::fs::write(path, log.to_bench_json())
+                .map_err(|e| format!("cannot write bench report to `{path}`: {e}"))?;
+            writeln!(out, "bench report written to {path}")?;
+        }
         if metrics {
             writeln!(out, "{}", log.summary().render())?;
         }
     }
     Ok(())
+}
+
+/// Reads `key` out of a parsed JSON object.
+fn bench_field<'a>(v: &'a serde::Value, key: &str) -> Option<&'a serde::Value> {
+    match v {
+        serde::Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+/// Any JSON number as `f64` (bench reports mix integers and floats).
+fn bench_f64(v: &serde::Value) -> Option<f64> {
+    match v {
+        serde::Value::F64(f) => Some(*f),
+        serde::Value::I64(i) => Some(*i as f64),
+        serde::Value::U64(u) => Some(*u as f64),
+        _ => None,
+    }
+}
+
+/// Parses a `forumcast-bench` document, rejecting wrong schemas and
+/// versions up front so the gate never silently compares garbage.
+fn load_bench_report(path: &str) -> Result<forumcast_obs::BenchReport, Box<dyn Error>> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read bench report `{path}`: {e}"))?;
+    let v: serde::Value = serde_json::from_str(&json)
+        .map_err(|e| format!("invalid JSON in bench report `{path}`: {e}"))?;
+    let schema = bench_field(&v, "schema").and_then(|s| match s {
+        serde::Value::Str(s) => Some(s.as_str()),
+        _ => None,
+    });
+    if schema != Some(forumcast_obs::BENCH_SCHEMA) {
+        return Err(format!(
+            "`{path}` is not a `{}` document (schema: {})",
+            forumcast_obs::BENCH_SCHEMA,
+            schema.unwrap_or("missing")
+        )
+        .into());
+    }
+    let version = bench_field(&v, "version")
+        .and_then(bench_f64)
+        .ok_or_else(|| format!("`{path}` has no schema version"))? as u64;
+    if version != forumcast_obs::BENCH_VERSION {
+        return Err(format!(
+            "`{path}` is bench schema version {version}; this build reads version {}",
+            forumcast_obs::BENCH_VERSION
+        )
+        .into());
+    }
+    let wall_ms = bench_field(&v, "wall_ms")
+        .and_then(bench_f64)
+        .ok_or_else(|| format!("`{path}` has no wall_ms"))?;
+    let mut spans = Vec::new();
+    if let Some(serde::Value::Array(items)) = bench_field(&v, "spans") {
+        for item in items {
+            let name = match bench_field(item, "name") {
+                Some(serde::Value::Str(s)) => s.clone(),
+                _ => return Err(format!("`{path}` has a span without a name").into()),
+            };
+            let num = |key: &str| {
+                bench_field(item, key)
+                    .and_then(bench_f64)
+                    .ok_or_else(|| format!("`{path}` span `{name}` is missing {key}"))
+            };
+            spans.push(forumcast_obs::BenchSpanStat {
+                calls: num("calls")? as u64,
+                total_ms: num("total_ms")?,
+                p99_ms: num("p99_ms")?,
+                name,
+            });
+        }
+    }
+    Ok(forumcast_obs::BenchReport { wall_ms, spans })
+}
+
+/// `forumcast bench compare <baseline> <current>`: the perf-regression
+/// gate. Prints the per-span ratio table; exits non-zero (naming each
+/// offending span) when the current report regressed past tolerance.
+fn bench_compare(
+    baseline: &str,
+    current: &str,
+    tolerance: f64,
+    p99_tolerance: f64,
+    min_ms: f64,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let base = load_bench_report(baseline)?;
+    let cur = load_bench_report(current)?;
+    let opts = forumcast_obs::CompareOptions {
+        tolerance,
+        p99_tolerance,
+        min_ms,
+    };
+    let cmp = forumcast_obs::compare_reports(&base, &cur, &opts);
+    write!(out, "{}", cmp.render())?;
+    if cmp.passed() {
+        Ok(())
+    } else {
+        Err(format!(
+            "bench compare: {} regression(s) against `{baseline}`",
+            cmp.failures.len()
+        )
+        .into())
+    }
 }
 
 /// `forumcast ckpt <inspect|verify|repair> --file <path>`: offline
@@ -753,6 +881,42 @@ mod tests {
         assert_eq!(code, 1);
         assert!(text.contains("not a framed binary checkpoint"), "{text}");
         std::fs::remove_file(&file).unwrap();
+    }
+
+    #[test]
+    fn bench_compare_gates_on_regression() {
+        let base = tmp("bench-base.json");
+        let cur = tmp("bench-cur.json");
+        let doc = |wall: f64, total: f64| {
+            format!(
+                "{{\"schema\": \"forumcast-bench\", \"version\": 1, \"wall_ms\": {wall},\n\
+                 \"spans\": [{{\"name\": \"evaluate\", \"calls\": 1, \"total_ms\": {total},\n\
+                 \"self_ms\": 1.0, \"p50_ms\": 1.0, \"p90_ms\": 1.0, \"p99_ms\": {total},\n\
+                 \"max_ms\": {total}}}], \"counters\": [], \"histograms\": []}}"
+            )
+        };
+        let cmd = |b: &str, c: &str| Command::BenchCompare {
+            baseline: b.into(),
+            current: c.into(),
+            tolerance: 1.5,
+            p99_tolerance: 2.0,
+            min_ms: 20.0,
+        };
+        std::fs::write(&base, doc(100.0, 90.0)).unwrap();
+        std::fs::write(&cur, doc(105.0, 95.0)).unwrap();
+        let (code, text) = run_cmd(cmd(&base, &cur));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("bench compare: OK"), "{text}");
+
+        std::fs::write(&cur, doc(400.0, 380.0)).unwrap();
+        let (code, text) = run_cmd(cmd(&base, &cur));
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("`evaluate`"), "{text}");
+
+        std::fs::write(&cur, "{\"schema\": \"other\", \"version\": 1}").unwrap();
+        let (code, text) = run_cmd(cmd(&base, &cur));
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("forumcast-bench"), "{text}");
     }
 
     #[test]

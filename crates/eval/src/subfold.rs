@@ -137,7 +137,8 @@ impl SubfoldHandle {
     /// reclaimed first. Corrupt or unreadable files are counted
     /// (`eval.subfold.corrupt`) and skipped — with no usable
     /// snapshot the fold recomputes from its start, which is always
-    /// safe. Read time lands in the `ckpt.subfold.read_ms` counter.
+    /// safe. Per-read time lands in the `ckpt.subfold.read_ms`
+    /// latency histogram (p50/p99 in the timing summary).
     pub fn load(&self) -> Option<TrainProgress> {
         reclaim_tmp(&self.path);
         let started = Instant::now();
@@ -156,7 +157,7 @@ impl SubfoldHandle {
                 }
             }
         }
-        forumcast_obs::counter_add(
+        forumcast_obs::observe(
             "ckpt.subfold.read_ms",
             u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX),
         );

@@ -44,21 +44,27 @@ fn canonical_event_log_is_thread_count_independent() {
     let _lock = LOCK.lock().unwrap();
     let data = shared_data();
     let mut logs = Vec::new();
-    for threads in [1, 2] {
+    // 7 deliberately exceeds the 2 fold jobs: idle workers must not
+    // perturb the canonical lines either.
+    for threads in [1, 2, 7] {
         let cfg = quick_config(threads);
         let guard = forumcast_obs::arm();
         let _ = run_cv(data, &cfg, None, false);
         let log = forumcast_obs::drain().expect("collector armed");
         drop(guard);
-        logs.push((log.canonical_lines(), log.counters.clone()));
+        logs.push((threads, log.canonical_lines(), log.counters.clone()));
     }
-    let (lines_1, counters_1) = &logs[0];
-    let (lines_2, counters_2) = &logs[1];
-    assert_eq!(lines_1, lines_2, "event logs diverged across thread counts");
-    assert_eq!(
-        counters_1, counters_2,
-        "counters diverged across thread counts"
-    );
+    let (_, lines_1, counters_1) = &logs[0];
+    for (threads, lines_n, counters_n) in &logs[1..] {
+        assert_eq!(
+            lines_1, lines_n,
+            "event log diverged between 1 and {threads} threads"
+        );
+        assert_eq!(
+            counters_1, counters_n,
+            "counters diverged between 1 and {threads} threads"
+        );
+    }
     assert!(
         lines_1.iter().any(|l| l.contains("eval.run_cv")),
         "missing eval.run_cv span: {lines_1:?}"

@@ -1,15 +1,17 @@
 //! Zero-dependency observability for forumcast: hierarchical span
-//! timers, monotonic counters, per-epoch training telemetry, and a
-//! structured event sink that renders Chrome trace-event JSON
-//! (loadable in `chrome://tracing` / Perfetto) plus a human-readable
+//! timers, monotonic counters, per-epoch training telemetry, named
+//! latency histograms, and a structured event sink that renders
+//! Chrome trace-event JSON (loadable in `chrome://tracing` /
+//! Perfetto), a machine-readable bench report, and a human-readable
 //! end-of-run summary table.
 //!
 //! The repo is offline, so this is built from scratch instead of
-//! vendoring `tracing`: a process-global collector armed the same way
-//! [`forumcast-resilience`'s fault plans are (an [`AtomicBool`] fast
-//! path in front of a mutex-guarded state slot), a thread-local span
-//! stack for self-vs-child time accounting, and an explicit
-//! [`drain`] that snapshots everything recorded so far.
+//! vendoring `tracing`. The collector is **sharded**: each recording
+//! thread owns a private buffer (a [`Shard`]) registered with a
+//! central registry, so the armed emit path takes no global lock —
+//! only one uncontended per-thread mutex plus one atomic fetch-add
+//! for the global arrival order. [`drain`] merges all shards back
+//! into the canonical event log.
 //!
 //! # Determinism contract
 //!
@@ -22,6 +24,15 @@
 //! sequences regardless of thread count; only timestamps and thread
 //! ids differ, and [`TraceLog::canonical_lines`] excludes both.
 //!
+//! Sharding preserves the contract because nothing about the merge
+//! depends on which shard an event landed in: the sequence number is
+//! derived from the global arrival order (an atomic counter sampled
+//! at record time, so any happens-before chain between two events at
+//! the same `(path, unit)` — a retry after a failed attempt, epochs
+//! of one training loop — orders them identically at every thread
+//! count), counters merge by commutative sum, and histogram buckets
+//! merge by element-wise sum.
+//!
 //! Parallel work items must be delimited with [`task_span`] (a
 //! *detached* span that roots its own path) so that the paths of
 //! events recorded inside them do not depend on which thread — or
@@ -32,15 +43,33 @@
 //! Every probe starts with one relaxed-ordering-free atomic load and
 //! a branch; no allocation, no locking, no clock read. Hot loops
 //! (Gibbs sweeps, optimizer steps) can call probes unconditionally.
+//!
+//! # Cost when armed
+//!
+//! One atomic fetch-add (arrival order) plus one lock of the
+//! thread's own shard mutex, which no other thread touches until
+//! [`drain`] — so concurrent emitters never serialize against each
+//! other the way the pre-sharding single global mutex forced them
+//! to. Shards are pooled: a worker thread exiting (or releasing via
+//! [`worker_shard`]) marks its shard free for the next registered
+//! thread, so long runs with many short-lived `forumcast-par` worker
+//! scopes keep a bounded shard set.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
+mod bench;
+mod hist;
 mod report;
 
+pub use bench::{
+    compare_reports, BenchComparison, BenchDelta, BenchReport, BenchSpanStat, CompareOptions,
+    BENCH_SCHEMA, BENCH_VERSION,
+};
+pub use hist::Histogram;
 pub use report::{SpanRow, Summary, TraceLog};
 
 /// Environment variable naming the trace output file. When set, CLI
@@ -49,13 +78,26 @@ pub use report::{SpanRow, Summary, TraceLog};
 pub const TRACE_ENV: &str = "FORUMCAST_TRACE";
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
-static STATE: Mutex<Option<Collector>> = Mutex::new(None);
+/// Bumped on every [`arm`]; thread-local shard handles cache it and
+/// re-register when it moves on.
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+/// Global arrival order, sampled once per event with one fetch-add.
+/// Sequence numbers derive from it at drain time: any two events at
+/// the same `(path, unit)` with a happens-before relation get the
+/// same relative order at every thread count.
+static ORDER: AtomicU64 = AtomicU64::new(0);
+static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
 static ARM_LOCK: Mutex<()> = Mutex::new(());
 static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+/// Shard-pool diagnostics (not part of the drained log: they depend
+/// on the thread count, which the canonical log must not).
+static SHARDS_CREATED: AtomicU64 = AtomicU64::new(0);
+static SHARDS_REUSED: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
     static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+    static SHARD: RefCell<Option<ShardHandle>> = const { RefCell::new(None) };
 }
 
 struct Frame {
@@ -65,21 +107,52 @@ struct Frame {
     detached: bool,
 }
 
-struct Collector {
-    start: Instant,
-    events: Vec<Event>,
-    counters: HashMap<String, u64>,
-    seq: HashMap<(String, Option<u64>), u64>,
+/// One thread's private event buffer. The owning thread is the only
+/// writer; [`drain`] is the only other reader, so the mutex is
+/// effectively uncontended on the emit path.
+struct Shard {
+    /// Claimed by a live thread. Cleared when the owner exits (its
+    /// thread-local [`ShardHandle`] drops) so the shard returns to
+    /// the pool for the next registered thread.
+    busy: AtomicBool,
+    data: Mutex<ShardData>,
 }
 
-impl Collector {
-    fn new() -> Self {
-        Collector {
-            start: Instant::now(),
-            events: Vec::new(),
-            counters: HashMap::new(),
-            seq: HashMap::new(),
-        }
+#[derive(Default)]
+struct ShardData {
+    events: Vec<RawEvent>,
+    counters: HashMap<String, u64>,
+    hists: HashMap<String, Histogram>,
+}
+
+/// An event as buffered in a shard: no sequence number yet (that is
+/// assigned at drain from the global arrival order).
+struct RawEvent {
+    kind: EventKind,
+    path: String,
+    unit: Option<u64>,
+    order: u64,
+    ts_ns: u64,
+    tid: u64,
+}
+
+struct Registry {
+    start: Instant,
+    epoch: u64,
+    shards: Vec<Arc<Shard>>,
+}
+
+/// A thread's claim on a shard; dropping it (thread exit, or
+/// [`WorkerShardGuard`] release) frees the shard for reuse.
+struct ShardHandle {
+    epoch: u64,
+    start: Instant,
+    shard: Arc<Shard>,
+}
+
+impl Drop for ShardHandle {
+    fn drop(&mut self) {
+        self.shard.busy.store(false, Ordering::Release);
     }
 }
 
@@ -159,7 +232,7 @@ pub struct ObsGuard {
 impl Drop for ObsGuard {
     fn drop(&mut self) {
         ENABLED.store(false, Ordering::Release);
-        *STATE.lock().unwrap_or_else(PoisonError::into_inner) = None;
+        *REGISTRY.lock().unwrap_or_else(PoisonError::into_inner) = None;
     }
 }
 
@@ -169,7 +242,14 @@ impl Drop for ObsGuard {
 /// concurrent tests cannot pollute each other's event logs.
 pub fn arm() -> ObsGuard {
     let lock = ARM_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
-    *STATE.lock().unwrap_or_else(PoisonError::into_inner) = Some(Collector::new());
+    let epoch = EPOCH.fetch_add(1, Ordering::AcqRel) + 1;
+    SHARDS_CREATED.store(0, Ordering::Relaxed);
+    SHARDS_REUSED.store(0, Ordering::Relaxed);
+    *REGISTRY.lock().unwrap_or_else(PoisonError::into_inner) = Some(Registry {
+        start: Instant::now(),
+        epoch,
+        shards: Vec::new(),
+    });
     ENABLED.store(true, Ordering::Release);
     ObsGuard { _lock: lock }
 }
@@ -181,26 +261,162 @@ pub fn arm_for_process() {
     std::mem::forget(arm());
 }
 
+/// Shard-pool diagnostics for the current armed scope: how many
+/// shards were freshly allocated and how many registrations reused a
+/// freed shard. Thread-count dependent, so deliberately *not* part of
+/// the drained log; exposed for tests and benches only.
+pub fn shard_stats() -> (u64, u64) {
+    (
+        SHARDS_CREATED.load(Ordering::Relaxed),
+        SHARDS_REUSED.load(Ordering::Relaxed),
+    )
+}
+
+/// Claims (or reuses) a shard for the current thread under the
+/// registry lock. Cold path: runs once per thread per armed scope.
+fn register_shard(epoch: u64) -> Option<ShardHandle> {
+    let mut reg = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+    let reg = reg.as_mut()?;
+    if reg.epoch != epoch {
+        // A different arm than the one the caller observed; register
+        // against it anyway — the epoch check next probe resolves it.
+    }
+    for shard in &reg.shards {
+        if shard
+            .busy
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            SHARDS_REUSED.fetch_add(1, Ordering::Relaxed);
+            return Some(ShardHandle {
+                epoch: reg.epoch,
+                start: reg.start,
+                shard: Arc::clone(shard),
+            });
+        }
+    }
+    let shard = Arc::new(Shard {
+        busy: AtomicBool::new(true),
+        data: Mutex::new(ShardData::default()),
+    });
+    reg.shards.push(Arc::clone(&shard));
+    SHARDS_CREATED.fetch_add(1, Ordering::Relaxed);
+    Some(ShardHandle {
+        epoch: reg.epoch,
+        start: reg.start,
+        shard,
+    })
+}
+
+/// Runs `f` against the current thread's shard, registering one if
+/// needed. Returns `None` when no registry is armed (probe raced a
+/// disarm) — the observation is dropped, which is fine: the guard
+/// that disarmed has already drained.
+fn with_shard<R>(f: impl FnOnce(&mut ShardData, Instant) -> R) -> Option<R> {
+    SHARD.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let epoch = EPOCH.load(Ordering::Acquire);
+        if slot.as_ref().map(|h| h.epoch) != Some(epoch) {
+            *slot = None; // drop the stale claim first, freeing it
+            *slot = register_shard(epoch);
+        }
+        let handle = slot.as_ref()?;
+        let mut data = handle
+            .shard
+            .data
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        Some(f(&mut data, handle.start))
+    })
+}
+
+/// Eagerly registers the current thread's shard and, on drop,
+/// releases it back to the pool. `forumcast-par` holds one per
+/// worker-thread lifetime so (a) registration cost lands before the
+/// timed work, and (b) shards recycle as soon as the worker scope
+/// ends instead of waiting for thread-local destructors — keeping
+/// the shard set bounded by the *concurrent* worker count across
+/// arbitrarily many parallel sections.
+#[must_use = "the guard holds the worker's shard claim"]
+pub struct WorkerShardGuard {
+    _priv: (),
+}
+
+/// See [`WorkerShardGuard`]. A no-op when the collector is disarmed.
+pub fn worker_shard() -> WorkerShardGuard {
+    if is_enabled() {
+        let _ = with_shard(|_, _| ());
+    }
+    WorkerShardGuard { _priv: () }
+}
+
+impl Drop for WorkerShardGuard {
+    fn drop(&mut self) {
+        // Release even if the collector disarmed meanwhile: a stale
+        // handle would otherwise pin its shard until thread exit.
+        let _ = SHARD.try_with(|slot| slot.borrow_mut().take());
+    }
+}
+
 /// Snapshots everything recorded since arming (or the previous drain)
 /// into a [`TraceLog`] with canonically ordered events, leaving the
 /// collector armed and empty. `None` when no collector is armed.
+///
+/// The merge is thread-count independent: events sort by
+/// `(path, unit, arrival order)` and the per-`(path, unit)` sequence
+/// number is their rank in that order; counters sum; histogram
+/// buckets sum.
 pub fn drain() -> Option<TraceLog> {
-    let mut state = STATE.lock().unwrap_or_else(PoisonError::into_inner);
-    let col = state.as_mut()?;
-    let wall_ns = col.start.elapsed().as_nanos() as u64;
-    let mut events = std::mem::take(&mut col.events);
-    let counter_map = std::mem::take(&mut col.counters);
-    col.seq.clear();
-    drop(state);
-    // Canonical total order: (path, unit, seq) is unique — seq counts
-    // occurrences per (path, unit) — and none of the three depend on
-    // thread count or wall clock.
-    events.sort_by(|a, b| (a.path.as_str(), a.unit, a.seq).cmp(&(b.path.as_str(), b.unit, b.seq)));
+    let mut raw: Vec<RawEvent> = Vec::new();
+    let mut counter_map: HashMap<String, u64> = HashMap::new();
+    let mut hist_map: HashMap<String, Histogram> = HashMap::new();
+    let wall_ns = {
+        let mut reg = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+        let reg = reg.as_mut()?;
+        for shard in &reg.shards {
+            let mut data = shard.data.lock().unwrap_or_else(PoisonError::into_inner);
+            raw.append(&mut data.events);
+            for (name, total) in data.counters.drain() {
+                *counter_map.entry(name).or_insert(0) += total;
+            }
+            for (name, hist) in data.hists.drain() {
+                match hist_map.get_mut(&name) {
+                    Some(merged) => merged.merge(&hist),
+                    None => {
+                        hist_map.insert(name, hist);
+                    }
+                }
+            }
+        }
+        reg.start.elapsed().as_nanos() as u64
+    };
+    // Canonical total order: (path, unit, seq) is unique — seq ranks
+    // same-(path, unit) occurrences by global arrival order — and
+    // none of the three depend on thread count or wall clock.
+    raw.sort_by(|a, b| (a.path.as_str(), a.unit, a.order).cmp(&(b.path.as_str(), b.unit, b.order)));
+    let mut events: Vec<Event> = Vec::with_capacity(raw.len());
+    for ev in raw {
+        let seq = match events.last() {
+            Some(prev) if prev.path == ev.path && prev.unit == ev.unit => prev.seq + 1,
+            _ => 0,
+        };
+        events.push(Event {
+            kind: ev.kind,
+            path: ev.path,
+            unit: ev.unit,
+            seq,
+            ts_ns: ev.ts_ns,
+            tid: ev.tid,
+        });
+    }
     let mut counters: Vec<(String, u64)> = counter_map.into_iter().collect();
     counters.sort();
+    let mut hists: Vec<(String, Histogram)> = hist_map.into_iter().collect();
+    hists.sort_by(|a, b| a.0.cmp(&b.0));
     Some(TraceLog {
         events,
         counters,
+        hists,
         wall_ns,
     })
 }
@@ -295,14 +511,33 @@ pub fn counter_add(name: &str, delta: u64) {
     if !is_enabled() {
         return;
     }
-    let mut state = STATE.lock().unwrap_or_else(PoisonError::into_inner);
-    let Some(col) = state.as_mut() else { return };
-    match col.counters.get_mut(name) {
+    with_shard(|data, _| match data.counters.get_mut(name) {
         Some(v) => *v += delta,
         None => {
-            col.counters.insert(name.to_string(), delta);
+            data.counters.insert(name.to_string(), delta);
         }
+    });
+}
+
+/// Records `value` into the named latency histogram — the scalable
+/// path for high-frequency per-operation measurements (checkpoint
+/// write/read times, per-request latencies): each observation is one
+/// bucket increment in the thread's shard, not an event allocation,
+/// and shards merge by bucket sum at [`drain`]. Values are
+/// unit-agnostic; by convention the name carries the unit
+/// (`ckpt.subfold.write_ms`). Summaries report count/p50/p90/p99/max.
+pub fn observe(name: &str, value: u64) {
+    if !is_enabled() {
+        return;
     }
+    with_shard(|data, _| match data.hists.get_mut(name) {
+        Some(h) => h.record(value),
+        None => {
+            let mut h = Histogram::new();
+            h.record(value);
+            data.hists.insert(name.to_string(), h);
+        }
+    });
 }
 
 /// Records a sampled value for logical unit `unit` (e.g. per-epoch
@@ -342,19 +577,17 @@ fn path_under_current(name: &str) -> String {
 
 fn record(kind: EventKind, path: String, unit: Option<u64>, at: Instant) {
     let tid = TID.with(|t| *t);
-    let mut state = STATE.lock().unwrap_or_else(PoisonError::into_inner);
-    let Some(col) = state.as_mut() else { return };
-    let ts_ns = at.saturating_duration_since(col.start).as_nanos() as u64;
-    let slot = col.seq.entry((path.clone(), unit)).or_insert(0);
-    let seq = *slot;
-    *slot += 1;
-    col.events.push(Event {
-        kind,
-        path,
-        unit,
-        seq,
-        ts_ns,
-        tid,
+    let order = ORDER.fetch_add(1, Ordering::Relaxed);
+    with_shard(|data, start| {
+        let ts_ns = at.saturating_duration_since(start).as_nanos() as u64;
+        data.events.push(RawEvent {
+            kind,
+            path,
+            unit,
+            order,
+            ts_ns,
+            tid,
+        });
     });
 }
 
@@ -369,6 +602,7 @@ mod tests {
         counter_add("never", 1);
         metric("never", 0, 1.0);
         mark("never", 0);
+        observe("never", 1);
         assert!(drain().is_none());
     }
 
@@ -455,6 +689,33 @@ mod tests {
     }
 
     #[test]
+    fn seq_respects_happens_before_across_threads() {
+        // A sequential retry chain that hops threads — attempt 1 on
+        // one worker, attempt 2 on another — must keep its temporal
+        // order in `seq`, because the second attempt's arrival order
+        // is sampled strictly after the first attempt finished.
+        let _g = arm();
+        for attempt in [1.0f64, 2.0] {
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    let _t = task_span("job", 0);
+                    metric("attempt", 0, attempt);
+                });
+            });
+        }
+        let log = drain().unwrap();
+        let vals: Vec<(u64, f64)> = log
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Metric { value } => Some((e.seq, value)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(vals, vec![(0, 1.0), (1, 2.0)]);
+    }
+
+    #[test]
     fn canonical_lines_are_thread_count_independent() {
         let run = |threads: usize| {
             let _g = arm();
@@ -462,6 +723,7 @@ mod tests {
             let work = |&job: &u64| {
                 let _t = task_span("job", job);
                 counter_add("jobs.done", 1);
+                observe("job.latency", job + 10);
                 metric("job.value", 0, job as f64 * 1.5);
             };
             if threads == 1 {
@@ -476,6 +738,92 @@ mod tests {
             drain().unwrap().canonical_lines()
         };
         assert_eq!(run(1), run(3));
+    }
+
+    #[test]
+    fn armed_emit_takes_no_global_lock() {
+        // Regression guard for the sharding refactor: while one
+        // thread holds its own shard mutex mid-emit, another thread
+        // must still be able to emit. With the old global mutex this
+        // deadlocks/times out; with shards both proceed.
+        let _g = arm();
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|s| {
+            for t in 0..2u64 {
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    for i in 0..10_000 {
+                        let _sp = task_span("hammer", t);
+                        counter_add("hits", 1);
+                        let _ = i;
+                    }
+                });
+            }
+        });
+        let log = drain().unwrap();
+        assert_eq!(
+            log.counters,
+            vec![("hits".to_string(), 20_000)],
+            "all emits from both threads must land"
+        );
+        let (created, _reused) = shard_stats();
+        assert!(created >= 2, "each concurrent thread gets its own shard");
+    }
+
+    #[test]
+    fn shards_recycle_across_worker_scopes() {
+        let _g = arm();
+        for round in 0..5u64 {
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    let _w = worker_shard();
+                    counter_add("round.hits", 1);
+                    mark("round", round);
+                });
+            });
+        }
+        let log = drain().unwrap();
+        assert_eq!(log.counters, vec![("round.hits".to_string(), 5)]);
+        let (created, reused) = shard_stats();
+        assert!(
+            created <= 2,
+            "sequential workers must reuse pooled shards, created {created}"
+        );
+        assert!(reused >= 3, "expected pool hits, got {reused}");
+    }
+
+    #[test]
+    fn observe_merges_histograms_across_threads() {
+        let run = |threads: usize| {
+            let _g = arm();
+            let values: Vec<u64> = (1..=100).collect();
+            if threads == 1 {
+                for &v in &values {
+                    observe("lat", v);
+                }
+            } else {
+                std::thread::scope(|s| {
+                    for chunk in values.chunks(values.len() / threads) {
+                        s.spawn(move || {
+                            for &v in chunk {
+                                observe("lat", v);
+                            }
+                        });
+                    }
+                });
+            }
+            drain().unwrap()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one.hists, four.hists, "bucket sums are order-free");
+        let (name, h) = &one.hists[0];
+        assert_eq!(name, "lat");
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.max(), 100);
+        assert!(h.quantile(0.5) >= 48 && h.quantile(0.5) <= 52);
     }
 
     #[test]

@@ -1,19 +1,25 @@
 //! Rendering a drained event log: Chrome trace-event JSON for
 //! `chrome://tracing` / Perfetto, a canonical text form for
-//! determinism tests, and a human-readable summary table.
+//! determinism tests, and a human-readable summary table with
+//! per-span latency percentiles.
 
-use crate::{Event, EventKind};
+use crate::{Event, EventKind, Histogram};
 use std::collections::HashMap;
 
 /// Everything recorded between arming (or the previous drain) and one
 /// [`crate::drain`] call: canonically ordered events, name-sorted
-/// counter totals, and the wall time covered.
+/// counter totals, name-sorted value histograms, and the wall time
+/// covered.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceLog {
     /// Events in canonical `(path, unit, seq)` order.
     pub events: Vec<Event>,
     /// `(name, total)` counter pairs, sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// `(name, histogram)` pairs from [`crate::observe`], sorted by
+    /// name. Bucket counts are merged across shards by sum, so the
+    /// table is thread-count independent.
+    pub hists: Vec<(String, Histogram)>,
     /// Nanoseconds from arming to the drain.
     pub wall_ns: u64,
 }
@@ -77,12 +83,13 @@ impl TraceLog {
     }
 
     /// Renders only the deterministic projection of the log — paths,
-    /// units, sequence numbers, exact metric bits, counter totals; no
-    /// timestamps, durations, or thread ids. Two runs of the same
-    /// configuration must produce identical canonical lines at any
-    /// thread count.
+    /// units, sequence numbers, exact metric bits, counter totals,
+    /// histogram bucket tables; no timestamps, durations, or thread
+    /// ids. Two runs of the same configuration must produce identical
+    /// canonical lines at any thread count.
     pub fn canonical_lines(&self) -> Vec<String> {
-        let mut lines = Vec::with_capacity(self.events.len() + self.counters.len());
+        let mut lines =
+            Vec::with_capacity(self.events.len() + self.counters.len() + self.hists.len());
         for ev in &self.events {
             let unit = ev.unit.map_or("-".to_string(), |u| u.to_string());
             lines.push(match ev.kind {
@@ -103,12 +110,27 @@ impl TraceLog {
         for (name, total) in &self.counters {
             lines.push(format!("counter {name} = {total}"));
         }
+        for (name, hist) in &self.hists {
+            let buckets: Vec<String> = hist
+                .nonzero_buckets()
+                .map(|(floor, count)| format!("{floor}:{count}"))
+                .collect();
+            lines.push(format!(
+                "hist {name} count={} sum={} max={} buckets=[{}]",
+                hist.count(),
+                hist.sum(),
+                hist.max(),
+                buckets.join(",")
+            ));
+        }
         lines
     }
 
     /// Aggregates the log into a [`Summary`]: one row per span label
-    /// (unit suffixes stripped) with call count, total, and self
-    /// time, plus wall-time coverage by the longest root span.
+    /// (unit suffixes stripped) with call count, total and self time,
+    /// and a duration histogram over the label's calls (p50/p90/p99/
+    /// max), plus wall-time coverage by the longest root span and the
+    /// named value histograms from [`crate::observe`].
     pub fn summary(&self) -> Summary {
         let mut agg: HashMap<String, SpanRow> = HashMap::new();
         let mut root_ns: u64 = 0;
@@ -126,10 +148,12 @@ impl TraceLog {
                     calls: 0,
                     total_ns: 0,
                     self_ns: 0,
+                    durations: Histogram::new(),
                 });
             row.calls += 1;
             row.total_ns += dur_ns;
             row.self_ns += self_ns;
+            row.durations.record(dur_ns);
         }
         let mut rows: Vec<SpanRow> = agg.into_values().collect();
         rows.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
@@ -138,6 +162,7 @@ impl TraceLog {
             covered_ns: root_ns,
             rows,
             counters: self.counters.clone(),
+            hists: self.hists.clone(),
         }
     }
 }
@@ -153,6 +178,31 @@ pub struct SpanRow {
     pub total_ns: u64,
     /// Summed self time (duration minus same-thread child spans).
     pub self_ns: u64,
+    /// Log-bucket histogram over the per-call wall durations (ns) —
+    /// p50/p90/p99/max come from here.
+    pub durations: Histogram,
+}
+
+impl SpanRow {
+    /// Median per-call duration in nanoseconds.
+    pub fn p50_ns(&self) -> u64 {
+        self.durations.quantile(0.50)
+    }
+
+    /// 90th-percentile per-call duration in nanoseconds.
+    pub fn p90_ns(&self) -> u64 {
+        self.durations.quantile(0.90)
+    }
+
+    /// 99th-percentile per-call duration in nanoseconds.
+    pub fn p99_ns(&self) -> u64 {
+        self.durations.quantile(0.99)
+    }
+
+    /// Longest single call in nanoseconds (exact).
+    pub fn max_ns(&self) -> u64 {
+        self.durations.max()
+    }
 }
 
 /// End-of-run aggregate view of a [`TraceLog`], rendered by
@@ -168,6 +218,8 @@ pub struct Summary {
     pub rows: Vec<SpanRow>,
     /// `(name, total)` counters, sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// `(name, histogram)` value histograms, sorted by name.
+    pub hists: Vec<(String, Histogram)>,
 }
 
 impl Summary {
@@ -182,7 +234,9 @@ impl Summary {
     }
 
     /// Renders the summary table: wall line, one row per span label
-    /// (calls, total, self, share of wall), then counter totals.
+    /// (calls, total, self, p50/p99/max per call, share of wall),
+    /// then counter totals, then the value-histogram table
+    /// (count/p50/p90/p99/max/sum in the recorded unit).
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
@@ -201,8 +255,8 @@ impl Summary {
                 .unwrap_or(4)
                 .max(4);
             out.push_str(&format!(
-                "{:<name_w$}  {:>6}  {:>10}  {:>10}  {:>6}\n",
-                "span", "calls", "total", "self", "%wall"
+                "{:<name_w$}  {:>6}  {:>10}  {:>10}  {:>9}  {:>9}  {:>9}  {:>6}\n",
+                "span", "calls", "total", "self", "p50", "p99", "max", "%wall"
             ));
             for row in &self.rows {
                 let pct = if self.wall_ns == 0 {
@@ -211,11 +265,14 @@ impl Summary {
                     row.total_ns as f64 / self.wall_ns as f64 * 100.0
                 };
                 out.push_str(&format!(
-                    "{:<name_w$}  {:>6}  {:>10}  {:>10}  {:>5.1}%\n",
+                    "{:<name_w$}  {:>6}  {:>10}  {:>10}  {:>9}  {:>9}  {:>9}  {:>5.1}%\n",
                     row.name,
                     row.calls,
                     fmt_dur(row.total_ns),
                     fmt_dur(row.self_ns),
+                    fmt_dur(row.p50_ns()),
+                    fmt_dur(row.p99_ns()),
+                    fmt_dur(row.max_ns()),
                     pct
                 ));
             }
@@ -231,6 +288,30 @@ impl Summary {
             out.push_str(&format!("{:<name_w$}  {:>12}\n", "counter", "total"));
             for (name, total) in &self.counters {
                 out.push_str(&format!("{name:<name_w$}  {total:>12}\n"));
+            }
+        }
+        if !self.hists.is_empty() {
+            let name_w = self
+                .hists
+                .iter()
+                .map(|(n, _)| n.len())
+                .max()
+                .unwrap_or(9)
+                .max(9);
+            out.push_str(&format!(
+                "{:<name_w$}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>10}\n",
+                "histogram", "count", "p50", "p90", "p99", "max", "sum"
+            ));
+            for (name, h) in &self.hists {
+                out.push_str(&format!(
+                    "{name:<name_w$}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>10}\n",
+                    h.count(),
+                    h.quantile(0.50),
+                    h.quantile(0.90),
+                    h.quantile(0.99),
+                    h.max(),
+                    h.sum()
+                ));
             }
         }
         out
@@ -258,7 +339,7 @@ fn fmt_dur(ns: u64) -> String {
 
 /// A JSON number for `v`, or `null` when `v` is not finite (NaN
 /// losses from divergence probes must not corrupt the trace file).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         let s = format!("{v}");
         // `Display` omits the decimal point for integral values;
@@ -273,7 +354,7 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -306,6 +387,10 @@ mod tests {
     }
 
     fn sample() -> TraceLog {
+        let mut write_ms = Histogram::new();
+        for v in [3u64, 4, 9] {
+            write_ms.record(v);
+        }
         TraceLog {
             events: vec![
                 ev(
@@ -335,6 +420,7 @@ mod tests {
                 ),
             ],
             counters: vec![("sweeps".to_string(), 42)],
+            hists: vec![("ckpt.write_ms".to_string(), write_ms)],
             wall_ns: 10_000_000,
         }
     }
@@ -372,6 +458,11 @@ mod tests {
         log.wall_ns += 999;
         assert_eq!(log.canonical_lines(), base);
         assert!(base.iter().any(|l| l.starts_with("counter sweeps = 42")));
+        assert!(
+            base.iter()
+                .any(|l| l.starts_with("hist ckpt.write_ms count=3 sum=16 max=9")),
+            "histograms must appear in the canonical projection: {base:?}"
+        );
     }
 
     #[test]
@@ -384,6 +475,44 @@ mod tests {
         let rendered = s.render();
         assert!(rendered.contains("90.0% covered"));
         assert!(rendered.contains("sweeps"));
+        assert!(rendered.contains("histogram"), "{rendered}");
+        assert!(rendered.contains("ckpt.write_ms"), "{rendered}");
+    }
+
+    #[test]
+    fn span_rows_report_percentiles_over_calls() {
+        let durs = [1_000_000u64, 2_000_000, 3_000_000, 50_000_000];
+        let events = durs
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                ev(
+                    EventKind::Span {
+                        dur_ns: d,
+                        self_ns: d,
+                    },
+                    "work",
+                    None,
+                    i as u64,
+                )
+            })
+            .collect();
+        let log = TraceLog {
+            events,
+            counters: vec![],
+            hists: vec![],
+            wall_ns: 60_000_000,
+        };
+        let s = log.summary();
+        let row = &s.rows[0];
+        assert_eq!(row.calls, 4);
+        assert_eq!(row.max_ns(), 50_000_000);
+        // p50 lands in the bucket holding the 2nd smallest (2 ms),
+        // within the 3.1% bucket error.
+        let p50 = row.p50_ns() as f64;
+        assert!((1.9e6..=2.0e6).contains(&p50), "p50={p50}");
+        // p99 of 4 calls is the max's bucket.
+        assert!(row.p99_ns() as f64 >= 48.4e6, "p99={}", row.p99_ns());
     }
 
     #[test]

@@ -95,13 +95,20 @@ where
 
     crossbeam::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+            scope.spawn(|_| {
+                // Claim a telemetry shard for this worker's lifetime:
+                // registration cost lands here (before any timed
+                // item), and the shard returns to the pool when the
+                // scope ends instead of at thread exit.
+                let _obs = forumcast_obs::worker_shard();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let out = f(&items[i]);
+                    slots.lock()[i] = Some(out);
                 }
-                let out = f(&items[i]);
-                slots.lock()[i] = Some(out);
             });
         }
     })
@@ -142,19 +149,22 @@ where
 
     crossbeam::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                if stop.load(Ordering::Relaxed) {
-                    break;
+            scope.spawn(|_| {
+                let _obs = forumcast_obs::worker_shard();
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let out = f(&items[i]);
+                    if out.is_err() {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                    slots.lock()[i] = Some(out);
                 }
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let out = f(&items[i]);
-                if out.is_err() {
-                    stop.store(true, Ordering::Relaxed);
-                }
-                slots.lock()[i] = Some(out);
             });
         }
     })
@@ -298,6 +308,31 @@ mod tests {
             ran.load(Ordering::Relaxed) < items.len(),
             "all items ran despite an early error"
         );
+    }
+
+    #[test]
+    fn worker_shards_recycle_across_parallel_sections() {
+        let _g = forumcast_obs::arm();
+        let items: Vec<usize> = (0..8).collect();
+        for _ in 0..4 {
+            parallel_map(&items, 2, |&x| {
+                forumcast_obs::counter_add("par.test.hits", 1);
+                x
+            });
+        }
+        let log = forumcast_obs::drain().unwrap();
+        assert!(
+            log.counters
+                .iter()
+                .any(|(n, v)| n == "par.test.hits" && *v == 32),
+            "{:?}",
+            log.counters
+        );
+        // Main thread + at most 2 concurrent workers; later sections
+        // must reuse pooled shards instead of growing the registry.
+        let (created, reused) = forumcast_obs::shard_stats();
+        assert!(created <= 3, "created {created} shards for 2 workers");
+        assert!(reused >= 1, "no pool reuse across sections");
     }
 
     #[test]

@@ -480,9 +480,11 @@ impl<T: Serialize> TrainCheckpoint<T> {
         };
         forumcast_obs::counter_add("ckpt.subfold.saves", 1);
         // Snapshot cost telemetry: the ROADMAP's JSON-vs-binary format
-        // decision uses these as the before/after.
+        // decision uses these as the before/after. Per-write durations
+        // go through the histogram path so the summary can report
+        // p50/p99 instead of only a lifetime total.
         forumcast_obs::counter_add("ckpt.subfold.bytes", bytes);
-        forumcast_obs::counter_add(
+        forumcast_obs::observe(
             "ckpt.subfold.write_ms",
             started.elapsed().as_millis() as u64,
         );
@@ -767,10 +769,13 @@ mod tests {
             counter("ckpt.subfold.bytes").unwrap() >= written,
             "byte counter must cover at least this save's payload"
         );
-        assert!(
-            counter("ckpt.subfold.write_ms").is_some(),
-            "write duration counter must be emitted"
-        );
+        let write_hist = log
+            .hists
+            .iter()
+            .find(|(n, _)| n == "ckpt.subfold.write_ms")
+            .map(|(_, h)| h)
+            .expect("write duration must land in the latency histogram");
+        assert!(write_hist.count() >= 1);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -31,7 +31,8 @@ work_dir="$(mktemp -d -t forumcast-check-XXXXXX)"
 trap 'rm -f "$trace_file"; rm -rf "$work_dir"' EXIT
 "$fc" generate --scale small --seed 1 --out "$work_dir/data.json" > /dev/null
 FORUMCAST_TRACE="$work_dir/stats.trace.json" "$fc" stats --data "$work_dir/data.json" > /dev/null
-cargo run -q -p forumcast-obs --example validate_trace -- "$work_dir/stats.trace.json" stats
+cargo run -q -p forumcast-obs --example validate_trace -- "$work_dir/stats.trace.json" \
+  stats stats.load stats.preprocess stats.graph
 FORUMCAST_TRACE="$work_dir/train.trace.json" "$fc" train \
   --data "$work_dir/data.json" --fast --out "$work_dir/model.json" > /dev/null
 cargo run -q -p forumcast-obs --example validate_trace -- "$work_dir/train.trace.json" \
@@ -87,6 +88,14 @@ for t in 1 2; do
   echo "kill-storm[threads=$t]: $kills SIGKILLs, healed run bitwise-identical"
 done
 
+echo "==> disabled-probe golden smoke (quick evaluate output is byte-stable)"
+# With no --trace/--metrics/--bench-json the collector never arms, and
+# the report must be byte-identical to the committed golden: telemetry
+# must cost nothing AND change nothing when nobody is collecting.
+diff tests/golden/eval_quick_t1.txt "$work_dir/storm1.clean.txt" \
+  || { echo "disabled-probe smoke: quick evaluate output drifted from tests/golden/eval_quick_t1.txt" >&2; exit 1; }
+echo "disabled-probe: quick evaluate output matches the golden byte-for-byte"
+
 echo "==> corruption smoke (ckpt verify flags a flipped byte, repair heals)"
 # The storm leaves a completed fold-level binary checkpoint behind;
 # flip the last byte (the final frame's CRC) and the verifier must
@@ -118,14 +127,15 @@ for fmt in json binary; do
   "$fc" evaluate --scale quick --threads 1 --ckpt-format "$fmt" \
     --resume "$work_dir/size.$fmt.ckpt" --snapshot-every 2 --metrics \
     > "$work_dir/size.$fmt.txt"
+  # write_ms lives in the histogram table: name count p50 p90 p99 max sum.
   awk -v fmt="$fmt" '
     $1 == "ckpt.subfold.saves"    { saves = $2 }
     $1 == "ckpt.subfold.bytes"    { bytes = $2 }
-    $1 == "ckpt.subfold.write_ms" { wms = $2 }
+    $1 == "ckpt.subfold.write_ms" { wms = $7; wp50 = $3; wp99 = $5 }
     END {
       if (saves > 0)
-        printf "ckpt[%s]: %d sub-fold saves, %d bytes (%d/save), %d ms writing\n",
-               fmt, saves, bytes, bytes / saves, wms
+        printf "ckpt[%s]: %d sub-fold saves, %d bytes (%d/save), %d ms writing (p50 %d, p99 %d)\n",
+               fmt, saves, bytes, bytes / saves, wms, wp50, wp99
       else
         printf "ckpt[%s]: no sub-fold saves recorded\n", fmt
     }' "$work_dir/size.$fmt.txt"
@@ -161,6 +171,16 @@ for sampler in dense sparse; do
         printf "perf[%s]: metrics summary missing lda.train/tokens\n", sampler
     }' "$work_dir/perf.$sampler.txt"
 done
+
+echo "==> perf gate (bench compare against committed BENCH_quick.json)"
+# Machine-readable regression gate: the quick run emits a versioned
+# bench report which `forumcast bench compare` diffs against the
+# committed baseline, failing on >=1.5x wall/span-total or >=2x span
+# p99 regressions (spans under 20 ms in the baseline are noise-exempt).
+"$fcr" evaluate --scale quick --threads 1 \
+  --bench-json "$work_dir/BENCH_quick.json" > /dev/null
+"$fcr" bench compare BENCH_quick.json "$work_dir/BENCH_quick.json" \
+  --tolerance 1.5 --p99-tolerance 2.0 --min-ms 20
 
 echo "==> training determinism smoke (serial vs --threads 2, bitwise params)"
 # Trains the same quick-scale MLP serially and with 2 workers: prints
