@@ -1,0 +1,148 @@
+//! Online forum state for the serving layer (ROADMAP item 1).
+//!
+//! The offline pipeline trains on a frozen [`Dataset`]; a deployed
+//! predictor instead watches the forum *happen* — questions, answers,
+//! and votes arriving as a [`ForumEvent`] stream, typically replayed
+//! from (or tailed off) the durable WAL. [`OnlineState`] is that
+//! consumer: a thin, crash-tolerant wrapper over the idempotent
+//! [`Ingestor`] that keeps a live [`ForumState`] plus the two views
+//! the predictors need — the open-question candidate set, and a
+//! point-in-time [`Dataset`] snapshot for (re)training.
+//!
+//! Delivery hazards (duplicates after a producer crash-resume,
+//! bounded reordering, poison events) are absorbed by the ingestor's
+//! replay discipline and surfaced in its [`ReplayReport`]; the state
+//! hash is a pure function of the id-ordered stream, so a restarted
+//! consumer that replays the WAL lands on the identical state.
+
+use forumcast_data::{Dataset, ForumEvent, ForumState, Ingestor, ReplayReport};
+
+/// Live event-sourced forum state: offer events as they arrive, read
+/// predictions-relevant views at any point.
+#[derive(Debug, Default)]
+pub struct OnlineState {
+    ingestor: Ingestor,
+}
+
+impl OnlineState {
+    /// Empty forum, cursor at event id 0.
+    pub fn new() -> Self {
+        OnlineState::default()
+    }
+
+    /// Offers one event. Duplicate ids are skipped, out-of-order ids
+    /// buffered, invalid events quarantined — never a panic or error.
+    pub fn offer(&mut self, id: u64, event: ForumEvent) {
+        self.ingestor.offer_event(id, event);
+    }
+
+    /// Offers a raw WAL frame (id as the WAL parsed it, payload
+    /// bytes).
+    pub fn offer_frame(&mut self, id: Option<u64>, payload: &[u8]) {
+        self.ingestor.offer_frame(id, payload);
+    }
+
+    /// Flushes any buffered out-of-order events (conceding missing
+    /// ids as gaps) and returns the delivery tally. Call at stream
+    /// end or before taking a consistent snapshot.
+    pub fn finish(&mut self) -> &ReplayReport {
+        self.ingestor.finish()
+    }
+
+    /// The live forum state.
+    pub fn state(&self) -> &ForumState {
+        self.ingestor.state()
+    }
+
+    /// The delivery tally so far.
+    pub fn report(&self) -> &ReplayReport {
+        self.ingestor.report()
+    }
+
+    /// Replay-equivalence fingerprint of the current state.
+    pub fn hash(&self) -> u64 {
+        self.ingestor.state().hash()
+    }
+
+    /// Question ids still awaiting a first answer — the candidate
+    /// set for response-time prediction.
+    pub fn open_questions(&self) -> Vec<u32> {
+        self.ingestor.state().open_questions()
+    }
+
+    /// A point-in-time [`Dataset`] snapshot of the forum, suitable
+    /// for feature extraction and (re)training.
+    pub fn snapshot(&self) -> Dataset {
+        self.ingestor.state().to_dataset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn question(q: u32, ts: f64) -> ForumEvent {
+        ForumEvent::NewQuestion {
+            question: q,
+            author: q,
+            timestamp: ts,
+            text: format!("question {q}"),
+            code: String::new(),
+        }
+    }
+
+    fn answer(q: u32, author: u32, ts: f64) -> ForumEvent {
+        ForumEvent::NewAnswer {
+            question: q,
+            author,
+            timestamp: ts,
+            text: "an answer".into(),
+            code: String::new(),
+        }
+    }
+
+    #[test]
+    fn open_questions_shrink_as_answers_arrive() {
+        let mut s = OnlineState::new();
+        s.offer(0, question(0, 1.0));
+        s.offer(1, question(1, 2.0));
+        assert_eq!(s.open_questions(), vec![0, 1]);
+        s.offer(2, answer(0, 5, 3.0));
+        assert_eq!(s.open_questions(), vec![1]);
+        let snapshot = s.snapshot();
+        assert_eq!(snapshot.num_questions(), 2);
+        assert_eq!(snapshot.num_answers(), 1);
+    }
+
+    #[test]
+    fn restart_replay_reaches_the_same_hash() {
+        let events = [question(0, 1.0), question(1, 2.0), answer(0, 5, 3.0)];
+        let mut live = OnlineState::new();
+        for (i, ev) in events.iter().enumerate() {
+            live.offer(i as u64, ev.clone());
+        }
+        live.finish();
+
+        // A restarted consumer re-reads the whole log, including a
+        // duplicated suffix from the producer's crash-resume.
+        let mut restarted = OnlineState::new();
+        for (i, ev) in events.iter().enumerate() {
+            restarted.offer(i as u64, ev.clone());
+        }
+        restarted.offer(2, answer(0, 5, 3.0));
+        restarted.finish();
+        assert_eq!(restarted.hash(), live.hash());
+        assert_eq!(restarted.report().dup_skipped, 1);
+    }
+
+    #[test]
+    fn poison_is_absorbed_not_fatal() {
+        let mut s = OnlineState::new();
+        s.offer(0, question(0, 1.0));
+        s.offer(1, answer(42, 1, 2.0)); // unknown question
+        s.offer_frame(Some(2), b"not an event");
+        s.finish();
+        assert_eq!(s.report().poison_total(), 2);
+        assert_eq!(s.state().num_threads(), 1);
+    }
+}

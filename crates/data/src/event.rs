@@ -1,0 +1,1133 @@
+//! Event-sourced forum construction: typed events, idempotent
+//! replay, and poison-event quarantine.
+//!
+//! The WAL (`forumcast-wal`) persists an *event stream*; this module
+//! gives the stream its meaning. A [`ForumEvent`] is one atomic
+//! change to a forum — a question appears, an answer appears, a post
+//! gains or loses votes — and a [`ForumState`] is the fold of a
+//! stream of such events, convertible back into a [`Dataset`] for
+//! the offline pipeline.
+//!
+//! # Delivery discipline
+//!
+//! Real log replay is messy: a producer that crashed mid-append and
+//! resumed re-delivers a suffix (duplicates), a quarantined segment
+//! leaves an id gap, and a multi-producer log interleaves slightly
+//! out of order. The [`Ingestor`] absorbs all of it without ever
+//! aborting:
+//!
+//! * **duplicates** — every event carries a monotonically increasing
+//!   id; an id at or below the replay cursor (or already buffered)
+//!   is skipped and counted (`ingest.dup_skipped`);
+//! * **bounded reorder** — an event arriving ahead of the cursor is
+//!   buffered (up to [`MAX_PENDING`]) and applied in id order once
+//!   the gap fills (`ingest.reordered`);
+//! * **gaps** — ids that never arrive (a quarantined segment) are
+//!   skipped over at the end, counted per missing id;
+//! * **poison** — an event that cannot be decoded or that the state
+//!   rejects (unknown question, answer before its question, …) is
+//!   quarantined to a bounded side log with a per-reason tally
+//!   ([`PoisonReason`], `ingest.poison`), never applied.
+//!
+//! Because the fold is a pure function of the *id-ordered* event
+//! sequence, replaying the same log — at any thread count, before or
+//! after crash healing — yields a bitwise-identical
+//! [`ForumState::hash`]. That is the property the kill-storm smoke
+//! and the root integration tests pin.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use forumcast_resilience::fault::{self, FaultSite};
+use forumcast_wal::{scan_dir, Wal, WalConfig, WalError, WalRecovery};
+
+use crate::dataset::Dataset;
+use crate::post::{Post, PostBody, UserId};
+use crate::thread::Thread;
+use crate::Hours;
+
+/// One atomic change to a forum. Serialized with the store codec
+/// (via [`encode_event`]) into WAL frame payloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ForumEvent {
+    /// A new question opens a thread.
+    NewQuestion {
+        /// Stable question id of the new thread.
+        question: u32,
+        /// Asking user.
+        author: u32,
+        /// Creation time in [`Hours`].
+        timestamp: f64,
+        /// Natural-language body text.
+        text: String,
+        /// Code body text.
+        code: String,
+    },
+    /// A new answer lands in an existing thread.
+    NewAnswer {
+        /// Thread being answered.
+        question: u32,
+        /// Answering user.
+        author: u32,
+        /// Creation time in [`Hours`].
+        timestamp: f64,
+        /// Natural-language body text.
+        text: String,
+        /// Code body text.
+        code: String,
+    },
+    /// A post's net votes change by `delta`. Posts are created with
+    /// zero votes; votes arrive as separate events.
+    NewVote {
+        /// Thread containing the post.
+        question: u32,
+        /// Post index within the thread: `0` is the question,
+        /// `n ≥ 1` is the `n`-th answer in arrival order.
+        post: u32,
+        /// Net vote change (may be negative).
+        delta: i32,
+    },
+}
+
+/// Serializes an event into WAL frame-payload bytes.
+pub fn encode_event(event: &ForumEvent) -> Vec<u8> {
+    forumcast_store::record_to_bytes(event)
+}
+
+/// Deserializes WAL frame-payload bytes back into an event; `None`
+/// marks a poison frame (the replay layer tallies it, never aborts).
+pub fn decode_event(bytes: &[u8]) -> Option<ForumEvent> {
+    forumcast_store::record_from_bytes(bytes, 0).ok()
+}
+
+/// Why an event was quarantined instead of applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum PoisonReason {
+    /// The frame payload (or its id varint) does not decode to a
+    /// [`ForumEvent`].
+    Undecodable,
+    /// A timestamp is NaN or infinite.
+    NonFiniteTimestamp,
+    /// A timestamp is negative.
+    NegativeTimestamp,
+    /// A post body with neither text nor code.
+    EmptyBody,
+    /// A `NewQuestion` for a thread that already exists.
+    DuplicateQuestion,
+    /// A `NewAnswer`/`NewVote` for a thread that does not exist.
+    UnknownQuestion,
+    /// An answer timestamped before its question.
+    AnswerBeforeQuestion,
+    /// A `NewVote` for a post index the thread does not have.
+    UnknownPost,
+}
+
+impl PoisonReason {
+    /// All reasons, in check order.
+    pub const ALL: [PoisonReason; 8] = [
+        PoisonReason::Undecodable,
+        PoisonReason::NonFiniteTimestamp,
+        PoisonReason::NegativeTimestamp,
+        PoisonReason::EmptyBody,
+        PoisonReason::DuplicateQuestion,
+        PoisonReason::UnknownQuestion,
+        PoisonReason::AnswerBeforeQuestion,
+        PoisonReason::UnknownPost,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PoisonReason::Undecodable => "undecodable",
+            PoisonReason::NonFiniteTimestamp => "non-finite timestamp",
+            PoisonReason::NegativeTimestamp => "negative timestamp",
+            PoisonReason::EmptyBody => "empty body",
+            PoisonReason::DuplicateQuestion => "duplicate question",
+            PoisonReason::UnknownQuestion => "unknown question",
+            PoisonReason::AnswerBeforeQuestion => "answer before question",
+            PoisonReason::UnknownPost => "unknown post",
+        }
+    }
+
+    fn index(self) -> usize {
+        PoisonReason::ALL
+            .iter()
+            .position(|r| *r == self)
+            .expect("every reason is in ALL")
+    }
+}
+
+impl fmt::Display for PoisonReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One quarantined event, kept (up to [`MAX_POISON_KEPT`]) as
+/// operator evidence alongside the per-reason tally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoisonRecord {
+    /// Event id, `None` when the frame's id varint was malformed.
+    pub id: Option<u64>,
+    /// Why the event was rejected.
+    pub reason: PoisonReason,
+}
+
+/// Buffer bound for out-of-order arrivals: an event more than this
+/// many ids ahead of the cursor forces the oldest buffered event to
+/// apply (skipping the missing ids as gaps).
+pub const MAX_PENDING: usize = 1024;
+
+/// How many [`PoisonRecord`]s are kept verbatim; the tally always
+/// counts everything.
+pub const MAX_POISON_KEPT: usize = 32;
+
+/// Tally of one replay: every event offered is accounted for as
+/// applied, duplicate, or poison — `events_in == applied +
+/// dup_skipped + poison_total()` always holds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Events offered (valid or not).
+    pub events_in: u64,
+    /// Events applied to the state.
+    pub applied: u64,
+    /// Duplicate deliveries skipped.
+    pub dup_skipped: u64,
+    /// Events that arrived ahead of the cursor and were buffered
+    /// (includes the run following an id gap).
+    pub reordered: u64,
+    /// Missing ids skipped over (one per absent id).
+    pub gaps: u64,
+    /// Per-reason poison counts, indexed like [`PoisonReason::ALL`].
+    pub poison: [u64; PoisonReason::ALL.len()],
+}
+
+impl ReplayReport {
+    /// Total quarantined events across all reasons.
+    pub fn poison_total(&self) -> u64 {
+        self.poison.iter().sum()
+    }
+
+    /// Nonzero `(reason, count)` pairs in check order.
+    pub fn poison_counts(&self) -> impl Iterator<Item = (PoisonReason, u64)> + '_ {
+        PoisonReason::ALL
+            .iter()
+            .zip(self.poison.iter())
+            .filter(|(_, n)| **n > 0)
+            .map(|(r, n)| (*r, *n))
+    }
+}
+
+impl fmt::Display for ReplayReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "applied {}/{} event(s) ({} duplicate(s) skipped, {} buffered out of order, \
+             {} id gap(s), {} poison)",
+            self.applied,
+            self.events_in,
+            self.dup_skipped,
+            self.reordered,
+            self.gaps,
+            self.poison_total()
+        )?;
+        let mut first = true;
+        for (reason, n) in self.poison_counts() {
+            f.write_str(if first { "; poison: " } else { ", " })?;
+            write!(f, "{reason} ×{n}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// One thread under construction: the question plus answers in
+/// arrival (= id) order. [`ForumEvent::NewVote`] post indices refer
+/// to this order.
+#[derive(Debug, Clone, PartialEq)]
+struct StateThread {
+    question: Post,
+    answers: Vec<Post>,
+}
+
+/// The fold of an id-ordered event stream: a forum. Deterministic by
+/// construction — threads live in a `BTreeMap` and answers in
+/// arrival order, so [`hash`](ForumState::hash) depends only on the
+/// applied event sequence, never on delivery timing or thread count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ForumState {
+    threads: BTreeMap<u32, StateThread>,
+    max_author: Option<u32>,
+}
+
+impl ForumState {
+    /// Empty forum.
+    pub fn new() -> Self {
+        ForumState::default()
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Total posts (questions + answers).
+    pub fn num_posts(&self) -> usize {
+        self.threads.len()
+            + self
+                .threads
+                .values()
+                .map(|t| t.answers.len())
+                .sum::<usize>()
+    }
+
+    /// Question ids with no answer yet, ascending — the serving
+    /// layer's candidate set for response-time prediction.
+    pub fn open_questions(&self) -> Vec<u32> {
+        self.threads
+            .iter()
+            .filter(|(_, t)| t.answers.is_empty())
+            .map(|(q, _)| *q)
+            .collect()
+    }
+
+    /// Validates and applies one event, or explains the rejection.
+    fn apply(&mut self, event: ForumEvent) -> Result<(), PoisonReason> {
+        match event {
+            ForumEvent::NewQuestion {
+                question,
+                author,
+                timestamp,
+                text,
+                code,
+            } => {
+                let body = check_post(timestamp, &text, &code)?;
+                if self.threads.contains_key(&question) {
+                    return Err(PoisonReason::DuplicateQuestion);
+                }
+                self.threads.insert(
+                    question,
+                    StateThread {
+                        question: Post::new(UserId(author), timestamp, 0, body),
+                        answers: Vec::new(),
+                    },
+                );
+                self.max_author = Some(self.max_author.unwrap_or(0).max(author));
+                Ok(())
+            }
+            ForumEvent::NewAnswer {
+                question,
+                author,
+                timestamp,
+                text,
+                code,
+            } => {
+                let body = check_post(timestamp, &text, &code)?;
+                let thread = self
+                    .threads
+                    .get_mut(&question)
+                    .ok_or(PoisonReason::UnknownQuestion)?;
+                if timestamp < thread.question.timestamp {
+                    return Err(PoisonReason::AnswerBeforeQuestion);
+                }
+                thread
+                    .answers
+                    .push(Post::new(UserId(author), timestamp, 0, body));
+                self.max_author = Some(self.max_author.unwrap_or(0).max(author));
+                Ok(())
+            }
+            ForumEvent::NewVote {
+                question,
+                post,
+                delta,
+            } => {
+                let thread = self
+                    .threads
+                    .get_mut(&question)
+                    .ok_or(PoisonReason::UnknownQuestion)?;
+                let target = if post == 0 {
+                    &mut thread.question
+                } else {
+                    thread
+                        .answers
+                        .get_mut(post as usize - 1)
+                        .ok_or(PoisonReason::UnknownPost)?
+                };
+                target.votes = target.votes.saturating_add(delta);
+                Ok(())
+            }
+        }
+    }
+
+    /// FNV-1a 64 over a canonical byte feed of the whole forum —
+    /// the replay-equivalence fingerprint. Two states hash equal iff
+    /// every thread, post, timestamp, vote, and body byte matches.
+    pub fn hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.feed_u64(self.threads.len() as u64);
+        for (qid, thread) in &self.threads {
+            h.feed_u64(u64::from(*qid));
+            h.feed_post(&thread.question);
+            h.feed_u64(thread.answers.len() as u64);
+            for answer in &thread.answers {
+                h.feed_post(answer);
+            }
+        }
+        h.finish()
+    }
+
+    /// Converts the state into a [`Dataset`] for the offline
+    /// pipeline. User count is the highest author seen plus one.
+    /// Total: the ingestor enforced every dataset invariant at apply
+    /// time, so construction cannot fail.
+    pub fn to_dataset(&self) -> Dataset {
+        let threads = self
+            .threads
+            .iter()
+            .map(|(qid, t)| Thread::new(*qid, t.question.clone(), t.answers.clone()))
+            .collect();
+        let num_users = self.max_author.map_or(0, |m| m + 1);
+        Dataset::new(num_users, threads).expect("ingestor pre-enforced every dataset invariant")
+    }
+}
+
+fn check_post(timestamp: f64, text: &str, code: &str) -> Result<PostBody, PoisonReason> {
+    if !timestamp.is_finite() {
+        return Err(PoisonReason::NonFiniteTimestamp);
+    }
+    if timestamp < 0.0 {
+        return Err(PoisonReason::NegativeTimestamp);
+    }
+    if text.trim().is_empty() && code.trim().is_empty() {
+        return Err(PoisonReason::EmptyBody);
+    }
+    Ok(PostBody::new(text, code))
+}
+
+/// FNV-1a 64-bit accumulator over the canonical state feed.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn feed(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= u64::from(*b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn feed_u64(&mut self, v: u64) {
+        self.feed(&v.to_le_bytes());
+    }
+
+    fn feed_post(&mut self, p: &Post) {
+        self.feed_u64(u64::from(p.author.0));
+        self.feed_u64(p.timestamp.to_bits());
+        self.feed(&p.votes.to_le_bytes());
+        self.feed_u64(p.body.text.len() as u64);
+        self.feed(p.body.text.as_bytes());
+        self.feed_u64(p.body.code.len() as u64);
+        self.feed(p.body.code.as_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One delivery into the [`Ingestor`]: a decoded event with its id,
+/// or a poison frame. Produced by [`decode_delivery`] — kept as a
+/// standalone value so segment decoding can run on worker threads
+/// ahead of the sequential fold.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Delivery {
+    /// A decodable event.
+    Event(u64, ForumEvent),
+    /// An undecodable frame; the id is `None` when even the id
+    /// varint was malformed.
+    Poison(Option<u64>),
+}
+
+/// Decodes one WAL frame (id as parsed by the WAL, payload bytes)
+/// into a [`Delivery`]. Pure.
+pub fn decode_delivery(id: Option<u64>, payload: &[u8]) -> Delivery {
+    match (id, decode_event(payload)) {
+        (Some(id), Some(event)) => Delivery::Event(id, event),
+        (id, _) => Delivery::Poison(id),
+    }
+}
+
+/// The idempotent replay fold. See the module docs for the delivery
+/// discipline (duplicates, bounded reorder, gaps, poison).
+#[derive(Debug, Default)]
+pub struct Ingestor {
+    state: ForumState,
+    next_id: u64,
+    pending: BTreeMap<u64, Result<ForumEvent, PoisonReason>>,
+    report: ReplayReport,
+    poison_samples: Vec<PoisonRecord>,
+}
+
+impl Ingestor {
+    /// Fresh ingestor with an empty state and the cursor at id 0.
+    pub fn new() -> Self {
+        Ingestor::default()
+    }
+
+    /// The next id the cursor expects.
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// The state folded so far.
+    pub fn state(&self) -> &ForumState {
+        &self.state
+    }
+
+    /// The running tally.
+    pub fn report(&self) -> &ReplayReport {
+        &self.report
+    }
+
+    /// Quarantined events kept verbatim (bounded by
+    /// [`MAX_POISON_KEPT`]).
+    pub fn poison_samples(&self) -> &[PoisonRecord] {
+        &self.poison_samples
+    }
+
+    /// Offers one delivery.
+    pub fn offer(&mut self, delivery: Delivery) {
+        self.report.events_in += 1;
+        match delivery {
+            Delivery::Event(id, event) => self.deliver(id, Ok(event)),
+            Delivery::Poison(Some(id)) => self.deliver(id, Err(PoisonReason::Undecodable)),
+            Delivery::Poison(None) => self.poison(None, PoisonReason::Undecodable),
+        }
+    }
+
+    /// Offers a decoded event directly (producer-side path).
+    pub fn offer_event(&mut self, id: u64, event: ForumEvent) {
+        self.offer(Delivery::Event(id, event));
+    }
+
+    /// Offers a raw WAL frame (id as the WAL parsed it, payload
+    /// bytes), decoding it here.
+    pub fn offer_frame(&mut self, id: Option<u64>, payload: &[u8]) {
+        self.offer(decode_delivery(id, payload));
+    }
+
+    fn deliver(&mut self, id: u64, event: Result<ForumEvent, PoisonReason>) {
+        if id < self.next_id || self.pending.contains_key(&id) {
+            self.report.dup_skipped += 1;
+            forumcast_obs::counter_add("ingest.dup_skipped", 1);
+            return;
+        }
+        if id > self.next_id {
+            self.pending.insert(id, event);
+            self.report.reordered += 1;
+            forumcast_obs::counter_add("ingest.reordered", 1);
+            // Bounded buffer: force the oldest pending event through,
+            // conceding the ids before it as gaps.
+            while self.pending.len() > MAX_PENDING {
+                let (forced_id, forced) = self
+                    .pending
+                    .pop_first()
+                    .expect("pending is non-empty past the bound");
+                self.skip_to(forced_id);
+                self.apply(forced_id, forced);
+                self.next_id = forced_id + 1;
+                self.drain_pending();
+            }
+            return;
+        }
+        self.apply(id, event);
+        self.next_id = id + 1;
+        self.drain_pending();
+    }
+
+    /// Drains all pending events, skipping over ids that never
+    /// arrived, and returns the final tally. Call once the stream is
+    /// exhausted.
+    pub fn finish(&mut self) -> &ReplayReport {
+        while let Some((id, event)) = self.pending.pop_first() {
+            self.skip_to(id);
+            self.apply(id, event);
+            self.next_id = id + 1;
+        }
+        &self.report
+    }
+
+    fn drain_pending(&mut self) {
+        while let Some(event) = self.pending.remove(&self.next_id) {
+            self.apply(self.next_id, event);
+            self.next_id += 1;
+        }
+    }
+
+    fn skip_to(&mut self, id: u64) {
+        let missing = id.saturating_sub(self.next_id);
+        if missing > 0 {
+            self.report.gaps += missing;
+            forumcast_obs::counter_add("ingest.gaps", missing);
+        }
+    }
+
+    fn apply(&mut self, id: u64, event: Result<ForumEvent, PoisonReason>) {
+        match event.and_then(|ev| self.state.apply(ev)) {
+            Ok(()) => self.report.applied += 1,
+            Err(reason) => self.poison(Some(id), reason),
+        }
+    }
+
+    fn poison(&mut self, id: Option<u64>, reason: PoisonReason) {
+        self.report.poison[reason.index()] += 1;
+        forumcast_obs::counter_add("ingest.poison", 1);
+        if self.poison_samples.len() < MAX_POISON_KEPT {
+            self.poison_samples.push(PoisonRecord { id, reason });
+        }
+    }
+}
+
+/// Flattens a [`Dataset`] into its event stream: one `NewQuestion`
+/// per thread, one `NewAnswer` per answer, one `NewVote` per post
+/// with nonzero votes, globally ordered by (timestamp, kind,
+/// question, post index). Replaying the stream in order rebuilds the
+/// dataset exactly (see [`ForumState::to_dataset`]).
+pub fn events_from_dataset(dataset: &Dataset) -> Vec<ForumEvent> {
+    // Sort key: votes (kind 2) sort after the post they touch (same
+    // timestamp, kind 0/1), answers after their question.
+    let mut keyed: Vec<(Hours, u8, u32, u32, ForumEvent)> = Vec::new();
+    for thread in dataset.threads() {
+        let qid = thread.id.0;
+        let q = &thread.question;
+        keyed.push((
+            q.timestamp,
+            0,
+            qid,
+            0,
+            ForumEvent::NewQuestion {
+                question: qid,
+                author: q.author.0,
+                timestamp: q.timestamp,
+                text: q.body.text.clone(),
+                code: q.body.code.clone(),
+            },
+        ));
+        if q.votes != 0 {
+            keyed.push((
+                q.timestamp,
+                2,
+                qid,
+                0,
+                ForumEvent::NewVote {
+                    question: qid,
+                    post: 0,
+                    delta: q.votes,
+                },
+            ));
+        }
+        for (i, a) in thread.answers.iter().enumerate() {
+            let post = i as u32 + 1;
+            keyed.push((
+                a.timestamp,
+                1,
+                qid,
+                post,
+                ForumEvent::NewAnswer {
+                    question: qid,
+                    author: a.author.0,
+                    timestamp: a.timestamp,
+                    text: a.body.text.clone(),
+                    code: a.body.code.clone(),
+                },
+            ));
+            if a.votes != 0 {
+                keyed.push((
+                    a.timestamp,
+                    2,
+                    qid,
+                    post,
+                    ForumEvent::NewVote {
+                        question: qid,
+                        post,
+                        delta: a.votes,
+                    },
+                ));
+            }
+        }
+    }
+    keyed.sort_by(|a, b| {
+        a.0.total_cmp(&b.0)
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+            .then(a.3.cmp(&b.3))
+    });
+    keyed.into_iter().map(|(_, _, _, _, ev)| ev).collect()
+}
+
+/// The result of replaying a WAL directory.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// Segments scanned.
+    pub segments: usize,
+    /// Segments carrying damage a `wal repair` would heal.
+    pub damaged: usize,
+    /// The folded forum.
+    pub state: ForumState,
+    /// Delivery tally.
+    pub report: ReplayReport,
+    /// Quarantined-event evidence (bounded).
+    pub poison_samples: Vec<PoisonRecord>,
+}
+
+/// Replays a WAL directory into a [`ForumState`]: segments are
+/// decoded on up to `threads` worker threads (0 = auto), then folded
+/// sequentially in segment/frame order — so the resulting
+/// [`ForumState::hash`] is identical at any thread count. Does not
+/// modify the log; run [`Wal::repair`] first to heal crash damage.
+///
+/// # Errors
+///
+/// [`WalError::Io`] when the directory or a segment cannot be read.
+pub fn replay_wal(dir: &Path, threads: usize) -> Result<ReplayOutcome, WalError> {
+    let segments = scan_dir(dir)?;
+    let max_threads = forumcast_par::resolve_threads(threads);
+    let indexed: Vec<(u64, &forumcast_wal::WalSegment)> = segments
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (i as u64, s))
+        .collect();
+    let decoded: Vec<Vec<Delivery>> =
+        forumcast_par::parallel_map(&indexed, max_threads, |(unit, seg)| {
+            // Detached span: the decode path is the same whichever worker
+            // ran the segment, keeping traces thread-count-invariant.
+            let _g = forumcast_obs::task_span("wal.replay.segment", *unit);
+            seg.entries
+                .iter()
+                .map(|e| decode_delivery(e.id, &e.payload))
+                .collect()
+        });
+    let mut ingestor = Ingestor::new();
+    let mut total = 0u64;
+    for batch in decoded {
+        for delivery in batch {
+            total += 1;
+            ingestor.offer(delivery);
+        }
+    }
+    forumcast_obs::counter_add("wal.replay.events", total);
+    ingestor.finish();
+    Ok(ReplayOutcome {
+        segments: segments.len(),
+        damaged: segments.iter().filter(|s| s.damage.is_some()).count(),
+        state: ingestor.state,
+        report: ingestor.report,
+        poison_samples: ingestor.poison_samples,
+    })
+}
+
+/// The result of [`ingest_events`]: what recovery found, where the
+/// producer resumed, and the folded state.
+#[derive(Debug)]
+pub struct IngestOutcome {
+    /// What opening the log healed/found.
+    pub recovery: WalRecovery,
+    /// First event index actually appended (everything below was
+    /// already durable in the log).
+    pub resumed_from: u64,
+    /// Times the WAL was reopened to heal a torn append mid-run.
+    pub reopens: u64,
+    /// The folded forum (recovered prefix + newly appended events).
+    pub state: ForumState,
+    /// Delivery tally (covers recovered and new events).
+    pub report: ReplayReport,
+}
+
+/// Appends `events` (ids = indices) to the WAL at `dir`, folding them
+/// into a [`ForumState`] as it goes. Idempotent: events already
+/// durable in the log are replayed, not re-appended, and the producer
+/// resumes from the log's first missing id — so re-running after a
+/// crash (or a kill-storm) converges to the same state and hash.
+///
+/// Probes the delivery fault sites: `wal-torn-append` (append tears,
+/// the log is reopened/healed in place and the append retried),
+/// `wal-dup-deliver` (the event is appended and offered twice), and
+/// `wal-reorder` (the event swaps delivery order with its successor).
+/// All three are absorbed by the replay discipline and show up only
+/// in the tallies.
+///
+/// # Errors
+///
+/// [`WalError`] on unrecoverable log failure.
+pub fn ingest_events(
+    dir: &Path,
+    cfg: &WalConfig,
+    events: &[ForumEvent],
+) -> Result<IngestOutcome, WalError> {
+    let (mut wal, recovery) = Wal::open(dir, cfg.clone())?;
+    let mut ingestor = Ingestor::new();
+    // Seed the fold with what the log already holds.
+    for seg in scan_dir(dir)? {
+        for entry in &seg.entries {
+            ingestor.offer_frame(entry.id, &entry.payload);
+        }
+    }
+    let resumed_from = recovery.next_missing_id.min(events.len() as u64);
+    let mut reopens = 0u64;
+    let mut i = resumed_from as usize;
+    while i < events.len() {
+        let id = i as u64;
+        if i + 1 < events.len() && fault::fires(FaultSite::WalReorder, id) {
+            // Swap delivery order with the successor: the log itself
+            // records the swapped order, so replay sees a genuine
+            // reorder too.
+            deliver(
+                &mut wal,
+                &mut ingestor,
+                &mut reopens,
+                dir,
+                cfg,
+                id + 1,
+                &events[i + 1],
+            )?;
+            deliver(
+                &mut wal,
+                &mut ingestor,
+                &mut reopens,
+                dir,
+                cfg,
+                id,
+                &events[i],
+            )?;
+            i += 2;
+            continue;
+        }
+        deliver(
+            &mut wal,
+            &mut ingestor,
+            &mut reopens,
+            dir,
+            cfg,
+            id,
+            &events[i],
+        )?;
+        if fault::fires(FaultSite::WalDupDeliver, id) {
+            deliver(
+                &mut wal,
+                &mut ingestor,
+                &mut reopens,
+                dir,
+                cfg,
+                id,
+                &events[i],
+            )?;
+        }
+        i += 1;
+    }
+    wal.finish()?;
+    ingestor.finish();
+    Ok(IngestOutcome {
+        recovery,
+        resumed_from,
+        reopens,
+        state: ingestor.state,
+        report: ingestor.report,
+    })
+}
+
+/// One append + offer, healing torn appends by reopening the log
+/// (recovery truncates the torn tail) and retrying.
+fn deliver(
+    wal: &mut Wal,
+    ingestor: &mut Ingestor,
+    reopens: &mut u64,
+    dir: &Path,
+    cfg: &WalConfig,
+    id: u64,
+    event: &ForumEvent,
+) -> Result<(), WalError> {
+    let bytes = encode_event(event);
+    let mut attempts = 0;
+    loop {
+        match wal.append(id, &bytes) {
+            Ok(()) => break,
+            Err(WalError::TornAppend { .. } | WalError::Poisoned) if attempts < 3 => {
+                attempts += 1;
+                *reopens += 1;
+                let (reopened, _) = Wal::open(dir, cfg.clone())?;
+                *wal = reopened;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    ingestor.offer_event(id, event.clone());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dataset() -> Dataset {
+        let t0 = Thread::new(
+            0,
+            Post::new(UserId(0), 0.5, 3, PostBody::words("how to sort")),
+            vec![
+                Post::new(UserId(1), 1.5, 5, PostBody::new("use sort", "v.sort();")),
+                Post::new(UserId(2), 2.0, 0, PostBody::words("bubble sort")),
+            ],
+        );
+        let t1 = Thread::new(
+            1,
+            Post::new(UserId(2), 1.0, -1, PostBody::words("why borrowck")),
+            vec![Post::new(
+                UserId(0),
+                9.0,
+                2,
+                PostBody::words("read the book"),
+            )],
+        );
+        Dataset::new(3, vec![t0, t1]).expect("valid dataset")
+    }
+
+    fn in_order(events: &[ForumEvent]) -> Ingestor {
+        let mut ing = Ingestor::new();
+        for (i, ev) in events.iter().enumerate() {
+            ing.offer_event(i as u64, ev.clone());
+        }
+        ing.finish();
+        ing
+    }
+
+    #[test]
+    fn event_bytes_roundtrip() {
+        let ev = ForumEvent::NewAnswer {
+            question: 7,
+            author: 3,
+            timestamp: 12.25,
+            text: "body".into(),
+            code: "fn x() {}".into(),
+        };
+        assert_eq!(decode_event(&encode_event(&ev)), Some(ev));
+        assert_eq!(decode_event(b"not an event"), None);
+    }
+
+    #[test]
+    fn dataset_roundtrips_through_its_event_stream() {
+        let ds = sample_dataset();
+        let events = events_from_dataset(&ds);
+        // 5 posts, 4 of them with nonzero votes.
+        assert_eq!(events.len(), 9);
+        let ing = in_order(&events);
+        assert_eq!(ing.report().applied, 9);
+        assert_eq!(ing.report().poison_total(), 0);
+        let rebuilt = ing.state().to_dataset();
+        assert_eq!(rebuilt, ds, "replay must rebuild the dataset exactly");
+    }
+
+    #[test]
+    fn duplicate_deliveries_are_skipped_and_counted() {
+        let events = events_from_dataset(&sample_dataset());
+        let baseline = in_order(&events).state().hash();
+
+        let mut ing = Ingestor::new();
+        for (i, ev) in events.iter().enumerate() {
+            ing.offer_event(i as u64, ev.clone());
+            ing.offer_event(i as u64, ev.clone()); // crash-resume re-delivery
+        }
+        ing.finish();
+        assert_eq!(ing.state().hash(), baseline);
+        assert_eq!(ing.report().dup_skipped, events.len() as u64);
+        assert_eq!(ing.report().applied, events.len() as u64);
+    }
+
+    #[test]
+    fn bounded_reorder_is_buffered_and_applied_in_id_order() {
+        let events = events_from_dataset(&sample_dataset());
+        let baseline = in_order(&events).state().hash();
+
+        // Deliver in pairs, each pair swapped.
+        let mut ing = Ingestor::new();
+        let mut i = 0;
+        while i < events.len() {
+            if i + 1 < events.len() {
+                ing.offer_event(i as u64 + 1, events[i + 1].clone());
+            }
+            ing.offer_event(i as u64, events[i].clone());
+            i += 2;
+        }
+        ing.finish();
+        assert_eq!(ing.state().hash(), baseline);
+        assert!(ing.report().reordered > 0);
+        assert_eq!(ing.report().gaps, 0);
+        assert_eq!(ing.report().poison_total(), 0);
+    }
+
+    #[test]
+    fn poison_events_are_tallied_never_applied_never_fatal() {
+        let mut ing = Ingestor::new();
+        ing.offer_event(
+            0,
+            ForumEvent::NewQuestion {
+                question: 0,
+                author: 0,
+                timestamp: 1.0,
+                text: "q".into(),
+                code: String::new(),
+            },
+        );
+        // Unknown question, answer before question, duplicate
+        // question, bad timestamps, empty body, unknown post,
+        // undecodable frame — all absorbed.
+        ing.offer_event(
+            1,
+            ForumEvent::NewAnswer {
+                question: 99,
+                author: 1,
+                timestamp: 2.0,
+                text: "a".into(),
+                code: String::new(),
+            },
+        );
+        ing.offer_event(
+            2,
+            ForumEvent::NewAnswer {
+                question: 0,
+                author: 1,
+                timestamp: 0.25,
+                text: "too early".into(),
+                code: String::new(),
+            },
+        );
+        ing.offer_event(
+            3,
+            ForumEvent::NewQuestion {
+                question: 0,
+                author: 2,
+                timestamp: 3.0,
+                text: "again".into(),
+                code: String::new(),
+            },
+        );
+        ing.offer_event(
+            4,
+            ForumEvent::NewQuestion {
+                question: 1,
+                author: 2,
+                timestamp: f64::NAN,
+                text: "nan".into(),
+                code: String::new(),
+            },
+        );
+        ing.offer_event(
+            5,
+            ForumEvent::NewQuestion {
+                question: 1,
+                author: 2,
+                timestamp: -4.0,
+                text: "negative".into(),
+                code: String::new(),
+            },
+        );
+        ing.offer_event(
+            6,
+            ForumEvent::NewQuestion {
+                question: 1,
+                author: 2,
+                timestamp: 4.0,
+                text: "   ".into(),
+                code: String::new(),
+            },
+        );
+        ing.offer_event(
+            7,
+            ForumEvent::NewVote {
+                question: 0,
+                post: 5,
+                delta: 1,
+            },
+        );
+        ing.offer_frame(Some(8), b"garbage payload");
+        ing.offer_frame(None, b"frame with a broken id varint");
+        let report = ing.finish().clone();
+
+        assert_eq!(report.events_in, 10);
+        assert_eq!(report.applied, 1, "only the first question applies");
+        assert_eq!(report.poison_total(), 9);
+        assert_eq!(ing.state().num_threads(), 1);
+        for reason in PoisonReason::ALL {
+            assert!(
+                report.poison[PoisonReason::ALL.iter().position(|r| *r == reason).unwrap()] > 0,
+                "reason {reason} must be exercised"
+            );
+        }
+        assert_eq!(ing.poison_samples().len(), 9);
+        assert!(report.to_string().contains("poison"), "{report}");
+    }
+
+    #[test]
+    fn gaps_are_skipped_and_counted_at_finish() {
+        let events = events_from_dataset(&sample_dataset());
+        let mut ing = Ingestor::new();
+        // Ids 0 and 1 never arrive (their segment was quarantined).
+        for (i, ev) in events.iter().enumerate().skip(2) {
+            ing.offer_event(i as u64, ev.clone());
+        }
+        let report = ing.finish();
+        assert_eq!(report.gaps, 2);
+        assert_eq!(
+            report.applied + report.poison_total(),
+            events.len() as u64 - 2
+        );
+    }
+
+    #[test]
+    fn pending_overflow_forces_the_oldest_event_through() {
+        let mut ing = Ingestor::new();
+        // Event 0 never arrives; MAX_PENDING + 1 future events force
+        // the buffer bound.
+        for i in 0..=(MAX_PENDING as u64) {
+            ing.offer_event(
+                i + 1,
+                ForumEvent::NewQuestion {
+                    question: i as u32 + 1,
+                    author: 0,
+                    timestamp: i as f64,
+                    text: "q".into(),
+                    code: String::new(),
+                },
+            );
+        }
+        assert!(
+            ing.report().gaps >= 1,
+            "the forced apply concedes id 0 as a gap"
+        );
+        ing.finish();
+        assert_eq!(ing.report().applied, MAX_PENDING as u64 + 1);
+    }
+
+    #[test]
+    fn replay_report_accounting_identity_holds() {
+        let events = events_from_dataset(&sample_dataset());
+        let mut ing = Ingestor::new();
+        for (i, ev) in events.iter().enumerate() {
+            ing.offer_event(i as u64, ev.clone());
+            if i % 3 == 0 {
+                ing.offer_event(i as u64, ev.clone());
+            }
+        }
+        ing.offer_frame(Some(events.len() as u64), b"junk");
+        let report = ing.finish();
+        assert_eq!(
+            report.events_in,
+            report.applied + report.dup_skipped + report.poison_total()
+        );
+    }
+}

@@ -42,6 +42,7 @@
 pub mod dataset;
 pub mod days;
 pub mod error;
+pub mod event;
 pub mod io;
 pub mod post;
 pub mod quarantine;
@@ -51,6 +52,11 @@ pub mod thread;
 pub use dataset::{AnsweredPair, Dataset};
 pub use days::DayPartition;
 pub use error::DataError;
+pub use event::{
+    decode_delivery, decode_event, encode_event, events_from_dataset, ingest_events, replay_wal,
+    Delivery, ForumEvent, ForumState, IngestOutcome, Ingestor, PoisonReason, PoisonRecord,
+    ReplayOutcome, ReplayReport, MAX_PENDING, MAX_POISON_KEPT,
+};
 pub use post::{Post, PostBody, UserId};
 pub use quarantine::{
     import_records_lenient, import_records_lenient_with, IngestReport, LenientMode,

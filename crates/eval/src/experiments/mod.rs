@@ -562,7 +562,7 @@ mod tests {
         // A truncation that still scans as a valid store prefix is
         // silently truncated (not quarantined); one that breaks a
         // frame is moved aside. Clean up either way.
-        let _ = std::fs::remove_file(forumcast_store::corrupt_path(&snapshot));
+        let _ = std::fs::remove_file(format!("{}.corrupt", snapshot.display()));
     }
 
     /// A corrupted *fold-level* checkpoint is quarantined by the
@@ -589,7 +589,7 @@ mod tests {
 
         let resumed = run_cv_resumable(&data, &cfg, None, false, &opts).unwrap();
         assert_eq!(clean, resumed, "recomputed run must match the clean one");
-        let quarantined = forumcast_store::corrupt_path(&path);
+        let quarantined = std::path::PathBuf::from(format!("{}.corrupt", path.display()));
         assert!(
             quarantined.exists(),
             "corrupt checkpoint must be moved aside, not deleted"

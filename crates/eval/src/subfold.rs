@@ -247,7 +247,7 @@ mod tests {
         std::fs::write(h.path(), &bad).unwrap();
         assert!(h.check().is_ok(), "corrupt is not stale");
         assert!(h.load().is_none());
-        let quarantined = forumcast_store::corrupt_path(h.path());
+        let quarantined = std::path::PathBuf::from(format!("{}.corrupt", h.path().display()));
         assert!(quarantined.exists(), "corrupt snapshot is moved aside");
         std::fs::remove_file(&quarantined).unwrap();
         h.discard();

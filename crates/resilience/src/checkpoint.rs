@@ -209,8 +209,11 @@ impl<T: Serialize> Checkpoint<T> {
                 if let Some(err) = ckpt_write_fault(path, unit, || store.encode()) {
                     return Err(err);
                 }
-                store
-                    .save(path, &injected_save_options(unit))
+                // Transient failures (an injected or real fsync error)
+                // cost a counted, deterministically-backed-off retry,
+                // not the save; the options are re-probed per attempt
+                // so bounded fault shots drain across retries.
+                crate::retry::save_with_retry(|_| store.save(path, &injected_save_options(unit)))
                     .map_err(|e| store_io_err(path, e))?;
             }
             CkptFormat::Json => {
@@ -226,8 +229,11 @@ impl<T: Serialize> Checkpoint<T> {
                     path: path.display().to_string(),
                     message: e.to_string(),
                 };
-                std::fs::write(&tmp, json).map_err(io_err)?;
-                std::fs::rename(&tmp, path).map_err(io_err)?;
+                crate::retry::save_with_retry(|_| {
+                    std::fs::write(&tmp, &json)?;
+                    std::fs::rename(&tmp, path)
+                })
+                .map_err(io_err)?;
             }
         }
         forumcast_obs::counter_add("ckpt.saves", 1);
@@ -455,8 +461,7 @@ impl<T: Serialize> TrainCheckpoint<T> {
                 if let Some(err) = ckpt_write_fault(path, unit, || store.encode()) {
                     return Err(err);
                 }
-                store
-                    .save(path, &injected_save_options(unit))
+                crate::retry::save_with_retry(|_| store.save(path, &injected_save_options(unit)))
                     .map_err(|e| store_io_err(path, e))?
             }
             CkptFormat::Json => {
@@ -473,8 +478,11 @@ impl<T: Serialize> TrainCheckpoint<T> {
                     message: e.to_string(),
                 };
                 let bytes = json.len() as u64;
-                std::fs::write(&tmp, json).map_err(io_err)?;
-                std::fs::rename(&tmp, path).map_err(io_err)?;
+                crate::retry::save_with_retry(|_| {
+                    std::fs::write(&tmp, &json)?;
+                    std::fs::rename(&tmp, path)
+                })
+                .map_err(io_err)?;
                 bytes
             }
         };
@@ -705,7 +713,7 @@ mod tests {
         let mut p = std::env::temp_dir();
         p.push(format!("forumcast-ckpt-{name}-{}.json", std::process::id()));
         let _ = std::fs::remove_file(&p);
-        let _ = std::fs::remove_file(forumcast_store::corrupt_path(&p));
+        let _ = std::fs::remove_file(p.with_extension("json.corrupt"));
         p
     }
 
@@ -813,7 +821,7 @@ mod tests {
         let err = Checkpoint::<i32>::load(&path, "m").unwrap_err();
         assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err}");
         assert!(err.to_string().contains("forumcast-ckpt-corrupt"));
-        let quarantined = forumcast_store::corrupt_path(&path);
+        let quarantined = path.with_extension("json.corrupt");
         assert!(quarantined.exists(), "corrupt JSON must be moved aside");
         assert!(!path.exists());
         std::fs::remove_file(&quarantined).unwrap();
@@ -853,7 +861,7 @@ mod tests {
         let err = Checkpoint::<f64>::load(&path, "m").unwrap_err();
         assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err}");
         assert!(err.to_string().contains("CRC mismatch"), "{err}");
-        let quarantined = forumcast_store::corrupt_path(&path);
+        let quarantined = path.with_extension("json.corrupt");
         assert!(quarantined.exists());
         assert!(!path.exists());
         std::fs::remove_file(&quarantined).unwrap();
@@ -867,7 +875,9 @@ mod tests {
         cp.save(&path).unwrap();
         cp.record(1, 2);
         {
-            let _guard = FaultPlan::parse("fsync-fail:2").unwrap().arm();
+            // Three shots exhaust the bounded save retry (x3 =
+            // SAVE_ATTEMPTS), so the failure is permanent.
+            let _guard = FaultPlan::parse("fsync-fail:2x3").unwrap().arm();
             let err = cp.save(&path).unwrap_err();
             assert!(
                 err.to_string().contains("fsync-fail:2"),
@@ -877,6 +887,32 @@ mod tests {
         // The previous checkpoint survives untouched and loadable.
         let back = Checkpoint::<i32>::load(&path, "m").unwrap().unwrap();
         assert_eq!(back.entries, vec![(0, 1)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn transient_fsync_fail_is_healed_by_counted_retries() {
+        let path = temp_path("fsync-retry");
+        let mut cp: Checkpoint<i32> = Checkpoint::new("m");
+        cp.record(0, 1);
+        cp.record(1, 2);
+        {
+            // Two shots fail attempts 0 and 1; attempt 2 saves clean.
+            let _guard = FaultPlan::parse("fsync-fail:2x2").unwrap().arm();
+            let obs = forumcast_obs::arm();
+            cp.save(&path).expect("transient sync failure must heal");
+            let log = forumcast_obs::drain().expect("collector armed");
+            drop(obs);
+            let retries = log
+                .counters
+                .iter()
+                .find(|(n, _)| n == "ckpt.save.retries")
+                .map(|(_, v)| *v)
+                .unwrap_or(0);
+            assert_eq!(retries, 2, "each failed attempt is one counted retry");
+        }
+        let back = Checkpoint::<i32>::load(&path, "m").unwrap().unwrap();
+        assert_eq!(back.entries, vec![(0, 1), (1, 2)]);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -944,7 +980,7 @@ mod tests {
         std::fs::write(&path, &json[..json.len() / 2]).unwrap();
         let err = TrainCheckpoint::<Vec<f64>>::load(&path, "f").unwrap_err();
         assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err}");
-        let quarantined = forumcast_store::corrupt_path(&path);
+        let quarantined = path.with_extension("json.corrupt");
         assert!(quarantined.exists(), "corrupt JSON snapshot is moved aside");
         std::fs::remove_file(&quarantined).unwrap();
     }

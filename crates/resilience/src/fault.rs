@@ -73,11 +73,24 @@ pub enum FaultSite {
     /// before the rename, leaving the previous checkpoint intact
     /// (unit = same save-unit as `ckpt-write`).
     FsyncFail,
+    /// Torn WAL append: the frame for one event is cut mid-payload
+    /// and the append reports failure (unit = event id). Reopening
+    /// the log must truncate the torn tail back to the valid prefix
+    /// so the append can be repeated.
+    WalTornAppend,
+    /// Duplicate delivery of one event to the WAL ingest path (unit =
+    /// event id): the event is appended and offered twice, and replay
+    /// must skip the duplicate id idempotently.
+    WalDupDeliver,
+    /// Delivery reorder at the WAL ingest path (unit = event id): the
+    /// event swaps places with its successor, and the ingestor's
+    /// bounded reorder buffer must restore id order.
+    WalReorder,
 }
 
 impl FaultSite {
     /// All sites, in spec-name order.
-    pub const ALL: [FaultSite; 8] = [
+    pub const ALL: [FaultSite; 11] = [
         FaultSite::FoldPanic,
         FaultSite::IngestIo,
         FaultSite::NanGrad,
@@ -86,11 +99,15 @@ impl FaultSite {
         FaultSite::TornWrite,
         FaultSite::BitFlip,
         FaultSite::FsyncFail,
+        FaultSite::WalTornAppend,
+        FaultSite::WalDupDeliver,
+        FaultSite::WalReorder,
     ];
 
     /// The spec name (`fold-panic`, `ingest-io`, `nan-grad`,
     /// `ckpt-write`, `alloc-pressure`, `torn-write`, `bit-flip`,
-    /// `fsync-fail`).
+    /// `fsync-fail`, `wal-torn-append`, `wal-dup-deliver`,
+    /// `wal-reorder`).
     pub fn name(self) -> &'static str {
         match self {
             FaultSite::FoldPanic => "fold-panic",
@@ -101,6 +118,9 @@ impl FaultSite {
             FaultSite::TornWrite => "torn-write",
             FaultSite::BitFlip => "bit-flip",
             FaultSite::FsyncFail => "fsync-fail",
+            FaultSite::WalTornAppend => "wal-torn-append",
+            FaultSite::WalDupDeliver => "wal-dup-deliver",
+            FaultSite::WalReorder => "wal-reorder",
         }
     }
 
@@ -111,7 +131,8 @@ impl FaultSite {
             .ok_or_else(|| {
                 FaultSpecError(format!(
                     "unknown fault site `{name}` (expected one of: fold-panic, ingest-io, \
-                     nan-grad, ckpt-write, alloc-pressure, torn-write, bit-flip, fsync-fail)"
+                     nan-grad, ckpt-write, alloc-pressure, torn-write, bit-flip, fsync-fail, \
+                     wal-torn-append, wal-dup-deliver, wal-reorder)"
                 ))
             })
     }

@@ -35,4 +35,4 @@ pub use checkpoint::{
     reclaim_tmp, Checkpoint, CheckpointError, CkptFormat, TrainCheckpoint, SUBFOLD_FORMAT_VERSION,
 };
 pub use fault::{FaultGuard, FaultPlan, FaultSite, FaultSpecError, FAULTS_ENV};
-pub use retry::{with_retry, RetryExhausted};
+pub use retry::{save_with_retry, with_retry, RetryExhausted, SAVE_ATTEMPTS};

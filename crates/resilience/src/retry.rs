@@ -83,6 +83,50 @@ pub fn with_retry<T, F: FnMut() -> T>(
     })
 }
 
+/// How many times checkpoint/WAL saves attempt a transiently failing
+/// I/O operation before giving up (first try + two retries).
+pub const SAVE_ATTEMPTS: usize = 3;
+
+/// Deterministic backoff schedule between save retries, indexed by the
+/// zero-based attempt that just failed. Fixed (no jitter, no clock
+/// reads) so a faulted run behaves identically every time.
+const SAVE_BACKOFF_MS: [u64; SAVE_ATTEMPTS] = [1, 2, 4];
+
+/// Runs a fallible I/O operation up to [`SAVE_ATTEMPTS`] times with
+/// the deterministic [`SAVE_BACKOFF_MS`] schedule between failures —
+/// the containment boundary around checkpoint and WAL saves, where an
+/// injected (or real) transient `fsync`/write failure should cost a
+/// counted retry, not the save. Each retry bumps the
+/// `ckpt.save.retries` counter and emits a `ckpt.save.retry` mark at
+/// the failing attempt index, so healed saves stay visible in
+/// telemetry.
+///
+/// Retries re-invoke `f` with the attempt number; callers whose
+/// failure is produced by a bounded fault plan (shots drain per
+/// probe) heal exactly when the plan runs out of shots, making the
+/// retry count itself deterministic.
+///
+/// # Errors
+///
+/// Returns the final attempt's error once all [`SAVE_ATTEMPTS`] fail.
+pub fn save_with_retry<T, E>(mut f: impl FnMut(usize) -> Result<T, E>) -> Result<T, E> {
+    let mut attempt = 0;
+    loop {
+        match f(attempt) {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                if attempt + 1 >= SAVE_ATTEMPTS {
+                    return Err(e);
+                }
+                forumcast_obs::counter_add("ckpt.save.retries", 1);
+                forumcast_obs::mark("ckpt.save.retry", attempt as u64);
+                std::thread::sleep(std::time::Duration::from_millis(SAVE_BACKOFF_MS[attempt]));
+                attempt += 1;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,5 +169,31 @@ mod tests {
     #[should_panic(expected = "at least one attempt")]
     fn zero_attempts_rejected() {
         let _ = with_retry("op", 0, || ());
+    }
+
+    #[test]
+    fn save_retry_heals_transient_failures() {
+        let calls = AtomicUsize::new(0);
+        let out: Result<u32, String> = save_with_retry(|attempt| {
+            assert_eq!(attempt, calls.fetch_add(1, Ordering::Relaxed));
+            if attempt < 2 {
+                Err("transient".into())
+            } else {
+                Ok(9)
+            }
+        });
+        assert_eq!(out.unwrap(), 9);
+        assert_eq!(calls.load(Ordering::Relaxed), SAVE_ATTEMPTS);
+    }
+
+    #[test]
+    fn save_retry_surfaces_the_last_error_when_exhausted() {
+        let calls = AtomicUsize::new(0);
+        let out: Result<(), String> = save_with_retry(|attempt| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(format!("attempt {attempt} failed"))
+        });
+        assert_eq!(out.unwrap_err(), "attempt 2 failed");
+        assert_eq!(calls.load(Ordering::Relaxed), SAVE_ATTEMPTS);
     }
 }

@@ -497,12 +497,55 @@ pub fn is_store_bytes(bytes: &[u8]) -> bool {
     bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] == MAGIC
 }
 
-/// The quarantine destination for a corrupt file: `<path>.corrupt`
-/// (suffix appended, nothing replaced).
+/// Serializes just the container header — magic, format version,
+/// fingerprint, header CRC — the prefix an append-only writer lays
+/// down once before streaming frames with [`frame_bytes`].
+/// Concatenating this with any sequence of `frame_bytes` outputs
+/// yields exactly the byte layout [`scan`] parses.
+pub fn header_bytes(fingerprint: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(MAGIC.len() + 16 + fingerprint.len());
+    out.extend_from_slice(&MAGIC);
+    let mut header = Vec::with_capacity(16 + fingerprint.len());
+    varint::write_u64(&mut header, FORMAT_VERSION);
+    varint::write_u64(&mut header, fingerprint.len() as u64);
+    header.extend_from_slice(fingerprint.as_bytes());
+    let crc = crc32(&header);
+    out.extend_from_slice(&header);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Serializes one frame — length varint, payload, CRC32 over both —
+/// the unit an append-only writer adds per record.
+pub fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 14);
+    varint::write_u64(&mut out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// The quarantine destination for a corrupt file: the first *free* of
+/// `<path>.corrupt`, `<path>.corrupt.1`, `<path>.corrupt.2`, … so a
+/// repeat corruption of the same path never overwrites the forensic
+/// evidence an earlier quarantine preserved.
 pub fn corrupt_path(path: &Path) -> PathBuf {
-    let mut name = path.as_os_str().to_owned();
-    name.push(".corrupt");
-    PathBuf::from(name)
+    let mut base = path.as_os_str().to_owned();
+    base.push(".corrupt");
+    let first = PathBuf::from(&base);
+    if !first.exists() {
+        return first;
+    }
+    for n in 1u64.. {
+        let mut name = base.clone();
+        name.push(format!(".{n}"));
+        let candidate = PathBuf::from(name);
+        if !candidate.exists() {
+            return candidate;
+        }
+    }
+    unreachable!("some numbered quarantine slot is free")
 }
 
 /// Moves `path` aside to [`corrupt_path`], counting
@@ -640,7 +683,7 @@ mod tests {
             } => {
                 assert_eq!(frame, 1);
                 let dest = quarantined_to.expect("quarantined");
-                assert_eq!(dest, corrupt_path(&path));
+                assert_eq!(dest, path.with_extension("ckpt.corrupt"));
                 assert!(dest.exists());
                 assert!(!path.exists(), "original must be moved aside");
             }
@@ -705,7 +748,7 @@ mod tests {
         fs::write(&path, &bytes).expect("rewrite");
         let err = StoreFile::load(&path).expect_err("header damage");
         assert!(matches!(err, StoreError::HeaderCorrupt { .. }), "{err}");
-        assert!(corrupt_path(&path).exists());
+        assert!(path.with_extension("ckpt.corrupt").exists());
         assert!(!path.exists());
         fs::remove_dir_all(&dir).ok();
     }
@@ -772,5 +815,40 @@ mod tests {
         let back = StoreFile::load(&path).expect("repaired loads clean");
         assert_eq!(back.frames, store.frames[..2].to_vec());
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repeated_quarantine_never_clobbers_earlier_evidence() {
+        let dir = tmp_dir("requarantine");
+        let path = dir.join("q.ckpt");
+        fs::write(&path, b"first corpse").expect("write");
+        let first = quarantine(&path).expect("first quarantine");
+        assert_eq!(first, path.with_extension("ckpt.corrupt"));
+        fs::write(&path, b"second corpse").expect("rewrite");
+        let second = quarantine(&path).expect("second quarantine");
+        assert_eq!(second, path.with_extension("ckpt.corrupt.1"));
+        fs::write(&path, b"third corpse").expect("rewrite");
+        let third = quarantine(&path).expect("third quarantine");
+        assert_eq!(third, path.with_extension("ckpt.corrupt.2"));
+        assert_eq!(fs::read(&first).expect("first"), b"first corpse");
+        assert_eq!(fs::read(&second).expect("second"), b"second corpse");
+        assert_eq!(fs::read(&third).expect("third"), b"third corpse");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_encoders_match_whole_file_encode() {
+        // `header_bytes` + a `frame_bytes` per payload must be
+        // byte-identical to `StoreFile::encode` — the contract that
+        // lets an append-only writer produce files `scan` parses.
+        let store = sample();
+        let mut appended = header_bytes(&store.fingerprint);
+        for frame in &store.frames {
+            appended.extend_from_slice(&frame_bytes(frame));
+        }
+        assert_eq!(appended, store.encode());
+        let report = scan(&appended, Path::new("a.ckpt")).expect("scannable");
+        assert_eq!(report.frames, store.frames);
+        assert!(report.issue.is_none());
     }
 }

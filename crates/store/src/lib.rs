@@ -36,8 +36,8 @@ pub mod varint;
 pub use codec::{decode_value, encode_value, CodecError, MAX_DEPTH};
 pub use crc32::crc32;
 pub use frame::{
-    corrupt_path, is_store_bytes, quarantine, reclaim_tmp, scan, Corruption, FrameIssue,
-    SaveOptions, Scan, StoreError, StoreFile, FORMAT_VERSION, MAGIC,
+    corrupt_path, frame_bytes, header_bytes, is_store_bytes, quarantine, reclaim_tmp, scan,
+    Corruption, FrameIssue, SaveOptions, Scan, StoreError, StoreFile, FORMAT_VERSION, MAGIC,
 };
 
 use serde::{Deserialize, Serialize};

@@ -122,9 +122,10 @@ fn load_never_returns_mutated_payloads_under_bit_flips() {
             }
         }
         // Reset for the next iteration: the load may have renamed
-        // the file to `<path>.corrupt`.
+        // the file to `<path>.corrupt` (`corrupt_path` returns the
+        // first *free* slot, so remove the literal destination).
         let _ = fs::remove_file(&path);
-        let _ = fs::remove_file(forumcast_store::corrupt_path(&path));
+        let _ = fs::remove_file(path.with_extension("ckpt.corrupt"));
     }
     fs::remove_dir_all(&dir).ok();
 }

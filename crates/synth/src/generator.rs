@@ -3,7 +3,7 @@
 //! [`crate::simulator`]; this module provides the one-shot
 //! [`generate`] and re-exports used by tests.
 
-use forumcast_data::Dataset;
+use forumcast_data::{events_from_dataset, Dataset, ForumEvent};
 
 use crate::config::SynthConfig;
 use crate::simulator::ForumSimulator;
@@ -29,6 +29,16 @@ pub fn generate(config: &SynthConfig) -> Dataset {
     Dataset::new(config.num_users, threads).expect("generator invariants hold")
 }
 
+/// Generates the synthetic forum as a deterministic *event stream*:
+/// [`generate`]'s dataset flattened into chronologically ordered
+/// [`ForumEvent`]s (event id = stream index). The canonical producer
+/// input for WAL ingestion — `forumcast ingest --wal` appends exactly
+/// this stream, so any two runs with the same config fold to the same
+/// state hash.
+pub fn event_stream(config: &SynthConfig) -> Vec<ForumEvent> {
+    events_from_dataset(&generate(config))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -46,6 +56,26 @@ mod tests {
         let a = small_dataset();
         let b = small_dataset();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn event_stream_is_deterministic_and_rebuilds_the_dataset() {
+        let cfg = SynthConfig::small().with_seed(42);
+        let a = event_stream(&cfg);
+        let b = event_stream(&cfg);
+        assert_eq!(a, b);
+        let mut ing = forumcast_data::Ingestor::new();
+        for (i, ev) in a.iter().enumerate() {
+            ing.offer_event(i as u64, ev.clone());
+        }
+        let report = ing.finish();
+        assert_eq!(report.poison_total(), 0, "synth events are all valid");
+        assert_eq!(report.applied, a.len() as u64);
+        assert_eq!(
+            ing.state().to_dataset().threads(),
+            small_dataset().threads(),
+            "replaying the stream rebuilds the generated forum"
+        );
     }
 
     #[test]

@@ -45,6 +45,6 @@ pub mod simulator;
 pub mod text;
 
 pub use config::{SynthConfig, TimingNoise};
-pub use generator::generate;
+pub use generator::{event_stream, generate};
 pub use population::{Population, UserProfile};
 pub use simulator::{ForumSimulator, QuestionEvent};

@@ -1,0 +1,983 @@
+//! Append-only, segment-rotated write-ahead log for forum events.
+//!
+//! The durability substrate under the online serving layer (ROADMAP
+//! item 1): producers append CRC-checked frames — each carrying a
+//! monotonically increasing event id — to fingerprinted segment
+//! files, and consumers replay the log back into a deterministic
+//! `ForumState` (see `forumcast-data`). Segments reuse the exact
+//! `forumcast-store` container byte layout (`FCSTBIN1` magic, CRC'd
+//! header, length-prefixed CRC'd frames), so the store's battle-
+//! tested [`scan`] parser is also the WAL's recovery parser.
+//!
+//! # Layout
+//!
+//! A log is a directory of `wal-XXXXXXXX.seg` files (zero-padded
+//! segment index). Each segment is `header_bytes(fingerprint)`
+//! followed by zero or more `frame_bytes(varint(event id) ++ event
+//! payload)` appends. When the active segment would exceed
+//! [`WalConfig::segment_bytes`], it is synced and a fresh segment is
+//! created via tmp + rename + parent-dir fsync (counted
+//! `wal.segment.rotated`).
+//!
+//! # Durability policy
+//!
+//! [`FsyncPolicy`] picks the append-path fsync cadence: `Always`
+//! (sync every append — strongest, slowest), `EveryN(n)` (sync every
+//! n appends — bounded loss window), `OnRotate` (sync only at
+//! segment boundaries and on [`Wal::finish`] — fastest). Transient
+//! sync failures are healed by the bounded deterministic retry from
+//! `forumcast-resilience` (counted `ckpt.save.retries`).
+//!
+//! # Crash recovery
+//!
+//! [`Wal::open`] (and [`Wal::repair`]) heal a log in place:
+//!
+//! * stale `*.tmp` rotation leftovers are reclaimed
+//!   (`wal.tmp.reclaimed`);
+//! * a torn tail — the signature of a mid-append crash — truncates
+//!   the segment back to its valid frame prefix (`wal.frame.torn`);
+//! * a segment with a mid-file CRC mismatch or unreadable header is
+//!   moved aside to the first free `<segment>.corrupt[.N]` slot
+//!   (`wal.segment.quarantined`), never silently read;
+//! * a fingerprint that does not match the opener's is a typed
+//!   error — replaying someone else's log is refused, not healed.
+//!
+//! Recovery reports the surviving event-id range and the first
+//! *missing* id, which is the resume point for an idempotent
+//! producer: re-delivering everything from `next_missing_id` onward
+//! converges, because the replay layer skips duplicate ids.
+//!
+//! # Fault sites
+//!
+//! Appends probe `wal-torn-append` (unit = event id): the frame is
+//! cut mid-write, the append errors, and the log refuses further
+//! appends until reopened — exactly the contract a kill-storm
+//! exercises for real. Delivery-level faults (`wal-dup-deliver`,
+//! `wal-reorder`) live in the ingest driver in `forumcast-data`.
+
+use std::collections::BTreeSet;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use forumcast_resilience::fault::{self, FaultSite};
+use forumcast_store::{frame_bytes, header_bytes, scan, varint, FrameIssue, StoreError};
+
+/// Segment file name prefix (`wal-00000000.seg`, `wal-00000001.seg`, …).
+pub const SEGMENT_PREFIX: &str = "wal-";
+/// Segment file name suffix.
+pub const SEGMENT_SUFFIX: &str = ".seg";
+/// Default rotation threshold: segments rotate once they would
+/// exceed this many bytes.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 64 * 1024;
+
+/// When the append path fsyncs the active segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync after every append: no completed append is ever lost.
+    Always,
+    /// Sync every `n` appends: at most `n - 1` trailing appends are
+    /// exposed to a crash.
+    EveryN(u64),
+    /// Sync only at rotation boundaries and on [`Wal::finish`]: the
+    /// whole active segment tail is the loss window.
+    OnRotate,
+}
+
+impl Default for FsyncPolicy {
+    fn default() -> Self {
+        FsyncPolicy::EveryN(64)
+    }
+}
+
+impl FsyncPolicy {
+    /// Parses a `--fsync` value: `always`, `rotate` (or `on-rotate`),
+    /// or a positive integer `n` meaning every-n.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted values.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "rotate" | "on-rotate" => Ok(FsyncPolicy::OnRotate),
+            other => match other.parse::<u64>() {
+                Ok(n) if n >= 1 => Ok(FsyncPolicy::EveryN(n)),
+                _ => Err(format!(
+                    "unknown fsync policy `{other}` (expected `always`, `rotate`, \
+                     or a positive every-n integer)"
+                )),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsyncPolicy::Always => f.write_str("always"),
+            FsyncPolicy::EveryN(n) => write!(f, "every-{n}"),
+            FsyncPolicy::OnRotate => f.write_str("rotate"),
+        }
+    }
+}
+
+/// Configuration for opening (or creating) a log.
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Run fingerprint written into every segment header; opening a
+    /// log whose segments carry a different fingerprint is refused.
+    pub fingerprint: String,
+    /// Rotation threshold in bytes.
+    pub segment_bytes: u64,
+    /// Append-path fsync cadence.
+    pub fsync: FsyncPolicy,
+}
+
+impl WalConfig {
+    /// A config with the default segment size and fsync policy.
+    pub fn new(fingerprint: impl Into<String>) -> Self {
+        WalConfig {
+            fingerprint: fingerprint.into(),
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            fsync: FsyncPolicy::default(),
+        }
+    }
+}
+
+/// Everything that can go wrong appending to or recovering a log.
+#[derive(Debug)]
+pub enum WalError {
+    /// Filesystem failure.
+    Io {
+        /// Offending path.
+        path: String,
+        /// Underlying error message.
+        message: String,
+    },
+    /// The log on disk belongs to a differently-configured run.
+    FingerprintMismatch {
+        /// Segment whose header disagreed.
+        path: String,
+        /// The opener's fingerprint.
+        expected: String,
+        /// The fingerprint found on disk.
+        found: String,
+    },
+    /// An injected (or real) torn append: the frame was cut
+    /// mid-write. The log refuses further appends; reopen it to
+    /// truncate the torn tail and retry.
+    TornAppend {
+        /// Segment carrying the torn tail.
+        path: String,
+        /// Event id whose append tore.
+        id: u64,
+    },
+    /// An earlier torn append poisoned this handle; reopen the log.
+    Poisoned,
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io { path, message } => write!(f, "wal I/O error at {path}: {message}"),
+            WalError::FingerprintMismatch {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "wal fingerprint mismatch at {path}: opener expects `{expected}` \
+                 but the segment carries `{found}`"
+            ),
+            WalError::TornAppend { path, id } => write!(
+                f,
+                "torn append of event {id} at {path}; reopen the log to recover"
+            ),
+            WalError::Poisoned => {
+                f.write_str("wal handle poisoned by an earlier torn append; reopen the log")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+fn io_err(path: &Path, e: io::Error) -> WalError {
+    WalError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    }
+}
+
+/// Path of segment `index` under `dir`.
+pub fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("{SEGMENT_PREFIX}{index:08}{SEGMENT_SUFFIX}"))
+}
+
+fn segment_index(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    name.strip_prefix(SEGMENT_PREFIX)?
+        .strip_suffix(SEGMENT_SUFFIX)?
+        .parse()
+        .ok()
+}
+
+/// All `wal-*.seg` files under `dir`, sorted by segment index.
+fn segment_paths(dir: &Path) -> Result<Vec<(u64, PathBuf)>, WalError> {
+    let mut out = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| io_err(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        let path = entry.path();
+        if let Some(index) = segment_index(&path) {
+            out.push((index, path));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Serializes one WAL entry into frame-payload bytes: the event id as
+/// a varint, then the opaque event payload.
+pub fn encode_entry(id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(payload.len() + 10);
+    varint::write_u64(&mut buf, id);
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Splits a frame payload back into `(event id, event payload)`.
+/// `None` when the id varint is malformed — the replay layer counts
+/// such frames as poison instead of aborting.
+pub fn decode_entry(frame: &[u8]) -> Option<(u64, &[u8])> {
+    let (id, used) = varint::read_u64(frame).ok()?;
+    Some((id, &frame[used..]))
+}
+
+/// One parsed WAL frame: the event id (if its varint parsed) and the
+/// event payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalEntry {
+    /// Event id, `None` when the frame payload is malformed.
+    pub id: Option<u64>,
+    /// Event payload (for a malformed id, the whole frame payload).
+    pub payload: Vec<u8>,
+}
+
+fn entry_of(frame: &[u8]) -> WalEntry {
+    match decode_entry(frame) {
+        Some((id, payload)) => WalEntry {
+            id: Some(id),
+            payload: payload.to_vec(),
+        },
+        None => WalEntry {
+            id: None,
+            payload: frame.to_vec(),
+        },
+    }
+}
+
+/// One segment as seen by the *pure* [`scan_dir`]: valid-prefix
+/// entries plus a description of any damage. Nothing on disk is
+/// modified.
+#[derive(Debug, Clone)]
+pub struct WalSegment {
+    /// Segment file path.
+    pub path: PathBuf,
+    /// Header fingerprint, `None` when the header is unreadable.
+    pub fingerprint: Option<String>,
+    /// Frames of the valid prefix.
+    pub entries: Vec<WalEntry>,
+    /// Human-readable damage description, `None` when clean.
+    pub damage: Option<String>,
+    /// True when the damage is a recoverable torn tail (repair
+    /// truncates); false damage means quarantine.
+    pub torn: bool,
+}
+
+/// Reads every segment without mutating anything — the basis of the
+/// `wal inspect`/`wal verify`/`wal replay` CLI verbs. Torn or
+/// CRC-damaged segments surface their valid prefix plus a damage
+/// description; header-level damage yields an empty entry list.
+///
+/// # Errors
+///
+/// Returns [`WalError::Io`] when the directory or a segment cannot
+/// be read at all.
+pub fn scan_dir(dir: &Path) -> Result<Vec<WalSegment>, WalError> {
+    let mut out = Vec::new();
+    for (_, path) in segment_paths(dir)? {
+        let bytes = fs::read(&path).map_err(|e| io_err(&path, e))?;
+        match scan(&bytes, &path) {
+            Ok(report) => {
+                let (damage, torn) = match &report.issue {
+                    None => (None, false),
+                    Some(FrameIssue::Torn { offset }) => {
+                        (Some(format!("torn tail at byte {offset}")), true)
+                    }
+                    Some(FrameIssue::CrcMismatch { frame, offset }) => (
+                        Some(format!("CRC mismatch in frame {frame} at byte {offset}")),
+                        false,
+                    ),
+                };
+                out.push(WalSegment {
+                    path,
+                    fingerprint: Some(report.fingerprint),
+                    entries: report.frames.iter().map(|f| entry_of(f)).collect(),
+                    damage,
+                    torn,
+                });
+            }
+            Err(e) => out.push(WalSegment {
+                path,
+                fingerprint: None,
+                entries: Vec::new(),
+                damage: Some(e.to_string()),
+                torn: false,
+            }),
+        }
+    }
+    Ok(out)
+}
+
+/// What [`Wal::open`] / [`Wal::repair`] found and healed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WalRecovery {
+    /// Segments surviving recovery.
+    pub segments: usize,
+    /// Frames surviving across all live segments.
+    pub events: u64,
+    /// Segments whose torn tail was truncated to the valid prefix.
+    pub torn: usize,
+    /// Segments quarantined for CRC/header damage.
+    pub quarantined: usize,
+    /// Stale `.tmp` rotation leftovers removed.
+    pub tmp_reclaimed: usize,
+    /// Largest surviving event id.
+    pub max_id: Option<u64>,
+    /// First event id *not* present in the log — the resume point
+    /// for an idempotent producer.
+    pub next_missing_id: u64,
+}
+
+impl std::fmt::Display for WalRecovery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} segment(s), {} event(s), next missing id {}",
+            self.segments, self.events, self.next_missing_id
+        )?;
+        if self.torn > 0 {
+            write!(f, "; truncated {} torn tail(s)", self.torn)?;
+        }
+        if self.quarantined > 0 {
+            write!(f, "; quarantined {} segment(s)", self.quarantined)?;
+        }
+        if self.tmp_reclaimed > 0 {
+            write!(f, "; reclaimed {} tmp file(s)", self.tmp_reclaimed)?;
+        }
+        Ok(())
+    }
+}
+
+struct LiveSegment {
+    index: u64,
+    path: PathBuf,
+    len: u64,
+}
+
+/// The mutating recovery pass shared by [`Wal::open`] and
+/// [`Wal::repair`].
+fn recover_dir(
+    dir: &Path,
+    expected_fingerprint: Option<&str>,
+) -> Result<(Vec<LiveSegment>, WalRecovery), WalError> {
+    fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+    let mut recovery = WalRecovery::default();
+
+    // Reclaim rotation leftovers first: a crash between tmp write and
+    // rename leaves `<segment>.tmp`, which must never shadow a later
+    // segment of the same index.
+    let entries = fs::read_dir(dir).map_err(|e| io_err(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        let path = entry.path();
+        let is_tmp = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with(SEGMENT_PREFIX) && n.ends_with(".tmp"));
+        if is_tmp {
+            fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
+            forumcast_obs::counter_add("wal.tmp.reclaimed", 1);
+            recovery.tmp_reclaimed += 1;
+        }
+    }
+
+    let mut live = Vec::new();
+    let mut ids = BTreeSet::new();
+    for (index, path) in segment_paths(dir)? {
+        let bytes = fs::read(&path).map_err(|e| io_err(&path, e))?;
+        let report = match scan(&bytes, &path) {
+            Ok(report) => report,
+            Err(StoreError::Io { path: p, source }) => {
+                return Err(WalError::Io {
+                    path: p.display().to_string(),
+                    message: source.to_string(),
+                })
+            }
+            Err(_) => {
+                // Header-level damage: the segment cannot be trusted
+                // at all. Move it aside (first free `.corrupt[.N]`
+                // slot) and keep going — later segments may be fine.
+                forumcast_store::quarantine(&path);
+                forumcast_obs::counter_add("wal.segment.quarantined", 1);
+                recovery.quarantined += 1;
+                continue;
+            }
+        };
+        if let Some(expected) = expected_fingerprint {
+            if report.fingerprint != expected {
+                return Err(WalError::FingerprintMismatch {
+                    path: path.display().to_string(),
+                    expected: expected.to_string(),
+                    found: report.fingerprint,
+                });
+            }
+        }
+        let len = match &report.issue {
+            Some(FrameIssue::Torn { .. }) => {
+                // Mid-append crash: cut the torn tail, keep the
+                // valid prefix.
+                let file = OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .map_err(|e| io_err(&path, e))?;
+                file.set_len(report.valid_end as u64)
+                    .map_err(|e| io_err(&path, e))?;
+                file.sync_data().map_err(|e| io_err(&path, e))?;
+                forumcast_obs::counter_add("wal.frame.torn", 1);
+                recovery.torn += 1;
+                report.valid_end as u64
+            }
+            Some(FrameIssue::CrcMismatch { .. }) => {
+                // Bit rot inside the segment: quarantine the whole
+                // file — a prefix that passed CRC is *recoverable*,
+                // but trusting it silently would hide the damage, so
+                // the operator gets the evidence instead.
+                forumcast_store::quarantine(&path);
+                forumcast_obs::counter_add("wal.segment.quarantined", 1);
+                recovery.quarantined += 1;
+                continue;
+            }
+            None => report.file_len as u64,
+        };
+        for frame in &report.frames {
+            if let Some((id, _)) = decode_entry(frame) {
+                ids.insert(id);
+            }
+        }
+        recovery.events += report.frames.len() as u64;
+        live.push(LiveSegment { index, path, len });
+    }
+
+    recovery.segments = live.len();
+    recovery.max_id = ids.iter().next_back().copied();
+    let mut next_missing = 0u64;
+    for id in &ids {
+        match (*id).cmp(&next_missing) {
+            std::cmp::Ordering::Greater => break,
+            std::cmp::Ordering::Equal => next_missing += 1,
+            std::cmp::Ordering::Less => {}
+        }
+    }
+    recovery.next_missing_id = next_missing;
+    Ok((live, recovery))
+}
+
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Creates segment `index` durably: header into `<path>.tmp`, fsync,
+/// rename, parent-dir fsync — then reopens it for appending.
+fn create_segment(dir: &Path, index: u64, fingerprint: &str) -> Result<(PathBuf, File), WalError> {
+    let path = segment_path(dir, index);
+    let mut tmp = path.clone().into_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let header = header_bytes(fingerprint);
+    forumcast_resilience::save_with_retry(|_| {
+        let mut file = File::create(&tmp)?;
+        file.write_all(&header)?;
+        file.sync_all()?;
+        fs::rename(&tmp, &path)?;
+        sync_dir(dir)
+    })
+    .map_err(|e| io_err(&path, e))?;
+    let file = OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .map_err(|e| io_err(&path, e))?;
+    Ok((path, file))
+}
+
+/// An open, appendable write-ahead log.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    cfg: WalConfig,
+    file: File,
+    seg_path: PathBuf,
+    seg_index: u64,
+    seg_len: u64,
+    seg_frames: u64,
+    unsynced: u64,
+    syncs: u64,
+    poisoned: bool,
+}
+
+impl Wal {
+    /// Opens (creating if needed) the log under `dir`, running crash
+    /// recovery first: tmp reclaim, torn-tail truncation, segment
+    /// quarantine. Appending resumes into the last live segment (or
+    /// a fresh one when it is already at the rotation threshold).
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] on filesystem failure;
+    /// [`WalError::FingerprintMismatch`] when the log on disk belongs
+    /// to a different run configuration.
+    pub fn open(dir: &Path, cfg: WalConfig) -> Result<(Self, WalRecovery), WalError> {
+        let (live, recovery) = recover_dir(dir, Some(&cfg.fingerprint))?;
+        let (seg_index, seg_path, seg_len, seg_frames, file) = match live.last() {
+            Some(seg) if seg.len < cfg.segment_bytes => {
+                let file = OpenOptions::new()
+                    .append(true)
+                    .open(&seg.path)
+                    .map_err(|e| io_err(&seg.path, e))?;
+                // Frame count of the resumed segment is not tracked
+                // per segment by recovery; it only gates "rotate
+                // before first frame", and a resumed segment always
+                // has its header, so treating it as non-empty is
+                // correct.
+                (seg.index, seg.path.clone(), seg.len, 1, file)
+            }
+            Some(seg) => {
+                let index = seg.index + 1;
+                let (path, file) = create_segment(dir, index, &cfg.fingerprint)?;
+                let len = header_bytes(&cfg.fingerprint).len() as u64;
+                (index, path, len, 0, file)
+            }
+            None => {
+                let (path, file) = create_segment(dir, 0, &cfg.fingerprint)?;
+                let len = header_bytes(&cfg.fingerprint).len() as u64;
+                (0, path, len, 0, file)
+            }
+        };
+        Ok((
+            Wal {
+                dir: dir.to_path_buf(),
+                cfg,
+                file,
+                seg_path,
+                seg_index,
+                seg_len,
+                seg_frames,
+                unsynced: 0,
+                syncs: 0,
+                poisoned: false,
+            },
+            recovery,
+        ))
+    }
+
+    /// Runs crash recovery without opening for appends and without
+    /// needing the fingerprint — the `wal repair` verb.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] on filesystem failure.
+    pub fn repair(dir: &Path) -> Result<WalRecovery, WalError> {
+        recover_dir(dir, None).map(|(_, recovery)| recovery)
+    }
+
+    /// The segment currently receiving appends.
+    pub fn active_segment(&self) -> &Path {
+        &self.seg_path
+    }
+
+    /// Appends one event frame. Ids are chosen by the caller and
+    /// expected to be monotonically increasing; duplicates and
+    /// bounded reorderings are legal (the replay layer heals them)
+    /// so delivery-fault injection can write them deliberately.
+    ///
+    /// Probes the `wal-torn-append` fault site at unit = `id`: the
+    /// frame is cut mid-write, the error names the segment, and the
+    /// handle refuses further appends until the log is reopened
+    /// (recovery truncates the torn tail).
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`], [`WalError::TornAppend`], or
+    /// [`WalError::Poisoned`].
+    pub fn append(&mut self, id: u64, payload: &[u8]) -> Result<(), WalError> {
+        if self.poisoned {
+            return Err(WalError::Poisoned);
+        }
+        let started = Instant::now();
+        let frame = frame_bytes(&encode_entry(id, payload));
+        if self.seg_frames > 0 && self.seg_len + frame.len() as u64 > self.cfg.segment_bytes {
+            self.rotate()?;
+        }
+        if fault::fires(FaultSite::WalTornAppend, id) {
+            // Half a frame, durably on disk: exactly what a power cut
+            // mid-append leaves behind.
+            let cut = (frame.len() / 2).max(1);
+            self.file
+                .write_all(&frame[..cut])
+                .map_err(|e| io_err(&self.seg_path, e))?;
+            let _ = self.file.sync_data();
+            self.poisoned = true;
+            return Err(WalError::TornAppend {
+                path: self.seg_path.display().to_string(),
+                id,
+            });
+        }
+        self.file
+            .write_all(&frame)
+            .map_err(|e| io_err(&self.seg_path, e))?;
+        self.seg_len += frame.len() as u64;
+        self.seg_frames += 1;
+        self.unsynced += 1;
+        match self.cfg.fsync {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                if self.unsynced >= n {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::OnRotate => {}
+        }
+        forumcast_obs::counter_add("wal.appends", 1);
+        forumcast_obs::observe("wal.append_ms", started.elapsed().as_millis() as u64);
+        Ok(())
+    }
+
+    /// Syncs the active segment to disk, healing transient fsync
+    /// failures with the bounded deterministic retry (counted
+    /// `ckpt.save.retries`). Probes the `fsync-fail` fault site at
+    /// unit = sync ordinal.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] once the bounded retry is exhausted.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        let unit = self.syncs;
+        self.syncs += 1;
+        let file = &self.file;
+        forumcast_resilience::save_with_retry(|_| {
+            fault::io_point(FaultSite::FsyncFail, unit)?;
+            file.sync_data()
+        })
+        .map_err(|e| io_err(&self.seg_path, e))?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    fn rotate(&mut self) -> Result<(), WalError> {
+        // The rotated-away segment is fully durable before the new
+        // one exists, whatever the fsync policy.
+        self.sync()?;
+        let index = self.seg_index + 1;
+        let (path, file) = create_segment(&self.dir, index, &self.cfg.fingerprint)?;
+        self.seg_index = index;
+        self.seg_path = path;
+        self.seg_len = header_bytes(&self.cfg.fingerprint).len() as u64;
+        self.seg_frames = 0;
+        self.file = file;
+        forumcast_obs::counter_add("wal.segment.rotated", 1);
+        Ok(())
+    }
+
+    /// Final sync; call before dropping when the tail matters under
+    /// `EveryN`/`OnRotate` policies.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] once the bounded retry is exhausted.
+    pub fn finish(mut self) -> Result<(), WalError> {
+        self.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forumcast_resilience::FaultPlan;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("forumcast-wal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cfg(fp: &str) -> WalConfig {
+        WalConfig::new(fp)
+    }
+
+    fn append_n(wal: &mut Wal, from: u64, n: u64) {
+        for id in from..from + n {
+            wal.append(id, format!("event-{id}").as_bytes()).unwrap();
+        }
+    }
+
+    fn all_ids(dir: &Path) -> Vec<u64> {
+        scan_dir(dir)
+            .unwrap()
+            .iter()
+            .flat_map(|s| s.entries.iter().filter_map(|e| e.id))
+            .collect()
+    }
+
+    #[test]
+    fn append_reopen_replay_roundtrips() {
+        let dir = tmp_dir("roundtrip");
+        let (mut wal, rec) = Wal::open(&dir, cfg("fp")).unwrap();
+        assert_eq!(rec, WalRecovery::default());
+        append_n(&mut wal, 0, 5);
+        wal.finish().unwrap();
+
+        let (mut wal, rec) = Wal::open(&dir, cfg("fp")).unwrap();
+        assert_eq!(rec.events, 5);
+        assert_eq!(rec.max_id, Some(4));
+        assert_eq!(rec.next_missing_id, 5);
+        append_n(&mut wal, 5, 3);
+        wal.finish().unwrap();
+
+        assert_eq!(all_ids(&dir), (0..8).collect::<Vec<_>>());
+        let segs = scan_dir(&dir).unwrap();
+        assert!(segs.iter().all(|s| s.damage.is_none()));
+        assert_eq!(
+            segs[0].entries[3].payload,
+            b"event-3".to_vec(),
+            "payload bytes roundtrip"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segments_rotate_at_the_size_threshold() {
+        let dir = tmp_dir("rotate");
+        let mut c = cfg("fp");
+        c.segment_bytes = 256;
+        let (mut wal, _) = Wal::open(&dir, c).unwrap();
+        append_n(&mut wal, 0, 40);
+        wal.finish().unwrap();
+        let segs = scan_dir(&dir).unwrap();
+        assert!(segs.len() > 1, "40 appends at 256B/segment must rotate");
+        for seg in &segs {
+            assert!(seg.damage.is_none());
+            assert_eq!(seg.fingerprint.as_deref(), Some("fp"));
+            let len = fs::metadata(&seg.path).unwrap().len();
+            assert!(len <= 256 + 64, "segment {len}B far exceeds the threshold");
+        }
+        assert_eq!(all_ids(&dir), (0..40).collect::<Vec<_>>());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = tmp_dir("torn");
+        let (mut wal, _) = Wal::open(&dir, cfg("fp")).unwrap();
+        append_n(&mut wal, 0, 4);
+        wal.finish().unwrap();
+        // Simulate a mid-append crash: half a frame at the tail.
+        let seg = segment_path(&dir, 0);
+        let mut bytes = fs::read(&seg).unwrap();
+        let torn_frame = frame_bytes(&encode_entry(4, b"event-4"));
+        bytes.extend_from_slice(&torn_frame[..torn_frame.len() / 2]);
+        fs::write(&seg, &bytes).unwrap();
+
+        let (_, rec) = Wal::open(&dir, cfg("fp")).unwrap();
+        assert_eq!(rec.torn, 1);
+        assert_eq!(rec.events, 4);
+        assert_eq!(rec.next_missing_id, 4);
+        let segs = scan_dir(&dir).unwrap();
+        assert!(segs[0].damage.is_none(), "recovery truncated the tear");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crc_damage_quarantines_the_segment_without_clobbering() {
+        let dir = tmp_dir("quarantine");
+        let mut c = cfg("fp");
+        c.segment_bytes = 256;
+        let (mut wal, _) = Wal::open(&dir, c.clone()).unwrap();
+        append_n(&mut wal, 0, 40);
+        wal.finish().unwrap();
+        let segs: Vec<PathBuf> = scan_dir(&dir)
+            .unwrap()
+            .iter()
+            .map(|s| s.path.clone())
+            .collect();
+        assert!(segs.len() >= 2);
+
+        // Flip a payload bit mid-segment (not the tail) in segment 0.
+        let victim = &segs[0];
+        let mut bytes = fs::read(victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        fs::write(victim, &bytes).unwrap();
+        let (_, rec) = Wal::open(&dir, c.clone()).unwrap();
+        assert_eq!(rec.quarantined, 1);
+        let corpse = PathBuf::from(format!("{}.corrupt", victim.display()));
+        assert!(corpse.exists(), "damaged segment moved aside");
+        assert!(!victim.exists());
+
+        // Later segments survive; the missing ids show up as the gap.
+        assert!(rec.events > 0);
+        assert_eq!(rec.next_missing_id, 0, "segment 0's ids are gone");
+
+        // A second quarantine of a recreated segment 0 must land in
+        // the next free slot, preserving the first corpse.
+        fs::write(victim, b"not a segment at all").unwrap();
+        let (_, rec) = Wal::open(&dir, c).unwrap();
+        assert_eq!(rec.quarantined, 1);
+        assert!(corpse.exists());
+        assert!(PathBuf::from(format!("{}.corrupt.1", victim.display())).exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_tmp_rotation_leftovers_are_reclaimed() {
+        let dir = tmp_dir("tmp");
+        fs::create_dir_all(&dir).unwrap();
+        let stale = dir.join("wal-00000007.seg.tmp");
+        fs::write(&stale, b"half a header").unwrap();
+        let (_, rec) = Wal::open(&dir, cfg("fp")).unwrap();
+        assert_eq!(rec.tmp_reclaimed, 1);
+        assert!(!stale.exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_refused() {
+        let dir = tmp_dir("fp-mismatch");
+        let (mut wal, _) = Wal::open(&dir, cfg("run A")).unwrap();
+        append_n(&mut wal, 0, 2);
+        wal.finish().unwrap();
+        let err = Wal::open(&dir, cfg("run B")).unwrap_err();
+        assert!(matches!(err, WalError::FingerprintMismatch { .. }), "{err}");
+        assert!(err.to_string().contains("run A"));
+        assert!(err.to_string().contains("run B"));
+        // Repair does not need the fingerprint.
+        let rec = Wal::repair(&dir).unwrap();
+        assert_eq!(rec.events, 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_append_fault_poisons_and_reopen_heals() {
+        let dir = tmp_dir("torn-fault");
+        let (mut wal, _) = Wal::open(&dir, cfg("fp")).unwrap();
+        append_n(&mut wal, 0, 3);
+        {
+            let _guard = FaultPlan::parse("wal-torn-append:3").unwrap().arm();
+            let err = wal.append(3, b"event-3").unwrap_err();
+            assert!(matches!(err, WalError::TornAppend { id: 3, .. }), "{err}");
+            let err = wal.append(4, b"event-4").unwrap_err();
+            assert!(matches!(err, WalError::Poisoned), "{err}");
+        }
+        drop(wal);
+        // Reopen: the torn tail is truncated and the append retries.
+        let (mut wal, rec) = Wal::open(&dir, cfg("fp")).unwrap();
+        assert_eq!(rec.torn, 1);
+        assert_eq!(rec.next_missing_id, 3);
+        append_n(&mut wal, 3, 2);
+        wal.finish().unwrap();
+        assert_eq!(all_ids(&dir), vec![0, 1, 2, 3, 4]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transient_fsync_failure_heals_with_counted_retries() {
+        let dir = tmp_dir("fsync-retry");
+        let mut c = cfg("fp");
+        c.fsync = FsyncPolicy::Always;
+        let (mut wal, _) = Wal::open(&dir, c).unwrap();
+        {
+            // Two shots at sync ordinal 0: attempts 0 and 1 fail,
+            // attempt 2 succeeds — the append never sees the error.
+            let _guard = FaultPlan::parse("fsync-fail:0x2").unwrap().arm();
+            let obs = forumcast_obs::arm();
+            wal.append(0, b"event-0").unwrap();
+            let log = forumcast_obs::drain().expect("collector armed");
+            drop(obs);
+            let retries = log
+                .counters
+                .iter()
+                .find(|(n, _)| n == "ckpt.save.retries")
+                .map(|(_, v)| *v)
+                .unwrap_or(0);
+            assert_eq!(retries, 2);
+        }
+        wal.finish().unwrap();
+        assert_eq!(all_ids(&dir), vec![0]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsync_policies_parse_and_render() {
+        assert_eq!(FsyncPolicy::parse("always").unwrap(), FsyncPolicy::Always);
+        assert_eq!(FsyncPolicy::parse("rotate").unwrap(), FsyncPolicy::OnRotate);
+        assert_eq!(
+            FsyncPolicy::parse("on-rotate").unwrap(),
+            FsyncPolicy::OnRotate
+        );
+        assert_eq!(FsyncPolicy::parse("8").unwrap(), FsyncPolicy::EveryN(8));
+        assert!(FsyncPolicy::parse("0").is_err());
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+        assert_eq!(FsyncPolicy::Always.to_string(), "always");
+        assert_eq!(FsyncPolicy::EveryN(8).to_string(), "every-8");
+        assert_eq!(FsyncPolicy::OnRotate.to_string(), "rotate");
+    }
+
+    #[test]
+    fn append_telemetry_reaches_the_collector() {
+        let dir = tmp_dir("telemetry");
+        let (mut wal, _) = Wal::open(&dir, cfg("fp")).unwrap();
+        let guard = forumcast_obs::arm();
+        append_n(&mut wal, 0, 3);
+        let log = forumcast_obs::drain().expect("collector armed");
+        drop(guard);
+        let appends = log
+            .counters
+            .iter()
+            .find(|(n, _)| n == "wal.appends")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        assert!(appends >= 3);
+        assert!(
+            log.hists.iter().any(|(n, _)| n == "wal.append_ms"),
+            "append latency must land in the histogram stream"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_reports_gaps_via_next_missing_id() {
+        let dir = tmp_dir("gaps");
+        let (mut wal, _) = Wal::open(&dir, cfg("fp")).unwrap();
+        // Deliberate gap: 0, 1, then 5 (ids 2–4 never arrived).
+        wal.append(0, b"a").unwrap();
+        wal.append(1, b"b").unwrap();
+        wal.append(5, b"f").unwrap();
+        wal.finish().unwrap();
+        let (_, rec) = Wal::open(&dir, cfg("fp")).unwrap();
+        assert_eq!(rec.max_id, Some(5));
+        assert_eq!(rec.next_missing_id, 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -182,6 +182,76 @@ echo "==> perf gate (bench compare against committed BENCH_quick.json)"
 "$fcr" bench compare BENCH_quick.json "$work_dir/BENCH_quick.json" \
   --tolerance 1.5 --p99-tolerance 2.0 --min-ms 20
 
+echo "==> ingest kill-storm smoke (SIGKILL mid-append, wal repair + replay heal)"
+# The WAL twin of the checkpoint storm: SIGKILL the event-log producer
+# three times mid-append (each kill a seeded delay after the first
+# observed segment write of that attempt), heal with `wal repair`, let
+# one attempt complete, and require the healed log to replay — at 1
+# and 2 threads — to the same state hash as an uninterrupted ingest.
+wal_activity() {
+  { cat "$1"/* 2>/dev/null || true; } | cksum
+}
+state_hash() {
+  grep '^state hash:' "$1" | awk '{print $3}'
+}
+"$fcr" ingest --wal "$work_dir/ingest.clean.wal" --scale medium --seed 3 \
+  --fsync always --segment-bytes 16384 \
+  --bench-json "$work_dir/ingest.clean.bench.json" > "$work_dir/ingest.clean.txt"
+clean_hash="$(state_hash "$work_dir/ingest.clean.txt")"
+for t in 1 2; do
+  wal="$work_dir/ingest.storm$t.wal"
+  kills=0
+  for delay in 0.05 0.15 0.30; do
+    before="$(wal_activity "$wal")"
+    "$fcr" ingest --wal "$wal" --scale medium --seed 3 \
+      --fsync always --segment-bytes 16384 --threads "$t" > /dev/null 2>&1 &
+    victim=$!
+    for _ in $(seq 1 1200); do
+      [ "$(wal_activity "$wal")" != "$before" ] && break
+      kill -0 "$victim" 2>/dev/null || break
+      sleep 0.02
+    done
+    sleep "$delay"
+    if kill -9 "$victim" 2>/dev/null; then
+      kills=$((kills + 1))
+    fi
+    wait "$victim" 2>/dev/null || true
+  done
+  if [ "$kills" -lt 3 ]; then
+    echo "ingest kill-storm smoke: only $kills of 3 SIGKILLs landed (threads=$t)" >&2
+    exit 1
+  fi
+  "$fcr" wal repair --dir "$wal" > "$work_dir/ingest.repair$t.txt"
+  "$fcr" ingest --wal "$wal" --scale medium --seed 3 \
+    --fsync always --segment-bytes 16384 --threads "$t" \
+    --bench-json "$work_dir/ingest.storm$t.bench.json" > "$work_dir/ingest.storm$t.txt"
+  grep -q 'resumed from event id' "$work_dir/ingest.storm$t.txt" \
+    || { echo "ingest kill-storm smoke: healed run did not resume (threads=$t)" >&2; \
+         cat "$work_dir/ingest.storm$t.txt" >&2; exit 1; }
+  for rt in 1 2; do
+    "$fcr" wal replay --dir "$wal" --threads "$rt" > "$work_dir/ingest.replay$t.$rt.txt"
+    replay_hash="$(state_hash "$work_dir/ingest.replay$t.$rt.txt")"
+    if [ "$replay_hash" != "$clean_hash" ]; then
+      echo "ingest kill-storm smoke: healed replay hash $replay_hash != clean \
+$clean_hash (storm threads=$t, replay threads=$rt)" >&2
+      exit 1
+    fi
+  done
+  echo "ingest kill-storm[threads=$t]: $kills SIGKILLs," \
+    "$(sed 's/^repaired [^:]*: //' "$work_dir/ingest.repair$t.txt" | head -1)," \
+    "healed replay hash == clean at 1/2 threads"
+done
+# The bench reports must carry the ingest spans and be consumable by
+# the compare gate (generous tolerances: the healed run appends only
+# the tail, so its timings are not comparable — this checks plumbing,
+# not perf).
+grep -q '"ingest.deliver"' "$work_dir/ingest.clean.bench.json" \
+  || { echo "ingest smoke: bench report is missing the ingest spans" >&2; exit 1; }
+"$fcr" bench compare "$work_dir/ingest.clean.bench.json" \
+  "$work_dir/ingest.storm1.bench.json" \
+  --tolerance 1000 --p99-tolerance 1000 --min-ms 0 > /dev/null
+echo "ingest: bench reports carry ingest spans, compare consumes them"
+
 echo "==> training determinism smoke (serial vs --threads 2, bitwise params)"
 # Trains the same quick-scale MLP serially and with 2 workers: prints
 # samples/sec for both and hard-fails unless the learned parameters

@@ -1,0 +1,202 @@
+//! End-to-end contract of the durable event log (ISSUE 9 tentpole):
+//! a WAL that survives a kill-storm — torn appends, duplicated and
+//! reordered deliveries, stale rotation leftovers, garbage tails —
+//! heals on open/repair and replays to the *same* state hash as an
+//! uninterrupted run, at any thread count. Poison events are
+//! quarantined and tallied, never fatal.
+
+use std::path::{Path, PathBuf};
+
+use forumcast_data::{encode_event, ingest_events, replay_wal, ForumEvent};
+use forumcast_resilience::FaultPlan;
+use forumcast_synth::{event_stream, SynthConfig};
+use forumcast_wal::{FsyncPolicy, Wal, WalConfig};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("forumcast-root-tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn wal_cfg() -> WalConfig {
+    WalConfig {
+        fingerprint: "event-log-test v1".into(),
+        // Small segments so the storm spans many rotation boundaries.
+        segment_bytes: 8 * 1024,
+        fsync: FsyncPolicy::OnRotate,
+    }
+}
+
+fn storm_events() -> Vec<ForumEvent> {
+    let all = event_stream(&SynthConfig::small().with_seed(5));
+    assert!(
+        all.len() > 400,
+        "need a meaningful stream, got {}",
+        all.len()
+    );
+    all.into_iter().take(600).collect()
+}
+
+#[test]
+fn kill_storm_healed_replay_is_thread_count_invariant() {
+    let events = storm_events();
+    let cfg = wal_cfg();
+
+    // Reference: one uninterrupted ingest.
+    let clean_dir = scratch("storm-clean");
+    let clean = ingest_events(&clean_dir, &cfg, &events).unwrap();
+    assert_eq!(clean.report.applied, events.len() as u64);
+    let clean_hash = clean.state.hash();
+
+    // The storm: three producer "lifetimes", each ending in a
+    // simulated kill (garbage tail + stale rotation tmp), with torn
+    // appends, duplicate deliveries, and bounded reorders injected
+    // mid-flight.
+    let storm_dir = scratch("storm-dirty");
+    let crash_points = [events.len() / 3, 2 * events.len() / 3, events.len()];
+    let plans = [
+        "wal-torn-append:50,wal-dup-deliver:77,wal-reorder:33",
+        "wal-torn-append:250x2,wal-dup-deliver:230,wal-reorder:210",
+        "wal-dup-deliver:450,wal-reorder:460,wal-torn-append:590",
+    ];
+    let mut reopens = 0;
+    for (upto, plan) in crash_points.iter().zip(plans) {
+        let outcome = {
+            let _faults = FaultPlan::parse(plan).unwrap().arm();
+            ingest_events(&storm_dir, &cfg, &events[..*upto]).unwrap()
+        };
+        reopens += outcome.reopens;
+        // SIGKILL mid-write: a partial frame lands on the live
+        // segment's tail and a rotation tmp is left behind.
+        crash_the_tail(&storm_dir);
+    }
+    assert!(reopens > 0, "torn appends should have forced reopens");
+
+    // Heal, then finish the interrupted ingest; it must resume, not
+    // restart.
+    let recovery = Wal::repair(&storm_dir).unwrap();
+    assert!(
+        recovery.torn > 0,
+        "garbage tails should read as torn: {recovery}"
+    );
+    assert!(
+        recovery.tmp_reclaimed > 0,
+        "stale tmp reclaimed: {recovery}"
+    );
+    let healed = ingest_events(&storm_dir, &cfg, &events).unwrap();
+    assert!(healed.resumed_from > 0, "the final pass must resume");
+    assert!(
+        healed.report.dup_skipped > 0,
+        "the log carries duplicated frames: {}",
+        healed.report
+    );
+
+    // The healed log folds to the clean hash at 1, 2, and 7 threads.
+    assert_eq!(healed.state.hash(), clean_hash, "healed ingest == clean");
+    let mut hashes = Vec::new();
+    for threads in [1, 2, 7] {
+        let replay = replay_wal(&storm_dir, threads).unwrap();
+        assert_eq!(replay.report.poison_total(), 0, "{}", replay.report);
+        hashes.push(replay.state.hash());
+    }
+    assert_eq!(
+        hashes,
+        vec![clean_hash; 3],
+        "replay is thread-count invariant"
+    );
+
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&storm_dir);
+}
+
+/// Simulates what a SIGKILL leaves behind: a partial frame appended
+/// to the newest segment and a stale `.tmp` from an interrupted
+/// rotation.
+fn crash_the_tail(dir: &Path) {
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "seg"))
+        .collect();
+    segs.sort();
+    if let Some(last) = segs.last() {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().append(true).open(last).unwrap();
+        // A torn frame: a length varint promising more bytes than
+        // follow.
+        f.write_all(&[0x40, 0xde, 0xad]).unwrap();
+    }
+    std::fs::write(dir.join("wal-99999999.seg.tmp"), b"interrupted rotation").unwrap();
+}
+
+#[test]
+fn poison_events_are_quarantined_never_fatal() {
+    let dir = scratch("poison-log");
+    let cfg = wal_cfg();
+    let (mut wal, _) = Wal::open(&dir, cfg).unwrap();
+    let good = |q: u32, ts: f64| ForumEvent::NewQuestion {
+        question: q,
+        author: q,
+        timestamp: ts,
+        text: format!("question {q}"),
+        code: String::new(),
+    };
+    wal.append(0, &encode_event(&good(0, 1.0))).unwrap();
+    // Undecodable payload.
+    wal.append(1, b"not a forum event").unwrap();
+    // Decodes, but invalid: NaN timestamp.
+    wal.append(2, &encode_event(&good(1, f64::NAN))).unwrap();
+    // Decodes, but invalid: answers a question that never existed.
+    wal.append(
+        3,
+        &encode_event(&ForumEvent::NewAnswer {
+            question: 42,
+            author: 1,
+            timestamp: 2.0,
+            text: "orphan".into(),
+            code: String::new(),
+        }),
+    )
+    .unwrap();
+    // Id 4 never written: a gap the replay must concede, not hang on.
+    wal.append(5, &encode_event(&good(2, 3.0))).unwrap();
+    wal.finish().unwrap();
+
+    for threads in [1, 2] {
+        let replay = replay_wal(&dir, threads).unwrap();
+        assert_eq!(replay.report.applied, 2, "{}", replay.report);
+        assert_eq!(replay.report.poison_total(), 3, "{}", replay.report);
+        assert_eq!(replay.report.gaps, 1, "{}", replay.report);
+        assert_eq!(
+            replay.report.events_in,
+            replay.report.applied + replay.report.dup_skipped + replay.report.poison_total(),
+            "accounting identity: {}",
+            replay.report
+        );
+        assert!(!replay.poison_samples.is_empty());
+        assert_eq!(replay.state.num_threads(), 2);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fsync_policy_never_changes_the_folded_state() {
+    let events = {
+        let all = event_stream(&SynthConfig::small().with_seed(9));
+        all.into_iter().take(150).collect::<Vec<_>>()
+    };
+    let mut hashes = Vec::new();
+    for (name, fsync) in [
+        ("always", FsyncPolicy::Always),
+        ("every8", FsyncPolicy::EveryN(8)),
+        ("rotate", FsyncPolicy::OnRotate),
+    ] {
+        let dir = scratch(&format!("fsync-{name}"));
+        let cfg = WalConfig { fsync, ..wal_cfg() };
+        let outcome = ingest_events(&dir, &cfg, &events).unwrap();
+        hashes.push(outcome.state.hash());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert_eq!(hashes[0], hashes[1]);
+    assert_eq!(hashes[1], hashes[2]);
+}
