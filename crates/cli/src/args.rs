@@ -12,8 +12,9 @@ pub const USAGE: &str = "\
 usage: forumcast <command> [options]
 
 commands:
-  generate   --scale <small|medium|paper> [--seed N] [--topics K] --out <file>
-  stats      --data <file>
+  generate   --scale <small|medium|paper> [--seed N] [--topics K]
+             [--threads N] --out <file>
+  stats      --data <file> [--gate]
   train      --data <file> [--fast] [--seed N]
              [--lda-sampler <dense|sparse>] --out <model-file>
   predict    --data <file> --model <model-file> --question <id> --user <id>
@@ -21,6 +22,7 @@ commands:
              [--lambda X] [--epsilon X] [--capacity X] [--top N]
   evaluate   [--scale <quick|standard|paper>] [--threads N]
              [--lda-sampler <dense|sparse>] [--topics K]
+             [--data-dir <dir>]
              [--resume <checkpoint-file>] [--snapshot-every N]
              [--ckpt-format <binary|json>]
              [--faults <spec>] [--trace <trace-file>] [--metrics]
@@ -36,6 +38,16 @@ commands:
   abtest     [--scale <quick|standard>] [--lambda X]
   help
 
+`generate --threads` fans the sharded synthesizer out over N workers
+(0 = auto); output is bitwise-identical at any thread count. `stats
+--gate` additionally checks the dataset's shape statistics
+(unanswered fraction, answers per answered question, posts per user,
+response-delay quantiles) against the paper's Section III ranges and
+exits non-zero on drift. `evaluate --data-dir` spills the experiment
+to a columnar on-disk store in the given directory and streams folds
+back one at a time — metrics are bitwise-identical to the in-memory
+path while peak RSS stays around one fold; this path has no
+checkpoint support, so it rejects `--resume`.
 `--resume` saves completed cross-validation folds to the given file
 and skips them on restart; `--snapshot-every` additionally snapshots
 the in-flight fold's full trainer state every N epochs so a mid-fold
@@ -89,6 +101,9 @@ pub enum Command {
         seed: Option<u64>,
         /// Latent topic count.
         topics: Option<usize>,
+        /// Worker threads for sharded generation (0 = auto); output
+        /// is bitwise-identical at any count.
+        threads: usize,
         /// Output path.
         out: String,
     },
@@ -96,6 +111,9 @@ pub enum Command {
     Stats {
         /// Dataset path (native JSON).
         data: String,
+        /// Gate the shape statistics against the paper's Section III
+        /// ranges, exiting non-zero on drift.
+        gate: bool,
     },
     /// Train the joint predictor and save it.
     Train {
@@ -150,6 +168,10 @@ pub enum Command {
         /// Latent topic count override (`None` keeps the scale
         /// preset's default).
         topics: Option<usize>,
+        /// Spill directory for the columnar on-disk experiment store:
+        /// when set, folds stream from disk one at a time instead of
+        /// holding the whole feature matrix resident.
+        data_dir: Option<String>,
         /// Checkpoint file: completed folds are saved here and
         /// skipped when the run restarts with the same path.
         resume: Option<String>,
@@ -375,16 +397,18 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseEr
                 scale: opts.get_or("scale", "small")?,
                 seed: opts.get_parsed_opt("seed")?,
                 topics: opts.get_parsed_opt("topics")?,
+                threads: opts.get_parsed_or("threads", 0)?,
                 out: opts.require("out")?,
             };
-            opts.reject_unknown(&["scale", "seed", "topics", "out"])?;
+            opts.reject_unknown(&["scale", "seed", "topics", "threads", "out"])?;
             Ok(c)
         }
         "stats" => {
             let c = Command::Stats {
                 data: opts.require("data")?,
+                gate: opts.flag("gate"),
             };
-            opts.reject_unknown(&["data"])?;
+            opts.reject_unknown(&["data", "gate"])?;
             Ok(c)
         }
         "train" => {
@@ -429,6 +453,7 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseEr
                 threads: opts.get_parsed_or("threads", 0)?,
                 lda_sampler: opts.get_parsed_or("lda-sampler", LdaSampler::Dense)?,
                 topics: opts.get_parsed_opt("topics")?,
+                data_dir: opts.get("data-dir").map(str::to_owned),
                 resume: opts.get("resume").map(str::to_owned),
                 snapshot_every: opts.get_parsed_or(
                     "snapshot-every",
@@ -449,6 +474,7 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseEr
                 "threads",
                 "lda-sampler",
                 "topics",
+                "data-dir",
                 "resume",
                 "snapshot-every",
                 "ckpt-format",
@@ -608,6 +634,7 @@ mod tests {
                 scale: "medium".into(),
                 seed: Some(9),
                 topics: None,
+                threads: 0,
                 out: "x.json".into()
             }
         );
@@ -675,6 +702,7 @@ mod tests {
                 threads: 4,
                 lda_sampler: LdaSampler::Dense,
                 topics: None,
+                data_dir: None,
                 resume: None,
                 snapshot_every: 25,
                 ckpt_format: CkptFormat::Binary,
@@ -693,6 +721,7 @@ mod tests {
                 threads: 0,
                 lda_sampler: LdaSampler::Dense,
                 topics: None,
+                data_dir: None,
                 resume: None,
                 snapshot_every: 25,
                 ckpt_format: CkptFormat::Binary,
@@ -714,6 +743,7 @@ mod tests {
                 threads: 0,
                 lda_sampler: LdaSampler::Dense,
                 topics: None,
+                data_dir: None,
                 resume: Some("cv.json".into()),
                 snapshot_every: 25,
                 ckpt_format: CkptFormat::Binary,
@@ -752,6 +782,7 @@ mod tests {
                 threads: 0,
                 lda_sampler: LdaSampler::Dense,
                 topics: None,
+                data_dir: None,
                 resume: None,
                 snapshot_every: 25,
                 ckpt_format: CkptFormat::Binary,

@@ -39,9 +39,12 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
             scale,
             seed,
             topics,
+            threads,
             out: path,
-        } => generate(&scale, seed, topics, &path, out),
-        Command::Stats { data } => with_env_trace("stats", out, |out| stats(&data, out)),
+        } => generate(&scale, seed, topics, threads, &path, out),
+        Command::Stats { data, gate } => {
+            with_env_trace("stats", out, |out| stats(&data, gate, out))
+        }
         Command::Train {
             data,
             fast,
@@ -71,6 +74,7 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
             threads,
             lda_sampler,
             topics,
+            data_dir,
             resume,
             snapshot_every,
             ckpt_format,
@@ -83,6 +87,7 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
             threads,
             lda_sampler,
             topics,
+            data_dir.as_deref(),
             resume.as_deref(),
             snapshot_every,
             ckpt_format,
@@ -175,6 +180,7 @@ fn generate(
     scale: &str,
     seed: Option<u64>,
     topics: Option<usize>,
+    threads: usize,
     path: &str,
     out: &mut dyn Write,
 ) -> CmdResult {
@@ -185,7 +191,7 @@ fn generate(
     if let Some(k) = topics {
         cfg = cfg.with_topics(k);
     }
-    let dataset = cfg.generate();
+    let dataset = forumcast_synth::generate_with_threads(&cfg, threads);
     std::fs::write(path, data_io::to_json(&dataset)?)
         .map_err(|e| format!("cannot write dataset to `{path}`: {e}"))?;
     writeln!(
@@ -204,11 +210,14 @@ fn load_dataset(path: &str) -> Result<Dataset, Box<dyn Error>> {
     data_io::from_json(&json).map_err(|e| format!("invalid dataset `{path}`: {e}").into())
 }
 
-fn stats(data: &str, out: &mut dyn Write) -> CmdResult {
+fn stats(data: &str, gate: bool, out: &mut dyn Write) -> CmdResult {
     let dataset = {
         let _s = forumcast_obs::span("stats.load");
         load_dataset(data)?
     };
+    // Measured on the raw dataset: preprocessing drops exactly the
+    // unanswered questions the first calibration check counts.
+    let calibration = gate.then(|| forumcast_data::calibrate(&dataset));
     writeln!(out, "raw:   {}", dataset.stats())?;
     let (clean, report) = {
         let _s = forumcast_obs::span("stats.preprocess");
@@ -232,6 +241,19 @@ fn stats(data: &str, out: &mut dyn Write) -> CmdResult {
             s.largest_component,
             s.is_disconnected()
         )?;
+    }
+    if let Some(report) = calibration {
+        writeln!(out, "calibration vs paper Section III:")?;
+        write!(out, "{report}")?;
+        if !report.passed() {
+            return Err(format!(
+                "calibration gate: {} metric(s) drifted out of the paper's \
+                 Section III range",
+                report.drifted().len()
+            )
+            .into());
+        }
+        writeln!(out, "calibration gate: ok")?;
     }
     Ok(())
 }
@@ -439,6 +461,7 @@ fn evaluate(
     threads: usize,
     lda_sampler: LdaSampler,
     topics: Option<usize>,
+    data_dir: Option<&str>,
     resume: Option<&str>,
     snapshot_every: usize,
     ckpt_format: CkptFormat,
@@ -448,6 +471,13 @@ fn evaluate(
     bench_json: Option<&str>,
     out: &mut dyn Write,
 ) -> CmdResult {
+    if data_dir.is_some() && resume.is_some() {
+        return Err(
+            "--data-dir streams folds without checkpoint support; drop --resume \
+             (the spill itself is the durable artifact)"
+                .into(),
+        );
+    }
     let mut cfg = match scale {
         "quick" => EvalConfig::quick(),
         "standard" => EvalConfig::standard(),
@@ -507,15 +537,31 @@ fn evaluate(
             )?;
         }
     }
+    if let Some(dir) = data_dir {
+        writeln!(
+            out,
+            "spilling the experiment to `{dir}` (columnar store, one fold \
+             resident at a time)"
+        )?;
+    }
     let cv_opts = CvOptions::default()
         .with_snapshot_every(snapshot_every)
         .with_format(ckpt_format);
     let report = {
         let _root = forumcast_obs::span("evaluate");
-        table1::run_with(&cfg, resume.map(Path::new), &cv_opts)
-            .map_err(|e| format!("evaluation failed: {e}"))?
+        match data_dir {
+            Some(dir) => table1::run_streamed(&cfg, Path::new(dir)),
+            None => table1::run_with(&cfg, resume.map(Path::new), &cv_opts),
+        }
+        .map_err(|e| format!("evaluation failed: {e}"))?
     };
     writeln!(out, "{report}")?;
+    if data_dir.is_some() {
+        let rss_kb = forumcast_obs::peak_rss_kb();
+        if rss_kb > 0 {
+            writeln!(out, "peak RSS: {:.1} MB", rss_kb as f64 / 1024.0)?;
+        }
+    }
     if collect {
         let log = forumcast_obs::drain().ok_or("trace collector was disarmed mid-run")?;
         if let Some(path) = &trace_path {
@@ -822,7 +868,9 @@ fn wal_cmd(action: WalAction, dir: &str, threads: usize, out: &mut dyn Write) ->
 
 /// `forumcast ingest --wal <dir>`: the event-sourced producer path.
 /// Generates the deterministic synthetic event stream for the
-/// scale/seed, appends it to the WAL (resuming idempotently from the
+/// scale/seed shard-by-shard (the full forum is never materialized,
+/// so 10M-post ingests are bounded by one shard batch, not the
+/// dataset), appends it to the WAL (resuming idempotently from the
 /// log's first missing id, so a killed run converges when re-run),
 /// then independently replays the log and refuses to report a state
 /// hash the replay does not reproduce.
@@ -881,13 +929,14 @@ fn ingest(
     let dir = Path::new(wal_dir);
     let (outcome, replay) = {
         let _root = forumcast_obs::span("ingest");
-        let events = {
-            let _g = forumcast_obs::span("ingest.generate");
-            forumcast_synth::event_stream(&synth)
-        };
         let outcome = {
+            // The sharded stream generates events lazily inside the
+            // delivery loop — one batch of shards resident at a time,
+            // never the materialized forum (the `synth.shard` task
+            // spans land under this one).
             let _g = forumcast_obs::span("ingest.deliver");
-            forumcast_data::ingest_events(dir, &cfg, &events).map_err(|e| e.to_string())?
+            let events = forumcast_synth::ShardedEventStream::new(&synth, threads);
+            forumcast_data::ingest_event_iter(dir, &cfg, events).map_err(|e| e.to_string())?
         };
         let replay = {
             let _g = forumcast_obs::span("ingest.replay");
@@ -990,6 +1039,7 @@ mod tests {
             scale: "small".into(),
             seed: Some(11),
             topics: Some(4),
+            threads: 0,
             out: data_path.clone(),
         });
         assert_eq!(code, 0, "{text}");
@@ -997,6 +1047,7 @@ mod tests {
 
         let (code, text) = run_cmd(Command::Stats {
             data: data_path.clone(),
+            gate: false,
         });
         assert_eq!(code, 0, "{text}");
         assert!(text.contains("G_QA"));
@@ -1042,6 +1093,60 @@ mod tests {
     }
 
     #[test]
+    fn generate_is_thread_count_invariant_and_stats_gate_passes() {
+        let one = tmp("gen-t1.json");
+        let two = tmp("gen-t2.json");
+        for (threads, path) in [(1, &one), (2, &two)] {
+            let (code, text) = run_cmd(Command::Generate {
+                scale: "small".into(),
+                seed: Some(5),
+                topics: None,
+                threads,
+                out: path.clone(),
+            });
+            assert_eq!(code, 0, "{text}");
+        }
+        assert_eq!(
+            std::fs::read(&one).unwrap(),
+            std::fs::read(&two).unwrap(),
+            "sharded generation must be bitwise-identical at any thread count"
+        );
+
+        // The synthetic forum is calibrated to the paper's Section III
+        // shape statistics, so the gate must pass on its own output.
+        let (code, text) = run_cmd(Command::Stats {
+            data: one.clone(),
+            gate: true,
+        });
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("calibration vs paper Section III:"), "{text}");
+        assert!(text.contains("calibration gate: ok"), "{text}");
+        assert!(!text.contains("DRIFT"), "{text}");
+        std::fs::remove_file(&one).unwrap();
+        std::fs::remove_file(&two).unwrap();
+    }
+
+    #[test]
+    fn evaluate_data_dir_rejects_resume() {
+        let (code, text) = run_cmd(Command::Evaluate {
+            scale: "quick".into(),
+            threads: 1,
+            lda_sampler: LdaSampler::Dense,
+            topics: None,
+            data_dir: Some(tmp("spill-conflict")),
+            resume: Some(tmp("spill-conflict.ckpt")),
+            snapshot_every: 0,
+            ckpt_format: CkptFormat::Binary,
+            faults: None,
+            trace: None,
+            metrics: false,
+            bench_json: None,
+        });
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("--resume"), "{text}");
+    }
+
+    #[test]
     fn predict_unknown_question_fails_cleanly() {
         let data_path = tmp("unknown-q.json");
         let model_path = tmp("unknown-q-model.json");
@@ -1049,6 +1154,7 @@ mod tests {
             scale: "small".into(),
             seed: Some(2),
             topics: Some(2),
+            threads: 0,
             out: data_path.clone(),
         });
         run_cmd(Command::Train {
@@ -1318,6 +1424,7 @@ mod tests {
     fn stats_on_missing_file_fails() {
         let (code, text) = run_cmd(Command::Stats {
             data: tmp("does-not-exist.json"),
+            gate: false,
         });
         assert_eq!(code, 1);
         assert!(text.contains("error"));

@@ -1,0 +1,225 @@
+//! Calibration gate against the paper's Section III descriptive
+//! statistics.
+//!
+//! The synthetic generator is tuned so that its *scale-free* shape
+//! statistics match the StackExchange-style corpus the paper
+//! characterizes (20,923 questions / 19,934 answers / 14,643 users,
+//! ≈40% of questions unanswered, ≈1.47 answers per answered
+//! question, response delays concentrated within hours). Absolute
+//! counts and matrix density grow with the scale preset, so the gate
+//! checks only ratios and delay quantiles, each against a tolerance
+//! band centered on the paper's value:
+//!
+//! * fraction of questions with no answer (§III-A preprocessing drops
+//!   these — the paper reports ≈40%);
+//! * answers per *answered* question (≈1.47);
+//! * posts (questions + answers) per registered user (≈2.79);
+//! * median and 90th-percentile response delay in hours (the paper's
+//!   delay CDF puts the bulk of answers within the first day).
+//!
+//! `forumcast stats --gate` prints the table and exits non-zero when
+//! any metric drifts out of its band, which is how check.sh catches a
+//! generator change that silently walks the synthetic forum away from
+//! the regime the paper's models were built for.
+
+use std::fmt;
+
+use crate::dataset::Dataset;
+
+/// One gated metric: the measured value and its acceptance band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationCheck {
+    /// Human-readable metric name.
+    pub name: &'static str,
+    /// Value measured on the dataset.
+    pub value: f64,
+    /// Inclusive lower bound of the acceptance band.
+    pub lo: f64,
+    /// Inclusive upper bound of the acceptance band.
+    pub hi: f64,
+}
+
+impl CalibrationCheck {
+    /// True when the measured value lies inside the band.
+    pub fn ok(&self) -> bool {
+        self.value >= self.lo && self.value <= self.hi
+    }
+}
+
+/// The full set of Section III checks for one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationReport {
+    /// Every gated metric, in presentation order.
+    pub checks: Vec<CalibrationCheck>,
+}
+
+impl CalibrationReport {
+    /// The checks whose values fell outside their §III band.
+    pub fn drifted(&self) -> Vec<&CalibrationCheck> {
+        self.checks.iter().filter(|c| !c.ok()).collect()
+    }
+
+    /// True when every metric is inside its band.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(CalibrationCheck::ok)
+    }
+}
+
+impl fmt::Display for CalibrationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self.checks.iter().map(|c| c.name.len()).max().unwrap_or(0);
+        for c in &self.checks {
+            writeln!(
+                f,
+                "  {:<width$}  {:>8.3}  in [{:.3}, {:.3}]  {}",
+                c.name,
+                c.value,
+                c.lo,
+                c.hi,
+                if c.ok() { "ok" } else { "DRIFT" },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// `p`-quantile of an ascending-sorted slice (nearest-rank; 0 when
+/// empty).
+fn quantile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64) * p) as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Measures the §III shape statistics of a **raw** (un-preprocessed)
+/// dataset and compares each against its acceptance band. Run this
+/// before [`Dataset::preprocess`]: preprocessing drops exactly the
+/// unanswered questions the first check counts.
+pub fn calibrate(dataset: &Dataset) -> CalibrationReport {
+    let num_questions = dataset.num_questions();
+    let num_answers = dataset.num_answers();
+    let answered = dataset
+        .threads()
+        .iter()
+        .filter(|t| !t.answers.is_empty())
+        .count();
+    let mut delays: Vec<f64> = dataset
+        .threads()
+        .iter()
+        .flat_map(|t| {
+            let asked = t.asked_at();
+            t.answers.iter().map(move |a| a.timestamp - asked)
+        })
+        .collect();
+    delays.sort_by(f64::total_cmp);
+
+    let frac = |num: usize, den: usize| {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
+    let checks = vec![
+        // ≈40% of questions get no answer (§III-A).
+        CalibrationCheck {
+            name: "unanswered questions (fraction)",
+            value: frac(num_questions - answered, num_questions),
+            lo: 0.30,
+            hi: 0.50,
+        },
+        // 19,934 answers over ≈12.6k answered questions ≈ 1.47.
+        CalibrationCheck {
+            name: "answers per answered question",
+            value: frac(num_answers, answered),
+            lo: 1.25,
+            hi: 1.75,
+        },
+        // (20,923 + 19,934) posts / 14,643 users ≈ 2.79.
+        CalibrationCheck {
+            name: "posts per registered user",
+            value: frac(num_questions + num_answers, dataset.num_users() as usize),
+            lo: 2.2,
+            hi: 3.5,
+        },
+        // Delay CDF: the bulk of answers arrive within hours …
+        CalibrationCheck {
+            name: "response delay p50 (hours)",
+            value: quantile(&delays, 0.5),
+            lo: 0.25,
+            hi: 12.0,
+        },
+        // … and nearly all within the first day or two.
+        CalibrationCheck {
+            name: "response delay p90 (hours)",
+            value: quantile(&delays, 0.9),
+            lo: 1.0,
+            hi: 48.0,
+        },
+    ];
+    CalibrationReport { checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::post::{Post, PostBody, UserId};
+    use crate::thread::Thread;
+
+    /// A hand-built forum matching the §III shape: 5 questions (2
+    /// unanswered = 40%), 3 answered questions carrying 4 answers
+    /// (1.33 each), 9 posts over 3 users (3.0 each), delays of a few
+    /// hours.
+    fn calibrated_forum() -> Dataset {
+        let post = |u: u32, ts: f64| Post::new(UserId(u), ts, 0, PostBody::default());
+        let threads = vec![
+            Thread::new(0, post(0, 0.0), vec![post(1, 2.0), post(2, 9.0)]),
+            Thread::new(1, post(1, 1.0), vec![post(2, 4.0)]),
+            Thread::new(2, post(2, 2.0), vec![post(0, 3.5)]),
+            Thread::new(3, post(0, 3.0), vec![]),
+            Thread::new(4, post(1, 4.0), vec![]),
+        ];
+        Dataset::new(3, threads).unwrap()
+    }
+
+    #[test]
+    fn calibrated_forum_passes_every_check() {
+        let report = calibrate(&calibrated_forum());
+        assert!(report.passed(), "{report}");
+        assert!(report.drifted().is_empty());
+        assert_eq!(report.checks.len(), 5);
+    }
+
+    #[test]
+    fn pathological_forum_is_flagged_with_named_drift() {
+        // Every question answered instantly by the asker's crowd:
+        // unanswered fraction 0 and near-zero delays must both drift.
+        let post = |u: u32, ts: f64| Post::new(UserId(u), ts, 0, PostBody::default());
+        let threads: Vec<Thread> = (0..4)
+            .map(|i| Thread::new(i, post(0, f64::from(i)), vec![post(1, f64::from(i) + 0.01)]))
+            .collect();
+        // 3 users keep posts/user (8/3 ≈ 2.67) inside its band so the
+        // rendering shows both verdicts.
+        let ds = Dataset::new(3, threads).unwrap();
+        let report = calibrate(&ds);
+        assert!(!report.passed());
+        let names: Vec<&str> = report.drifted().iter().map(|c| c.name).collect();
+        assert!(
+            names.contains(&"unanswered questions (fraction)"),
+            "{names:?}"
+        );
+        assert!(names.contains(&"response delay p50 (hours)"), "{names:?}");
+        let rendered = report.to_string();
+        assert!(rendered.contains("DRIFT"), "{rendered}");
+        assert!(rendered.contains("ok"), "{rendered}");
+    }
+
+    #[test]
+    fn empty_dataset_does_not_panic_and_drifts() {
+        let ds = Dataset::new(1, Vec::new()).unwrap();
+        let report = calibrate(&ds);
+        assert!(!report.passed());
+    }
+}

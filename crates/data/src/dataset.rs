@@ -252,6 +252,47 @@ impl Dataset {
         }
     }
 
+    /// FNV-1a 64 over a canonical byte feed of the whole dataset —
+    /// user count, then every thread's id, question, and answers with
+    /// author, timestamp bits, votes, and body bytes. Two datasets
+    /// hash equal iff they are bitwise-equal, which is what the
+    /// thread-count-invariance gates compare.
+    pub fn fnv1a_hash(&self) -> u64 {
+        struct Fnv(u64);
+        impl Fnv {
+            fn feed(&mut self, bytes: &[u8]) {
+                for b in bytes {
+                    self.0 ^= u64::from(*b);
+                    self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+            fn feed_u64(&mut self, v: u64) {
+                self.feed(&v.to_le_bytes());
+            }
+            fn feed_post(&mut self, p: &crate::post::Post) {
+                self.feed_u64(u64::from(p.author.0));
+                self.feed_u64(p.timestamp.to_bits());
+                self.feed(&p.votes.to_le_bytes());
+                self.feed_u64(p.body.text.len() as u64);
+                self.feed(p.body.text.as_bytes());
+                self.feed_u64(p.body.code.len() as u64);
+                self.feed(p.body.code.as_bytes());
+            }
+        }
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        h.feed_u64(u64::from(self.num_users));
+        h.feed_u64(self.threads.len() as u64);
+        for t in &self.threads {
+            h.feed_u64(u64::from(t.id.0));
+            h.feed_post(&t.question);
+            h.feed_u64(t.answers.len() as u64);
+            for a in &t.answers {
+                h.feed_post(a);
+            }
+        }
+        h.0
+    }
+
     /// Restricts the dataset to the given question indices (a partition
     /// `Ω ⊆ Q`), preserving chronological order. Indices out of range
     /// are ignored.
@@ -467,6 +508,13 @@ mod tests {
         assert_eq!(ds.questions_in_window(0.0, 5.0), vec![0]);
         assert_eq!(ds.questions_in_window(0.0, 5.1), vec![0, 1]);
         assert_eq!(ds.questions_in_window(5.0, 6.0), vec![1]);
+    }
+
+    #[test]
+    fn fnv1a_hash_is_stable_and_discriminating() {
+        let ds = simple();
+        assert_eq!(ds.fnv1a_hash(), simple().fnv1a_hash());
+        assert_ne!(ds.fnv1a_hash(), ds.select(&[0]).fnv1a_hash());
     }
 
     #[test]

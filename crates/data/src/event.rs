@@ -601,10 +601,19 @@ impl Ingestor {
 /// question, post index). Replaying the stream in order rebuilds the
 /// dataset exactly (see [`ForumState::to_dataset`]).
 pub fn events_from_dataset(dataset: &Dataset) -> Vec<ForumEvent> {
+    events_from_threads(dataset.threads())
+}
+
+/// Flattens a slice of [`Thread`]s into its event stream, ordered by
+/// (timestamp, kind, question, post index) — the building block of
+/// [`events_from_dataset`], exposed so shard-by-shard producers (the
+/// synth streaming generator) can emit per-shard event batches
+/// without materializing a full [`Dataset`].
+pub fn events_from_threads(threads: &[Thread]) -> Vec<ForumEvent> {
     // Sort key: votes (kind 2) sort after the post they touch (same
     // timestamp, kind 0/1), answers after their question.
     let mut keyed: Vec<(Hours, u8, u32, u32, ForumEvent)> = Vec::new();
-    for thread in dataset.threads() {
+    for thread in threads {
         let qid = thread.id.0;
         let q = &thread.question;
         keyed.push((
@@ -771,6 +780,28 @@ pub fn ingest_events(
     cfg: &WalConfig,
     events: &[ForumEvent],
 ) -> Result<IngestOutcome, WalError> {
+    ingest_event_iter(dir, cfg, events.iter().cloned())
+}
+
+/// Streaming form of [`ingest_events`]: consumes any event iterator
+/// (ids = stream indices) so producers like the sharded synth
+/// generator can feed the log without materializing the full event
+/// vector — at 10M posts the producer holds one shard batch at a
+/// time, never the whole forum. Events already durable in the log are
+/// pulled from the iterator and discarded (never re-appended), so the
+/// idempotent-resume contract is identical to the slice form.
+///
+/// # Errors
+///
+/// [`WalError`] on unrecoverable log failure.
+pub fn ingest_event_iter<I>(
+    dir: &Path,
+    cfg: &WalConfig,
+    events: I,
+) -> Result<IngestOutcome, WalError>
+where
+    I: IntoIterator<Item = ForumEvent>,
+{
     let (mut wal, recovery) = Wal::open(dir, cfg.clone())?;
     let mut ingestor = Ingestor::new();
     // Seed the fold with what the log already holds.
@@ -779,15 +810,22 @@ pub fn ingest_events(
             ingestor.offer_frame(entry.id, &entry.payload);
         }
     }
-    let resumed_from = recovery.next_missing_id.min(events.len() as u64);
+    let mut iter = events.into_iter().peekable();
+    // Skip the already-durable prefix; the producer resumes from the
+    // log's first missing id (or the stream end, whichever is first).
+    let mut i = 0u64;
+    while i < recovery.next_missing_id && iter.next().is_some() {
+        i += 1;
+    }
+    let resumed_from = i;
     let mut reopens = 0u64;
-    let mut i = resumed_from as usize;
-    while i < events.len() {
-        let id = i as u64;
-        if i + 1 < events.len() && fault::fires(FaultSite::WalReorder, id) {
+    while let Some(event) = iter.next() {
+        let id = i;
+        if iter.peek().is_some() && fault::fires(FaultSite::WalReorder, id) {
             // Swap delivery order with the successor: the log itself
             // records the swapped order, so replay sees a genuine
             // reorder too.
+            let next = iter.next().expect("peeked");
             deliver(
                 &mut wal,
                 &mut ingestor,
@@ -795,39 +833,15 @@ pub fn ingest_events(
                 dir,
                 cfg,
                 id + 1,
-                &events[i + 1],
+                &next,
             )?;
-            deliver(
-                &mut wal,
-                &mut ingestor,
-                &mut reopens,
-                dir,
-                cfg,
-                id,
-                &events[i],
-            )?;
+            deliver(&mut wal, &mut ingestor, &mut reopens, dir, cfg, id, &event)?;
             i += 2;
             continue;
         }
-        deliver(
-            &mut wal,
-            &mut ingestor,
-            &mut reopens,
-            dir,
-            cfg,
-            id,
-            &events[i],
-        )?;
+        deliver(&mut wal, &mut ingestor, &mut reopens, dir, cfg, id, &event)?;
         if fault::fires(FaultSite::WalDupDeliver, id) {
-            deliver(
-                &mut wal,
-                &mut ingestor,
-                &mut reopens,
-                dir,
-                cfg,
-                id,
-                &events[i],
-            )?;
+            deliver(&mut wal, &mut ingestor, &mut reopens, dir, cfg, id, &event)?;
         }
         i += 1;
     }

@@ -39,6 +39,7 @@
 //! assert_eq!(pairs[0].response_time, 1.5);
 //! ```
 
+pub mod calibration;
 pub mod dataset;
 pub mod days;
 pub mod error;
@@ -49,13 +50,15 @@ pub mod quarantine;
 pub mod stats;
 pub mod thread;
 
+pub use calibration::{calibrate, CalibrationCheck, CalibrationReport};
 pub use dataset::{AnsweredPair, Dataset};
 pub use days::DayPartition;
 pub use error::DataError;
 pub use event::{
-    decode_delivery, decode_event, encode_event, events_from_dataset, ingest_events, replay_wal,
-    Delivery, ForumEvent, ForumState, IngestOutcome, Ingestor, PoisonReason, PoisonRecord,
-    ReplayOutcome, ReplayReport, MAX_PENDING, MAX_POISON_KEPT,
+    decode_delivery, decode_event, encode_event, events_from_dataset, events_from_threads,
+    ingest_event_iter, ingest_events, replay_wal, Delivery, ForumEvent, ForumState, IngestOutcome,
+    Ingestor, PoisonReason, PoisonRecord, ReplayOutcome, ReplayReport, MAX_PENDING,
+    MAX_POISON_KEPT,
 };
 pub use post::{Post, PostBody, UserId};
 pub use quarantine::{

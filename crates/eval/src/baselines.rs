@@ -35,40 +35,74 @@ impl Baselines {
         train_neg: &[usize],
         seed: u64,
     ) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-
-        // SPARFA on the binary answer matrix (positives + negatives).
-        let mut obs: Vec<(usize, usize, bool)> = Vec::with_capacity(train_pos.len() * 2);
-        for &i in train_pos {
-            let p = &data.positives[i];
-            obs.push((p.user.index(), p.target, true));
-        }
-        for &i in train_neg {
-            let n = &data.negatives[i];
-            obs.push((n.user.index(), n.target, false));
-        }
-        let mut sparfa = Sparfa::new(
-            data.num_users,
-            data.num_targets,
-            SparfaConfig::default(),
-            &mut rng,
-        );
-        sparfa.fit(&obs, &mut rng);
-
-        // MF on observed votes.
-        let triplets: Vec<(usize, usize, f64)> = train_pos
+        let pos: Vec<(usize, usize, f64, f64)> = train_pos
             .iter()
             .map(|&i| {
                 let p = &data.positives[i];
-                (p.user.index(), p.target, p.votes)
+                (p.user.index(), p.target, p.votes, p.response_time)
             })
             .collect();
-        let mut mf = MatrixFactorization::new(
+        let neg: Vec<(usize, usize)> = train_neg
+            .iter()
+            .map(|&i| {
+                let n = &data.negatives[i];
+                (n.user.index(), n.target)
+            })
+            .collect();
+        let xs: Vec<Vec<f64>> = train_pos
+            .iter()
+            .map(|&i| data.positives[i].x.clone())
+            .collect();
+        Self::train_from_parts(
             data.num_users,
             data.num_targets,
-            MfConfig::default(),
-            &mut rng,
-        );
+            data.dim,
+            &pos,
+            &neg,
+            xs,
+            seed,
+        )
+    }
+
+    /// [`train`](Self::train) decomposed into its raw ingredients —
+    /// the entry point for the spilled (columnar) path, which holds
+    /// per-record metadata resident but streams feature vectors from
+    /// disk. `pos` carries `(user index, target, votes, response
+    /// time)` per training positive and `xs` the matching raw feature
+    /// vectors, both in training order; `neg` carries `(user index,
+    /// target)` per training negative. The RNG consumption sequence
+    /// is identical to [`train`](Self::train), so both paths produce
+    /// bitwise-identical models from the same training folds.
+    pub fn train_from_parts(
+        num_users: usize,
+        num_targets: usize,
+        dim: usize,
+        pos: &[(usize, usize, f64, f64)],
+        neg: &[(usize, usize)],
+        xs: Vec<Vec<f64>>,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(pos.len(), xs.len(), "one raw x per training positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // SPARFA on the binary answer matrix (positives + negatives).
+        let mut obs: Vec<(usize, usize, bool)> = Vec::with_capacity(pos.len() * 2);
+        for &(user, target, _, _) in pos {
+            obs.push((user, target, true));
+        }
+        for &(user, target) in neg {
+            obs.push((user, target, false));
+        }
+        let mut sparfa = Sparfa::new(num_users, num_targets, SparfaConfig::default(), &mut rng);
+        sparfa.fit(&obs, &mut rng);
+
+        // MF on observed votes.
+        let triplets: Vec<(usize, usize, f64)> = pos
+            .iter()
+            .map(|&(user, target, votes, _)| (user, target, votes))
+            .collect();
+        let mut mf =
+            MatrixFactorization::new(num_users, num_targets, MfConfig::default(), &mut rng);
         mf.fit(&triplets, &mut rng);
 
         // Poisson regression on ⌈r⌉ with the *raw* feature vectors —
@@ -78,17 +112,9 @@ impl Baselines {
         // delays, which is the behavior the paper reports. (The
         // `baselines` ablation bench also measures a z-scored variant,
         // which is stronger than the paper's.)
-        let raw: Vec<Vec<f64>> = train_pos
-            .iter()
-            .map(|&i| data.positives[i].x.clone())
-            .collect();
-        let poisson_norm = Normalizer::identity(data.dim);
-        let xs = raw;
-        let ys: Vec<f64> = train_pos
-            .iter()
-            .map(|&i| data.positives[i].response_time.ceil())
-            .collect();
-        let mut poisson = PoissonRegression::new(data.dim);
+        let poisson_norm = Normalizer::identity(dim);
+        let ys: Vec<f64> = pos.iter().map(|&(_, _, _, rt)| rt.ceil()).collect();
+        let mut poisson = PoissonRegression::new(dim);
         poisson.fit(&xs, &ys, 120, 0.02, 1e-4, &mut rng);
         let max_train_delay = ys.iter().cloned().fold(1.0, f64::max);
 
@@ -103,19 +129,35 @@ impl Baselines {
 
     /// SPARFA score for a record (answer-task baseline).
     pub fn score_answer(&self, r: &PairRecord) -> f64 {
-        self.sparfa.predict_proba(r.user.index(), r.target)
+        self.score_answer_at(r.user.index(), r.target)
+    }
+
+    /// SPARFA score by `(user index, target)` — the spilled path's
+    /// entry, which has no materialized [`PairRecord`]s.
+    pub fn score_answer_at(&self, user: usize, target: usize) -> f64 {
+        self.sparfa.predict_proba(user, target)
     }
 
     /// MF prediction for a record (vote-task baseline).
     pub fn predict_votes(&self, r: &PairRecord) -> f64 {
-        self.mf.predict(r.user.index(), r.target)
+        self.predict_votes_at(r.user.index(), r.target)
+    }
+
+    /// MF prediction by `(user index, target)`.
+    pub fn predict_votes_at(&self, user: usize, target: usize) -> f64 {
+        self.mf.predict(user, target)
     }
 
     /// Poisson-regression prediction for a record (timing baseline),
     /// clamped to the largest delay seen in training.
     pub fn predict_response_time(&self, r: &PairRecord) -> f64 {
+        self.predict_response_time_x(&r.x)
+    }
+
+    /// Poisson-regression prediction from a raw feature vector.
+    pub fn predict_response_time_x(&self, x: &[f64]) -> f64 {
         self.poisson
-            .predict(&self.poisson_norm.transform(&r.x))
+            .predict(&self.poisson_norm.transform(x))
             .min(self.max_train_delay)
     }
 }

@@ -80,129 +80,26 @@ impl ExperimentData {
         warmup: usize,
         extractor_config: &ExtractorConfig,
     ) -> Self {
-        let _span = forumcast_obs::span("features.build");
-        let threads = dataset.threads();
-        assert!(
-            warmup >= 1 && warmup < threads.len(),
-            "warmup split {warmup} out of range for {} threads",
-            threads.len()
-        );
-        let horizon = dataset.horizon();
-        let num_targets = threads.len() - warmup;
-        let buckets = config.buckets.max(1).min(num_targets);
-        let worker_threads = config.worker_threads();
-        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xDA7A);
-
         let mut positives = Vec::new();
         let mut negatives = Vec::new();
-        let mut windows = vec![0.0; num_targets];
-
-        let bucket_size = num_targets.div_ceil(buckets);
-        for b in 0..buckets {
-            let start = warmup + b * bucket_size;
-            let end = (start + bucket_size).min(threads.len());
-            if start >= end {
-                break;
-            }
-            let _bucket_span = forumcast_obs::span_unit("features.bucket", b as u64);
-
-            // Pass 1 (serial): windows, answerer lists, and negative
-            // sampling. Sampling stays sequential in thread order so
-            // the RNG stream — and therefore every sampled user — is
-            // identical to the serial implementation regardless of
-            // the worker-thread count.
-            let mut plans: Vec<(&forumcast_data::Thread, usize, Vec<UserId>, Vec<UserId>)> =
-                Vec::with_capacity(end - start);
-            for (gi, thread) in threads[start..end].iter().enumerate() {
-                let target = start + gi - warmup;
-                windows[target] = (horizon - thread.asked_at()).max(0.5);
-
-                let mut answerers: Vec<UserId> = thread.answers.iter().map(|a| a.author).collect();
-                answerers.sort_unstable();
-                answerers.dedup();
-                // Balanced negatives, sampled "equally across
-                // questions": one per positive in this thread.
-                let wanted =
-                    (answerers.len() as f64 * config.negatives_per_positive).round() as usize;
-                let mut guard = 0;
-                let mut sampled: Vec<UserId> = Vec::with_capacity(wanted);
-                while sampled.len() < wanted && guard < wanted * 50 {
-                    guard += 1;
-                    let u = UserId(rng.gen_range(0..dataset.num_users()));
-                    if u == thread.asker() || answerers.contains(&u) || sampled.contains(&u) {
-                        continue;
-                    }
-                    sampled.push(u);
-                }
-                plans.push((thread, target, answerers, sampled));
-            }
-
-            // Pass 2 (parallel): per-thread feature extraction. Each
-            // `(u, q)` vector is a pure function of the fitted
-            // extractor and the plan, and results are flattened in
-            // thread order, so the output is identical for any
-            // worker-thread count.
-            let extractor =
-                FeatureExtractor::fit(&threads[..start], dataset.num_users(), extractor_config);
-            // The bucket's feature matrix is a pure function of the
-            // fitted extractor and the plans (the RNG was consumed
-            // entirely in pass 1), so the materialization pass can be
-            // retried wholesale. The `alloc-pressure` probe simulates
-            // an allocation failure here — the largest transient
-            // allocation of the build — and one bounded retry degrades
-            // it to a recomputed bucket instead of an aborted sweep.
-            let per_thread = with_retry(&format!("features bucket {b}"), 2, || {
-                fault::panic_point(FaultSite::AllocPressure, b as u64);
-                forumcast_par::parallel_map(
-                    &plans,
-                    worker_threads,
-                    |(thread, target, answerers, sampled)| {
-                        let d_q = extractor.question_topics(thread);
-                        let pos: Vec<PairRecord> = answerers
-                            .iter()
-                            .map(|&u| {
-                                let a = thread.answer_by(u).expect("answered");
-                                PairRecord {
-                                    user: u,
-                                    target: *target,
-                                    x: extractor.features(u, thread, &d_q),
-                                    votes: a.votes as f64,
-                                    response_time: a.timestamp - thread.asked_at(),
-                                }
-                            })
-                            .collect();
-                        let neg: Vec<PairRecord> = sampled
-                            .iter()
-                            .map(|&u| PairRecord {
-                                user: u,
-                                target: *target,
-                                x: extractor.features(u, thread, &d_q),
-                                votes: 0.0,
-                                response_time: 0.0,
-                            })
-                            .collect();
-                        (pos, neg)
-                    },
-                )
-            })
-            .unwrap_or_else(|e| panic!("experiment data build failed: {e}"));
-            for (pos, neg) in per_thread {
+        let shape = build_each(
+            dataset,
+            config,
+            warmup,
+            extractor_config,
+            &mut |pos, neg| {
                 positives.extend(pos);
                 negatives.extend(neg);
-            }
-        }
-
-        forumcast_obs::counter_add("features.pairs.pos", positives.len() as u64);
-        forumcast_obs::counter_add("features.pairs.neg", negatives.len() as u64);
-        let layout = FeatureLayout::new(extractor_dim_topics(extractor_config));
+            },
+        );
         ExperimentData {
-            dim: layout.dim(),
-            layout,
-            num_users: dataset.num_users() as usize,
-            num_targets,
+            dim: shape.layout.dim(),
+            layout: shape.layout,
+            num_users: shape.num_users,
+            num_targets: shape.num_targets,
             positives,
             negatives,
-            windows,
+            windows: shape.windows,
         }
     }
 
@@ -223,6 +120,158 @@ impl ExperimentData {
             by_target[n.target].push(i);
         }
         by_target
+    }
+}
+
+/// Everything a build produces besides the pair records themselves —
+/// the part a spilled (on-disk) experiment keeps resident.
+#[derive(Debug, Clone)]
+pub(crate) struct BuildShape {
+    pub layout: FeatureLayout,
+    pub num_users: usize,
+    pub num_targets: usize,
+    pub windows: Vec<f64>,
+}
+
+/// Core build loop shared by the resident and the spilled (columnar
+/// on-disk) experiment paths: runs the history protocol bucket by
+/// bucket and hands each bucket's records to `sink` instead of
+/// materializing the whole experiment. The record stream — contents
+/// *and* order — is identical to what
+/// [`ExperimentData::build_with_ranges`] accumulates, at any
+/// worker-thread count; records arrive in non-decreasing target
+/// order, which the columnar reader's per-target merge walk relies
+/// on.
+pub(crate) fn build_each(
+    dataset: &Dataset,
+    config: &EvalConfig,
+    warmup: usize,
+    extractor_config: &ExtractorConfig,
+    sink: &mut dyn FnMut(Vec<PairRecord>, Vec<PairRecord>),
+) -> BuildShape {
+    let _span = forumcast_obs::span("features.build");
+    let threads = dataset.threads();
+    assert!(
+        warmup >= 1 && warmup < threads.len(),
+        "warmup split {warmup} out of range for {} threads",
+        threads.len()
+    );
+    let horizon = dataset.horizon();
+    let num_targets = threads.len() - warmup;
+    let buckets = config.buckets.max(1).min(num_targets);
+    let worker_threads = config.worker_threads();
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xDA7A);
+
+    let mut total_pos = 0u64;
+    let mut total_neg = 0u64;
+    let mut windows = vec![0.0; num_targets];
+
+    let bucket_size = num_targets.div_ceil(buckets);
+    for b in 0..buckets {
+        let start = warmup + b * bucket_size;
+        let end = (start + bucket_size).min(threads.len());
+        if start >= end {
+            break;
+        }
+        let _bucket_span = forumcast_obs::span_unit("features.bucket", b as u64);
+
+        // Pass 1 (serial): windows, answerer lists, and negative
+        // sampling. Sampling stays sequential in thread order so
+        // the RNG stream — and therefore every sampled user — is
+        // identical to the serial implementation regardless of
+        // the worker-thread count.
+        let mut plans: Vec<(&forumcast_data::Thread, usize, Vec<UserId>, Vec<UserId>)> =
+            Vec::with_capacity(end - start);
+        for (gi, thread) in threads[start..end].iter().enumerate() {
+            let target = start + gi - warmup;
+            windows[target] = (horizon - thread.asked_at()).max(0.5);
+
+            let mut answerers: Vec<UserId> = thread.answers.iter().map(|a| a.author).collect();
+            answerers.sort_unstable();
+            answerers.dedup();
+            // Balanced negatives, sampled "equally across
+            // questions": one per positive in this thread.
+            let wanted = (answerers.len() as f64 * config.negatives_per_positive).round() as usize;
+            let mut guard = 0;
+            let mut sampled: Vec<UserId> = Vec::with_capacity(wanted);
+            while sampled.len() < wanted && guard < wanted * 50 {
+                guard += 1;
+                let u = UserId(rng.gen_range(0..dataset.num_users()));
+                if u == thread.asker() || answerers.contains(&u) || sampled.contains(&u) {
+                    continue;
+                }
+                sampled.push(u);
+            }
+            plans.push((thread, target, answerers, sampled));
+        }
+
+        // Pass 2 (parallel): per-thread feature extraction. Each
+        // `(u, q)` vector is a pure function of the fitted
+        // extractor and the plan, and results are flattened in
+        // thread order, so the output is identical for any
+        // worker-thread count.
+        let extractor =
+            FeatureExtractor::fit(&threads[..start], dataset.num_users(), extractor_config);
+        // The bucket's feature matrix is a pure function of the
+        // fitted extractor and the plans (the RNG was consumed
+        // entirely in pass 1), so the materialization pass can be
+        // retried wholesale. The `alloc-pressure` probe simulates
+        // an allocation failure here — the largest transient
+        // allocation of the build — and one bounded retry degrades
+        // it to a recomputed bucket instead of an aborted sweep.
+        let per_thread = with_retry(&format!("features bucket {b}"), 2, || {
+            fault::panic_point(FaultSite::AllocPressure, b as u64);
+            forumcast_par::parallel_map(
+                &plans,
+                worker_threads,
+                |(thread, target, answerers, sampled)| {
+                    let d_q = extractor.question_topics(thread);
+                    let pos: Vec<PairRecord> = answerers
+                        .iter()
+                        .map(|&u| {
+                            let a = thread.answer_by(u).expect("answered");
+                            PairRecord {
+                                user: u,
+                                target: *target,
+                                x: extractor.features(u, thread, &d_q),
+                                votes: a.votes as f64,
+                                response_time: a.timestamp - thread.asked_at(),
+                            }
+                        })
+                        .collect();
+                    let neg: Vec<PairRecord> = sampled
+                        .iter()
+                        .map(|&u| PairRecord {
+                            user: u,
+                            target: *target,
+                            x: extractor.features(u, thread, &d_q),
+                            votes: 0.0,
+                            response_time: 0.0,
+                        })
+                        .collect();
+                    (pos, neg)
+                },
+            )
+        })
+        .unwrap_or_else(|e| panic!("experiment data build failed: {e}"));
+        let mut bucket_pos = Vec::new();
+        let mut bucket_neg = Vec::new();
+        for (pos, neg) in per_thread {
+            bucket_pos.extend(pos);
+            bucket_neg.extend(neg);
+        }
+        total_pos += bucket_pos.len() as u64;
+        total_neg += bucket_neg.len() as u64;
+        sink(bucket_pos, bucket_neg);
+    }
+
+    forumcast_obs::counter_add("features.pairs.pos", total_pos);
+    forumcast_obs::counter_add("features.pairs.neg", total_neg);
+    BuildShape {
+        layout: FeatureLayout::new(extractor_dim_topics(extractor_config)),
+        num_users: dataset.num_users() as usize,
+        num_targets,
+        windows,
     }
 }
 
@@ -327,6 +376,21 @@ mod tests {
             assert_eq!(serial.positives, par.positives, "{threads} threads");
             assert_eq!(serial.negatives, par.negatives, "{threads} threads");
             assert_eq!(serial.windows, par.windows, "{threads} threads");
+        }
+    }
+
+    /// The spilled path relies on records leaving the build in
+    /// non-decreasing target order: each target's rows must form one
+    /// contiguous run so a single streaming pass can group them.
+    #[test]
+    fn records_stream_in_nondecreasing_target_order() {
+        let data = quick_data();
+        for recs in [&data.positives, &data.negatives] {
+            let mut last = 0usize;
+            for r in recs.iter() {
+                assert!(r.target >= last, "target {} after {last}", r.target);
+                last = r.target;
+            }
         }
     }
 

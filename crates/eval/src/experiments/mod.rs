@@ -144,6 +144,12 @@ pub enum CvError {
         /// Last panic message.
         message: String,
     },
+    /// The spilled (columnar on-disk) experiment data could not be
+    /// read back — torn, corrupt, or unreadable row files.
+    Data {
+        /// What failed.
+        message: String,
+    },
 }
 
 impl fmt::Display for CvError {
@@ -158,6 +164,7 @@ impl fmt::Display for CvError {
                 f,
                 "cv fold job {job} failed after {attempts} attempt(s): {message}"
             ),
+            CvError::Data { message } => write!(f, "cv experiment data unusable: {message}"),
         }
     }
 }
@@ -366,6 +373,60 @@ pub fn run_cv_resumable(
         .collect())
 }
 
+/// [`run_cv`] over a spilled (columnar on-disk) experiment: the same
+/// `repeats × folds` protocol with identical per-repeat fold
+/// assignment (the RNG seeding and consumption match [`run_cv`]
+/// exactly), but folds run **sequentially** and each streams its
+/// feature vectors from disk through
+/// [`run_fold_streamed`](crate::fold::run_fold_streamed) — so peak
+/// memory is one fold's working set instead of the full feature
+/// matrix plus one training set per worker thread. Outcomes are
+/// bitwise-identical to [`run_cv`] on the equivalent resident data.
+///
+/// Checkpoint/resume and sub-fold snapshots are not supported on
+/// this path; at the scales it targets, a fold recompute is cheaper
+/// than holding trainer snapshots alongside the spill.
+///
+/// # Errors
+///
+/// [`CvError::Data`] when a spilled row file is unreadable, torn, or
+/// corrupt (a CRC-mismatched file is quarantined first).
+pub fn run_cv_streamed(
+    spilled: &crate::columnar::SpilledExperiment,
+    config: &EvalConfig,
+    mask: Option<MaskSpec>,
+    run_baselines: bool,
+) -> Result<Vec<FoldOutcome>, CvError> {
+    let _span = forumcast_obs::span("eval.run_cv");
+    let mut outcomes = Vec::with_capacity(config.repeats * config.folds);
+    let mut job = 0u64;
+    for rep in 0..config.repeats {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ (0xC5 + rep as u64));
+        let pos_groups: Vec<u32> = spilled.pos.iter().map(|m| m.user.0).collect();
+        let pos_folds = stratified_folds(&pos_groups, config.folds, &mut rng);
+        let neg_groups: Vec<u32> = spilled.neg.iter().map(|m| m.user.0).collect();
+        let neg_folds = stratified_folds(&neg_groups, config.folds, &mut rng);
+        for fold in 0..config.folds {
+            let _fold_span = forumcast_obs::task_span("eval.fold", job);
+            job += 1;
+            let outcome = crate::fold::run_fold_streamed(
+                spilled,
+                config,
+                &pos_folds,
+                &neg_folds,
+                fold,
+                mask,
+                run_baselines,
+            )
+            .map_err(|e| CvError::Data {
+                message: e.to_string(),
+            })?;
+            outcomes.push(outcome);
+        }
+    }
+    Ok(outcomes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,6 +463,40 @@ mod tests {
             let par = run_cv(&data, &cfg, None, false);
             assert_eq!(serial, par, "fold outcomes changed with {threads} threads");
         }
+    }
+
+    /// The data-plane headline: a CV sweep over the spilled columnar
+    /// experiment — sequential folds, features streamed from disk —
+    /// reproduces the resident, parallel sweep bit for bit, across
+    /// repeats (each repeat re-derives its fold assignment from the
+    /// same seeds).
+    #[test]
+    fn streamed_cv_is_bitwise_identical_to_resident_cv() {
+        let _lock = CV_LOCK.lock().unwrap();
+        let mut cfg = EvalConfig::quick();
+        cfg.folds = 2;
+        cfg.repeats = 2;
+        let (ds, _) = cfg.synth.generate().preprocess();
+        let data = ExperimentData::build(&ds, &cfg);
+        let resident = run_cv(&data, &cfg, None, false);
+
+        let dir =
+            std::env::temp_dir().join(format!("forumcast-cv-streamed-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spilled = crate::columnar::SpilledExperiment::spill(&data, &cfg, &dir).unwrap();
+        let streamed = run_cv_streamed(&spilled, &cfg, None, false).unwrap();
+        let resident_bits: Vec<u64> = resident.iter().flat_map(outcome_bits).collect();
+        let streamed_bits: Vec<u64> = streamed.iter().flat_map(outcome_bits).collect();
+        assert_eq!(resident_bits, streamed_bits);
+
+        // Damage a row file: the sweep surfaces a typed data error
+        // instead of computing on a short experiment.
+        let pos = dir.join("pos.fcr");
+        let bytes = std::fs::read(&pos).unwrap();
+        std::fs::write(&pos, &bytes[..bytes.len() - 7]).unwrap();
+        let err = run_cv_streamed(&spilled, &cfg, None, false).unwrap_err();
+        assert!(matches!(err, CvError::Data { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     fn temp_checkpoint(name: &str) -> std::path::PathBuf {

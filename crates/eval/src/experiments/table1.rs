@@ -4,9 +4,10 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::path::Path;
 
+use crate::columnar::SpilledExperiment;
 use crate::config::EvalConfig;
 use crate::data::ExperimentData;
-use crate::experiments::{run_cv_resumable, CvError, CvOptions};
+use crate::experiments::{run_cv_resumable, run_cv_streamed, CvError, CvOptions};
 use crate::fold::mean_std;
 
 /// One row of Table I.
@@ -88,6 +89,28 @@ pub fn run_with(
     let data = ExperimentData::build(&dataset, config);
     let opts = opts.for_sub(checkpoint.map(Path::to_path_buf));
     let outcomes = run_cv_resumable(&data, config, None, true, &opts)?;
+    Ok(report_from(&outcomes))
+}
+
+/// [`run`] over the columnar on-disk store: the experiment is built
+/// straight into `dir` (one bucket of records resident at a time,
+/// never the full feature matrix) and folds stream back one at a
+/// time, so peak memory is bounded by roughly one training fold.
+/// Metrics are bitwise-identical to [`run`]'s. The streamed path has
+/// no checkpoint/snapshot support — its durability story is the spill
+/// itself.
+///
+/// # Errors
+///
+/// Returns [`CvError`] when the spill directory is unusable or a
+/// streamed fold fails.
+pub fn run_streamed(config: &EvalConfig, dir: &Path) -> Result<Table1Report, CvError> {
+    let (dataset, _) = config.synth.generate().preprocess();
+    let spilled = SpilledExperiment::build(&dataset, config, dir).map_err(|e| CvError::Data {
+        message: e.to_string(),
+    })?;
+    drop(dataset);
+    let outcomes = run_cv_streamed(&spilled, config, None, true)?;
     Ok(report_from(&outcomes))
 }
 

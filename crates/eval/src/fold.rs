@@ -7,6 +7,7 @@ use forumcast_core::{ResponsePredictor, TrainingSet};
 use forumcast_features::{FeatureGroup, FeatureId};
 
 use crate::baselines::Baselines;
+use crate::columnar::{ColumnarError, RowMeta, RowStream, SpilledExperiment};
 use crate::config::EvalConfig;
 use crate::data::ExperimentData;
 use crate::metrics::{auc, rmse};
@@ -214,6 +215,272 @@ pub fn run_fold(
     }
 }
 
+/// [`run_fold`] over a spilled (columnar on-disk) experiment: the
+/// same CV iteration with the feature matrix streamed from disk one
+/// row group at a time instead of held resident.
+///
+/// Produces a [`FoldOutcome`] bitwise-identical to [`run_fold`] on
+/// the equivalent [`ExperimentData`]: the training set is assembled
+/// with the exact same push sequence (answers + votes per training
+/// positive in index order, answers per training negative, then one
+/// timing thread per target) from three streaming passes — records
+/// leave the build in non-decreasing target order, so each target's
+/// rows form a contiguous run and a parallel merge walk over the two
+/// row files reproduces the per-target grouping without an index.
+///
+/// Only the held-out fold's feature vectors (for evaluation) and —
+/// when `run_baselines` is set — the training positives' raw vectors
+/// (the Poisson regressor's design matrix) are kept resident; with
+/// baselines off, peak memory is the active fold's training set.
+///
+/// Sub-fold (mid-training) snapshots are not supported on this path.
+///
+/// # Errors
+///
+/// [`ColumnarError`] when a row file is unreadable, torn, or corrupt.
+pub fn run_fold_streamed(
+    spilled: &SpilledExperiment,
+    config: &EvalConfig,
+    pos_folds: &[usize],
+    neg_folds: &[usize],
+    test_fold: usize,
+    mask: Option<MaskSpec>,
+    run_baselines: bool,
+) -> Result<FoldOutcome, ColumnarError> {
+    assert_eq!(pos_folds.len(), spilled.pos.len(), "pos fold map size");
+    assert_eq!(neg_folds.len(), spilled.neg.len(), "neg fold map size");
+
+    let masked = |x: &[f64]| -> Vec<f64> {
+        let mut v = x.to_vec();
+        match mask {
+            Some(MaskSpec::Feature(f)) => spilled.layout.mask_feature(&mut v, f),
+            Some(MaskSpec::Group(g)) => spilled.layout.mask_group(&mut v, g),
+            None => {}
+        }
+        v
+    };
+
+    let test_pos: Vec<usize> = (0..spilled.pos.len())
+        .filter(|&i| pos_folds[i] == test_fold)
+        .collect();
+    let test_neg: Vec<usize> = (0..spilled.neg.len())
+        .filter(|&i| neg_folds[i] == test_fold)
+        .collect();
+
+    // --- our models ---
+    // Pass A over the positives: push answer + vote observations for
+    // training rows (rows stream in index order, so this is the same
+    // sequence as run_fold's `for &i in &train_pos`), keep the
+    // held-out rows' vectors for evaluation, and — for the Poisson
+    // baseline — the training rows' raw vectors.
+    let mut ts = TrainingSet::new(spilled.dim);
+    let mut test_pos_x: Vec<Vec<f64>> = Vec::with_capacity(test_pos.len());
+    let mut train_pos_raw: Vec<Vec<f64>> = Vec::new();
+    {
+        let mut stream = spilled.stream_pos()?;
+        let mut i = 0usize;
+        while let Some((meta, x)) = stream.next_row()? {
+            if pos_folds[i] != test_fold {
+                ts.push_answer(masked(&x), true);
+                ts.push_vote(masked(&x), meta.votes);
+                if run_baselines {
+                    train_pos_raw.push(x);
+                }
+            } else {
+                test_pos_x.push(x);
+            }
+            i += 1;
+        }
+    }
+    // Pass B over the negatives: answer observations for training
+    // rows, held-out vectors for evaluation.
+    let mut test_neg_x: Vec<Vec<f64>> = Vec::with_capacity(test_neg.len());
+    {
+        let mut stream = spilled.stream_neg()?;
+        let mut i = 0usize;
+        while let Some((_, x)) = stream.next_row()? {
+            if neg_folds[i] != test_fold {
+                ts.push_answer(masked(&x), false);
+            } else {
+                test_neg_x.push(x);
+            }
+            i += 1;
+        }
+    }
+    // Pass C: timing observations grouped per target thread, via a
+    // merge walk over both row files in target order.
+    {
+        let mut pos_walk = TargetWalk::new(spilled.stream_pos()?, pos_folds, test_fold);
+        let mut neg_walk = TargetWalk::new(spilled.stream_neg()?, neg_folds, test_fold);
+        for t in 0..spilled.num_targets {
+            let answer_rows = pos_walk.take_target(t)?;
+            let non_rows = neg_walk.take_target(t)?;
+            if answer_rows.is_empty() {
+                continue;
+            }
+            let answers: Vec<(Vec<f64>, f64)> = answer_rows
+                .iter()
+                .map(|(m, x)| (masked(x), m.response_time))
+                .collect();
+            let non: Vec<Vec<f64>> = non_rows.iter().map(|(_, x)| masked(x)).collect();
+            ts.push_timing_thread(answers, non, spilled.windows[t], spilled.num_users);
+        }
+    }
+    let model = ResponsePredictor::train(&ts, &config.train);
+    drop(ts);
+
+    // --- evaluation ---
+    let mut scores = Vec::with_capacity(test_pos.len() + test_neg.len());
+    let mut labels = Vec::with_capacity(scores.capacity());
+    for x in &test_pos_x {
+        scores.push(model.predict_answer(&masked(x)));
+        labels.push(true);
+    }
+    for x in &test_neg_x {
+        scores.push(model.predict_answer(&masked(x)));
+        labels.push(false);
+    }
+    let our_auc = auc(&scores, &labels);
+
+    let vote_pred: Vec<f64> = test_pos_x
+        .iter()
+        .map(|x| model.predict_votes(&masked(x)))
+        .collect();
+    let vote_true: Vec<f64> = test_pos.iter().map(|&i| spilled.pos[i].votes).collect();
+    let our_rmse_votes = rmse(&vote_pred, &vote_true);
+
+    let time_pred: Vec<f64> = test_pos
+        .iter()
+        .zip(&test_pos_x)
+        .map(|(&i, x)| {
+            model.predict_response_time(&masked(x), spilled.windows[spilled.pos[i].target])
+        })
+        .collect();
+    let time_true: Vec<f64> = test_pos
+        .iter()
+        .map(|&i| spilled.pos[i].response_time)
+        .collect();
+    let our_rmse_time = rmse(&time_pred, &time_true);
+
+    // --- baselines ---
+    let (auc_b, rmse_v_b, rmse_t_b) = if run_baselines {
+        let pos_parts: Vec<(usize, usize, f64, f64)> = (0..spilled.pos.len())
+            .filter(|&i| pos_folds[i] != test_fold)
+            .map(|i| {
+                let m = &spilled.pos[i];
+                (m.user.index(), m.target, m.votes, m.response_time)
+            })
+            .collect();
+        let neg_parts: Vec<(usize, usize)> = (0..spilled.neg.len())
+            .filter(|&i| neg_folds[i] != test_fold)
+            .map(|i| {
+                let m = &spilled.neg[i];
+                (m.user.index(), m.target)
+            })
+            .collect();
+        let baselines = Baselines::train_from_parts(
+            spilled.num_users,
+            spilled.num_targets,
+            spilled.dim,
+            &pos_parts,
+            &neg_parts,
+            train_pos_raw,
+            config.seed ^ 0xBA5E,
+        );
+        let mut scores_b = Vec::with_capacity(test_pos.len() + test_neg.len());
+        for &i in &test_pos {
+            scores_b.push(
+                baselines.score_answer_at(spilled.pos[i].user.index(), spilled.pos[i].target),
+            );
+        }
+        for &i in &test_neg {
+            scores_b.push(
+                baselines.score_answer_at(spilled.neg[i].user.index(), spilled.neg[i].target),
+            );
+        }
+        let auc_b = auc(&scores_b, &labels);
+        let votes_b: Vec<f64> = test_pos
+            .iter()
+            .map(|&i| {
+                baselines.predict_votes_at(spilled.pos[i].user.index(), spilled.pos[i].target)
+            })
+            .collect();
+        let times_b: Vec<f64> = test_pos_x
+            .iter()
+            .map(|x| baselines.predict_response_time_x(x))
+            .collect();
+        (
+            auc_b,
+            rmse(&votes_b, &vote_true),
+            rmse(&times_b, &time_true),
+        )
+    } else {
+        (0.0, 0.0, 0.0)
+    };
+
+    Ok(FoldOutcome {
+        auc: our_auc,
+        auc_baseline: auc_b,
+        rmse_votes: our_rmse_votes,
+        rmse_votes_baseline: rmse_v_b,
+        rmse_time: our_rmse_time,
+        rmse_time_baseline: rmse_t_b,
+    })
+}
+
+/// Pulls one row file in target order: records spill in
+/// non-decreasing target order, so each target's rows are one
+/// contiguous run and a single forward pass can group them.
+struct TargetWalk<'f> {
+    stream: RowStream,
+    folds: &'f [usize],
+    test_fold: usize,
+    row: usize,
+    pending: Option<(RowMeta, Vec<f64>)>,
+}
+
+impl<'f> TargetWalk<'f> {
+    fn new(stream: RowStream, folds: &'f [usize], test_fold: usize) -> Self {
+        TargetWalk {
+            stream,
+            folds,
+            test_fold,
+            row: 0,
+            pending: None,
+        }
+    }
+
+    /// Consumes every row with target `t` (held-out rows included)
+    /// and returns the *training* rows among them, in row order.
+    /// Targets must be requested in increasing order.
+    fn take_target(&mut self, t: usize) -> Result<Vec<(RowMeta, Vec<f64>)>, ColumnarError> {
+        let mut out = Vec::new();
+        loop {
+            let (meta, x) = match self.pending.take() {
+                Some(row) => row,
+                None => match self.stream.next_row()? {
+                    Some(row) => row,
+                    None => return Ok(out),
+                },
+            };
+            if meta.target > t {
+                self.pending = Some((meta, x));
+                return Ok(out);
+            }
+            if meta.target < t {
+                return Err(ColumnarError::Malformed {
+                    path: std::path::PathBuf::new(),
+                    message: format!("row targets out of order: {} after group {t}", meta.target),
+                });
+            }
+            if self.folds[self.row] != self.test_fold {
+                out.push((meta, x));
+            }
+            self.row += 1;
+        }
+    }
+}
+
 /// Mean and standard deviation of a metric across fold outcomes.
 pub fn mean_std(values: &[f64]) -> (f64, f64) {
     if values.is_empty() {
@@ -275,6 +542,50 @@ mod tests {
         );
         assert_eq!(out.auc_baseline, 0.0);
         assert!(out.rmse_time.is_finite());
+    }
+
+    /// The streamed path's contract: identical fold maps in, a
+    /// bitwise-identical outcome out — with baselines and with a
+    /// feature mask.
+    #[test]
+    fn streamed_fold_is_bitwise_identical_to_resident() {
+        let cfg = EvalConfig::quick();
+        let (ds, _) = cfg.synth.generate().preprocess();
+        let data = ExperimentData::build(&ds, &cfg);
+        let dir =
+            std::env::temp_dir().join(format!("forumcast-fold-streamed-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spilled = SpilledExperiment::spill(&data, &cfg, &dir).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let pos_groups: Vec<u32> = data.positives.iter().map(|p| p.user.0).collect();
+        let pos_folds = stratified_folds(&pos_groups, cfg.folds, &mut rng);
+        let neg_groups: Vec<u32> = data.negatives.iter().map(|p| p.user.0).collect();
+        let neg_folds = stratified_folds(&neg_groups, cfg.folds, &mut rng);
+
+        for (mask, baselines) in [
+            (None, true),
+            (Some(MaskSpec::Group(FeatureGroup::Social)), false),
+        ] {
+            let resident = run_fold(
+                &data, &cfg, &pos_folds, &neg_folds, 0, mask, baselines, None,
+            );
+            let streamed =
+                run_fold_streamed(&spilled, &cfg, &pos_folds, &neg_folds, 0, mask, baselines)
+                    .unwrap();
+            let bits = |o: &FoldOutcome| {
+                [
+                    o.auc.to_bits(),
+                    o.auc_baseline.to_bits(),
+                    o.rmse_votes.to_bits(),
+                    o.rmse_votes_baseline.to_bits(),
+                    o.rmse_time.to_bits(),
+                    o.rmse_time_baseline.to_bits(),
+                ]
+            };
+            assert_eq!(bits(&resident), bits(&streamed), "mask {mask:?}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

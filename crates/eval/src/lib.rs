@@ -7,6 +7,8 @@
 //! * [`data`] — assembling `(u, q)` pair records with features,
 //!   targets, balanced negative samples, and per-thread survival
 //!   samples from a dataset partition (`Ω`, `F(q)`);
+//! * [`columnar`] — the experiment spilled to a columnar on-disk
+//!   store, streamed back one fold at a time for paper-scale++ runs;
 //! * [`split`] — 5-fold **stratified** cross-validation ("each user's
 //!   answers are allocated uniformly across folds", Section IV-A);
 //! * [`fold`] — one train/evaluate iteration of our three models and
@@ -29,6 +31,7 @@
 //! ```
 
 pub mod baselines;
+pub mod columnar;
 pub mod config;
 pub mod data;
 pub mod experiments;
@@ -38,10 +41,11 @@ pub mod parallel;
 pub mod split;
 pub mod subfold;
 
+pub use columnar::{ColumnarError, RowStream, SpilledExperiment};
 pub use config::EvalConfig;
 pub use data::{ExperimentData, PairRecord};
-pub use experiments::{run_cv, run_cv_resumable, CvError, CvOptions};
-pub use fold::{FoldOutcome, MaskSpec};
+pub use experiments::{run_cv, run_cv_resumable, run_cv_streamed, CvError, CvOptions};
+pub use fold::{run_fold_streamed, FoldOutcome, MaskSpec};
 pub use forumcast_resilience::CkptFormat;
 pub use metrics::{auc, cdf_points, mae, pearson, rmse, spearman};
 pub use subfold::SubfoldHandle;

@@ -568,6 +568,30 @@ pub fn mark(name: &str, unit: u64) {
     );
 }
 
+/// Peak resident set size of this process in KiB, read from the
+/// `VmHWM` line of `/proc/self/status`. Returns 0 when the procfs
+/// field is unavailable (non-Linux), so callers can gate the report
+/// on a non-zero value instead of special-casing platforms. Used by
+/// the streamed-fold evaluation path and the check.sh RSS smoke to
+/// assert that spilling keeps only one fold resident.
+pub fn peak_rss_kb() -> u64 {
+    let status = match std::fs::read_to_string("/proc/self/status") {
+        Ok(s) => s,
+        Err(_) => return 0,
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
 fn path_under_current(name: &str) -> String {
     STACK.with(|s| match s.borrow().last() {
         Some(parent) => format!("{}/{name}", parent.path),
@@ -594,6 +618,14 @@ fn record(kind: EventKind, path: String, unit: Option<u64>, at: Instant) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn peak_rss_is_nonzero_on_linux_and_never_panics() {
+        let kb = peak_rss_kb();
+        if cfg!(target_os = "linux") {
+            assert!(kb > 0, "VmHWM should be readable on Linux");
+        }
+    }
 
     #[test]
     fn disabled_probes_are_inert() {

@@ -37,7 +37,8 @@ pub use codec::{decode_value, encode_value, CodecError, MAX_DEPTH};
 pub use crc32::crc32;
 pub use frame::{
     corrupt_path, frame_bytes, header_bytes, is_store_bytes, quarantine, reclaim_tmp, scan,
-    Corruption, FrameIssue, SaveOptions, Scan, StoreError, StoreFile, FORMAT_VERSION, MAGIC,
+    Corruption, FrameIssue, FrameReader, SaveOptions, Scan, StoreError, StoreFile, FORMAT_VERSION,
+    MAGIC,
 };
 
 use serde::{Deserialize, Serialize};

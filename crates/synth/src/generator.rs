@@ -1,17 +1,22 @@
 //! The forum simulator entry point: turns a latent population into a
 //! complete dataset. The stepwise machinery lives in
 //! [`crate::simulator`]; this module provides the one-shot
-//! [`generate`] and re-exports used by tests.
+//! [`generate`], the thread-count-invariant sharded
+//! [`generate_with_threads`], and the shard-by-shard streaming
+//! [`event_stream`] / [`ShardedEventStream`].
 
-use forumcast_data::{events_from_dataset, Dataset, ForumEvent};
+use forumcast_data::{events_from_threads, Dataset, ForumEvent, Thread};
 
 use crate::config::SynthConfig;
-use crate::simulator::ForumSimulator;
 #[cfg(test)]
 use crate::simulator::{poisson, sample_decaying_process};
+use crate::simulator::{ForumSimulator, SHARD_SIZE};
 
 /// Generates a synthetic forum dataset per `config`. Deterministic
-/// given `config.seed`.
+/// given `config.seed` — equivalent to
+/// [`generate_with_threads`]`(config, 0)` (auto thread count), which
+/// is safe because sharded output is bitwise-identical at any thread
+/// count.
 ///
 /// See the crate docs and DESIGN.md §3 for the generative process and
 /// the paper statistics it is calibrated against.
@@ -24,19 +29,123 @@ use crate::simulator::{poisson, sample_decaying_process};
 /// assert_eq!(ds.num_questions(), SynthConfig::small().num_questions);
 /// ```
 pub fn generate(config: &SynthConfig) -> Dataset {
-    let mut sim = ForumSimulator::new(config);
-    let threads = sim.run_organic(config.num_questions);
-    Dataset::new(config.num_users, threads).expect("generator invariants hold")
+    generate_with_threads(config, 0)
+}
+
+/// Half-open question ranges, one per [`SHARD_SIZE`] shard.
+fn shard_ranges(num_questions: usize) -> Vec<(usize, usize)> {
+    (0..num_questions)
+        .step_by(SHARD_SIZE)
+        .map(|start| (start, (start + SHARD_SIZE).min(num_questions)))
+        .collect()
+}
+
+/// One shard of threads from a worker positioned at `start`.
+fn run_shard(sim: &ForumSimulator, start: usize, end: usize) -> Vec<Thread> {
+    let _g = forumcast_obs::task_span("synth.shard", (start / SHARD_SIZE) as u64);
+    let mut worker = sim.at_question(start as u32);
+    worker.run_organic(end - start)
+}
+
+/// Sharded generation: questions are produced in independent
+/// [`SHARD_SIZE`] shards (per-question seed derivation + shard-local
+/// social memory), fanned out over up to `threads` workers (0 = auto)
+/// and merged in fixed shard order — the output is bitwise-identical
+/// at any thread count, and identical to a serial
+/// [`ForumSimulator::run_organic`] sweep.
+pub fn generate_with_threads(config: &SynthConfig, threads: usize) -> Dataset {
+    let _span = forumcast_obs::span("synth.generate");
+    let sim = ForumSimulator::new(config);
+    let shards = shard_ranges(config.num_questions);
+    let max_threads = forumcast_par::resolve_threads(threads);
+    let per_shard: Vec<Vec<Thread>> =
+        forumcast_par::parallel_map(&shards, max_threads, |&(start, end)| {
+            run_shard(&sim, start, end)
+        });
+    let _merge = forumcast_obs::span("synth.merge");
+    let mut all = Vec::with_capacity(config.num_questions);
+    for batch in per_shard {
+        all.extend(batch);
+    }
+    Dataset::new(config.num_users, all).expect("generator invariants hold")
 }
 
 /// Generates the synthetic forum as a deterministic *event stream*:
-/// [`generate`]'s dataset flattened into chronologically ordered
-/// [`ForumEvent`]s (event id = stream index). The canonical producer
-/// input for WAL ingestion — `forumcast ingest --wal` appends exactly
-/// this stream, so any two runs with the same config fold to the same
-/// state hash.
+/// each shard's threads flattened into (timestamp, kind, question,
+/// post)-ordered [`ForumEvent`]s, shards concatenated in order (event
+/// id = stream index). Threads never span shards, so replaying the
+/// stream rebuilds exactly the [`generate`] dataset. The canonical
+/// producer input for WAL ingestion — `forumcast ingest --wal`
+/// appends exactly this stream, so any two runs with the same config
+/// fold to the same state hash.
+///
+/// Materializes the full stream; at scale, iterate a
+/// [`ShardedEventStream`] instead (same events, same order, one batch
+/// of shards resident at a time).
 pub fn event_stream(config: &SynthConfig) -> Vec<ForumEvent> {
-    events_from_dataset(&generate(config))
+    ShardedEventStream::new(config, 0).collect()
+}
+
+/// Streaming variant of [`event_stream`]: yields the same events in
+/// the same order, but generates shard-by-shard — one batch of shards
+/// (≤ thread count) is resident at a time, never the whole `Dataset`.
+/// Feeds `forumcast ingest --wal` at scales where the materialized
+/// forum would not fit in memory.
+pub struct ShardedEventStream {
+    sim: ForumSimulator,
+    shards: Vec<(usize, usize)>,
+    next_shard: usize,
+    max_threads: usize,
+    buf: std::vec::IntoIter<ForumEvent>,
+}
+
+impl ShardedEventStream {
+    /// A stream over `config`'s forum, generating with up to
+    /// `threads` workers per batch (0 = auto).
+    pub fn new(config: &SynthConfig, threads: usize) -> Self {
+        ShardedEventStream {
+            sim: ForumSimulator::new(config),
+            shards: shard_ranges(config.num_questions),
+            next_shard: 0,
+            max_threads: forumcast_par::resolve_threads(threads),
+            buf: Vec::new().into_iter(),
+        }
+    }
+
+    fn refill(&mut self) -> bool {
+        if self.next_shard >= self.shards.len() {
+            return false;
+        }
+        let end = (self.next_shard + self.max_threads.max(1)).min(self.shards.len());
+        let batch = &self.shards[self.next_shard..end];
+        self.next_shard = end;
+        let per_shard: Vec<Vec<ForumEvent>> =
+            forumcast_par::parallel_map(batch, self.max_threads, |&(start, end)| {
+                let threads = run_shard(&self.sim, start, end);
+                events_from_threads(&threads)
+            });
+        let mut events = Vec::new();
+        for shard in per_shard {
+            events.extend(shard);
+        }
+        self.buf = events.into_iter();
+        true
+    }
+}
+
+impl Iterator for ShardedEventStream {
+    type Item = ForumEvent;
+
+    fn next(&mut self) -> Option<ForumEvent> {
+        loop {
+            if let Some(ev) = self.buf.next() {
+                return Some(ev);
+            }
+            if !self.refill() {
+                return None;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -59,6 +168,39 @@ mod tests {
     }
 
     #[test]
+    fn generation_is_identical_across_thread_counts() {
+        let cfg = SynthConfig::small().with_seed(42);
+        let h1 = generate_with_threads(&cfg, 1).fnv1a_hash();
+        let h2 = generate_with_threads(&cfg, 2).fnv1a_hash();
+        let h7 = generate_with_threads(&cfg, 7).fnv1a_hash();
+        assert_eq!(h1, h2, "2 threads diverge from serial");
+        assert_eq!(h1, h7, "7 threads diverge from serial");
+    }
+
+    #[test]
+    fn generation_is_prefix_stable_as_the_forum_grows() {
+        // Growing num_questions must never perturb earlier questions:
+        // per-question seeds depend only on (seed, id) and shard
+        // boundaries are fixed multiples of SHARD_SIZE.
+        let small = SynthConfig::small().with_seed(11);
+        let mut bigger = small.clone();
+        bigger.num_questions += 173;
+        let a = generate(&small);
+        let b = generate(&bigger);
+        // Thread vectors are time-sorted, so compare per question id:
+        // every original question must be byte-identical in the
+        // grown forum.
+        for t in a.threads() {
+            assert_eq!(
+                Some(t),
+                b.thread(t.id),
+                "question {} changed when the forum grew",
+                t.id.0
+            );
+        }
+    }
+
+    #[test]
     fn event_stream_is_deterministic_and_rebuilds_the_dataset() {
         let cfg = SynthConfig::small().with_seed(42);
         let a = event_stream(&cfg);
@@ -76,6 +218,16 @@ mod tests {
             small_dataset().threads(),
             "replaying the stream rebuilds the generated forum"
         );
+    }
+
+    #[test]
+    fn streamed_events_match_materialized_stream_at_any_thread_count() {
+        let cfg = SynthConfig::small().with_seed(13);
+        let all = event_stream(&cfg);
+        for threads in [1usize, 2, 7] {
+            let streamed: Vec<_> = ShardedEventStream::new(&cfg, threads).collect();
+            assert_eq!(all, streamed, "stream diverged at {threads} threads");
+        }
     }
 
     #[test]

@@ -31,6 +31,13 @@ work_dir="$(mktemp -d -t forumcast-check-XXXXXX)"
 trap 'rm -f "$trace_file"; rm -rf "$work_dir"' EXIT
 "$fc" generate --scale small --seed 1 --out "$work_dir/data.json" > /dev/null
 FORUMCAST_TRACE="$work_dir/stats.trace.json" "$fc" stats --data "$work_dir/data.json" > /dev/null
+
+echo "==> calibration gate (stats --gate vs the paper's §III ranges)"
+# The synthetic generator is calibrated against §III; the gate fails
+# the build when a generator change walks the shape statistics
+# (unanswered fraction, answers/question, posts/user, delay
+# quantiles) out of the paper's ranges.
+"$fc" stats --data "$work_dir/data.json" --gate | grep -A7 '^calibration'
 cargo run -q -p forumcast-obs --example validate_trace -- "$work_dir/stats.trace.json" \
   stats stats.load stats.preprocess stats.graph
 FORUMCAST_TRACE="$work_dir/train.trace.json" "$fc" train \
@@ -177,10 +184,43 @@ echo "==> perf gate (bench compare against committed BENCH_quick.json)"
 # bench report which `forumcast bench compare` diffs against the
 # committed baseline, failing on >=1.5x wall/span-total or >=2x span
 # p99 regressions (spans under 20 ms in the baseline are noise-exempt).
-"$fcr" evaluate --scale quick --threads 1 \
+# The gated run goes through `--data-dir` so the baseline also covers
+# sharded generation (synth.generate/shard/merge) and the columnar
+# spill + streamed-fold read path on top of the usual eval spans.
+"$fcr" evaluate --scale quick --threads 1 --data-dir "$work_dir/bench-spill" \
   --bench-json "$work_dir/BENCH_quick.json" > /dev/null
 "$fcr" bench compare BENCH_quick.json "$work_dir/BENCH_quick.json" \
   --tolerance 1.5 --p99-tolerance 2.0 --min-ms 20
+
+echo "==> streamed-fold smoke (--data-dir: bitwise metrics, bounded RSS)"
+# The columnar data plane's end-to-end contract: sharded generation is
+# bitwise thread-count-invariant, and evaluating from the on-disk
+# spill reproduces the fully-resident report byte-for-byte while peak
+# RSS stays bounded (the streamed path holds one fold, not the full
+# feature matrix).
+"$fcr" generate --scale medium --seed 9 --threads 2 --out "$work_dir/med-t2.json" > /dev/null
+"$fcr" generate --scale medium --seed 9 --threads 7 --out "$work_dir/med-t7.json" > /dev/null
+cmp "$work_dir/med-t2.json" "$work_dir/med-t7.json" \
+  || { echo "streamed smoke: sharded generate differs at 2 vs 7 threads" >&2; exit 1; }
+"$fcr" evaluate --scale quick --threads 2 --data-dir "$work_dir/smoke-spill" \
+  > "$work_dir/streamed.txt"
+# Strip the spill banner, the RSS line, and the "N worker threads"
+# header (the golden ran at --threads 1; running the smoke at 2 also
+# proves the streamed path's thread invariance) before comparing.
+diff <(grep -v '^spilling\|^peak RSS\|^running' "$work_dir/streamed.txt") \
+     <(grep -v '^running' tests/golden/eval_quick_t1.txt) \
+  || { echo "streamed smoke: --data-dir metrics drifted from the resident golden" >&2; exit 1; }
+rss_mb="$(grep '^peak RSS:' "$work_dir/streamed.txt" | awk '{print int($3)}')"
+rss_bound_mb=512
+if [ -z "$rss_mb" ]; then
+  echo "streamed smoke: no peak RSS line in the --data-dir report" >&2
+  exit 1
+fi
+if [ "$rss_mb" -ge "$rss_bound_mb" ]; then
+  echo "streamed smoke: peak RSS ${rss_mb} MB exceeds the ${rss_bound_mb} MB bound" >&2
+  exit 1
+fi
+echo "streamed-fold: generate invariant at 2/7 threads, metrics bitwise-identical, peak RSS ${rss_mb} MB < ${rss_bound_mb} MB"
 
 echo "==> ingest kill-storm smoke (SIGKILL mid-append, wal repair + replay heal)"
 # The WAL twin of the checkpoint storm: SIGKILL the event-log producer
